@@ -1,0 +1,227 @@
+(* The SEPAR command-line tool.
+
+     separ analyze a.apk.txt b.apk.txt [-o policies.pol]
+         run AME + ASE over the bundle and synthesize policies
+     separ extract a.apk.txt
+         print the extracted architectural model of one app
+     separ table1
+         reproduce the Table I tool comparison
+     separ demo
+         run the Figure-1 attack/defense demonstration
+     separ generate -n 5 -d DIR
+         emit synthetic store apps as .apk.txt files
+
+   APK files use the textual container format of [Apk_text]: a manifest
+   header followed by a smali-like class listing. *)
+
+open Cmdliner
+
+let load_apks paths = List.map Separ_dalvik.Apk_text.load paths
+
+let analyze_cmd =
+  let paths =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"APK" ~doc:"APK text files")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write policies to $(docv)")
+  in
+  let limit =
+    Arg.(
+      value & opt int 16
+      & info [ "limit" ] ~doc:"Maximum scenarios per vulnerability signature")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json")
+  in
+  let run paths out limit format =
+    let apks = load_apks paths in
+    let analysis = Separ.analyze ~limit_per_sig:limit apks in
+    (match format with
+    | `Text -> Fmt.pr "%a@." Separ.pp_analysis analysis
+    | `Json ->
+        print_endline
+          (Separ_report.Report.to_string ~report:analysis.Separ.report
+             ~policies:analysis.Separ.policies ()));
+    match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Separ.Policy.to_string analysis.Separ.policies);
+        output_string oc "\n";
+        close_out oc;
+        Fmt.pr "wrote %d policies to %s@."
+          (List.length analysis.Separ.policies)
+          path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Analyze a bundle and synthesize policies")
+    Term.(const run $ paths $ out $ limit $ format)
+
+let extract_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"APK")
+  in
+  let run path =
+    let apk = Separ_dalvik.Apk_text.load path in
+    let model = Separ.Extract.extract apk in
+    Fmt.pr "%a@." Separ.App_model.pp model
+  in
+  Cmd.v
+    (Cmd.info "extract" ~doc:"Print the extracted model of one app")
+    Term.(const run $ path)
+
+let table1_cmd =
+  let run () =
+    let rows = Separ_suites.Table1.run () in
+    print_string (Separ_suites.Table1.render rows)
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Reproduce the Table I tool comparison")
+    Term.(const run $ const ())
+
+let demo_cmd =
+  let run () =
+    (* Inline version of examples/gps_sms_attack.ml for CLI users. *)
+    let module B = Separ.Builder in
+    let nav =
+      Separ.Apk.make
+        ~manifest:
+          (Separ.Manifest.make ~package:"nav"
+             ~uses_permissions:[ Separ.Permission.access_fine_location ]
+             ~components:
+               [
+                 Separ.Component.make ~name:"Loc" ~kind:Separ.Component.Service ();
+               ]
+             ())
+        ~classes:
+          [
+            B.cls ~name:"Loc"
+              [
+                B.meth ~name:"onStartCommand" ~params:1 (fun b ->
+                    let v = B.get_location b in
+                    let i = B.new_intent b in
+                    B.set_action b i "showLoc";
+                    B.put_extra b i ~key:"loc" ~value:v;
+                    B.send_broadcast b i);
+              ];
+          ]
+    in
+    let analysis = Separ.analyze [ nav ] in
+    Fmt.pr "%a@." Separ.pp_analysis analysis
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Analyze a small vulnerable app and show policies")
+    Term.(const run $ const ())
+
+let spec_cmd =
+  let paths =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"APK" ~doc:"APK text files")
+  in
+  let run paths =
+    let apks = load_apks paths in
+    let models = List.map Separ.Extract.extract apks in
+    let bundle =
+      Separ.Bundle.update_passive_targets (Separ.Bundle.of_models models)
+    in
+    print_string (Separ_specs.Alloy_pp.bundle_spec bundle)
+  in
+  Cmd.v
+    (Cmd.info "spec"
+       ~doc:"Emit the bundle's formal model as Alloy-style text")
+    Term.(const run $ paths)
+
+let enforce_cmd =
+  let paths =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"APK" ~doc:"APK text files")
+  in
+  let policies_file =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "p"; "policies" ] ~docv:"FILE" ~doc:"Policy store to enforce")
+  in
+  let start =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "start" ] ~docv:"PKG/COMPONENT[/ENTRY]"
+          ~doc:"Component to launch once the device is set up")
+  in
+  let consent =
+    Arg.(
+      value & flag
+      & info [ "approve" ] ~doc:"Approve user prompts (default: refuse)")
+  in
+  let run paths policies_file start consent =
+    let apks = load_apks paths in
+    let policies =
+      let ic = open_in policies_file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Separ.Policy.of_string s
+    in
+    let device = Separ.Device.create () in
+    List.iter (Separ.Device.install device) apks;
+    Separ.Device.set_policies device policies
+      (List.map Separ.Apk.package apks);
+    Separ.Device.set_enforcement device true;
+    Separ.Device.set_consent device (fun _ _ -> consent);
+    (match String.split_on_char '/' start with
+    | [ pkg; component ] ->
+        Separ.Device.start_component device ~pkg ~component
+    | [ pkg; component; entry ] ->
+        Separ.Device.start_component device ~pkg ~component ~entry
+    | _ -> failwith "--start expects PKG/COMPONENT[/ENTRY]");
+    List.iter
+      (fun e -> Fmt.pr "%a@." Separ.Effect.pp e)
+      (Separ.Device.effects device)
+  in
+  Cmd.v
+    (Cmd.info "enforce"
+       ~doc:"Run a component on a simulated device under a policy store")
+    Term.(const run $ paths $ policies_file $ start $ consent)
+
+let generate_cmd =
+  let n =
+    Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of apps to emit")
+  in
+  let dir =
+    Arg.(value & opt string "." & info [ "d"; "dir" ] ~doc:"Output directory")
+  in
+  let run n dir =
+    let corpus = Separ_workload.Generator.generate () in
+    List.iteri
+      (fun i g ->
+        if i < n then begin
+          let apk = g.Separ_workload.Generator.apk in
+          let path =
+            Filename.concat dir (Separ.Apk.package apk ^ ".apk.txt")
+          in
+          Separ_dalvik.Apk_text.save path apk;
+          Fmt.pr "wrote %s@." path
+        end)
+      corpus
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Emit synthetic store apps as APK text files")
+    Term.(const run $ n $ dir)
+
+let () =
+  let info =
+    Cmd.info "separ" ~version:"1.0.0"
+      ~doc:"Formal synthesis and automatic enforcement of Android security policies"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            analyze_cmd; extract_cmd; spec_cmd; table1_cmd; demo_cmd;
+            enforce_cmd; generate_cmd;
+          ]))

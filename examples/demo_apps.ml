@@ -1,0 +1,6 @@
+(* The motivating-example apps live in the library; this module keeps
+   the examples' call sites short. *)
+
+let navigation_app = Separ.Demo.navigation_app
+let messenger_app () = Separ.Demo.messenger_app ()
+let relay_malware = Separ.Demo.relay_malware

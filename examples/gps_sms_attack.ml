@@ -1,0 +1,41 @@
+(* The paper's Figure 1 end to end: a malicious relay app hijacks the
+   navigation app's location intent and exfiltrates the location by SMS
+   through the messenger app's unchecked service — then the same attack
+   is replayed under SEPAR's synthesized policies and blocked.
+
+     dune exec examples/gps_sms_attack.exe *)
+
+open Separ
+
+let run ~protected =
+  let device = Device.create () in
+  Device.install device (Demo_apps.navigation_app ());
+  Device.install device (Demo_apps.messenger_app ());
+  Device.install device (Demo_apps.relay_malware ());
+  if protected then begin
+    let analysis =
+      analyze [ Demo_apps.navigation_app (); Demo_apps.messenger_app () ]
+    in
+    protect device analysis
+  end;
+  (* the user opens the navigation app *)
+  Device.start_component device ~pkg:"com.example.navigation"
+    ~component:"LocationFinder" ~entry:"onStartCommand";
+  Device.effects device
+
+let describe label effects =
+  Fmt.pr "=== %s ===@." label;
+  List.iter (fun e -> Fmt.pr "  %a@." Effect.pp e) effects;
+  let exfiltrated =
+    List.exists (Effect.is_sms_with_taint Resource.Location) effects
+  in
+  Fmt.pr "  => location %s@.@."
+    (if exfiltrated then "EXFILTRATED by SMS" else "protected");
+  exfiltrated
+
+let () =
+  let leaked_unprotected = describe "unprotected device" (run ~protected:false) in
+  let leaked_protected = describe "device under SEPAR" (run ~protected:true) in
+  assert leaked_unprotected;
+  assert (not leaked_protected);
+  Fmt.pr "The synthesized policies prevented the Figure-1 exploit.@."

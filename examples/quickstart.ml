@@ -1,0 +1,13 @@
+(* Quickstart: analyze a two-app bundle and print the synthesized
+   vulnerabilities and policies.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  let apks = [ Demo_apps.navigation_app (); Demo_apps.messenger_app () ] in
+  Fmt.pr "Analyzing a bundle of %d apps...@.@." (List.length apks);
+  let analysis = Separ.analyze apks in
+  Fmt.pr "%a@." Separ.pp_analysis analysis;
+  Fmt.pr "@.%d vulnerabilities, %d policies synthesized.@."
+    (List.length (Separ.vulnerabilities analysis))
+    (List.length (Separ.policies analysis))

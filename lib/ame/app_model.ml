@@ -1,0 +1,106 @@
+(* The architectural model of one app, as extracted by AME: the formal
+   specification that the analysis and synthesis engine consumes.  This
+   is the OCaml counterpart of the per-app Alloy module of the paper's
+   Listing 4. *)
+
+open Separ_android
+
+type intent_model = {
+  im_id : string;                   (* unique within the bundle *)
+  im_sender : string;               (* component name *)
+  im_target : string option;        (* explicit target class, if any *)
+  im_action : string option;
+  im_action_unresolved : bool;      (* statically unresolvable action *)
+  im_categories : string list;
+  im_data_type : string option;
+  im_data_scheme : string option;
+  im_data_host : string option;     (* URI authority *)
+  im_extras : Resource.t list;      (* taint of the carried extras *)
+  im_icc : Api.icc_kind;
+  im_wants_result : bool;
+  im_passive : bool;                (* a setResult reply: no addressing info *)
+  im_resolved_targets : string list; (* passive-intent targets (Algorithm 1) *)
+}
+
+type path_model = {
+  pm_source : Resource.t;
+  pm_sink : Resource.t;
+}
+
+type component_model = {
+  cm_name : string;
+  cm_kind : Component.kind;
+  cm_public : bool;
+  cm_filters : Intent_filter.t list;
+  cm_required_permissions : Permission.t list;
+      (* enforced on callers: manifest attribute + code-level checks *)
+  cm_uses_permissions : Permission.t list;
+      (* app permissions this component actually exercises *)
+  cm_paths : path_model list;
+  cm_intents : intent_model list;
+  cm_reads_extras : string list; (* extra keys read from incoming intents *)
+  cm_dynamic_filters : Intent_filter.t list;
+      (* filters registered at runtime; SEPAR's formal model deliberately
+         ignores these (the paper's documented limitation), but baseline
+         tools may consume them *)
+}
+
+type t = {
+  am_package : string;
+  am_declared_permissions : Permission.t list;
+  am_components : component_model list;
+  am_extraction_ms : float; (* wall-clock extraction time (Figure 5) *)
+  am_size : int;            (* app size in IR instructions (Figure 5) *)
+}
+
+let component t name =
+  List.find_opt (fun c -> c.cm_name = name) t.am_components
+
+let public_components t = List.filter (fun c -> c.cm_public) t.am_components
+
+let all_intents t = List.concat_map (fun c -> c.cm_intents) t.am_components
+
+(* View an extracted intent model as a structural intent, for resolution
+   against filters. *)
+let to_intent (im : intent_model) : Intent.t =
+  Intent.make ?target:im.im_target ?action:im.im_action
+    ~categories:im.im_categories ?data_type:im.im_data_type
+    ?data_scheme:im.im_data_scheme ?data_host:im.im_data_host
+    ~extras:
+      (List.map
+         (fun r ->
+           Intent.{ key = Resource.to_string r; value = ""; taint = [ r ] })
+         im.im_extras)
+    ~wants_result:im.im_wants_result ()
+
+let pp_intent ppf im =
+  Fmt.pf ppf "%s: %s%s via %s extras=[%a]%s" im.im_id
+    (match im.im_action with
+    | Some a -> "action=" ^ a
+    | None -> if im.im_action_unresolved then "action=<?>" else "no action")
+    (match im.im_target with Some t -> " target=" ^ t | None -> "")
+    (Api.icc_kind_to_string im.im_icc)
+    Fmt.(list ~sep:(any ",") Resource.pp)
+    im.im_extras
+    (if im.im_passive then " (passive)" else "")
+
+let pp_component ppf c =
+  Fmt.pf ppf "@[<v 2>%s %s%s@,filters: %d  required-perms: [%a]@,paths: %a@,%a@]"
+    (Component.kind_to_string c.cm_kind)
+    c.cm_name
+    (if c.cm_public then " (public)" else "")
+    (List.length c.cm_filters)
+    Fmt.(list ~sep:(any ",") Permission.pp)
+    c.cm_required_permissions
+    Fmt.(
+      list ~sep:(any " ") (fun ppf p ->
+          pf ppf "%a->%a" Resource.pp p.pm_source Resource.pp p.pm_sink))
+    c.cm_paths
+    Fmt.(list ~sep:cut pp_intent)
+    c.cm_intents
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>app %s (%d instrs, %.1f ms)@,%a@]" t.am_package t.am_size
+    t.am_extraction_ms
+    Fmt.(list ~sep:cut pp_component)
+    t.am_components

@@ -1,0 +1,64 @@
+(** The architectural model of one app as extracted by AME — the formal
+    specification the analysis-and-synthesis engine consumes (the OCaml
+    counterpart of the paper's per-app Alloy module, Listing 4). *)
+
+open Separ_android
+
+type intent_model = {
+  im_id : string;                    (** unique within the bundle *)
+  im_sender : string;                (** component name *)
+  im_target : string option;         (** explicit target class *)
+  im_action : string option;
+  im_action_unresolved : bool;       (** statically unresolvable action *)
+  im_categories : string list;
+  im_data_type : string option;
+  im_data_scheme : string option;
+  im_data_host : string option;      (** URI authority *)
+  im_extras : Resource.t list;       (** taint of the carried extras *)
+  im_icc : Api.icc_kind;
+  im_wants_result : bool;
+  im_passive : bool;                 (** a setResult reply *)
+  im_resolved_targets : string list; (** passive targets (Algorithm 1) *)
+}
+
+type path_model = {
+  pm_source : Resource.t;
+  pm_sink : Resource.t;
+}
+
+type component_model = {
+  cm_name : string;
+  cm_kind : Component.kind;
+  cm_public : bool;
+  cm_filters : Intent_filter.t list;
+  cm_required_permissions : Permission.t list;
+      (** enforced on callers: manifest attribute + code-level checks *)
+  cm_uses_permissions : Permission.t list;
+  cm_paths : path_model list;
+  cm_intents : intent_model list;
+  cm_reads_extras : string list;
+      (** extra keys read from incoming intents *)
+  cm_dynamic_filters : Intent_filter.t list;
+      (** runtime-registered filters; SEPAR's formal model deliberately
+          ignores these (the paper's documented limitation) *)
+}
+
+type t = {
+  am_package : string;
+  am_declared_permissions : Permission.t list;
+  am_components : component_model list;
+  am_extraction_ms : float;  (** wall-clock extraction time (Figure 5) *)
+  am_size : int;             (** app size in IR instructions (Figure 5) *)
+}
+
+val component : t -> string -> component_model option
+val public_components : t -> component_model list
+val all_intents : t -> intent_model list
+
+(** View an extracted intent model structurally, for resolution against
+    filters. *)
+val to_intent : intent_model -> Intent.t
+
+val pp_intent : Format.formatter -> intent_model -> unit
+val pp_component : Format.formatter -> component_model -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+(* A bundle: the set of app models jointly installed on a device.  This
+   module also implements the paper's Algorithm 1 — resolving the target
+   components of *passive* intents (the reply intents of
+   [startActivityForResult]/[setResult] round trips, which carry no
+   addressing information of their own). *)
+
+open Separ_android
+
+type t = {
+  apps : App_model.t list;
+}
+
+let of_models apps = { apps }
+let apps t = t.apps
+
+let all_components t =
+  List.concat_map
+    (fun app ->
+      List.map (fun c -> (app, c)) app.App_model.am_components)
+    t.apps
+
+let all_intents t =
+  List.concat_map
+    (fun app ->
+      List.concat_map
+        (fun c -> List.map (fun i -> (app, c, i)) c.App_model.cm_intents)
+        app.App_model.am_components)
+    t.apps
+
+let find_component t name =
+  List.find_map
+    (fun app ->
+      Option.map (fun c -> (app, c)) (App_model.component app name))
+    t.apps
+
+(* Does intent [im] (viewed structurally) resolve to component [c]?
+   Explicit intents match by class name; implicit ones by filter and
+   delivery-class compatibility. *)
+let resolves_to (im : App_model.intent_model) (c : App_model.component_model) =
+  Api.delivery_kind im.App_model.im_icc = c.App_model.cm_kind
+  &&
+  match im.App_model.im_target with
+  | Some target -> target = c.App_model.cm_name
+  | None ->
+      c.App_model.cm_public
+      && (not im.App_model.im_passive)
+      && List.exists
+           (fun f -> Intent_filter.matches ~intent:(App_model.to_intent im) f)
+           c.App_model.cm_filters
+
+(* Algorithm 1 of the paper: for each passive intent p, find the intents
+   i that request a result and whose target is p's sender; i's sender
+   becomes a resolved target of p. *)
+let update_passive_targets t =
+  let intents = all_intents t in
+  let resolve_passive (_app, cmp, p) =
+    if not p.App_model.im_passive then p
+    else
+      let targets =
+        List.filter_map
+          (fun (_, sender_cmp, i) ->
+            if i.App_model.im_wants_result && resolves_to i cmp then
+              Some sender_cmp.App_model.cm_name
+            else None)
+          intents
+      in
+      { p with App_model.im_resolved_targets = List.sort_uniq compare targets }
+  in
+  let apps =
+    List.map
+      (fun app ->
+        let components =
+          List.map
+            (fun c ->
+              let intents =
+                List.map
+                  (fun i -> resolve_passive (app, c, i))
+                  c.App_model.cm_intents
+              in
+              { c with App_model.cm_intents = intents })
+            app.App_model.am_components
+        in
+        { app with App_model.am_components = components })
+      t.apps
+  in
+  { apps }
+
+(* Aggregate statistics used by the Table II experiment. *)
+type stats = {
+  n_apps : int;
+  n_components : int;
+  n_intents : int;
+  n_intent_filters : int;
+  n_paths : int;
+}
+
+let stats t =
+  let components = all_components t in
+  {
+    n_apps = List.length t.apps;
+    n_components = List.length components;
+    n_intents = List.length (all_intents t);
+    n_intent_filters =
+      List.fold_left
+        (fun acc (_, c) -> acc + List.length c.App_model.cm_filters)
+        0 components;
+    n_paths =
+      List.fold_left
+        (fun acc (_, c) -> acc + List.length c.App_model.cm_paths)
+        0 components;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut App_model.pp) t.apps

@@ -1,0 +1,37 @@
+(** A bundle: the set of app models jointly installed on a device, plus
+    the paper's Algorithm 1 (passive-intent target resolution). *)
+
+type t
+
+val of_models : App_model.t list -> t
+val apps : t -> App_model.t list
+
+val all_components : t -> (App_model.t * App_model.component_model) list
+
+val all_intents :
+  t -> (App_model.t * App_model.component_model * App_model.intent_model) list
+
+val find_component :
+  t -> string -> (App_model.t * App_model.component_model) option
+
+(** Does the intent (viewed structurally) resolve to the component?
+    Explicit intents match by class name; implicit ones by filter. *)
+val resolves_to :
+  App_model.intent_model -> App_model.component_model -> bool
+
+(** Algorithm 1: for each passive intent [p], every intent that requests
+    a result and targets [p]'s sender contributes its own sender as a
+    resolved target of [p]. *)
+val update_passive_targets : t -> t
+
+(** Aggregate statistics (the Table II columns). *)
+type stats = {
+  n_apps : int;
+  n_components : int;
+  n_intents : int;
+  n_intent_filters : int;
+  n_paths : int;
+}
+
+val stats : t -> stats
+val pp : Format.formatter -> t -> unit

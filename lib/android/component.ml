@@ -1,0 +1,38 @@
+(* Application components, the four Android kinds.  Whether a component
+   is public (reachable by other apps) follows the platform rule: the
+   [exported] attribute if set, otherwise the presence of an intent
+   filter.  Content providers cannot declare intent filters. *)
+
+type kind = Activity | Service | Receiver | Provider
+
+let kind_to_string = function
+  | Activity -> "Activity"
+  | Service -> "Service"
+  | Receiver -> "Receiver"
+  | Provider -> "Provider"
+
+type t = {
+  name : string;                        (* class name, unique in the app *)
+  kind : kind;
+  exported : bool option;               (* manifest attribute *)
+  permission : Permission.t option;     (* required of callers *)
+  intent_filters : Intent_filter.t list;
+}
+
+let make ~name ~kind ?exported ?permission ?(intent_filters = []) () =
+  (match kind with
+  | Provider when intent_filters <> [] ->
+      invalid_arg "Component.make: content providers cannot declare filters"
+  | _ -> ());
+  { name; kind; exported; permission; intent_filters }
+
+(* The platform default: exported iff the attribute says so, else iff the
+   component declares at least one intent filter. *)
+let is_public t =
+  match t.exported with
+  | Some b -> b
+  | None -> t.intent_filters <> []
+
+let pp ppf t =
+  Fmt.pf ppf "%s %s%s" (kind_to_string t.kind) t.name
+    (if is_public t then " (public)" else "")

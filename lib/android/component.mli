@@ -1,0 +1,30 @@
+(** Application components.  Whether a component is public follows the
+    platform rule: the [exported] attribute if set, otherwise the
+    presence of an intent filter. *)
+
+type kind = Activity | Service | Receiver | Provider
+
+val kind_to_string : kind -> string
+
+type t = {
+  name : string;                    (** class name, unique in the app *)
+  kind : kind;
+  exported : bool option;           (** manifest attribute *)
+  permission : Permission.t option; (** required of callers *)
+  intent_filters : Intent_filter.t list;
+}
+
+(** @raise Invalid_argument if a provider declares intent filters. *)
+val make :
+  name:string ->
+  kind:kind ->
+  ?exported:bool ->
+  ?permission:Permission.t ->
+  ?intent_filters:Intent_filter.t list ->
+  unit ->
+  t
+
+(** Reachable by other apps. *)
+val is_public : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+(* Intent filters and the intent resolution test.  The matching rules
+   follow the Android framework documentation: an implicit intent is
+   delivered to a component iff one of its filters passes the action,
+   category and data tests. *)
+
+type t = {
+  actions : string list;       (* non-empty for a useful filter *)
+  categories : string list;
+  data_types : string list;
+  data_schemes : string list;
+  data_hosts : string list;    (* URI authorities; meaningful with schemes *)
+  priority : int;              (* ordered-broadcast delivery priority *)
+}
+
+let make ?(actions = []) ?(categories = []) ?(data_types = [])
+    ?(data_schemes = []) ?(data_hosts = []) ?(priority = 0) () =
+  { actions; categories; data_types; data_schemes; data_hosts; priority }
+
+(* Action test: the intent's action must be listed by the filter; an
+   intent with no action passes as long as the filter has some action. *)
+let action_test (intent : Intent.t) t =
+  match intent.Intent.action with
+  | None -> t.actions <> []
+  | Some a -> List.mem a t.actions
+
+(* Category test: every category in the intent must appear in the
+   filter (the filter may list more). *)
+let category_test (intent : Intent.t) t =
+  List.for_all (fun c -> List.mem c t.categories) intent.Intent.categories
+
+(* Authority test: a filter listing hosts only accepts intents whose URI
+   names one of them; a filter without hosts accepts any authority. *)
+let host_test (intent : Intent.t) t =
+  t.data_hosts = []
+  ||
+  match intent.Intent.data_host with
+  | Some h -> List.mem h t.data_hosts
+  | None -> false
+
+(* Data test, per the four cases of the framework documentation, refined
+   by the authority test when the filter constrains hosts. *)
+let data_test (intent : Intent.t) t =
+  (match (intent.Intent.data_scheme, intent.Intent.data_type) with
+  | None, None -> t.data_schemes = [] && t.data_types = []
+  | Some s, None -> List.mem s t.data_schemes && t.data_types = []
+  | None, Some ty -> List.mem ty t.data_types && t.data_schemes = []
+  | Some s, Some ty -> List.mem s t.data_schemes && List.mem ty t.data_types)
+  && host_test intent t
+
+let matches ~(intent : Intent.t) t =
+  action_test intent t && category_test intent t && data_test intent t
+
+let pp ppf t =
+  Fmt.pf ppf "Filter{actions=[%a] categories=[%a]}"
+    Fmt.(list ~sep:(any ",") string)
+    t.actions
+    Fmt.(list ~sep:(any ",") string)
+    t.categories

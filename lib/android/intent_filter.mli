@@ -1,0 +1,40 @@
+(** Intent filters and the intent resolution test, following the Android
+    framework rules: an implicit intent is delivered to a component iff
+    one of its filters passes the action, category and data tests. *)
+
+type t = {
+  actions : string list;
+  categories : string list;
+  data_types : string list;
+  data_schemes : string list;
+  data_hosts : string list;
+  priority : int;  (** ordered-broadcast delivery priority *)
+}
+
+val make :
+  ?actions:string list ->
+  ?categories:string list ->
+  ?data_types:string list ->
+  ?data_schemes:string list ->
+  ?data_hosts:string list ->
+  ?priority:int ->
+  unit ->
+  t
+
+(** A filter listing hosts only accepts intents whose URI names one. *)
+val host_test : Intent.t -> t -> bool
+
+(** The intent's action must be listed by the filter; an intent with no
+    action passes as long as the filter has some action. *)
+val action_test : Intent.t -> t -> bool
+
+(** Every category in the intent must appear in the filter. *)
+val category_test : Intent.t -> t -> bool
+
+(** The four-case data test of the framework documentation. *)
+val data_test : Intent.t -> t -> bool
+
+(** All three tests. *)
+val matches : intent:Intent.t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

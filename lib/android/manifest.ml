@@ -1,0 +1,33 @@
+(* The application manifest: package identity, requested permissions and
+   component declarations — the architectural information AME reads
+   first. *)
+
+type t = {
+  package : string;
+  uses_permissions : Permission.t list; (* permissions the app requests *)
+  components : Component.t list;
+}
+
+let make ~package ?(uses_permissions = []) ?(components = []) () =
+  let names = List.map (fun c -> c.Component.name) components in
+  let dup =
+    List.exists
+      (fun n -> List.length (List.filter (( = ) n) names) > 1)
+      names
+  in
+  if dup then invalid_arg ("Manifest.make: duplicate component in " ^ package);
+  { package; uses_permissions; components }
+
+let component t name =
+  List.find_opt (fun c -> c.Component.name = name) t.components
+
+let has_permission t p = List.mem p t.uses_permissions
+
+let public_components t = List.filter Component.is_public t.components
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>package %s@,permissions: %a@,%a@]" t.package
+    Fmt.(list ~sep:(any ", ") Permission.pp)
+    t.uses_permissions
+    Fmt.(list ~sep:cut Component.pp)
+    t.components

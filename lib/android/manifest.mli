@@ -1,0 +1,22 @@
+(** The application manifest: package identity, requested permissions and
+    component declarations — the architectural information AME reads
+    first. *)
+
+type t = {
+  package : string;
+  uses_permissions : Permission.t list;
+  components : Component.t list;
+}
+
+(** @raise Invalid_argument on duplicate component names. *)
+val make :
+  package:string ->
+  ?uses_permissions:Permission.t list ->
+  ?components:Component.t list ->
+  unit ->
+  t
+
+val component : t -> string -> Component.t option
+val has_permission : t -> Permission.t -> bool
+val public_components : t -> Component.t list
+val pp : Format.formatter -> t -> unit

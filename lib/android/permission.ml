@@ -1,0 +1,55 @@
+(* Android permission identifiers and protection levels.  Permissions are
+   plain strings (as in the platform); this module provides the constants
+   used across the framework model and a protection-level classification
+   mirroring the platform's [normal]/[dangerous]/[signature] scheme. *)
+
+type t = string
+
+let pp = Fmt.string
+
+(* Dangerous (user-granted) permissions. *)
+let access_fine_location = "android.permission.ACCESS_FINE_LOCATION"
+let read_phone_state = "android.permission.READ_PHONE_STATE"
+let read_contacts = "android.permission.READ_CONTACTS"
+let read_calendar = "android.permission.READ_CALENDAR"
+let read_sms = "android.permission.READ_SMS"
+let send_sms = "android.permission.SEND_SMS"
+let write_sms = "android.permission.WRITE_SMS"
+let read_call_log = "android.permission.READ_CALL_LOG"
+let camera = "android.permission.CAMERA"
+let record_audio = "android.permission.RECORD_AUDIO"
+let get_accounts = "android.permission.GET_ACCOUNTS"
+let read_history_bookmarks = "com.android.browser.permission.READ_HISTORY_BOOKMARKS"
+let read_external_storage = "android.permission.READ_EXTERNAL_STORAGE"
+let write_external_storage = "android.permission.WRITE_EXTERNAL_STORAGE"
+
+(* Normal permissions. *)
+let internet = "android.permission.INTERNET"
+let vibrate = "android.permission.VIBRATE"
+let wake_lock = "android.permission.WAKE_LOCK"
+let access_network_state = "android.permission.ACCESS_NETWORK_STATE"
+
+type protection = Normal | Dangerous | Signature
+
+let dangerous =
+  [
+    access_fine_location; read_phone_state; read_contacts; read_calendar;
+    read_sms; send_sms; write_sms; read_call_log; camera; record_audio;
+    get_accounts; read_history_bookmarks; read_external_storage;
+    write_external_storage;
+  ]
+
+let normal = [ internet; vibrate; wake_lock; access_network_state ]
+
+let protection p =
+  if List.mem p dangerous then Dangerous
+  else if List.mem p normal then Normal
+  else Signature
+
+let all = dangerous @ normal
+
+(* Short name, e.g. "SEND_SMS". *)
+let short p =
+  match String.rindex_opt p '.' with
+  | Some i -> String.sub p (i + 1) (String.length p - i - 1)
+  | None -> p

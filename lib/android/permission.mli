@@ -1,0 +1,43 @@
+(** Android permission identifiers (plain strings, as in the platform)
+    and their protection levels. *)
+
+type t = string
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Dangerous permissions} *)
+
+val access_fine_location : t
+val read_phone_state : t
+val read_contacts : t
+val read_calendar : t
+val read_sms : t
+val send_sms : t
+val write_sms : t
+val read_call_log : t
+val camera : t
+val record_audio : t
+val get_accounts : t
+val read_history_bookmarks : t
+val read_external_storage : t
+val write_external_storage : t
+
+(** {1 Normal permissions} *)
+
+val internet : t
+val vibrate : t
+val wake_lock : t
+val access_network_state : t
+
+type protection = Normal | Dangerous | Signature
+
+val dangerous : t list
+val normal : t list
+
+(** Unknown permissions classify as [Signature]. *)
+val protection : t -> protection
+
+val all : t list
+
+(** Short name, e.g. ["SEND_SMS"]. *)
+val short : t -> string

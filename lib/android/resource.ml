@@ -1,0 +1,89 @@
+(* Canonical permission-required resources, after Holavanalli et al.'s
+   flow-permission taxonomy as adopted by the paper: thirteen resources
+   act as sources of sensitive data, five as destinations, and the ICC
+   mechanism augments both sets. *)
+
+type t =
+  (* sources *)
+  | Location
+  | Imei
+  | Phone_number
+  | Contacts
+  | Calendar
+  | Sms_inbox
+  | Call_log
+  | Camera_data
+  | Microphone
+  | Accounts
+  | Browser_history
+  | Sdcard_data
+  | Device_info
+  (* destinations *)
+  | Network
+  | Sms
+  | Sdcard
+  | Log
+  | Display
+  (* both: inter-component communication *)
+  | Icc
+
+let sources =
+  [
+    Location; Imei; Phone_number; Contacts; Calendar; Sms_inbox; Call_log;
+    Camera_data; Microphone; Accounts; Browser_history; Sdcard_data;
+    Device_info; Icc;
+  ]
+
+let sinks = [ Network; Sms; Sdcard; Log; Display; Icc ]
+
+let is_source r = List.mem r sources
+let is_sink r = List.mem r sinks
+
+let to_string = function
+  | Location -> "LOCATION"
+  | Imei -> "IMEI"
+  | Phone_number -> "PHONE_NUMBER"
+  | Contacts -> "CONTACTS"
+  | Calendar -> "CALENDAR"
+  | Sms_inbox -> "SMS_INBOX"
+  | Call_log -> "CALL_LOG"
+  | Camera_data -> "CAMERA_DATA"
+  | Microphone -> "MICROPHONE"
+  | Accounts -> "ACCOUNTS"
+  | Browser_history -> "BROWSER_HISTORY"
+  | Sdcard_data -> "SDCARD_DATA"
+  | Device_info -> "DEVICE_INFO"
+  | Network -> "NETWORK"
+  | Sms -> "SMS"
+  | Sdcard -> "SDCARD"
+  | Log -> "LOG"
+  | Display -> "DISPLAY"
+  | Icc -> "ICC"
+
+let of_string s =
+  let all = sources @ sinks in
+  match List.find_opt (fun r -> to_string r = s) all with
+  | Some r -> Some r
+  | None -> None
+
+let compare = Stdlib.compare
+let equal = ( = )
+let pp ppf r = Fmt.string ppf (to_string r)
+
+(* The permission guarding direct access to each resource, if any. *)
+let permission = function
+  | Location -> Some Permission.access_fine_location
+  | Imei | Phone_number | Device_info -> Some Permission.read_phone_state
+  | Contacts -> Some Permission.read_contacts
+  | Calendar -> Some Permission.read_calendar
+  | Sms_inbox -> Some Permission.read_sms
+  | Call_log -> Some Permission.read_call_log
+  | Camera_data -> Some Permission.camera
+  | Microphone -> Some Permission.record_audio
+  | Accounts -> Some Permission.get_accounts
+  | Browser_history -> Some Permission.read_history_bookmarks
+  | Sdcard_data -> Some Permission.read_external_storage
+  | Network -> Some Permission.internet
+  | Sms -> Some Permission.send_sms
+  | Sdcard -> Some Permission.write_external_storage
+  | Log | Display | Icc -> None

@@ -1,0 +1,41 @@
+(** Canonical permission-required resources, after Holavanalli et al.'s
+    flow-permission taxonomy: thirteen sensitive sources, five observable
+    destinations, and the ICC pseudo-resource that augments both sets. *)
+
+type t =
+  | Location
+  | Imei
+  | Phone_number
+  | Contacts
+  | Calendar
+  | Sms_inbox
+  | Call_log
+  | Camera_data
+  | Microphone
+  | Accounts
+  | Browser_history
+  | Sdcard_data
+  | Device_info
+  | Network
+  | Sms
+  | Sdcard
+  | Log
+  | Display
+  | Icc
+
+(** The thirteen sources plus [Icc]. *)
+val sources : t list
+
+(** The five destinations plus [Icc]. *)
+val sinks : t list
+
+val is_source : t -> bool
+val is_sink : t -> bool
+val to_string : t -> string
+val of_string : string -> t option
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** The permission guarding direct access, if any. *)
+val permission : t -> Permission.t option

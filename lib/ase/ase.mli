@@ -1,0 +1,43 @@
+(** ASE: the Analysis and Synthesis Engine.  Builds the relational
+    problem for each registered vulnerability signature over a bundle of
+    extracted app models, asks the solver for minimal satisfying
+    instances, and decodes each into an attack scenario.  Enumeration
+    yields one scenario per distinct witness valuation. *)
+
+open Separ_ame
+open Separ_specs
+
+type vulnerability = {
+  v_kind : string;                (** signature name *)
+  v_scenario : Scenario.t;
+  v_components : string list;     (** victim components involved *)
+}
+
+type report = {
+  r_stats : Bundle.stats;
+  r_vulnerabilities : vulnerability list;
+  r_construction_ms : float;  (** translation to CNF (Table II) *)
+  r_solving_ms : float;       (** SAT search (Table II) *)
+  r_vars : int;
+  r_clauses : int;
+}
+
+(** The device components implicated in a scenario. *)
+val victim_components : Bundle.t -> Scenario.t -> string list
+
+(** Run one signature; returns the decoded scenarios and solver stats. *)
+val run_signature :
+  ?limit:int ->
+  Bundle.t ->
+  Signatures.t ->
+  Scenario.t list * Separ_relog.Solve.stats
+
+(** Run all (or the given) signatures over the bundle, after resolving
+    passive-intent targets (Algorithm 1). *)
+val analyze :
+  ?signatures:Signatures.t list -> ?limit_per_sig:int -> Bundle.t -> report
+
+(** Packages having at least one vulnerability of the given kind. *)
+val vulnerable_apps : report -> Bundle.t -> string -> string list
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,83 @@
+(* An AmanDroid-like compositional taint analyzer, faithful to that
+   tool's documented capability profile (Wei et al., CCS'14, as
+   characterised in the SEPAR paper):
+
+   - precise entry-point-based analysis with full intent-resolution tests
+     (action, category and data), explicit intents included;
+   - handles dynamically registered broadcast receivers when the
+     registration is statically resolvable;
+   - does not support content providers, bound services, or the
+     result-intent side of [startActivityForResult] (passive intents). *)
+
+open Separ_android
+open Separ_ame
+
+let supported_icc = function
+  | Api.Start_activity | Api.Start_activity_for_result | Api.Start_service
+  | Api.Send_broadcast ->
+      true
+  | Api.Bind_service | Api.Set_result | Api.Provider_query
+  | Api.Provider_insert | Api.Provider_update | Api.Provider_delete
+  | Api.Register_receiver ->
+      false
+
+let leak_sinks =
+  [ Resource.Log; Resource.Sdcard; Resource.Network; Resource.Sms;
+    Resource.Display ]
+
+let has_exit_path (c : App_model.component_model) =
+  List.exists
+    (fun p ->
+      p.App_model.pm_source = Resource.Icc
+      && List.mem p.App_model.pm_sink leak_sinks)
+    c.App_model.cm_paths
+
+let kind_compatible (im : App_model.intent_model)
+    (c : App_model.component_model) =
+  Separ_specs.Encode.delivery_kind im.App_model.im_icc = c.App_model.cm_kind
+
+let resolves (im : App_model.intent_model) (c : App_model.component_model) =
+  match im.App_model.im_target with
+  | Some t -> t = c.App_model.cm_name
+  | None ->
+      let intent = App_model.to_intent im in
+      (not im.App_model.im_passive)
+      && kind_compatible im c
+      && ((c.App_model.cm_public
+          && List.exists
+               (fun f -> Intent_filter.matches ~intent f)
+               c.App_model.cm_filters)
+         (* a dynamically registered receiver is reachable regardless of
+            its manifest export status *)
+         || List.exists
+              (fun f -> Intent_filter.matches ~intent f)
+              c.App_model.cm_dynamic_filters)
+
+let analyze (apks : Separ_dalvik.Apk.t list) : Finding.t list =
+  let models = List.map (Extract.extract ~all_methods:false) apks in
+  let bundle = Bundle.of_models models in
+  let components = Bundle.all_components bundle in
+  let findings = ref [] in
+  List.iter
+    (fun (_, _, im) ->
+      if supported_icc im.App_model.im_icc then
+        List.iter
+          (fun s ->
+            if s <> Resource.Icc then
+              List.iter
+                (fun (_, c2) ->
+                  if
+                    c2.App_model.cm_kind <> Component.Provider
+                    && resolves im c2 && has_exit_path c2
+                  then
+                    findings :=
+                      Finding.{
+                        src = im.App_model.im_sender;
+                        dst = c2.App_model.cm_name;
+                        resource = s;
+                      }
+                      :: !findings)
+                components)
+          im.App_model.im_extras)
+    (Bundle.all_intents bundle);
+  List.sort_uniq Finding.compare !findings

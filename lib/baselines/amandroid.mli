@@ -1,0 +1,7 @@
+(** An AmanDroid-like compositional taint analyzer, faithful to that
+    tool's documented capability profile: precise entry-based analysis
+    with full intent resolution (explicit included) and resolvable
+    dynamic receivers, but no content providers, bound services or
+    result (passive) intents. *)
+
+val analyze : Separ_dalvik.Apk.t list -> Finding.t list

@@ -1,0 +1,79 @@
+(* A DidFail-like compositional taint analyzer, faithful to that tool's
+   documented capability profile (Klieber et al., SOAP'14, as
+   characterised in the SEPAR paper):
+
+   - builds on Epicc-style intent analysis: implicit intents only —
+     explicit intents are not connected, and the data scheme/type test is
+     not modelled (the action and category tests decide matching);
+   - analyzes whole classes without entry-point reachability pruning, so
+     flows in dead code are reported;
+   - no bound services, no content providers, no result (passive)
+     intents, no dynamically registered receivers. *)
+
+open Separ_android
+open Separ_ame
+
+let supported_icc = function
+  | Api.Start_activity | Api.Start_activity_for_result | Api.Start_service
+  | Api.Send_broadcast ->
+      true
+  | Api.Bind_service | Api.Set_result | Api.Provider_query
+  | Api.Provider_insert | Api.Provider_update | Api.Provider_delete
+  | Api.Register_receiver ->
+      false
+
+(* Action + category tests only: Epicc does not cover the data fields. *)
+let filter_matches (im : App_model.intent_model) (f : Intent_filter.t) =
+  (match im.App_model.im_action with
+  | None -> f.Intent_filter.actions <> []
+  | Some a -> List.mem a f.Intent_filter.actions)
+  && List.for_all
+       (fun c -> List.mem c f.Intent_filter.categories)
+       im.App_model.im_categories
+
+let leak_sinks =
+  [ Resource.Log; Resource.Sdcard; Resource.Network; Resource.Sms;
+    Resource.Display ]
+
+let has_exit_path (c : App_model.component_model) =
+  List.exists
+    (fun p ->
+      p.App_model.pm_source = Resource.Icc
+      && List.mem p.App_model.pm_sink leak_sinks)
+    c.App_model.cm_paths
+
+let analyze (apks : Separ_dalvik.Apk.t list) : Finding.t list =
+  (* whole-class extraction: no reachability pruning *)
+  let models = List.map (Extract.extract ~all_methods:true) apks in
+  let bundle = Bundle.of_models models in
+  let components = Bundle.all_components bundle in
+  let findings = ref [] in
+  List.iter
+    (fun (_, _, im) ->
+      if
+        im.App_model.im_target = None
+        && (not im.App_model.im_passive)
+        && supported_icc im.App_model.im_icc
+      then
+        List.iter
+          (fun s ->
+            if s <> Resource.Icc then
+              List.iter
+                (fun (_, c2) ->
+                  if
+                    c2.App_model.cm_public
+                    && c2.App_model.cm_kind <> Component.Provider
+                    && List.exists (filter_matches im) c2.App_model.cm_filters
+                    && has_exit_path c2
+                  then
+                    findings :=
+                      Finding.{
+                        src = im.App_model.im_sender;
+                        dst = c2.App_model.cm_name;
+                        resource = s;
+                      }
+                      :: !findings)
+                components)
+          im.App_model.im_extras)
+    (Bundle.all_intents bundle);
+  List.sort_uniq Finding.compare !findings

@@ -1,0 +1,7 @@
+(** A DidFail-like compositional taint analyzer, faithful to that tool's
+    documented capability profile: Epicc-style implicit-only intent
+    matching without the data test, whole-class analysis without
+    reachability pruning, no bound services, providers, result intents or
+    dynamic receivers. *)
+
+val analyze : Separ_dalvik.Apk.t list -> Finding.t list

@@ -1,0 +1,47 @@
+(* A leak finding: sensitive [resource] flows from component [src] into
+   component [dst], which writes it to an externally observable sink.
+   All tools under comparison (the two baselines and SEPAR itself) report
+   findings in this form, and the benchmark suites express their ground
+   truth in it, so precision/recall are computed uniformly. *)
+
+open Separ_android
+
+type t = {
+  src : string;       (* component where the sensitive data originates *)
+  dst : string;       (* component that leaks it *)
+  resource : Resource.t;
+}
+
+let compare = Stdlib.compare
+let equal = ( = )
+
+let pp ppf f =
+  Fmt.pf ppf "%s -> %s [%a]" f.src f.dst Resource.pp f.resource
+
+(* Score a tool's output against ground truth. *)
+type score = { tp : int; fp : int; fn : int }
+
+let score ~truth ~found =
+  let found = List.sort_uniq compare found in
+  let truth = List.sort_uniq compare truth in
+  let tp = List.length (List.filter (fun f -> List.mem f truth) found) in
+  {
+    tp;
+    fp = List.length found - tp;
+    fn = List.length (List.filter (fun f -> not (List.mem f found)) truth);
+  }
+
+let add a b = { tp = a.tp + b.tp; fp = a.fp + b.fp; fn = a.fn + b.fn }
+let zero = { tp = 0; fp = 0; fn = 0 }
+
+let precision s =
+  if s.tp + s.fp = 0 then 1.0
+  else float_of_int s.tp /. float_of_int (s.tp + s.fp)
+
+let recall s =
+  if s.tp + s.fn = 0 then 1.0
+  else float_of_int s.tp /. float_of_int (s.tp + s.fn)
+
+let f_measure s =
+  let p = precision s and r = recall s in
+  if p +. r = 0.0 then 0.0 else 2.0 *. p *. r /. (p +. r)

@@ -1,0 +1,25 @@
+(** A leak finding — sensitive [resource] flows from component [src] into
+    component [dst], which writes it to an observable sink — and
+    precision/recall scoring against ground truth.  All compared tools
+    and the benchmark suites speak this type. *)
+
+open Separ_android
+
+type t = {
+  src : string;
+  dst : string;
+  resource : Resource.t;
+}
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+type score = { tp : int; fp : int; fn : int }
+
+val score : truth:t list -> found:t list -> score
+val add : score -> score -> score
+val zero : score
+val precision : score -> float
+val recall : score -> float
+val f_measure : score -> float

@@ -1,0 +1,47 @@
+(* SEPAR itself, viewed through the same finding interface as the
+   baselines, for the Table I comparison: run the full
+   extraction-encoding-synthesis pipeline and project the information-
+   leakage scenarios onto (src, dst, resource) findings. *)
+
+open Separ_android
+open Separ_ame
+open Separ_specs
+
+let strip_res atom =
+  if String.length atom > 4 && String.sub atom 0 4 = "res:" then
+    String.sub atom 4 (String.length atom - 4)
+  else atom
+
+let analyze ?(k1 = true) (apks : Separ_dalvik.Apk.t list) : Finding.t list =
+  let models = List.map (Extract.extract ~k1) apks in
+  let bundle = Bundle.of_models models in
+  let report =
+    Separ_ase.Ase.analyze
+      ~signatures:
+        (List.filter
+           (fun s -> s.Signatures.name = "information_leakage")
+           (Signatures.all ()))
+      ~limit_per_sig:64 bundle
+  in
+  let bundle = Bundle.update_passive_targets bundle in
+  let intent_sender id =
+    List.find_map
+      (fun (_, c, i) ->
+        if i.App_model.im_id = id then Some c.App_model.cm_name else None)
+      (Bundle.all_intents bundle)
+  in
+  List.filter_map
+    (fun v ->
+      let sc = v.Separ_ase.Ase.v_scenario in
+      match
+        ( Option.bind (Scenario.witness1 sc "leakIntent") intent_sender,
+          Scenario.witness1 sc "receiverCmp",
+          Option.bind
+            (Scenario.witness1 sc "leakedResource")
+            (fun a -> Resource.of_string (strip_res a)) )
+      with
+      | Some src, Some dst, Some resource ->
+          Some Finding.{ src; dst; resource }
+      | _ -> None)
+    report.Separ_ase.Ase.r_vulnerabilities
+  |> List.sort_uniq Finding.compare

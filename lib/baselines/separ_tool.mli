@@ -1,0 +1,6 @@
+(** SEPAR itself, viewed through the same finding interface as the
+    baselines for the Table I comparison: runs the full pipeline and
+    projects information-leakage scenarios onto (src, dst, resource)
+    findings.  [k1] selects the context sensitivity of extraction. *)
+
+val analyze : ?k1:bool -> Separ_dalvik.Apk.t list -> Finding.t list

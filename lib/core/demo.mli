@@ -1,0 +1,16 @@
+(** The paper's motivating-example apps (Listings 1-2 and the Figure 1
+    malware), shared by examples, tests and benches. *)
+
+(** LocationFinder broadcasts the device location by implicit intent to
+    RouteFinder — the unauthorized-intent-receipt anti-pattern. *)
+val navigation_app : unit -> Separ_dalvik.Apk.t
+
+(** MessageSender texts whatever its callers ask; with [guarded] it
+    checks the caller's SEND_SMS permission first (Listing 2's commented
+    check restored). *)
+val messenger_app : ?guarded:bool -> unit -> Separ_dalvik.Apk.t
+
+(** The Figure 1 composite malware: hijacks the location intent and
+    relays the location through MessageSender.  Requests no
+    permissions. *)
+val relay_malware : unit -> Separ_dalvik.Apk.t

@@ -1,0 +1,111 @@
+(* SEPAR: formal synthesis and automatic enforcement of Android security
+   policies — the public facade.
+
+   The full pipeline is three calls:
+
+   {[
+     let analysis = Separ.analyze [ apk1; apk2; ... ] in   (* AME + ASE *)
+     let device = Device.create () in
+     List.iter (Device.install device) apks;
+     Separ.protect device analysis                         (* APE *)
+   ]}
+
+   [analyze] statically extracts an architectural model of every app,
+   encodes the bundle together with the Android framework model and the
+   registered vulnerability signatures into bounded relational logic,
+   synthesizes minimal exploit scenarios with the SAT-based engine, and
+   derives one ECA policy per scenario.  [protect] loads the synthesized
+   policies into the device's policy decision point and switches
+   enforcement on.
+
+   Submodules re-export the full API of each subsystem. *)
+
+(* Domain model *)
+module Permission = Separ_android.Permission
+module Resource = Separ_android.Resource
+module Intent = Separ_android.Intent
+module Intent_filter = Separ_android.Intent_filter
+module Component = Separ_android.Component
+module Manifest = Separ_android.Manifest
+module Api = Separ_android.Api
+
+(* Bytecode substrate *)
+module Ir = Separ_dalvik.Ir
+module Apk = Separ_dalvik.Apk
+module Builder = Separ_dalvik.Builder
+module Asm = Separ_dalvik.Asm
+
+(* Analysis stack *)
+module App_model = Separ_ame.App_model
+module Extract = Separ_ame.Extract
+module Bundle = Separ_ame.Bundle
+module Scenario = Separ_specs.Scenario
+module Signatures = Separ_specs.Signatures
+module Ase = Separ_ase.Ase
+
+(* Policies and enforcement *)
+module Policy = Separ_policy.Policy
+module Derive = Separ_policy.Derive
+module Device = Separ_runtime.Device
+module Effect = Separ_runtime.Effect
+module Attack = Separ_runtime.Attack
+
+(* The paper's motivating-example apps, used by examples, tests and
+   benches. *)
+module Demo = Demo
+
+type analysis = {
+  bundle : Bundle.t;
+  report : Ase.report;
+  policies : Policy.t list;
+}
+
+let analyze_models ?signatures ~limit_per_sig models : analysis =
+  let bundle = Bundle.of_models models in
+  let report = Ase.analyze ?signatures ~limit_per_sig bundle in
+  let scenarios =
+    List.map (fun v -> v.Ase.v_scenario) report.Ase.r_vulnerabilities
+  in
+  let policies =
+    Derive.of_report (Bundle.update_passive_targets bundle) scenarios
+  in
+  { bundle; report; policies }
+
+(* Run AME and ASE over a bundle of apps and synthesize policies. *)
+let analyze ?(k1 = true) ?signatures ?(limit_per_sig = 16)
+    (apks : Apk.t list) : analysis =
+  analyze_models ?signatures ~limit_per_sig (List.map (Extract.extract ~k1) apks)
+
+(* Incremental re-analysis, the paper's Marshmallow scenario: when apps
+   change (an update, or the user revoking a permission), only the
+   changed apps are re-extracted; the other app models are reused and
+   only the synthesis step re-runs over the updated bundle. *)
+let reanalyze ?(k1 = true) ?signatures ?(limit_per_sig = 16)
+    (previous : analysis) ~(changed : Apk.t list) : analysis =
+  let changed_pkgs = List.map Apk.package changed in
+  let kept =
+    List.filter
+      (fun m -> not (List.mem m.App_model.am_package changed_pkgs))
+      (Bundle.apps previous.bundle)
+  in
+  analyze_models ?signatures ~limit_per_sig
+    (kept @ List.map (Extract.extract ~k1) changed)
+
+let vulnerabilities analysis = analysis.report.Ase.r_vulnerabilities
+let policies analysis = analysis.policies
+
+(* Install the synthesized policies on a device and enable enforcement. *)
+let protect device analysis =
+  let packages =
+    List.map
+      (fun m -> m.App_model.am_package)
+      (Bundle.apps analysis.bundle)
+  in
+  Device.set_policies device analysis.policies packages;
+  Device.set_enforcement device true
+
+let pp_analysis ppf a =
+  Fmt.pf ppf "@[<v>%a@,--- synthesized policies ---@,%a@]" Ase.pp_report
+    a.report
+    Fmt.(list ~sep:cut Policy.pp)
+    a.policies

@@ -1,0 +1,12 @@
+(** A textual container format for whole APKs: manifest header (package,
+    permissions, components, filters) followed by the smali-like class
+    listing of {!Asm}.  This is what the command-line tool reads and
+    writes; [parse] and [print] round-trip. *)
+
+val print : Apk.t -> string
+
+(** @raise Failure on malformed input. *)
+val parse : string -> Apk.t
+
+val load : string -> Apk.t
+val save : string -> Apk.t -> unit

@@ -1,0 +1,19 @@
+(** Textual assembler and disassembler for the IR, in a smali-like
+    format.  [assemble] parses exactly what [disassemble] prints (round
+    trip). *)
+
+exception Parse_error of string
+
+val disassemble_class : Ir.cls -> string
+
+(** All classes of a package, concatenated. *)
+val disassemble : Apk.t -> string
+
+(** Parse one instruction line.
+    @raise Parse_error on malformed input. *)
+val parse_instr : string -> Ir.instr
+
+(** Parse one or more classes.
+    @raise Parse_error on malformed input.
+    @raise Failure on IR validation errors. *)
+val assemble : string -> Ir.cls list

@@ -1,0 +1,146 @@
+(* Policy derivation: translate each synthesized attack scenario into a
+   fine-grained ECA rule that prevents exactly that exploit class while
+   leaving legitimate traffic untouched. *)
+
+open Separ_android
+open Separ_ame
+open Separ_specs
+
+let counter = ref 0
+
+let fresh_id kind =
+  incr counter;
+  Printf.sprintf "pol-%s-%d" kind !counter
+
+(* Components of the bundle to which intent [im] legitimately resolves:
+   the allow-set for hijack policies. *)
+let legitimate_receivers (bundle : Bundle.t) (im : App_model.intent_model) =
+  List.filter_map
+    (fun (_, c) ->
+      if Bundle.resolves_to im c then Some c.App_model.cm_name else None)
+    (Bundle.all_components bundle)
+
+let find_intent (bundle : Bundle.t) id =
+  List.find_map
+    (fun (_, c, i) ->
+      if i.App_model.im_id = id then Some (c, i) else None)
+    (Bundle.all_intents bundle)
+
+let of_scenario (bundle : Bundle.t) (sc : Scenario.t) : Policy.t list =
+  match sc.Scenario.sc_kind with
+  | "intent_hijack" -> (
+      match Scenario.witness1 sc "hijackedIntent" with
+      | None -> []
+      | Some intent_id -> (
+          match find_intent bundle intent_id with
+          | None -> []
+          | Some (sender_cmp, im) ->
+              let allowed = legitimate_receivers bundle im in
+              let conds =
+                [
+                  Policy.Sender_is sender_cmp.App_model.cm_name;
+                  Policy.Implicit;
+                  Policy.Receiver_not_in allowed;
+                ]
+                @ (match im.App_model.im_action with
+                  | Some a -> [ Policy.Action_is a ]
+                  | None -> [])
+                @ List.map
+                    (fun r -> Policy.Extras_include r)
+                    im.App_model.im_extras
+              in
+              [
+                Policy.{
+                  p_id = fresh_id "hijack";
+                  p_event = Icc_send;
+                  p_conditions = conds;
+                  p_action = Prompt;
+                  p_reason = sc.Scenario.sc_description;
+                };
+              ]))
+  | "activity_launch" | "service_launch" -> (
+      match Scenario.witness1 sc "launchedCmp" with
+      | None -> []
+      | Some cmp ->
+          [
+            Policy.{
+              p_id = fresh_id "launch";
+              p_event = Icc_receive;
+              p_conditions =
+                [ Policy.Receiver_is cmp; Policy.Sender_app_not_installed ];
+              p_action = Prompt;
+              p_reason = sc.Scenario.sc_description;
+            };
+          ])
+  | "privilege_escalation" -> (
+      match
+        (Scenario.witness1 sc "victimCmp", Scenario.witness1 sc "escalatedPerm")
+      with
+      | Some cmp, Some perm_atom ->
+          let perm =
+            if String.length perm_atom > 5 && String.sub perm_atom 0 5 = "perm:"
+            then String.sub perm_atom 5 (String.length perm_atom - 5)
+            else perm_atom
+          in
+          [
+            Policy.{
+              p_id = fresh_id "privesc";
+              p_event = Icc_receive;
+              p_conditions =
+                [
+                  Policy.Receiver_is cmp;
+                  Policy.Sender_lacks_permission perm;
+                ];
+              p_action = Prompt;
+              p_reason = sc.Scenario.sc_description;
+            };
+          ]
+      | _ -> [])
+  | "information_leakage" -> (
+      match
+        ( Scenario.witness1 sc "receiverCmp",
+          Scenario.witness1 sc "leakedResource" )
+      with
+      | Some cmp, Some res_atom ->
+          let res =
+            let s =
+              if String.length res_atom > 4 && String.sub res_atom 0 4 = "res:"
+              then String.sub res_atom 4 (String.length res_atom - 4)
+              else res_atom
+            in
+            Resource.of_string s
+          in
+          (match res with
+          | None -> []
+          | Some r ->
+              [
+                Policy.{
+                  p_id = fresh_id "leak";
+                  p_event = Icc_receive;
+                  p_conditions =
+                    [ Policy.Extras_include r; Policy.Receiver_is cmp ];
+                  p_action = Prompt;
+                  p_reason = sc.Scenario.sc_description;
+                };
+              ])
+      | _ -> [])
+  | _ -> []
+
+(* Derive the complete policy set from an analysis report, dropping
+   duplicates (identical event/condition/action triples). *)
+let of_report (bundle : Bundle.t) (vulns : Scenario.t list) : Policy.t list =
+  let policies = List.concat_map (of_scenario bundle) vulns in
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun p ->
+      let key =
+        ( p.Policy.p_event,
+          List.sort compare p.Policy.p_conditions,
+          p.Policy.p_action )
+      in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    policies

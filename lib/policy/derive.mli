@@ -1,0 +1,25 @@
+(** Policy derivation: translate each synthesized attack scenario into a
+    fine-grained ECA rule that prevents exactly that exploit class while
+    leaving legitimate traffic untouched.
+
+    - intent hijack: prompt on sending the hijackable implicit intent to
+      any receiver outside the bundle's legitimate matches;
+    - activity/service launch: prompt on delivery to the launchable
+      component from apps unknown at analysis time;
+    - privilege escalation: prompt on delivery to the victim from senders
+      lacking the escalated permission;
+    - information leakage: prompt on delivery of the leaked resource to
+      the leaking component (the paper's §VI example shape). *)
+
+open Separ_ame
+open Separ_specs
+
+(** Components the intent legitimately resolves to within the bundle. *)
+val legitimate_receivers :
+  Bundle.t -> App_model.intent_model -> string list
+
+(** Policies for one scenario (usually one). *)
+val of_scenario : Bundle.t -> Scenario.t -> Policy.t list
+
+(** Policies for a full report, deduplicated. *)
+val of_report : Bundle.t -> Scenario.t list -> Policy.t list

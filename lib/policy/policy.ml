@@ -1,0 +1,296 @@
+(* Event-condition-action security policies, the output of the synthesis
+   pipeline and the input of the runtime enforcer.  A policy matches ICC
+   events (intent deliveries observed by the PEP hooks); when every
+   condition holds, the policy's action applies.  The paper's §VI example
+
+     { event: ICC received,
+       condition: [{Intent.extra: LOCATION}, {Intent.receiver: MessageSender}],
+       action: user prompt }
+
+   corresponds to [{ p_event = Icc_receive;
+                     p_conditions = [Extras_include Location;
+                                     Receiver_is "MessageSender"];
+                     p_action = Prompt }]. *)
+
+open Separ_android
+
+type event_kind = Icc_send | Icc_receive
+
+type condition =
+  | Receiver_is of string
+  | Receiver_not_in of string list  (* receiver outside the known set *)
+  | Sender_is of string
+  | Sender_app_not_installed        (* sender app absent from the analyzed bundle *)
+  | Action_is of string
+  | Implicit                        (* the intent names no explicit target *)
+  | Extras_include of Resource.t
+  | Sender_lacks_permission of Permission.t
+
+type action = Allow | Deny | Prompt
+
+type t = {
+  p_id : string;
+  p_event : event_kind;
+  p_conditions : condition list; (* conjunction *)
+  p_action : action;
+  p_reason : string;             (* the vulnerability this guards against *)
+}
+
+(* The runtime context of an ICC delivery, as seen by the PEP. *)
+type icc_event = {
+  ev_kind : event_kind;
+  ev_sender_component : string;
+  ev_sender_app : string;
+  ev_sender_installed_at_analysis : bool;
+  ev_sender_permissions : Permission.t list;
+  ev_intent : Intent.t;
+  ev_receiver_component : string;
+  ev_receiver_app : string;
+}
+
+let condition_holds (ev : icc_event) = function
+  | Receiver_is c -> ev.ev_receiver_component = c
+  | Receiver_not_in cs -> not (List.mem ev.ev_receiver_component cs)
+  | Sender_is c -> ev.ev_sender_component = c
+  | Sender_app_not_installed -> not ev.ev_sender_installed_at_analysis
+  | Action_is a -> ev.ev_intent.Intent.action = Some a
+  | Implicit -> Intent.is_implicit ev.ev_intent
+  | Extras_include r -> List.mem r (Intent.carried_resources ev.ev_intent)
+  | Sender_lacks_permission p -> not (List.mem p ev.ev_sender_permissions)
+
+let matches (p : t) (ev : icc_event) =
+  p.p_event = ev.ev_kind && List.for_all (condition_holds ev) p.p_conditions
+
+(* PDP decision: the most restrictive action among matching policies
+   (Deny > Prompt > Allow), with the deciding policy. *)
+type decision = Allowed | Prompted of t | Denied of t
+
+let decide (policies : t list) (ev : icc_event) : decision =
+  let matching = List.filter (fun p -> matches p ev) policies in
+  let denial = List.find_opt (fun p -> p.p_action = Deny) matching in
+  match denial with
+  | Some p -> Denied p
+  | None -> (
+      match List.find_opt (fun p -> p.p_action = Prompt) matching with
+      | Some p -> Prompted p
+      | None -> Allowed)
+
+(* --- serialization ------------------------------------------------------- *)
+
+let event_to_string = function
+  | Icc_send -> "ICC_send"
+  | Icc_receive -> "ICC_received"
+
+let event_of_string = function
+  | "ICC_send" -> Icc_send
+  | "ICC_received" -> Icc_receive
+  | s -> failwith ("Policy.event_of_string: " ^ s)
+
+let action_to_string = function
+  | Allow -> "allow"
+  | Deny -> "deny"
+  | Prompt -> "user_prompt"
+
+let action_of_string = function
+  | "allow" -> Allow
+  | "deny" -> Deny
+  | "user_prompt" -> Prompt
+  | s -> failwith ("Policy.action_of_string: " ^ s)
+
+let condition_to_string = function
+  | Receiver_is c -> "Intent.receiver=" ^ c
+  | Receiver_not_in cs -> "Intent.receiver_not_in=" ^ String.concat "|" cs
+  | Sender_is c -> "Intent.sender=" ^ c
+  | Sender_app_not_installed -> "Sender.app_not_installed"
+  | Action_is a -> "Intent.action=" ^ a
+  | Implicit -> "Intent.implicit"
+  | Extras_include r -> "Intent.extra=" ^ Resource.to_string r
+  | Sender_lacks_permission p -> "Sender.lacks_permission=" ^ p
+
+let condition_of_string s =
+  let split_kv s =
+    match String.index_opt s '=' with
+    | Some i ->
+        ( String.sub s 0 i,
+          String.sub s (i + 1) (String.length s - i - 1) )
+    | None -> (s, "")
+  in
+  match split_kv s with
+  | "Intent.receiver", v -> Receiver_is v
+  | "Intent.receiver_not_in", v ->
+      Receiver_not_in (String.split_on_char '|' v |> List.filter (( <> ) ""))
+  | "Intent.sender", v -> Sender_is v
+  | "Sender.app_not_installed", _ -> Sender_app_not_installed
+  | "Intent.action", v -> Action_is v
+  | "Intent.implicit", _ -> Implicit
+  | "Intent.extra", v -> (
+      match Resource.of_string v with
+      | Some r -> Extras_include r
+      | None -> failwith ("Policy.condition_of_string: bad resource " ^ v))
+  | "Sender.lacks_permission", v -> Sender_lacks_permission v
+  | k, _ -> failwith ("Policy.condition_of_string: " ^ k)
+
+(* One policy per line: id \t event \t action \t reason \t cond;cond;... *)
+let to_line p =
+  String.concat "\t"
+    [
+      p.p_id;
+      event_to_string p.p_event;
+      action_to_string p.p_action;
+      p.p_reason;
+      String.concat ";" (List.map condition_to_string p.p_conditions);
+    ]
+
+let of_line line =
+  match String.split_on_char '\t' line with
+  | [ id; ev; act; reason; conds ] ->
+      {
+        p_id = id;
+        p_event = event_of_string ev;
+        p_action = action_of_string act;
+        p_reason = reason;
+        p_conditions =
+          (if conds = "" then []
+           else
+             String.split_on_char ';' conds |> List.map condition_of_string);
+      }
+  | _ -> failwith "Policy.of_line: malformed line"
+
+let to_string policies = String.concat "\n" (List.map to_line policies)
+
+let of_string s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map of_line
+
+(* --- store minimization ---------------------------------------------------- *)
+
+(* [a] subsumes [b] when [a] matches every event [b] matches, with the
+   same event kind and an action at least as restrictive: then [b] never
+   changes a decision and can be dropped from the store. *)
+let restrictiveness = function Allow -> 0 | Prompt -> 1 | Deny -> 2
+
+(* Conservative per-condition implication: [c1] implies [c2]. *)
+let condition_implies c1 c2 =
+  c1 = c2
+  ||
+  match (c1, c2) with
+  | Receiver_not_in bigger, Receiver_not_in smaller ->
+      (* excluding more receivers is implied by excluding fewer *)
+      List.for_all (fun x -> List.mem x bigger) smaller
+  | Receiver_is r, Receiver_not_in excluded -> not (List.mem r excluded)
+  | _ -> false
+
+let subsumes a b =
+  a.p_event = b.p_event
+  && restrictiveness a.p_action >= restrictiveness b.p_action
+  && List.for_all
+       (fun ca -> List.exists (fun cb -> condition_implies cb ca) b.p_conditions)
+       a.p_conditions
+
+(* Drop policies subsumed by another policy in the store: strictly
+   dominated policies always go; of mutually subsuming (equivalent)
+   policies the first is kept. *)
+let minimize_store policies =
+  let rec go kept = function
+    | [] -> List.rev kept
+    | p :: rest ->
+        let strictly_dominated =
+          List.exists
+            (fun q -> subsumes q p && not (subsumes p q))
+            (kept @ rest)
+        in
+        let equivalent_already_kept =
+          List.exists (fun q -> subsumes q p && subsumes p q) kept
+        in
+        if strictly_dominated || equivalent_already_kept then go kept rest
+        else go (p :: kept) rest
+  in
+  go [] policies
+
+(* The PDP runs as an independent app (the paper's architecture), so the
+   PEP's decision request crosses a process boundary.  These functions
+   marshal the ICC event for that round trip; the simulated device pays
+   this cost on every hooked ICC call. *)
+(* Separators are non-printing control characters, so arbitrary payload
+   strings (which may contain commas, equals signs, colons) round-trip:
+   0x1f between fields, 0x1e between list items, 0x1d inside an extra. *)
+let event_to_line (ev : icc_event) =
+  String.concat "\x1f"
+    [
+      event_to_string ev.ev_kind;
+      ev.ev_sender_component;
+      ev.ev_sender_app;
+      string_of_bool ev.ev_sender_installed_at_analysis;
+      String.concat "\x1e" ev.ev_sender_permissions;
+      Option.value ~default:"" ev.ev_intent.Intent.target;
+      Option.value ~default:"" ev.ev_intent.Intent.action;
+      String.concat "\x1e" ev.ev_intent.Intent.categories;
+      Option.value ~default:"" ev.ev_intent.Intent.data_type;
+      Option.value ~default:"" ev.ev_intent.Intent.data_scheme;
+      String.concat "\x1e"
+        (List.map
+           (fun e ->
+             String.concat "\x1d"
+               (e.Intent.key :: e.Intent.value
+               :: List.map Resource.to_string e.Intent.taint))
+           ev.ev_intent.Intent.extras);
+      string_of_bool ev.ev_intent.Intent.wants_result;
+      ev.ev_receiver_component;
+      ev.ev_receiver_app;
+    ]
+
+let event_of_line line =
+  let opt = function "" -> None | s -> Some s in
+  let items = function "" -> [] | s -> String.split_on_char '\x1e' s in
+  match String.split_on_char '\x1f' line with
+  | [ kind; sc; sa; installed; perms; target; action; cats; dt; ds; extras;
+      wants; rc; ra ] ->
+      {
+        ev_kind = event_of_string kind;
+        ev_sender_component = sc;
+        ev_sender_app = sa;
+        ev_sender_installed_at_analysis = bool_of_string installed;
+        ev_sender_permissions = items perms;
+        ev_intent =
+          Intent.make ?target:(opt target) ?action:(opt action)
+            ~categories:(items cats) ?data_type:(opt dt) ?data_scheme:(opt ds)
+            ~extras:
+              (List.filter_map
+                 (fun item ->
+                   match String.split_on_char '\x1d' item with
+                   | key :: value :: taint ->
+                       Some
+                         Intent.{
+                           key;
+                           value;
+                           taint = List.filter_map Resource.of_string taint;
+                         }
+                   | _ -> None)
+                 (items extras))
+            ~wants_result:(bool_of_string wants) ()
+        ;
+        ev_receiver_component = rc;
+        ev_receiver_app = ra;
+      }
+  | _ -> failwith "Policy.event_of_line: malformed"
+
+(* A PDP decision as seen through the process boundary: the event is
+   marshalled to the PDP app once, evaluated there against both the
+   receive-side and send-side rules, and the verdict returned. *)
+let decide_remote policies ev =
+  let ev = event_of_line (event_to_line ev) in
+  match decide policies ev with
+  | Allowed ->
+      decide policies
+        { ev with ev_kind = (match ev.ev_kind with
+                             | Icc_receive -> Icc_send
+                             | Icc_send -> Icc_receive) }
+  | d -> d
+
+let pp ppf p =
+  Fmt.pf ppf "@[<v 2>{ event: %s,@,condition: [%a],@,action: %s }@]"
+    (event_to_string p.p_event)
+    Fmt.(list ~sep:(any ", ") (fun ppf c -> string ppf (condition_to_string c)))
+    p.p_conditions
+    (action_to_string p.p_action)

@@ -1,0 +1,93 @@
+(** Event-condition-action security policies: the output of the synthesis
+    pipeline, the input of the runtime enforcer.  The paper's §VI example
+
+    {v { event: ICC received,
+        condition: [{Intent.extra: LOCATION}, {Intent.receiver: MessageSender}],
+        action: user prompt } v}
+
+    is [{ p_event = Icc_receive;
+          p_conditions = [Extras_include Location; Receiver_is "MessageSender"];
+          p_action = Prompt; _ }]. *)
+
+open Separ_android
+
+type event_kind = Icc_send | Icc_receive
+
+type condition =
+  | Receiver_is of string
+  | Receiver_not_in of string list  (** receiver outside the known set *)
+  | Sender_is of string
+  | Sender_app_not_installed
+      (** sender app absent from the analyzed bundle *)
+  | Action_is of string
+  | Implicit  (** the intent names no explicit target *)
+  | Extras_include of Resource.t
+  | Sender_lacks_permission of Permission.t
+
+type action = Allow | Deny | Prompt
+
+type t = {
+  p_id : string;
+  p_event : event_kind;
+  p_conditions : condition list;  (** conjunction *)
+  p_action : action;
+  p_reason : string;  (** the vulnerability this guards against *)
+}
+
+(** The runtime context of an ICC delivery, as seen by the PEP. *)
+type icc_event = {
+  ev_kind : event_kind;
+  ev_sender_component : string;
+  ev_sender_app : string;
+  ev_sender_installed_at_analysis : bool;
+  ev_sender_permissions : Permission.t list;
+  ev_intent : Intent.t;
+  ev_receiver_component : string;
+  ev_receiver_app : string;
+}
+
+val condition_holds : icc_event -> condition -> bool
+val matches : t -> icc_event -> bool
+
+(** PDP verdict: the most restrictive action among matching policies
+    (Deny > Prompt > Allow), with the deciding policy. *)
+type decision = Allowed | Prompted of t | Denied of t
+
+val decide : t list -> icc_event -> decision
+
+(** As {!decide}, but the event crosses the process boundary to the PDP
+    app (marshalled both ways), and both receive- and send-side rules are
+    evaluated in the one round trip.  This is what the runtime hooks
+    call. *)
+val decide_remote : t list -> icc_event -> decision
+
+(** {1 Serialization} *)
+
+val event_to_string : event_kind -> string
+val event_of_string : string -> event_kind
+val action_to_string : action -> string
+val action_of_string : string -> action
+val condition_to_string : condition -> string
+val condition_of_string : string -> condition
+
+(** One policy per line. *)
+val to_line : t -> string
+
+val of_line : string -> t
+val to_string : t list -> string
+val of_string : string -> t list
+
+(** [subsumes a b]: [a] matches every event [b] matches (same event
+    kind, conservatively implied conditions) with an action at least as
+    restrictive — [b] is then redundant. *)
+val subsumes : t -> t -> bool
+
+(** Drop policies subsumed by another policy in the store; decisions are
+    unchanged for every event. *)
+val minimize_store : t list -> t list
+
+(** Marshalled form of an ICC event (the PDP IPC payload). *)
+val event_to_line : icc_event -> string
+
+val event_of_line : string -> icc_event
+val pp : Format.formatter -> t -> unit

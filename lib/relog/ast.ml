@@ -1,0 +1,143 @@
+(* Abstract syntax of the relational logic: first-order logic with
+   relational expressions, quantifiers over unary domains, multiplicity
+   constraints, and transitive closure — the fragment of Alloy that
+   SEPAR's specifications use. *)
+
+type expr =
+  | Rel of Relation.t
+  | Var of string                  (* bound by a quantifier; arity 1 *)
+  | Univ                           (* all atoms *)
+  | None_e                         (* empty unary relation *)
+  | Iden                           (* binary identity *)
+  | Join of expr * expr            (* a.b *)
+  | Product of expr * expr         (* a -> b *)
+  | Union of expr * expr           (* a + b *)
+  | Inter of expr * expr           (* a & b *)
+  | Diff of expr * expr            (* a - b *)
+  | Transpose of expr              (* ~a *)
+  | Closure of expr                (* ^a *)
+  | RClosure of expr               (* *a *)
+
+type mult = Mno | Msome | Mlone | Mone
+
+type formula =
+  | True_f
+  | False_f
+  | Subset of expr * expr          (* a in b *)
+  | Eq of expr * expr              (* a = b *)
+  | Mult of mult * expr            (* no/some/lone/one a *)
+  | Not_f of formula
+  | And_f of formula * formula
+  | Or_f of formula * formula
+  | Implies of formula * formula
+  | Iff of formula * formula
+  | All of string * expr * formula    (* all v: dom | f *)
+  | Exists of string * expr * formula (* some v: dom | f *)
+
+(* Arity computation; raises on ill-formed expressions. *)
+exception Arity_error of string
+
+let rec arity = function
+  | Rel r -> Relation.arity r
+  | Var _ -> 1
+  | Univ | None_e -> 1
+  | Iden -> 2
+  | Join (a, b) ->
+      let n = arity a + arity b - 2 in
+      if n < 1 then raise (Arity_error "join yields arity < 1");
+      n
+  | Product (a, b) -> arity a + arity b
+  | Union (a, b) | Inter (a, b) | Diff (a, b) ->
+      let m = arity a and n = arity b in
+      if m <> n then raise (Arity_error "set op on different arities");
+      m
+  | Transpose a ->
+      if arity a <> 2 then raise (Arity_error "transpose of non-binary");
+      2
+  | Closure a | RClosure a ->
+      if arity a <> 2 then raise (Arity_error "closure of non-binary");
+      2
+
+let rec pp_expr ppf = function
+  | Rel r -> Relation.pp ppf r
+  | Var v -> Fmt.string ppf v
+  | Univ -> Fmt.string ppf "univ"
+  | None_e -> Fmt.string ppf "none"
+  | Iden -> Fmt.string ppf "iden"
+  | Join (a, b) -> Fmt.pf ppf "(%a.%a)" pp_expr a pp_expr b
+  | Product (a, b) -> Fmt.pf ppf "(%a->%a)" pp_expr a pp_expr b
+  | Union (a, b) -> Fmt.pf ppf "(%a + %a)" pp_expr a pp_expr b
+  | Inter (a, b) -> Fmt.pf ppf "(%a & %a)" pp_expr a pp_expr b
+  | Diff (a, b) -> Fmt.pf ppf "(%a - %a)" pp_expr a pp_expr b
+  | Transpose a -> Fmt.pf ppf "~%a" pp_expr a
+  | Closure a -> Fmt.pf ppf "^%a" pp_expr a
+  | RClosure a -> Fmt.pf ppf "*%a" pp_expr a
+
+let pp_mult ppf = function
+  | Mno -> Fmt.string ppf "no"
+  | Msome -> Fmt.string ppf "some"
+  | Mlone -> Fmt.string ppf "lone"
+  | Mone -> Fmt.string ppf "one"
+
+let rec pp_formula ppf = function
+  | True_f -> Fmt.string ppf "true"
+  | False_f -> Fmt.string ppf "false"
+  | Subset (a, b) -> Fmt.pf ppf "(%a in %a)" pp_expr a pp_expr b
+  | Eq (a, b) -> Fmt.pf ppf "(%a = %a)" pp_expr a pp_expr b
+  | Mult (m, a) -> Fmt.pf ppf "(%a %a)" pp_mult m pp_expr a
+  | Not_f f -> Fmt.pf ppf "!%a" pp_formula f
+  | And_f (a, b) -> Fmt.pf ppf "(%a && %a)" pp_formula a pp_formula b
+  | Or_f (a, b) -> Fmt.pf ppf "(%a || %a)" pp_formula a pp_formula b
+  | Implies (a, b) -> Fmt.pf ppf "(%a => %a)" pp_formula a pp_formula b
+  | Iff (a, b) -> Fmt.pf ppf "(%a <=> %a)" pp_formula a pp_formula b
+  | All (v, dom, f) ->
+      Fmt.pf ppf "(all %s: %a | %a)" v pp_expr dom pp_formula f
+  | Exists (v, dom, f) ->
+      Fmt.pf ppf "(some %s: %a | %a)" v pp_expr dom pp_formula f
+
+(* A readable embedded DSL for writing specifications.  Quantifiers use
+   higher-order abstract syntax with generated variable names. *)
+module Dsl = struct
+  let fresh_counter = ref 0
+
+  let fresh base =
+    incr fresh_counter;
+    Printf.sprintf "%s_%d" base !fresh_counter
+
+  let rel r = Rel r
+  let ( |. ) a b = Join (a, b)        (* navigation: x |. field *)
+  let ( --> ) a b = Product (a, b)
+  let ( +: ) a b = Union (a, b)
+  let ( &: ) a b = Inter (a, b)
+  let ( -: ) a b = Diff (a, b)
+  let tilde a = Transpose a
+  let closure a = Closure a
+
+  let ( <: ) a b = Subset (a, b)       (* a in b *)
+  let ( =: ) a b = Eq (a, b)
+  let no a = Mult (Mno, a)
+  let some a = Mult (Msome, a)
+  let lone a = Mult (Mlone, a)
+  let one a = Mult (Mone, a)
+  let not_ f = Not_f f
+  let ( &&: ) a b = And_f (a, b)
+  let ( ||: ) a b = Or_f (a, b)
+  let ( ==>: ) a b = Implies (a, b)
+  let ( <=>: ) a b = Iff (a, b)
+
+  let conj = function [] -> True_f | f :: fs -> List.fold_left ( &&: ) f fs
+  let disj = function [] -> False_f | f :: fs -> List.fold_left ( ||: ) f fs
+
+  let all ?(base = "x") dom f =
+    let v = fresh base in
+    All (v, dom, f (Var v))
+
+  let exists ?(base = "x") dom f =
+    let v = fresh base in
+    Exists (v, dom, f (Var v))
+
+  (* all disj a, b: dom | f  — the two bound atoms are distinct. *)
+  let exists2_disj ?(base = "x") dom f =
+    exists ~base dom (fun a ->
+        exists ~base dom (fun b -> Not_f (Eq (a, b)) &&: f a b))
+end

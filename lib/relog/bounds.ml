@@ -1,0 +1,52 @@
+(* Bounds assign each relation a lower bound (tuples it must contain) and
+   an upper bound (tuples it may contain).  Exact bounds — lower = upper —
+   encode the parts of the problem that are fully known (the extracted app
+   models); the gap between lower and upper is the solver's search space
+   (the postulated malicious component and its messages). *)
+
+type t = {
+  universe : Universe.t;
+  mutable map : (Tuple_set.t * Tuple_set.t) Relation.Map.t;
+}
+
+let create universe = { universe; map = Relation.Map.empty }
+
+let universe t = t.universe
+
+let bound t rel ~lower ~upper =
+  if Tuple_set.arity lower <> Relation.arity rel
+     || Tuple_set.arity upper <> Relation.arity rel
+  then invalid_arg "Bounds.bound: arity mismatch";
+  if not (Tuple_set.subset lower upper) then
+    invalid_arg
+      (Printf.sprintf "Bounds.bound: lower not within upper for %s"
+         (Relation.name rel));
+  t.map <- Relation.Map.add rel (lower, upper) t.map
+
+let bound_exact t rel tuples = bound t rel ~lower:tuples ~upper:tuples
+
+let get t rel =
+  match Relation.Map.find_opt rel t.map with
+  | Some b -> b
+  | None ->
+      invalid_arg ("Bounds.get: unbound relation " ^ Relation.name rel)
+
+let relations t = List.map fst (Relation.Map.bindings t.map)
+
+(* Convenience: build tuple sets from atom names. *)
+let tuples t names_list =
+  let u = t.universe in
+  match names_list with
+  | [] -> invalid_arg "Bounds.tuples: need arity; use tuples_a"
+  | first :: _ ->
+      Tuple_set.of_list (List.length first)
+        (List.map
+           (fun names -> Array.of_list (List.map (Universe.atom u) names))
+           names_list)
+
+let tuples_a t arity names_list =
+  let u = t.universe in
+  Tuple_set.of_list arity
+    (List.map
+       (fun names -> Array.of_list (List.map (Universe.atom u) names))
+       names_list)

@@ -1,0 +1,30 @@
+(** Bounds assign each relation a lower bound (tuples it must contain)
+    and an upper bound (tuples it may contain).  Exact bounds encode the
+    known parts of the problem; the lower/upper gap is the search
+    space. *)
+
+type t
+
+val create : Universe.t -> t
+val universe : t -> Universe.t
+
+(** Bound a relation.
+    @raise Invalid_argument on arity mismatch or [lower] not within
+    [upper]. *)
+val bound : t -> Relation.t -> lower:Tuple_set.t -> upper:Tuple_set.t -> unit
+
+(** Exact bound: lower = upper. *)
+val bound_exact : t -> Relation.t -> Tuple_set.t -> unit
+
+(** The (lower, upper) pair of a relation.
+    @raise Invalid_argument if the relation is unbound. *)
+val get : t -> Relation.t -> Tuple_set.t * Tuple_set.t
+
+val relations : t -> Relation.t list
+
+(** Build a tuple set from atom-name tuples; arity taken from the first
+    tuple. *)
+val tuples : t -> string list list -> Tuple_set.t
+
+(** As {!tuples} with an explicit arity (required for empty lists). *)
+val tuples_a : t -> int -> string list list -> Tuple_set.t

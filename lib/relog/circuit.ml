@@ -1,0 +1,157 @@
+(* Hash-consed boolean circuits with constant folding.  The translation
+   from relational logic builds a circuit; {!to_solver} then performs a
+   Tseitin encoding into the CDCL solver.  Hash-consing and the local
+   simplifications keep the encoding close to what a careful hand
+   translation would produce: entries fixed by exact bounds fold away to
+   constants and only genuinely unknown tuples reach the solver. *)
+
+type gate = { id : int; node : node }
+
+and node =
+  | True
+  | False
+  | Lit of int          (* a solver variable, positive *)
+  | Not of gate
+  | And of gate * gate
+  | Or of gate * gate
+
+type t = {
+  table : (int * int * int, gate) Hashtbl.t; (* structural hash-consing *)
+  mutable next_id : int;
+  true_g : gate;
+  false_g : gate;
+}
+
+let create () =
+  let true_g = { id = 0; node = True } in
+  let false_g = { id = 1; node = False } in
+  { table = Hashtbl.create 1024; next_id = 2; true_g; false_g }
+
+let tt t = t.true_g
+let ff t = t.false_g
+
+let key node =
+  match node with
+  | True -> (0, 0, 0)
+  | False -> (1, 0, 0)
+  | Lit v -> (2, v, 0)
+  | Not g -> (3, g.id, 0)
+  | And (a, b) -> (4, a.id, b.id)
+  | Or (a, b) -> (5, a.id, b.id)
+
+let intern t node =
+  let k = key node in
+  match Hashtbl.find_opt t.table k with
+  | Some g -> g
+  | None ->
+      let g = { id = t.next_id; node } in
+      t.next_id <- t.next_id + 1;
+      Hashtbl.add t.table k g;
+      g
+
+let lit t v =
+  if v < 1 then invalid_arg "Circuit.lit: non-positive variable";
+  intern t (Lit v)
+
+let not_ t g =
+  match g.node with
+  | True -> t.false_g
+  | False -> t.true_g
+  | Not g' -> g'
+  | _ -> intern t (Not g)
+
+let and_ t a b =
+  match (a.node, b.node) with
+  | True, _ -> b
+  | _, True -> a
+  | False, _ | _, False -> t.false_g
+  | _ ->
+      if a.id = b.id then a
+      else if (match a.node with Not x -> x.id = b.id | _ -> false)
+              || (match b.node with Not x -> x.id = a.id | _ -> false)
+      then t.false_g
+      else
+        let a, b = if a.id <= b.id then (a, b) else (b, a) in
+        intern t (And (a, b))
+
+let or_ t a b =
+  match (a.node, b.node) with
+  | False, _ -> b
+  | _, False -> a
+  | True, _ | _, True -> t.true_g
+  | _ ->
+      if a.id = b.id then a
+      else if (match a.node with Not x -> x.id = b.id | _ -> false)
+              || (match b.node with Not x -> x.id = a.id | _ -> false)
+      then t.true_g
+      else
+        let a, b = if a.id <= b.id then (a, b) else (b, a) in
+        intern t (Or (a, b))
+
+let implies t a b = or_ t (not_ t a) b
+let iff t a b = and_ t (implies t a b) (implies t b a)
+let big_and t gs = List.fold_left (and_ t) t.true_g gs
+let big_or t gs = List.fold_left (or_ t) t.false_g gs
+
+let is_true g = g.node = True
+let is_false g = g.node = False
+
+(* Tseitin encoding.  Returns the signed solver literal equivalent to the
+   gate; emits defining clauses into [solver] as needed.  [cache] maps
+   gate ids to literals across calls for incremental use. *)
+type encoder = {
+  circuit : t;
+  solver : Separ_sat.Solver.t;
+  cache : (int, int) Hashtbl.t;
+  mutable const_var : int option; (* solver var forced true *)
+}
+
+let encoder circuit solver =
+  { circuit; solver; cache = Hashtbl.create 1024; const_var = None }
+
+let const_true enc =
+  match enc.const_var with
+  | Some v -> v
+  | None ->
+      let v = Separ_sat.Solver.new_var enc.solver in
+      Separ_sat.Solver.add_clause enc.solver [ v ];
+      enc.const_var <- Some v;
+      v
+
+let rec encode enc g =
+  match Hashtbl.find_opt enc.cache g.id with
+  | Some l -> l
+  | None ->
+      let l =
+        match g.node with
+        | True -> const_true enc
+        | False -> -const_true enc
+        | Lit v -> v
+        | Not a -> -encode enc a
+        | And (a, b) ->
+            let la = encode enc a and lb = encode enc b in
+            let v = Separ_sat.Solver.new_var enc.solver in
+            Separ_sat.Solver.add_clause enc.solver [ -v; la ];
+            Separ_sat.Solver.add_clause enc.solver [ -v; lb ];
+            Separ_sat.Solver.add_clause enc.solver [ v; -la; -lb ];
+            v
+        | Or (a, b) ->
+            let la = encode enc a and lb = encode enc b in
+            let v = Separ_sat.Solver.new_var enc.solver in
+            Separ_sat.Solver.add_clause enc.solver [ -v; la; lb ];
+            Separ_sat.Solver.add_clause enc.solver [ v; -la ];
+            Separ_sat.Solver.add_clause enc.solver [ v; -lb ];
+            v
+      in
+      Hashtbl.add enc.cache g.id l;
+      l
+
+(* Assert a gate as a top-level constraint. *)
+let assert_gate enc g =
+  match g.node with
+  | True -> ()
+  | False -> Separ_sat.Solver.add_clause enc.solver []
+  | _ -> Separ_sat.Solver.add_clause enc.solver [ encode enc g ]
+
+(* Number of distinct gates created so far (translation size metric). *)
+let gate_count t = t.next_id

@@ -1,0 +1,59 @@
+(* Ground evaluator: evaluates expressions and formulas against a concrete
+   instance.  Used to validate solver output (every returned instance is
+   re-checked against the asserted formula) and as the differential oracle
+   in property tests. *)
+
+type env = (string * int) list
+
+let rec expr inst (env : env) (e : Ast.expr) : Tuple_set.t =
+  let n = Universe.size (Instance.universe inst) in
+  match e with
+  | Ast.Rel r -> Instance.value inst r
+  | Ast.Var v -> (
+      match List.assoc_opt v env with
+      | Some atom -> Tuple_set.singleton [| atom |]
+      | None -> invalid_arg ("Eval.expr: unbound variable " ^ v))
+  | Ast.Univ -> Tuple_set.univ n
+  | Ast.None_e -> Tuple_set.empty 1
+  | Ast.Iden -> Tuple_set.iden n
+  | Ast.Join (a, b) -> Tuple_set.join (expr inst env a) (expr inst env b)
+  | Ast.Product (a, b) ->
+      Tuple_set.product (expr inst env a) (expr inst env b)
+  | Ast.Union (a, b) -> Tuple_set.union (expr inst env a) (expr inst env b)
+  | Ast.Inter (a, b) -> Tuple_set.inter (expr inst env a) (expr inst env b)
+  | Ast.Diff (a, b) -> Tuple_set.diff (expr inst env a) (expr inst env b)
+  | Ast.Transpose a -> Tuple_set.transpose (expr inst env a)
+  | Ast.Closure a -> Tuple_set.closure (expr inst env a)
+  | Ast.RClosure a ->
+      Tuple_set.union (Tuple_set.closure (expr inst env a)) (Tuple_set.iden n)
+
+let rec formula inst (env : env) (f : Ast.formula) : bool =
+  match f with
+  | Ast.True_f -> true
+  | Ast.False_f -> false
+  | Ast.Subset (a, b) -> Tuple_set.subset (expr inst env a) (expr inst env b)
+  | Ast.Eq (a, b) -> Tuple_set.equal (expr inst env a) (expr inst env b)
+  | Ast.Mult (m, e) -> (
+      let ts = expr inst env e in
+      match m with
+      | Ast.Mno -> Tuple_set.is_empty ts
+      | Ast.Msome -> not (Tuple_set.is_empty ts)
+      | Ast.Mlone -> Tuple_set.size ts <= 1
+      | Ast.Mone -> Tuple_set.size ts = 1)
+  | Ast.Not_f f -> not (formula inst env f)
+  | Ast.And_f (a, b) -> formula inst env a && formula inst env b
+  | Ast.Or_f (a, b) -> formula inst env a || formula inst env b
+  | Ast.Implies (a, b) -> (not (formula inst env a)) || formula inst env b
+  | Ast.Iff (a, b) -> formula inst env a = formula inst env b
+  | Ast.All (v, dom, body) ->
+      let ts = expr inst env dom in
+      List.for_all
+        (fun tup -> formula inst ((v, tup.(0)) :: env) body)
+        (Tuple_set.to_list ts)
+  | Ast.Exists (v, dom, body) ->
+      let ts = expr inst env dom in
+      List.exists
+        (fun tup -> formula inst ((v, tup.(0)) :: env) body)
+        (Tuple_set.to_list ts)
+
+let check inst f = formula inst [] f

@@ -1,0 +1,9 @@
+(** Ground evaluator: expressions and formulas against a concrete
+    instance.  Validates solver output and serves as the differential
+    oracle in property tests. *)
+
+type env = (string * int) list
+
+val expr : Instance.t -> env -> Ast.expr -> Tuple_set.t
+val formula : Instance.t -> env -> Ast.formula -> bool
+val check : Instance.t -> Ast.formula -> bool

@@ -1,0 +1,23 @@
+(* A relation declaration: a name and an arity.  Identity is by the
+   unique [id], so two relations with the same name are distinct. *)
+
+type t = { id : int; name : string; arity : int }
+
+let counter = ref 0
+
+let make name arity =
+  if arity < 1 then invalid_arg "Relation.make: arity must be >= 1";
+  incr counter;
+  { id = !counter; name; arity }
+
+let name t = t.name
+let arity t = t.arity
+let compare a b = compare a.id b.id
+let equal a b = a.id = b.id
+let pp ppf t = Fmt.string ppf t.name
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,15 @@
+(** A relation declaration: name and arity.  Identity is nominal (each
+    [make] yields a distinct relation). *)
+
+type t
+
+(** @raise Invalid_argument if arity < 1. *)
+val make : string -> int -> t
+
+val name : t -> string
+val arity : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t

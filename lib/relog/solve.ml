@@ -1,0 +1,126 @@
+(* Orchestration: problem = universe + bounds + constraints.  Translation
+   produces CNF; the CDCL solver searches; satisfying assignments are
+   decoded into instances.  Minimal-scenario generation (the role of
+   Aluminum in the paper) shrinks the set of free tuples before decoding,
+   and enumeration blocks supersets of already-seen scenarios. *)
+
+type problem = {
+  bounds : Bounds.t;
+  constraints : Ast.formula list;
+}
+
+type stats = {
+  translation_ms : float;
+  solving_ms : float;
+  n_vars : int;
+  n_clauses : int;
+  n_gates : int;
+}
+
+type session = {
+  problem : problem;
+  translation : Translate.t;
+  solver : Separ_sat.Solver.t;
+  soft : int list; (* free tuple variables, for minimization/blocking *)
+  mutable stats : stats;
+}
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let t1 = Unix.gettimeofday () in
+  (r, (t1 -. t0) *. 1000.0)
+
+let prepare problem =
+  let solver = Separ_sat.Solver.create () in
+  let (translation : Translate.t), translation_ms =
+    time_ms (fun () ->
+        let tr = Translate.create problem.bounds solver in
+        List.iter (Translate.assert_formula tr) problem.constraints;
+        tr)
+  in
+  let soft = Translate.all_soft_vars translation in
+  {
+    problem;
+    translation;
+    solver;
+    soft;
+    stats =
+      {
+        translation_ms;
+        solving_ms = 0.0;
+        n_vars = Separ_sat.Solver.n_vars solver;
+        n_clauses = Separ_sat.Solver.n_clauses solver;
+        n_gates = Circuit.gate_count translation.Translate.circuit;
+      };
+  }
+
+let decode session =
+  let bounds = session.problem.bounds in
+  let bindings =
+    List.map
+      (fun rel ->
+        (rel, Translate.relation_value session.translation rel bounds))
+      (Bounds.relations bounds)
+  in
+  Instance.make (Bounds.universe bounds) bindings
+
+type outcome = Unsat | Sat of Instance.t
+
+(* Find the next satisfying instance.  With [minimal] (default), the
+   instance is minimized over the free tuple variables first. *)
+let next ?(minimal = true) session =
+  let result, ms =
+    time_ms (fun () ->
+        match Separ_sat.Solver.solve session.solver with
+        | Separ_sat.Solver.Unsat -> Unsat
+        | Separ_sat.Solver.Sat ->
+            if minimal then
+              ignore
+                (Separ_sat.Models.minimize session.solver ~soft:session.soft);
+            Sat (decode session))
+  in
+  session.stats <-
+    { session.stats with solving_ms = session.stats.solving_ms +. ms };
+  result
+
+(* Exclude all extensions of the current instance's free choices. *)
+let block session =
+  let trues = List.filter (Separ_sat.Solver.value session.solver) session.soft in
+  Separ_sat.Models.block_superset session.solver ~trues
+
+(* Exclude future instances that repeat the current valuation of the given
+   relations' free tuples (coarser blocking: enumeration per distinct
+   assignment of these relations, regardless of the rest). *)
+let block_on session rels =
+  let soft =
+    List.concat_map (Translate.soft_vars_of session.translation) rels
+  in
+  let trues = List.filter (Separ_sat.Solver.value session.solver) soft in
+  Separ_sat.Models.block_superset session.solver ~trues
+
+(* One-shot solve. *)
+let solve ?(minimal = true) problem =
+  let session = prepare problem in
+  (next ~minimal session, session)
+
+(* Enumerate up to [limit] distinct (minimal) instances. *)
+let enumerate ?(limit = 16) ?(minimal = true) problem =
+  let session = prepare problem in
+  let rec go acc k =
+    if k >= limit then List.rev acc
+    else
+      match next ~minimal session with
+      | Unsat -> List.rev acc
+      | Sat inst ->
+          block session;
+          go (inst :: acc) (k + 1)
+  in
+  (go [] 0, session)
+
+let stats session = session.stats
+
+(* Sanity: check a decoded instance against the problem constraints with
+   the independent ground evaluator. *)
+let verify problem inst =
+  List.for_all (Eval.check inst) problem.constraints

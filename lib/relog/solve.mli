@@ -1,0 +1,50 @@
+(** Orchestration of the relational-logic engine: a problem is a set of
+    bounds plus constraint formulas; solving translates to CNF, runs the
+    CDCL solver and decodes satisfying assignments into instances.
+    Minimal-scenario generation and superset-blocking enumeration
+    reproduce Aluminum's behaviour. *)
+
+type problem = {
+  bounds : Bounds.t;
+  constraints : Ast.formula list;
+}
+
+type stats = {
+  translation_ms : float;  (** formula -> CNF time (Table II "construction") *)
+  solving_ms : float;      (** cumulative SAT search time *)
+  n_vars : int;
+  n_clauses : int;
+  n_gates : int;
+}
+
+(** A prepared problem: translation done, solver loaded. *)
+type session
+
+(** Translate the problem into a solver session. *)
+val prepare : problem -> session
+
+type outcome = Unsat | Sat of Instance.t
+
+(** Find the next satisfying instance; with [minimal] (default) the free
+    tuples are shrunk to a minimal set first. *)
+val next : ?minimal:bool -> session -> outcome
+
+(** Exclude all extensions of the current instance's free choices. *)
+val block : session -> unit
+
+(** Exclude future instances repeating the current valuation of the given
+    relations' free tuples (coarser than {!block}). *)
+val block_on : session -> Relation.t list -> unit
+
+(** One-shot: prepare and solve. *)
+val solve : ?minimal:bool -> problem -> outcome * session
+
+(** Enumerate up to [limit] distinct (minimal) instances. *)
+val enumerate :
+  ?limit:int -> ?minimal:bool -> problem -> Instance.t list * session
+
+val stats : session -> stats
+
+(** Re-check an instance against the constraints with the independent
+    ground evaluator (a soundness self-test). *)
+val verify : problem -> Instance.t -> bool

@@ -1,0 +1,172 @@
+(* Translation of a bounded relational problem to a boolean circuit, in
+   the style of Kodkod: each relation becomes a sparse matrix whose cells
+   are constant-true (lower-bound tuples), constant-false (outside the
+   upper bound) or fresh solver variables; expressions evaluate to
+   matrices and formulas to gates. *)
+
+type env = (string * int) list (* quantified variable -> atom *)
+
+type t = {
+  circuit : Circuit.t;
+  solver : Separ_sat.Solver.t;
+  encoder : Circuit.encoder;
+  universe : Universe.t;
+  n : int;
+  rel_matrices : Matrix.t Relation.Map.t;
+  (* per relation: the (tuple, solver var) pairs that are free choices *)
+  rel_vars : (Tuple_set.tuple * int) list Relation.Map.t;
+}
+
+let create bounds solver =
+  let circuit = Circuit.create () in
+  let universe = Bounds.universe bounds in
+  let n = Universe.size universe in
+  let rel_matrices = ref Relation.Map.empty in
+  let rel_vars = ref Relation.Map.empty in
+  List.iter
+    (fun rel ->
+      let lower, upper = Bounds.get bounds rel in
+      let m = Matrix.create ~n ~arity:(Relation.arity rel) in
+      let vars = ref [] in
+      Tuple_set.iter
+        (fun tup ->
+          if Tuple_set.mem tup lower then
+            Matrix.set circuit m tup (Circuit.tt circuit)
+          else begin
+            let v = Separ_sat.Solver.new_var solver in
+            vars := (tup, v) :: !vars;
+            Matrix.set circuit m tup (Circuit.lit circuit v)
+          end)
+        upper;
+      rel_matrices := Relation.Map.add rel m !rel_matrices;
+      rel_vars := Relation.Map.add rel (List.rev !vars) !rel_vars)
+    (Bounds.relations bounds);
+  {
+    circuit;
+    solver;
+    encoder = Circuit.encoder circuit solver;
+    universe;
+    n;
+    rel_matrices = !rel_matrices;
+    rel_vars = !rel_vars;
+  }
+
+let rec expr t (env : env) (e : Ast.expr) : Matrix.t =
+  let c = t.circuit in
+  match e with
+  | Ast.Rel r -> (
+      match Relation.Map.find_opt r t.rel_matrices with
+      | Some m -> m
+      | None ->
+          invalid_arg ("Translate.expr: unbound relation " ^ Relation.name r))
+  | Ast.Var v -> (
+      match List.assoc_opt v env with
+      | Some atom -> Matrix.singleton c ~n:t.n [| atom |]
+      | None -> invalid_arg ("Translate.expr: unbound variable " ^ v))
+  | Ast.Univ -> Matrix.univ c ~n:t.n
+  | Ast.None_e -> Matrix.create ~n:t.n ~arity:1
+  | Ast.Iden -> Matrix.iden c ~n:t.n
+  | Ast.Join (a, b) -> Matrix.join c (expr t env a) (expr t env b)
+  | Ast.Product (a, b) -> Matrix.product c (expr t env a) (expr t env b)
+  | Ast.Union (a, b) -> Matrix.union c (expr t env a) (expr t env b)
+  | Ast.Inter (a, b) -> Matrix.inter c (expr t env a) (expr t env b)
+  | Ast.Diff (a, b) -> Matrix.diff c (expr t env a) (expr t env b)
+  | Ast.Transpose a -> Matrix.transpose c (expr t env a)
+  | Ast.Closure a -> Matrix.closure c (expr t env a)
+  | Ast.RClosure a ->
+      Matrix.union c (Matrix.closure c (expr t env a)) (Matrix.iden c ~n:t.n)
+
+let subset_gate t a b =
+  let c = t.circuit in
+  Matrix.fold
+    (fun tup g acc ->
+      let g' = Matrix.get_or b ~default:(Circuit.ff c) tup in
+      Circuit.and_ c acc (Circuit.implies c g g'))
+    a (Circuit.tt c)
+
+let lone_gate t m =
+  (* at most one member: pairwise exclusion *)
+  let c = t.circuit in
+  let cells = Matrix.fold (fun _ g acc -> g :: acc) m [] in
+  let rec pairs acc = function
+    | [] -> acc
+    | g :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc g' ->
+              Circuit.and_ c acc
+                (Circuit.not_ c (Circuit.and_ c g g')))
+            acc rest
+        in
+        pairs acc rest
+  in
+  pairs (Circuit.tt c) cells
+
+let rec formula t (env : env) (f : Ast.formula) : Circuit.gate =
+  let c = t.circuit in
+  match f with
+  | Ast.True_f -> Circuit.tt c
+  | Ast.False_f -> Circuit.ff c
+  | Ast.Subset (a, b) -> subset_gate t (expr t env a) (expr t env b)
+  | Ast.Eq (a, b) ->
+      let ma = expr t env a and mb = expr t env b in
+      Circuit.and_ c (subset_gate t ma mb) (subset_gate t mb ma)
+  | Ast.Mult (m, e) -> (
+      let mat = expr t env e in
+      let some_g =
+        Matrix.fold (fun _ g acc -> Circuit.or_ c acc g) mat (Circuit.ff c)
+      in
+      match m with
+      | Ast.Mno -> Circuit.not_ c some_g
+      | Ast.Msome -> some_g
+      | Ast.Mlone -> lone_gate t mat
+      | Ast.Mone -> Circuit.and_ c some_g (lone_gate t mat))
+  | Ast.Not_f f -> Circuit.not_ c (formula t env f)
+  | Ast.And_f (a, b) -> Circuit.and_ c (formula t env a) (formula t env b)
+  | Ast.Or_f (a, b) -> Circuit.or_ c (formula t env a) (formula t env b)
+  | Ast.Implies (a, b) ->
+      Circuit.implies c (formula t env a) (formula t env b)
+  | Ast.Iff (a, b) -> Circuit.iff c (formula t env a) (formula t env b)
+  | Ast.All (v, dom, body) ->
+      let dm = expr t env dom in
+      Matrix.fold
+        (fun tup g acc ->
+          let body_g = formula t ((v, tup.(0)) :: env) body in
+          Circuit.and_ c acc (Circuit.implies c g body_g))
+        dm (Circuit.tt c)
+  | Ast.Exists (v, dom, body) ->
+      let dm = expr t env dom in
+      Matrix.fold
+        (fun tup g acc ->
+          let body_g = formula t ((v, tup.(0)) :: env) body in
+          Circuit.or_ c acc (Circuit.and_ c g body_g))
+        dm (Circuit.ff c)
+
+(* Assert a formula as a problem constraint. *)
+let assert_formula t f =
+  let g = formula t [] f in
+  Circuit.assert_gate t.encoder g
+
+(* All free tuple variables, for minimization / enumeration. *)
+let all_soft_vars t =
+  Relation.Map.fold
+    (fun _ vars acc -> List.rev_append (List.map snd vars) acc)
+    t.rel_vars []
+
+let soft_vars_of t rel =
+  match Relation.Map.find_opt rel t.rel_vars with
+  | Some vars -> List.map snd vars
+  | None -> []
+
+(* Read back the value of a relation from the solver's current model. *)
+let relation_value t rel bounds =
+  let lower, _upper = Bounds.get bounds rel in
+  let free = Relation.Map.find rel t.rel_vars in
+  let chosen =
+    List.filter_map
+      (fun (tup, v) ->
+        if Separ_sat.Solver.value t.solver v then Some tup else None)
+      free
+  in
+  Tuple_set.union lower
+    (Tuple_set.of_list (Relation.arity rel) chosen)

@@ -1,0 +1,116 @@
+(* Sets of constant tuples over a universe.  A tuple of arity [k] is an
+   [int array] of atom indices; sets keep tuples sorted lexicographically
+   and deduplicated, enabling fast set operations in bound construction
+   and in the ground evaluator. *)
+
+type tuple = int array
+
+type t = {
+  arity : int;
+  tuples : tuple array; (* sorted, deduplicated *)
+}
+
+let compare_tuple (a : tuple) (b : tuple) = compare a b
+
+let of_list arity tuples =
+  List.iter
+    (fun t ->
+      if Array.length t <> arity then
+        invalid_arg "Tuple_set.of_list: arity mismatch")
+    tuples;
+  let arr = Array.of_list (List.sort_uniq compare_tuple tuples) in
+  { arity; tuples = arr }
+
+let empty arity = { arity; tuples = [||] }
+let arity t = t.arity
+let size t = Array.length t.tuples
+let is_empty t = size t = 0
+let to_list t = Array.to_list t.tuples
+let iter f t = Array.iter f t.tuples
+
+let mem tup t =
+  let rec bisect lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      let c = compare_tuple tup t.tuples.(mid) in
+      if c = 0 then true
+      else if c < 0 then bisect lo mid
+      else bisect (mid + 1) hi
+  in
+  bisect 0 (Array.length t.tuples)
+
+let subset a b =
+  a.arity = b.arity && Array.for_all (fun t -> mem t b) a.tuples
+
+let union a b =
+  if a.arity <> b.arity then invalid_arg "Tuple_set.union: arity mismatch";
+  of_list a.arity (to_list a @ to_list b)
+
+let inter a b =
+  if a.arity <> b.arity then invalid_arg "Tuple_set.inter: arity mismatch";
+  of_list a.arity (List.filter (fun t -> mem t b) (to_list a))
+
+let diff a b =
+  if a.arity <> b.arity then invalid_arg "Tuple_set.diff: arity mismatch";
+  of_list a.arity (List.filter (fun t -> not (mem t b)) (to_list a))
+
+let equal a b = a.arity = b.arity && a.tuples = b.tuples
+
+(* Cartesian product: arity is the sum of arities. *)
+let product a b =
+  let tuples =
+    List.concat_map
+      (fun ta -> List.map (fun tb -> Array.append ta tb) (to_list b))
+      (to_list a)
+  in
+  of_list (a.arity + b.arity) tuples
+
+(* Relational join: drop the matching inner column. *)
+let join a b =
+  if a.arity < 1 || b.arity < 1 then invalid_arg "Tuple_set.join: arity";
+  let out_arity = a.arity + b.arity - 2 in
+  if out_arity < 1 then invalid_arg "Tuple_set.join: result arity 0";
+  let tuples =
+    List.concat_map
+      (fun ta ->
+        let last = ta.(a.arity - 1) in
+        List.filter_map
+          (fun tb ->
+            if tb.(0) = last then
+              Some
+                (Array.append
+                   (Array.sub ta 0 (a.arity - 1))
+                   (Array.sub tb 1 (b.arity - 1)))
+            else None)
+          (to_list b))
+      (to_list a)
+  in
+  of_list out_arity tuples
+
+let transpose a =
+  if a.arity <> 2 then invalid_arg "Tuple_set.transpose: arity <> 2";
+  of_list 2 (List.map (fun t -> [| t.(1); t.(0) |]) (to_list a))
+
+let closure a =
+  if a.arity <> 2 then invalid_arg "Tuple_set.closure: arity <> 2";
+  let rec fix r =
+    let r' = union r (join r a) in
+    if equal r r' then r else fix r'
+  in
+  fix a
+
+(* Unary set of all atoms of a universe. *)
+let univ n = of_list 1 (List.init n (fun i -> [| i |]))
+
+(* Binary identity over a universe. *)
+let iden n = of_list 2 (List.init n (fun i -> [| i; i |]))
+
+let singleton tup = of_list (Array.length tup) [ tup ]
+
+let pp names ppf t =
+  let pp_tuple ppf tup =
+    Fmt.pf ppf "(%a)" Fmt.(array ~sep:(any ",") string)
+      (Array.map names tup)
+  in
+  Fmt.pf ppf "{%a}" Fmt.(array ~sep:(any " ") pp_tuple) t.tuples

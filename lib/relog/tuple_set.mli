@@ -1,0 +1,46 @@
+(** Sets of constant tuples over a universe: sorted, deduplicated, with
+    the full relational algebra.  The semantic foundation of both bound
+    construction and the ground evaluator. *)
+
+type tuple = int array
+
+type t
+
+(** @raise Invalid_argument on arity mismatches. *)
+val of_list : int -> tuple list -> t
+
+val empty : int -> t
+val arity : t -> int
+val size : t -> int
+val is_empty : t -> bool
+val to_list : t -> tuple list
+val iter : (tuple -> unit) -> t -> unit
+val mem : tuple -> t -> bool
+val subset : t -> t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val equal : t -> t -> bool
+
+(** Cartesian product: arities add. *)
+val product : t -> t -> t
+
+(** Relational join: drops the matching inner column.
+    @raise Invalid_argument if the result would have arity 0. *)
+val join : t -> t -> t
+
+(** @raise Invalid_argument unless binary. *)
+val transpose : t -> t
+
+(** Transitive closure.
+    @raise Invalid_argument unless binary. *)
+val closure : t -> t
+
+(** All atoms of an [n]-atom universe, as a unary set. *)
+val univ : int -> t
+
+(** The binary identity over an [n]-atom universe. *)
+val iden : int -> t
+
+val singleton : tuple -> t
+val pp : (int -> string) -> Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+(* The finite universe of atoms a bounded relational problem ranges over.
+   Atoms are interned strings; an atom is referred to by its dense index. *)
+
+type t = {
+  names : string array;
+  index : (string, int) Hashtbl.t;
+}
+
+let of_atoms names =
+  let names = Array.of_list names in
+  let index = Hashtbl.create (Array.length names) in
+  Array.iteri
+    (fun i name ->
+      if Hashtbl.mem index name then
+        invalid_arg ("Universe.of_atoms: duplicate atom " ^ name);
+      Hashtbl.add index name i)
+    names;
+  { names; index }
+
+let size t = Array.length t.names
+let name t i = t.names.(i)
+
+let atom t name =
+  match Hashtbl.find_opt t.index name with
+  | Some i -> i
+  | None -> invalid_arg ("Universe.atom: unknown atom " ^ name)
+
+let mem t name = Hashtbl.mem t.index name
+
+let pp ppf t =
+  Fmt.pf ppf "{%a}" Fmt.(array ~sep:(any ", ") string) t.names

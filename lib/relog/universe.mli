@@ -1,0 +1,20 @@
+(** The finite universe of atoms a bounded relational problem ranges
+    over.  Atoms are interned strings addressed by dense index. *)
+
+type t
+
+(** Build a universe from distinct atom names.
+    @raise Invalid_argument on duplicates. *)
+val of_atoms : string list -> t
+
+val size : t -> int
+
+(** Name of the atom at an index. *)
+val name : t -> int -> string
+
+(** Index of a named atom.
+    @raise Invalid_argument if unknown. *)
+val atom : t -> string -> int
+
+val mem : t -> string -> bool
+val pp : Format.formatter -> t -> unit

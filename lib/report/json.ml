@@ -1,0 +1,73 @@
+(* A minimal JSON representation and printer (no external dependencies),
+   used for machine-readable analysis reports. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec write buf ~indent ~level t =
+  let pad n = if indent then String.make (2 * n) ' ' else "" in
+  let nl = if indent then "\n" else "" in
+  match t with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.1f" f)
+      else Buffer.add_string buf (Printf.sprintf "%g" f)
+  | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_string buf ("[" ^ nl);
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ("," ^ nl);
+          Buffer.add_string buf (pad (level + 1));
+          write buf ~indent ~level:(level + 1) item)
+        items;
+      Buffer.add_string buf (nl ^ pad level ^ "]")
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_string buf ("{" ^ nl);
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ("," ^ nl);
+          Buffer.add_string buf (pad (level + 1));
+          Buffer.add_string buf ("\"" ^ escape k ^ "\":");
+          if indent then Buffer.add_char buf ' ';
+          write buf ~indent ~level:(level + 1) v)
+        fields;
+      Buffer.add_string buf (nl ^ pad level ^ "}")
+
+let to_string ?(indent = true) t =
+  let buf = Buffer.create 1024 in
+  write buf ~indent ~level:0 t;
+  Buffer.contents buf
+
+let of_option f = function None -> Null | Some x -> f x
+let strs xs = List (List.map (fun s -> Str s) xs)

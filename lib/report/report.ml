@@ -1,0 +1,105 @@
+(* Machine-readable reports of analysis results: bundle statistics,
+   vulnerabilities with their scenarios, and the synthesized policies,
+   as JSON.  Consumed by the CLI's [--format json]. *)
+
+open Separ_android
+open Separ_ame
+open Separ_specs
+module Policy = Separ_policy.Policy
+module Ase = Separ_ase.Ase
+
+let of_mal_intent (mi : Scenario.mal_intent) =
+  Json.Obj
+    [
+      ("target", Json.of_option (fun s -> Json.Str s) mi.Scenario.mi_target);
+      ("action", Json.of_option (fun s -> Json.Str s) mi.Scenario.mi_action);
+      ("categories", Json.strs mi.Scenario.mi_categories);
+      ("data_type", Json.of_option (fun s -> Json.Str s) mi.Scenario.mi_data_type);
+      ( "data_scheme",
+        Json.of_option (fun s -> Json.Str s) mi.Scenario.mi_data_scheme );
+      ("data_host", Json.of_option (fun s -> Json.Str s) mi.Scenario.mi_data_host);
+      ("extras", Json.strs (List.map Resource.to_string mi.Scenario.mi_extras));
+      ( "delivery",
+        Json.Str (Component.kind_to_string mi.Scenario.mi_delivery) );
+    ]
+
+let of_mal_filter (mf : Scenario.mal_filter) =
+  Json.Obj
+    [
+      ("actions", Json.strs mf.Scenario.mf_actions);
+      ("categories", Json.strs mf.Scenario.mf_categories);
+      ("data_types", Json.strs mf.Scenario.mf_data_types);
+      ("data_schemes", Json.strs mf.Scenario.mf_data_schemes);
+      ("data_hosts", Json.strs mf.Scenario.mf_data_hosts);
+    ]
+
+let of_scenario (sc : Scenario.t) =
+  Json.Obj
+    [
+      ("kind", Json.Str sc.Scenario.sc_kind);
+      ( "witnesses",
+        Json.Obj
+          (List.map
+             (fun (name, atoms) -> (name, Json.strs atoms))
+             sc.Scenario.sc_witnesses) );
+      ( "malicious_intent",
+        Json.of_option of_mal_intent sc.Scenario.sc_mal_intent );
+      ( "malicious_filter",
+        Json.of_option of_mal_filter sc.Scenario.sc_mal_filter );
+      ("description", Json.Str sc.Scenario.sc_description);
+    ]
+
+let of_condition c = Json.Str (Policy.condition_to_string c)
+
+let of_policy (p : Policy.t) =
+  Json.Obj
+    [
+      ("id", Json.Str p.Policy.p_id);
+      ("event", Json.Str (Policy.event_to_string p.Policy.p_event));
+      ("conditions", Json.List (List.map of_condition p.Policy.p_conditions));
+      ("action", Json.Str (Policy.action_to_string p.Policy.p_action));
+      ("reason", Json.Str p.Policy.p_reason);
+    ]
+
+let of_vulnerability (v : Ase.vulnerability) =
+  Json.Obj
+    [
+      ("kind", Json.Str v.Ase.v_kind);
+      ("components", Json.strs v.Ase.v_components);
+      ("scenario", of_scenario v.Ase.v_scenario);
+    ]
+
+let of_stats (s : Bundle.stats) =
+  Json.Obj
+    [
+      ("apps", Json.Int s.Bundle.n_apps);
+      ("components", Json.Int s.Bundle.n_components);
+      ("intents", Json.Int s.Bundle.n_intents);
+      ("intent_filters", Json.Int s.Bundle.n_intent_filters);
+      ("paths", Json.Int s.Bundle.n_paths);
+    ]
+
+(* The complete analysis report. *)
+let of_analysis ~(report : Ase.report) ~(policies : Policy.t list) =
+  Json.Obj
+    [
+      ("bundle", of_stats report.Ase.r_stats);
+      ( "timing_ms",
+        Json.Obj
+          [
+            ("construction", Json.Float report.Ase.r_construction_ms);
+            ("solving", Json.Float report.Ase.r_solving_ms);
+          ] );
+      ( "solver",
+        Json.Obj
+          [
+            ("variables", Json.Int report.Ase.r_vars);
+            ("clauses", Json.Int report.Ase.r_clauses);
+          ] );
+      ( "vulnerabilities",
+        Json.List (List.map of_vulnerability report.Ase.r_vulnerabilities) );
+      ("policies", Json.List (List.map of_policy policies));
+    ]
+
+let to_string ?(indent = true) ~report ~policies () =
+  Json.to_string ~indent (of_analysis ~report ~policies)

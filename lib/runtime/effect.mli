@@ -1,0 +1,40 @@
+(** Observable effects of an execution on the simulated device: the
+    ground truth that tests and the enforcement experiments assert on. *)
+
+open Separ_android
+
+type t =
+  | Source_read of { app : string; resource : Resource.t }
+  | Sms_sent of {
+      app : string;
+      number : string;
+      body : string;
+      taint : Resource.t list;
+    }
+  | Network_sent of { app : string; payload : string; taint : Resource.t list }
+  | Log_written of { app : string; line : string; taint : Resource.t list }
+  | File_written of { app : string; data : string; taint : Resource.t list }
+  | Notification_shown of { app : string; text : string }
+  | Intent_delivered of {
+      sender_app : string;
+      sender : string;
+      receiver_app : string;
+      receiver : string;
+      icc : Api.icc_kind;
+      intent : Intent.t;
+    }
+  | Delivery_blocked of {
+      policy_id : string;
+      sender : string;
+      receiver : string;
+    }
+  | Prompt_shown of { policy_id : string; approved : bool }
+  | Permission_refused of { app : string; api : string }
+  | No_receiver of { sender : string; action : string option }
+
+val pp : Format.formatter -> t -> unit
+
+(** An SMS left the device carrying data derived from the resource. *)
+val is_sms_with_taint : Resource.t -> t -> bool
+
+val is_blocked : t -> bool

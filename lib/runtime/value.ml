@@ -1,0 +1,93 @@
+(* Runtime values of the IR interpreter.  Strings carry a taint set — the
+   sensitive resources their contents derive from — so observable effects
+   (an SMS leaving the device, a log line) can report what data actually
+   escaped, and tests can assert on real end-to-end flows. *)
+
+open Separ_android
+
+type t =
+  | Vnull
+  | Vint of int
+  | Vstr of string * Resource.t list
+  | Vintent of intent_obj
+  | Varray of t array
+
+and intent_obj = {
+  mutable o_target : string option;
+  mutable o_action : string option;
+  mutable o_categories : string list;
+  mutable o_data_type : string option;
+  mutable o_data_scheme : string option;
+  mutable o_data_host : string option;
+  mutable o_extras : (string * (string * Resource.t list)) list;
+  mutable o_wants_result : bool;
+}
+
+let new_intent_obj () =
+  {
+    o_target = None;
+    o_action = None;
+    o_categories = [];
+    o_data_type = None;
+    o_data_scheme = None;
+    o_data_host = None;
+    o_extras = [];
+    o_wants_result = false;
+  }
+
+let to_intent (o : intent_obj) : Intent.t =
+  Intent.make ?target:o.o_target ?action:o.o_action
+    ~categories:o.o_categories ?data_type:o.o_data_type
+    ?data_scheme:o.o_data_scheme ?data_host:o.o_data_host
+    ~extras:
+      (List.map
+         (fun (k, (v, taint)) -> Intent.{ key = k; value = v; taint })
+         o.o_extras)
+    ~wants_result:o.o_wants_result ()
+
+let of_intent (i : Intent.t) : intent_obj =
+  {
+    o_target = i.Intent.target;
+    o_action = i.Intent.action;
+    o_categories = i.Intent.categories;
+    o_data_type = i.Intent.data_type;
+    o_data_scheme = i.Intent.data_scheme;
+    o_data_host = i.Intent.data_host;
+    o_extras =
+      List.map
+        (fun e -> (e.Intent.key, (e.Intent.value, e.Intent.taint)))
+        i.Intent.extras;
+    o_wants_result = i.Intent.wants_result;
+  }
+
+let rec truthy = function
+  | Vnull -> false
+  | Vint 0 -> false
+  | Vint _ -> true
+  | Vstr _ -> true
+  | Vintent _ -> true
+  | Varray a -> Array.length a > 0 && truthy a.(0)
+
+let rec as_string = function
+  | Vstr (s, _) -> s
+  | Vint n -> string_of_int n
+  | Vnull -> ""
+  | Vintent _ -> "<intent>"
+  | Varray a ->
+      "[" ^ String.concat ";" (Array.to_list (Array.map as_string a)) ^ "]"
+
+let rec taint_of = function
+  | Vstr (_, t) -> t
+  | Varray a ->
+      List.sort_uniq Resource.compare
+        (List.concat_map taint_of (Array.to_list a))
+  | _ -> []
+
+let rec pp ppf = function
+  | Vnull -> Fmt.string ppf "null"
+  | Vint n -> Fmt.int ppf n
+  | Vstr (s, []) -> Fmt.pf ppf "%S" s
+  | Vstr (s, t) ->
+      Fmt.pf ppf "%S<%a>" s Fmt.(list ~sep:(any ",") Resource.pp) t
+  | Vintent _ -> Fmt.string ppf "<intent>"
+  | Varray a -> Fmt.pf ppf "[|%a|]" Fmt.(array ~sep:(any "; ") pp) a

@@ -1,0 +1,31 @@
+(** Runtime values of the IR interpreter.  Strings carry a taint set —
+    the sensitive resources their contents derive from — so observable
+    effects report what data actually escaped. *)
+
+open Separ_android
+
+type t =
+  | Vnull
+  | Vint of int
+  | Vstr of string * Resource.t list
+  | Vintent of intent_obj
+  | Varray of t array
+
+and intent_obj = {
+  mutable o_target : string option;
+  mutable o_action : string option;
+  mutable o_categories : string list;
+  mutable o_data_type : string option;
+  mutable o_data_scheme : string option;
+  mutable o_data_host : string option;
+  mutable o_extras : (string * (string * Resource.t list)) list;
+  mutable o_wants_result : bool;
+}
+
+val new_intent_obj : unit -> intent_obj
+val to_intent : intent_obj -> Intent.t
+val of_intent : Intent.t -> intent_obj
+val truthy : t -> bool
+val as_string : t -> string
+val taint_of : t -> Resource.t list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+(* Minimal DIMACS CNF reader/writer, used by tests and the CLI tooling. *)
+
+type problem = { n_vars : int; clauses : int list list }
+
+let parse_string s =
+  let lines = String.split_on_char '\n' s in
+  let n_vars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let handle_tokens toks =
+    List.iter
+      (fun tok ->
+        match int_of_string_opt tok with
+        | Some 0 ->
+            clauses := List.rev !current :: !clauses;
+            current := []
+        | Some l ->
+            n_vars := max !n_vars (abs l);
+            current := l :: !current
+        | None -> failwith ("Dimacs.parse: bad token " ^ tok))
+      toks
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" then ()
+      else if line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match
+          String.split_on_char ' ' line
+          |> List.filter (fun s -> s <> "")
+        with
+        | [ "p"; "cnf"; nv; _nc ] -> n_vars := max !n_vars (int_of_string nv)
+        | _ -> failwith "Dimacs.parse: bad problem line"
+      end
+      else
+        handle_tokens
+          (String.split_on_char ' ' line |> List.filter (fun s -> s <> "")))
+    lines;
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  { n_vars = !n_vars; clauses = List.rev !clauses }
+
+let to_string { n_vars; clauses } =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" n_vars (List.length clauses));
+  List.iter
+    (fun c ->
+      List.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) c;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let load_into solver { n_vars; clauses } =
+  for _ = 1 to n_vars do
+    ignore (Solver.new_var solver)
+  done;
+  List.iter (Solver.add_clause solver) clauses

@@ -1,0 +1,94 @@
+(* Binary max-heap over variable indices, ordered by activity.  Supports
+   membership testing and in-place priority updates, as required by the
+   VSIDS decision heuristic. *)
+
+type t = {
+  mutable heap : int array;     (* heap.(i) = variable at heap slot i *)
+  mutable pos : int array;      (* pos.(v) = slot of v, or -1 *)
+  mutable score : float array;  (* score.(v) = priority of v *)
+  mutable size : int;
+}
+
+let create () = { heap = [||]; pos = [||]; score = [||]; size = 0 }
+
+let is_empty t = t.size = 0
+
+let ensure t v =
+  let n = Array.length t.pos in
+  if v >= n then begin
+    let cap = max (v + 1) (max 16 (2 * n)) in
+    let pos = Array.make cap (-1) in
+    Array.blit t.pos 0 pos 0 n;
+    t.pos <- pos;
+    let score = Array.make cap 0.0 in
+    Array.blit t.score 0 score 0 n;
+    t.score <- score;
+    let heap = Array.make cap 0 in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+  end
+
+let mem t v = v < Array.length t.pos && t.pos.(v) >= 0
+
+let swap t i j =
+  let a = t.heap.(i) and b = t.heap.(j) in
+  t.heap.(i) <- b;
+  t.heap.(j) <- a;
+  t.pos.(b) <- i;
+  t.pos.(a) <- j
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.score.(t.heap.(i)) > t.score.(t.heap.(parent)) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.size && t.score.(t.heap.(l)) > t.score.(t.heap.(!best)) then
+    best := l;
+  if r < t.size && t.score.(t.heap.(r)) > t.score.(t.heap.(!best)) then
+    best := r;
+  if !best <> i then begin
+    swap t i !best;
+    sift_down t !best
+  end
+
+let insert t v score =
+  ensure t v;
+  if not (mem t v) then begin
+    t.score.(v) <- score;
+    t.heap.(t.size) <- v;
+    t.pos.(v) <- t.size;
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1)
+  end
+
+let update t v score =
+  ensure t v;
+  t.score.(v) <- score;
+  if mem t v then begin
+    sift_up t t.pos.(v);
+    sift_down t t.pos.(v)
+  end
+
+let remove_max t =
+  assert (t.size > 0);
+  let v = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    t.pos.(t.heap.(0)) <- 0
+  end;
+  t.pos.(v) <- -1;
+  if t.size > 0 then sift_down t 0;
+  v
+
+let rescale t factor =
+  for v = 0 to Array.length t.score - 1 do
+    t.score.(v) <- t.score.(v) *. factor
+  done

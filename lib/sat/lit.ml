@@ -1,0 +1,23 @@
+(* Literals are encoded as [2 * var] (positive) or [2 * var + 1] (negative),
+   with variables numbered from 0 internally.  The external API of
+   {!Solver} speaks in signed DIMACS-style integers ([+v] / [-v], [v >= 1]);
+   this module is the internal encoding. *)
+
+type t = int
+
+let of_var v ~sign = (v lsl 1) lor (if sign then 0 else 1)
+let var (l : t) = l lsr 1
+let sign (l : t) = l land 1 = 0
+let negate (l : t) = l lxor 1
+
+(* External (signed, 1-based) to internal and back. *)
+let of_int i =
+  if i = 0 then invalid_arg "Lit.of_int: zero";
+  let v = abs i - 1 in
+  of_var v ~sign:(i > 0)
+
+let to_int (l : t) =
+  let v = var l + 1 in
+  if sign l then v else -v
+
+let pp ppf l = Fmt.int ppf (to_int l)

@@ -1,0 +1,68 @@
+(* Minimal-model search and model enumeration over a designated set of
+   variables.  This reproduces the role Aluminum plays for SEPAR: instead
+   of an arbitrary satisfying instance, the synthesizer works with
+   scenarios that are *minimal* in the tuples they include, so derived
+   policies are as specific as possible. *)
+
+(* The current assignment of [soft] variables, partitioned. *)
+let split_soft solver soft =
+  List.partition (fun v -> Solver.value solver v) soft
+
+(* Given that [solve] just returned [Sat], shrink the model to one that is
+   minimal w.r.t. the set of true [soft] variables (no model exists whose
+   true-set is a strict subset).  Returns the final true-set.
+
+   [extra] are assumptions to maintain throughout (e.g. blocking
+   activation literals from an enclosing enumeration). *)
+let minimize ?(extra = []) solver ~soft =
+  let rec shrink trues falses =
+    match trues with
+    | [] -> []
+    | _ ->
+        (* Activation literal guards the temporary "shrink" clause. *)
+        let act = Solver.new_var solver in
+        Solver.add_clause solver (-act :: List.map (fun v -> -v) trues);
+        let assumptions =
+          (act :: List.map (fun v -> -v) falses) @ extra
+        in
+        (match Solver.solve ~assumptions solver with
+        | Solver.Sat ->
+            let trues', falses' = split_soft solver (trues @ falses) in
+            Solver.add_clause solver [ -act ];
+            shrink trues' falses'
+        | Solver.Unsat ->
+            Solver.add_clause solver [ -act ];
+            (* Re-establish the minimal model as the current assignment. *)
+            let assumptions =
+              List.map (fun v -> v) trues
+              @ List.map (fun v -> -v) falses
+              @ extra
+            in
+            (match Solver.solve ~assumptions solver with
+            | Solver.Sat -> trues
+            | Solver.Unsat -> assert false))
+  in
+  let trues, falses = split_soft solver soft in
+  shrink trues falses
+
+(* Permanently exclude every model whose true [soft] set is a superset of
+   [trues] (Aluminum-style cone blocking). *)
+let block_superset solver ~trues =
+  match trues with
+  | [] -> Solver.add_clause solver [] |> ignore (* only the empty scenario *)
+  | _ -> Solver.add_clause solver (List.map (fun v -> -v) trues)
+
+(* Enumerate up to [limit] minimal models, each given as its true [soft]
+   set; successive models are not supersets of earlier ones. *)
+let enumerate_minimal ?(limit = max_int) solver ~soft =
+  let rec go acc n =
+    if n >= limit then List.rev acc
+    else
+      match Solver.solve solver with
+      | Solver.Unsat -> List.rev acc
+      | Solver.Sat ->
+          let trues = minimize solver ~soft in
+          block_superset solver ~trues;
+          go (trues :: acc) (n + 1)
+  in
+  go [] 0

@@ -1,0 +1,20 @@
+(** Minimal-model search and model enumeration over a designated set of
+    variables — the role Aluminum plays for SEPAR: scenarios that are
+    minimal in the tuples they include yield the most specific policies. *)
+
+(** Given that [solve] just returned [Sat], shrink the current model to
+    one whose set of true [soft] variables is minimal (no model has a
+    strict subset).  Returns the final true-set; the solver is left with
+    that model established.  [extra] assumptions are maintained
+    throughout. *)
+val minimize :
+  ?extra:int list -> Solver.t -> soft:int list -> int list
+
+(** Permanently exclude every model whose true [soft] set is a superset
+    of [trues]. *)
+val block_superset : Solver.t -> trues:int list -> unit
+
+(** Enumerate up to [limit] minimal models (as true-sets of [soft]);
+    successive models are never supersets of earlier ones. *)
+val enumerate_minimal :
+  ?limit:int -> Solver.t -> soft:int list -> int list list

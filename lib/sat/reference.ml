@@ -1,0 +1,65 @@
+(* A deliberately naive DPLL solver used as a differential-testing oracle
+   for {!Solver}.  Exponential; only for small instances in tests. *)
+
+type clause = int list (* DIMACS-style literals *)
+
+let rec simplify lit clauses =
+  (* Assign [lit] true; remove satisfied clauses, shrink the others.
+     Returns [None] if an empty clause arises. *)
+  match clauses with
+  | [] -> Some []
+  | c :: rest ->
+      if List.mem lit c then simplify lit rest
+      else
+        let c' = List.filter (fun l -> l <> -lit) c in
+        if c' = [] then None
+        else
+          Option.map (fun rest' -> c' :: rest') (simplify lit rest)
+
+let rec find_unit = function
+  | [] -> None
+  | [ l ] :: _ -> Some l
+  | _ :: rest -> find_unit rest
+
+let rec dpll assignment clauses =
+  match clauses with
+  | [] -> Some assignment
+  | _ -> (
+      match find_unit clauses with
+      | Some l -> (
+          match simplify l clauses with
+          | None -> None
+          | Some cs -> dpll (l :: assignment) cs)
+      | None ->
+          let l =
+            match clauses with
+            | (l :: _) :: _ -> l
+            | _ -> assert false
+          in
+          let branch lit =
+            match simplify lit clauses with
+            | None -> None
+            | Some cs -> dpll (lit :: assignment) cs
+          in
+          (match branch l with
+          | Some m -> Some m
+          | None -> branch (-l)))
+
+(* Returns a satisfying assignment as a list of true literals, or None. *)
+let solve (clauses : clause list) : int list option =
+  if List.exists (( = ) []) clauses then None else dpll [] clauses
+
+let satisfiable clauses = Option.is_some (solve clauses)
+
+(* Checks that [model] (an array indexed by var-1 of booleans) satisfies
+   every clause. *)
+let check_model model clauses =
+  List.for_all
+    (fun c ->
+      List.exists
+        (fun l ->
+          let v = abs l in
+          v <= Array.length model
+          && (if l > 0 then model.(v - 1) else not model.(v - 1)))
+        c)
+    clauses

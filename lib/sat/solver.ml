@@ -1,0 +1,468 @@
+(* A CDCL SAT solver: two-watched-literal propagation, first-UIP conflict
+   analysis with clause learning, VSIDS-style variable activities with a
+   binary heap, phase saving, and Luby-sequence restarts.  Incremental use
+   is supported through solve-time assumptions; clauses may be added
+   between calls.
+
+   The external interface uses DIMACS conventions: variables are positive
+   integers obtained from [new_var], a literal is [+v] or [-v]. *)
+
+type clause = {
+  mutable lits : int array; (* internal literal encoding, see {!Lit} *)
+  learnt : bool;
+}
+
+type lbool = LTrue | LFalse | LUndef
+
+type t = {
+  mutable clauses : clause Vec.t;          (* problem clauses *)
+  mutable learnts : clause Vec.t;          (* learnt clauses *)
+  mutable watches : clause Vec.t array;    (* watch list per literal *)
+  mutable assigns : lbool array;           (* per var *)
+  mutable polarity : bool array;           (* saved phase per var *)
+  mutable level : int array;               (* decision level per var *)
+  mutable reason : clause option array;    (* antecedent per var *)
+  mutable activity : float array;          (* VSIDS activity per var *)
+  mutable seen : bool array;               (* scratch for analyze *)
+  trail : int Vec.t;                       (* assigned literals, in order *)
+  trail_lim : int Vec.t;                   (* decision-level boundaries *)
+  mutable qhead : int;                     (* propagation queue head *)
+  mutable nvars : int;
+  heap : Heap.t;                           (* decision heap, max-activity *)
+  mutable var_inc : float;                 (* activity increment *)
+  mutable ok : bool;                       (* false once trivially unsat *)
+  mutable n_conflicts : int;
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_restarts : int;
+}
+
+let dummy_clause = { lits = [||]; learnt = false }
+
+let create () =
+  {
+    clauses = Vec.create dummy_clause;
+    learnts = Vec.create dummy_clause;
+    watches = [||];
+    assigns = [||];
+    polarity = [||];
+    level = [||];
+    reason = [||];
+    activity = [||];
+    seen = [||];
+    trail = Vec.create 0;
+    trail_lim = Vec.create 0;
+    qhead = 0;
+    nvars = 0;
+    heap = Heap.create ();
+    var_inc = 1.0;
+    ok = true;
+    n_conflicts = 0;
+    n_decisions = 0;
+    n_propagations = 0;
+    n_restarts = 0;
+  }
+
+let n_vars t = t.nvars
+let n_clauses t = Vec.size t.clauses
+let n_conflicts t = t.n_conflicts
+
+let grow_arrays t n =
+  let old = Array.length t.assigns in
+  if n > old then begin
+    let cap = max n (max 16 (2 * old)) in
+    let extend a fill =
+      let a' = Array.make cap fill in
+      Array.blit a 0 a' 0 old;
+      a'
+    in
+    t.assigns <- extend t.assigns LUndef;
+    t.polarity <- extend t.polarity false;
+    t.level <- extend t.level (-1);
+    t.reason <- extend t.reason None;
+    t.activity <- extend t.activity 0.0;
+    t.seen <- extend t.seen false;
+    let w = Array.init (2 * cap) (fun i ->
+        if i < Array.length t.watches then t.watches.(i)
+        else Vec.create dummy_clause)
+    in
+    t.watches <- w
+  end
+
+(* Allocates a fresh variable and returns its external (1-based) index. *)
+let new_var t =
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  grow_arrays t t.nvars;
+  Heap.insert t.heap v t.activity.(v);
+  v + 1
+
+let value_lit t l =
+  match t.assigns.(Lit.var l) with
+  | LUndef -> LUndef
+  | LTrue -> if Lit.sign l then LTrue else LFalse
+  | LFalse -> if Lit.sign l then LFalse else LTrue
+
+let decision_level t = Vec.size t.trail_lim
+
+let var_bump t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    for i = 0 to t.nvars - 1 do
+      t.activity.(i) <- t.activity.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100;
+    Heap.rescale t.heap 1e-100
+  end;
+  if Heap.mem t.heap v then Heap.update t.heap v t.activity.(v)
+
+let var_decay t = t.var_inc <- t.var_inc /. 0.95
+
+(* Enqueue literal [l] as true, with optional antecedent. *)
+let enqueue t l reason =
+  let v = Lit.var l in
+  assert (t.assigns.(v) = LUndef);
+  t.assigns.(v) <- (if Lit.sign l then LTrue else LFalse);
+  t.polarity.(v) <- Lit.sign l;
+  t.level.(v) <- decision_level t;
+  t.reason.(v) <- reason;
+  Vec.push t.trail l
+
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    let bound = Vec.get t.trail_lim lvl in
+    for i = Vec.size t.trail - 1 downto bound do
+      let l = Vec.get t.trail i in
+      let v = Lit.var l in
+      t.assigns.(v) <- LUndef;
+      t.reason.(v) <- None;
+      if not (Heap.mem t.heap v) then Heap.insert t.heap v t.activity.(v)
+    done;
+    Vec.shrink t.trail bound;
+    Vec.shrink t.trail_lim lvl;
+    t.qhead <- Vec.size t.trail
+  end
+
+(* Attach a clause (>= 2 literals) to the watch lists of its first two. *)
+let attach t c =
+  Vec.push t.watches.(Lit.negate c.lits.(0)) c;
+  Vec.push t.watches.(Lit.negate c.lits.(1)) c
+
+exception Conflict of clause
+
+(* Unit propagation.  Returns the conflicting clause, if any. *)
+let propagate t =
+  try
+    while t.qhead < Vec.size t.trail do
+      let l = Vec.get t.trail t.qhead in
+      t.qhead <- t.qhead + 1;
+      t.n_propagations <- t.n_propagations + 1;
+      let ws = t.watches.(l) in
+      let i = ref 0 in
+      while !i < Vec.size ws do
+        let c = Vec.get ws !i in
+        let lits = c.lits in
+        (* Ensure the false literal is at position 1. *)
+        let nl = Lit.negate l in
+        if lits.(0) = nl then begin
+          lits.(0) <- lits.(1);
+          lits.(1) <- nl
+        end;
+        if value_lit t lits.(0) = LTrue then incr i
+        else begin
+          (* Look for a new literal to watch. *)
+          let n = Array.length lits in
+          let rec find k =
+            if k >= n then -1
+            else if value_lit t lits.(k) <> LFalse then k
+            else find (k + 1)
+          in
+          let k = find 2 in
+          if k >= 0 then begin
+            lits.(1) <- lits.(k);
+            lits.(k) <- nl;
+            Vec.push t.watches.(Lit.negate lits.(1)) c;
+            Vec.swap_remove ws !i
+          end
+          else if value_lit t lits.(0) = LFalse then begin
+            t.qhead <- Vec.size t.trail;
+            raise (Conflict c)
+          end
+          else begin
+            enqueue t lits.(0) (Some c);
+            incr i
+          end
+        end
+      done
+    done;
+    None
+  with Conflict c -> Some c
+
+(* First-UIP conflict analysis.  Returns the learnt clause (with the
+   asserting literal first) and the backtrack level. *)
+let analyze t confl =
+  let learnt = Vec.create 0 in
+  Vec.push learnt 0 (* placeholder for asserting literal *);
+  let path = ref 0 in
+  let p = ref (-1) in
+  let confl = ref (Some confl) in
+  let idx = ref (Vec.size t.trail - 1) in
+  let continue = ref true in
+  while !continue do
+    let c =
+      match !confl with Some c -> c | None -> assert false
+    in
+    let start = if !p = -1 then 0 else 1 in
+    for j = start to Array.length c.lits - 1 do
+      let q = c.lits.(j) in
+      let v = Lit.var q in
+      if (not t.seen.(v)) && t.level.(v) > 0 then begin
+        t.seen.(v) <- true;
+        var_bump t v;
+        if t.level.(v) >= decision_level t then incr path
+        else Vec.push learnt q
+      end
+    done;
+    (* Select next literal on the trail to expand. *)
+    let rec next i =
+      if t.seen.(Lit.var (Vec.get t.trail i)) then i else next (i - 1)
+    in
+    idx := next !idx;
+    let lt = Vec.get t.trail !idx in
+    decr idx;
+    p := lt;
+    t.seen.(Lit.var lt) <- false;
+    confl := t.reason.(Lit.var lt);
+    decr path;
+    if !path <= 0 then continue := false
+  done;
+  Vec.set learnt 0 (Lit.negate !p);
+  (* Compute backtrack level: the max level among the other literals. *)
+  let blevel = ref 0 in
+  let swap_pos = ref 1 in
+  for i = 1 to Vec.size learnt - 1 do
+    let lv = t.level.(Lit.var (Vec.get learnt i)) in
+    if lv > !blevel then begin
+      blevel := lv;
+      swap_pos := i
+    end
+  done;
+  if Vec.size learnt > 1 then begin
+    let tmp = Vec.get learnt 1 in
+    Vec.set learnt 1 (Vec.get learnt !swap_pos);
+    Vec.set learnt !swap_pos tmp
+  end;
+  (* Clear seen flags. *)
+  for i = 0 to Vec.size learnt - 1 do
+    t.seen.(Lit.var (Vec.get learnt i)) <- false
+  done;
+  (Array.init (Vec.size learnt) (Vec.get learnt), !blevel)
+
+(* Add a clause given in internal literal encoding.  Performs top-level
+   simplification: removes duplicate/false literals, detects tautologies. *)
+let add_clause_internal t lits =
+  if t.ok then begin
+    let lits = List.sort_uniq compare lits in
+    let tautology =
+      List.exists (fun l -> List.mem (Lit.negate l) lits) lits
+    in
+    if not tautology then begin
+      (* Drop literals already false at level 0; detect satisfied clause. *)
+      let lits =
+        List.filter
+          (fun l ->
+            not (value_lit t l = LFalse && t.level.(Lit.var l) = 0))
+          lits
+      in
+      let satisfied =
+        List.exists
+          (fun l -> value_lit t l = LTrue && t.level.(Lit.var l) = 0)
+          lits
+      in
+      if not satisfied then
+        match lits with
+        | [] -> t.ok <- false
+        | [ l ] ->
+            if value_lit t l = LFalse then t.ok <- false
+            else if value_lit t l = LUndef then begin
+              assert (decision_level t = 0);
+              enqueue t l None;
+              if propagate t <> None then t.ok <- false
+            end
+        | _ ->
+            let c = { lits = Array.of_list lits; learnt = false } in
+            Vec.push t.clauses c;
+            attach t c
+    end
+  end
+
+(* Public clause interface: DIMACS-style signed integers.  Adding a clause
+   invalidates the current model: the solver backtracks to the root level
+   so the clause can be simplified against level-0 facts only.  Callers
+   must read model values before adding clauses. *)
+let add_clause t lits =
+  cancel_until t 0;
+  List.iter
+    (fun i ->
+      let v = abs i in
+      if v = 0 then invalid_arg "Solver.add_clause: zero literal";
+      while v > t.nvars do
+        ignore (new_var t)
+      done)
+    lits;
+  add_clause_internal t (List.map Lit.of_int lits)
+
+(* Luby restart sequence, following the classical MiniSat formulation. *)
+let luby y x =
+  let size = ref 1 and seq = ref 0 in
+  while !size < x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref x in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  y ** float_of_int !seq
+
+let pick_branch_var t =
+  let rec go () =
+    if Heap.is_empty t.heap then -1
+    else
+      let v = Heap.remove_max t.heap in
+      if t.assigns.(v) = LUndef then v else go ()
+  in
+  go ()
+
+type result = Sat | Unsat
+
+exception Unsat_exc
+
+(* The CDCL search loop.  [assumptions] are internal literals decided first,
+   in order; a conflict forcing their negation yields Unsat. *)
+let search t assumptions =
+  let conflicts_budget = ref 100 in
+  let restart_count = ref 0 in
+  let rec loop () =
+    match propagate t with
+    | Some confl ->
+        t.n_conflicts <- t.n_conflicts + 1;
+        decr conflicts_budget;
+        if decision_level t = 0 then raise Unsat_exc;
+        (* A conflict at or below the assumption prefix means the
+           assumptions themselves are inconsistent with the clauses. *)
+        let learnt, blevel = analyze t confl in
+        let n_assumed =
+          (* number of assumption decisions currently on the trail *)
+          min (decision_level t) (List.length assumptions)
+        in
+        if blevel < n_assumed then begin
+          (* The learnt clause is asserting below an assumption level:
+             check whether it contradicts the assumptions. *)
+          cancel_until t blevel;
+          let c =
+            if Array.length learnt = 1 then None
+            else begin
+              let c = { lits = learnt; learnt = true } in
+              Vec.push t.learnts c;
+              attach t c;
+              Some c
+            end
+          in
+          if value_lit t learnt.(0) = LFalse then raise Unsat_exc;
+          if value_lit t learnt.(0) = LUndef then enqueue t learnt.(0) c;
+          var_decay t;
+          loop ()
+        end
+        else begin
+          cancel_until t blevel;
+          let c =
+            if Array.length learnt = 1 then None
+            else begin
+              let c = { lits = learnt; learnt = true } in
+              Vec.push t.learnts c;
+              attach t c;
+              Some c
+            end
+          in
+          enqueue t learnt.(0) c;
+          var_decay t;
+          loop ()
+        end
+    | None ->
+        if !conflicts_budget <= 0 then begin
+          (* Restart: keep assumptions, drop other decisions. *)
+          t.n_restarts <- t.n_restarts + 1;
+          incr restart_count;
+          conflicts_budget :=
+            int_of_float (100.0 *. luby 2.0 !restart_count);
+          cancel_until t 0;
+          loop ()
+        end
+        else begin
+          (* Re-establish assumptions as the first decisions. *)
+          let dl = decision_level t in
+          let rec assume i = function
+            | [] -> None
+            | a :: rest ->
+                if i < dl then assume (i + 1) rest
+                else begin
+                  match value_lit t a with
+                  | LTrue ->
+                      (* already implied: introduce an empty decision level
+                         to keep the prefix aligned *)
+                      Vec.push t.trail_lim (Vec.size t.trail);
+                      assume (i + 1) rest
+                  | LFalse -> raise Unsat_exc
+                  | LUndef ->
+                      Vec.push t.trail_lim (Vec.size t.trail);
+                      enqueue t a None;
+                      Some ()
+                end
+          in
+          match assume 0 assumptions with
+          | Some () -> loop ()
+          | None ->
+              let v = pick_branch_var t in
+              if v < 0 then Sat
+              else begin
+                t.n_decisions <- t.n_decisions + 1;
+                Vec.push t.trail_lim (Vec.size t.trail);
+                enqueue t (Lit.of_var v ~sign:t.polarity.(v)) None;
+                loop ()
+              end
+        end
+  in
+  loop ()
+
+let solve ?(assumptions = []) t =
+  if not t.ok then Unsat
+  else begin
+    let assumptions = List.map Lit.of_int assumptions in
+    cancel_until t 0;
+    match search t assumptions with
+    | Sat -> Sat
+    | Unsat -> Unsat
+    | exception Unsat_exc ->
+        cancel_until t 0;
+        if decision_level t = 0 && propagate t <> None then t.ok <- false;
+        Unsat
+  end
+
+(* Model access: valid only right after [solve] returned [Sat] and before
+   the next mutation. *)
+let value t v =
+  if v < 1 || v > t.nvars then invalid_arg "Solver.value";
+  match t.assigns.(v - 1) with
+  | LTrue -> true
+  | LFalse -> false
+  | LUndef -> false (* unconstrained variables default to false *)
+
+let model t = Array.init t.nvars (fun i -> value t (i + 1))
+
+let stats t =
+  Printf.sprintf "vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d props=%d restarts=%d"
+    t.nvars (Vec.size t.clauses) (Vec.size t.learnts) t.n_conflicts
+    t.n_decisions t.n_propagations t.n_restarts

@@ -1,0 +1,40 @@
+(** A CDCL SAT solver: two-watched-literal propagation, first-UIP clause
+    learning, VSIDS decision heuristic, phase saving and Luby restarts.
+
+    The interface uses DIMACS conventions: variables are positive integers
+    allocated by {!new_var}; a literal is [+v] or [-v].  The solver is
+    incremental: clauses may be added between {!solve} calls, and each
+    call may carry assumptions. *)
+
+type t
+
+type result = Sat | Unsat
+
+(** A fresh, empty solver. *)
+val create : unit -> t
+
+(** Allocate a fresh variable; returns its (1-based) index. *)
+val new_var : t -> int
+
+(** Add a clause of DIMACS literals.  Unknown variables are allocated on
+    demand.  Adding a clause backtracks to the root level and invalidates
+    the current model; read model values before adding clauses. *)
+val add_clause : t -> int list -> unit
+
+(** Decide satisfiability of the clause set, optionally under
+    [assumptions] (literals forced true for this call only). *)
+val solve : ?assumptions:int list -> t -> result
+
+(** Model value of a variable; meaningful only immediately after {!solve}
+    returned {!Sat}.  Unconstrained variables read as [false]. *)
+val value : t -> int -> bool
+
+(** The full model, indexed by [var - 1]. *)
+val model : t -> bool array
+
+val n_vars : t -> int
+val n_clauses : t -> int
+val n_conflicts : t -> int
+
+(** One-line statistics summary (variables, clauses, conflicts, ...). *)
+val stats : t -> string

@@ -1,0 +1,65 @@
+(* Growable arrays used throughout the solver.  A thin, allocation-conscious
+   wrapper over [Array]; elements beyond [size] are garbage. *)
+
+type 'a t = { mutable data : 'a array; mutable size : int; dummy : 'a }
+
+let create ?(capacity = 16) dummy =
+  { data = Array.make (max capacity 1) dummy; size = 0; dummy }
+
+let size t = t.size
+let is_empty t = t.size = 0
+
+let clear t = t.size <- 0
+
+let grow t n =
+  if n > Array.length t.data then begin
+    let cap = max n (2 * Array.length t.data) in
+    let data = Array.make cap t.dummy in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let push t x =
+  grow t (t.size + 1);
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1
+
+let pop t =
+  assert (t.size > 0);
+  t.size <- t.size - 1;
+  let x = t.data.(t.size) in
+  t.data.(t.size) <- t.dummy;
+  x
+
+let get t i =
+  assert (i >= 0 && i < t.size);
+  t.data.(i)
+
+let set t i x =
+  assert (i >= 0 && i < t.size);
+  t.data.(i) <- x
+
+let last t = get t (t.size - 1)
+
+let shrink t n =
+  assert (n <= t.size);
+  for i = n to t.size - 1 do
+    t.data.(i) <- t.dummy
+  done;
+  t.size <- n
+
+(* Remove element at [i] by swapping in the last element (order not kept). *)
+let swap_remove t i =
+  assert (i >= 0 && i < t.size);
+  t.data.(i) <- t.data.(t.size - 1);
+  t.size <- t.size - 1;
+  t.data.(t.size) <- t.dummy
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.data.(i)
+  done
+
+let to_list t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (t.data.(i) :: acc) in
+  go (t.size - 1) []

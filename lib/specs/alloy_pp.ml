@@ -1,0 +1,146 @@
+(* Emission of the encoded formal model as Alloy-style text — the
+   counterpart of the paper's FreeMarker translation of extracted app
+   models into Alloy modules (Listings 3 and 4).  Useful for inspecting
+   exactly what the synthesizer sees, and for diffing two encodings. *)
+
+open Separ_android
+open Separ_ame
+
+let buf_add = Buffer.add_string
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+(* The fixed framework meta-model: the androidDeclaration module. *)
+let meta_model () =
+  String.concat "\n"
+    [
+      "module androidDeclaration";
+      "";
+      "abstract sig Application { appPermissions: set Permission }";
+      "abstract sig Component {";
+      "  app: one Application,";
+      "  intentFilters: set IntentFilter,";
+      "  permissions: set Permission,";
+      "  paths: set DetailedPath";
+      "}";
+      "sig Activity, Service, Receiver, Provider extends Component {}";
+      "abstract sig IntentFilter {";
+      "  actions: some Action,";
+      "  dataType: set DataType,";
+      "  dataScheme: set DataScheme,";
+      "  dataHost: set DataHost,";
+      "  categories: set Category";
+      "}";
+      "fact IFandComponent { all i: IntentFilter | one i.~intentFilters }";
+      "fact NoIFforProviders {";
+      "  no i: IntentFilter | i.~intentFilters in Provider";
+      "}";
+      "abstract sig Intent {";
+      "  sender: one Component,";
+      "  receiver: lone Component,";
+      "  action: lone Action,";
+      "  categories: set Category,";
+      "  dataType: lone DataType,";
+      "  dataScheme: lone DataScheme,";
+      "  extra: set Resource";
+      "}";
+      "abstract sig DetailedPath { source: one Resource, sink: one Resource }";
+      "sig Action, Category, DataType, DataScheme, DataHost, Resource, Permission {}";
+      "one sig Device { apps: set Application }";
+      "";
+    ]
+
+let pp_set name = function
+  | [] -> Printf.sprintf "  no %s\n" name
+  | xs ->
+      Printf.sprintf "  %s = %s\n" name
+        (String.concat " + " (List.map sanitize xs))
+
+let pp_opt name = function
+  | None -> Printf.sprintf "  no %s\n" name
+  | Some x -> Printf.sprintf "  %s = %s\n" name (sanitize x)
+
+(* One app model as an Alloy module (the paper's Listing 4 shape). *)
+let app_module (app : App_model.t) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (buf_add buf) fmt in
+  add "// module generated from %s\n" app.App_model.am_package;
+  add "open androidDeclaration\n\n";
+  let app_atom = sanitize ("App_" ^ app.App_model.am_package) in
+  add "one sig %s extends Application {}{\n%s}\n\n" app_atom
+    (pp_set "appPermissions"
+       (List.map Permission.short app.App_model.am_declared_permissions));
+  List.iter
+    (fun (c : App_model.component_model) ->
+      let cname = sanitize c.App_model.cm_name in
+      add "one sig %s extends %s {}{\n" cname
+        (Component.kind_to_string c.App_model.cm_kind);
+      add "  app in %s\n" app_atom;
+      if c.App_model.cm_filters = [] then add "  no intentFilters\n"
+      else
+        add "  intentFilters = %s\n"
+          (String.concat " + "
+             (List.mapi (fun i _ -> Printf.sprintf "%s_f%d" cname i)
+                c.App_model.cm_filters));
+      buf_add buf
+        (pp_set "permissions"
+           (List.map Permission.short c.App_model.cm_required_permissions));
+      if c.App_model.cm_paths = [] then add "  no paths\n"
+      else
+        add "  paths = %s\n"
+          (String.concat " + "
+             (List.mapi (fun i _ -> Printf.sprintf "path%s%d" cname i)
+                c.App_model.cm_paths));
+      add "}\n";
+      List.iteri
+        (fun i (f : Intent_filter.t) ->
+          add "one sig %s_f%d extends IntentFilter {}{\n" cname i;
+          buf_add buf (pp_set "actions" f.Intent_filter.actions);
+          buf_add buf (pp_set "categories" f.Intent_filter.categories);
+          buf_add buf (pp_set "dataType" f.Intent_filter.data_types);
+          buf_add buf (pp_set "dataScheme" f.Intent_filter.data_schemes);
+          buf_add buf (pp_set "dataHost" f.Intent_filter.data_hosts);
+          add "}\n")
+        c.App_model.cm_filters;
+      List.iteri
+        (fun i (p : App_model.path_model) ->
+          add "one sig path%s%d extends DetailedPath {}{\n" cname i;
+          add "  source = %s\n" (Resource.to_string p.App_model.pm_source);
+          add "  sink = %s\n" (Resource.to_string p.App_model.pm_sink);
+          add "}\n")
+        c.App_model.cm_paths;
+      List.iter
+        (fun (im : App_model.intent_model) ->
+          add "one sig %s extends Intent {}{\n" (sanitize im.App_model.im_id);
+          add "  sender = %s\n" cname;
+          buf_add buf
+            (pp_opt "receiver"
+               (match
+                  (im.App_model.im_target, im.App_model.im_resolved_targets)
+                with
+               | Some t, _ -> Some t
+               | None, t :: _ -> Some t
+               | None, [] -> None));
+          buf_add buf (pp_opt "action" im.App_model.im_action);
+          buf_add buf (pp_set "categories" im.App_model.im_categories);
+          buf_add buf (pp_opt "dataType" im.App_model.im_data_type);
+          buf_add buf (pp_opt "dataScheme" im.App_model.im_data_scheme);
+          buf_add buf
+            (pp_set "extra"
+               (List.map Resource.to_string im.App_model.im_extras));
+          add "}\n")
+        c.App_model.cm_intents;
+      add "\n")
+    app.App_model.am_components;
+  Buffer.contents buf
+
+(* The whole bundle: meta-model followed by one module per app. *)
+let bundle_spec (bundle : Bundle.t) =
+  String.concat "\n"
+    (meta_model () :: List.map app_module (Bundle.apps bundle))

@@ -1,0 +1,14 @@
+(** Emission of the encoded formal model as Alloy-style text — the
+    counterpart of the paper's FreeMarker translation of extracted app
+    models into Alloy modules (Listings 3 and 4). *)
+
+val sanitize : string -> string
+
+(** The fixed framework meta-model (the androidDeclaration module). *)
+val meta_model : unit -> string
+
+(** One app model as an Alloy module. *)
+val app_module : Separ_ame.App_model.t -> string
+
+(** The whole bundle: meta-model followed by one module per app. *)
+val bundle_spec : Separ_ame.Bundle.t -> string

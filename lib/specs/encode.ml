@@ -1,0 +1,767 @@
+(* Encoding of the Android framework meta-model and a bundle of extracted
+   app models into bounded relational logic — the OCaml counterpart of
+   the paper's Listings 3 and 4.
+
+   Everything AME extracted is encoded with *exact* bounds (it is known),
+   so it contributes constants, not search space.  The hypothetical
+   malicious capability (an app not yet on the device, with one component
+   and, depending on the signature's scope configuration, an intent to
+   send and/or an intent filter to register) is the only part bounded
+   loosely: its relations are the free variables the SAT search fills in.
+   This mirrors the paper's automatic scope derivation. *)
+
+open Separ_android
+open Separ_relog
+open Separ_ame
+
+(* --- atom naming -------------------------------------------------------- *)
+
+let atom_app pkg = "app:" ^ pkg
+let atom_action a = "act:" ^ a
+let atom_category c = "cat:" ^ c
+let atom_dtype t = "typ:" ^ t
+let atom_dscheme s = "sch:" ^ s
+let atom_dhost h = "hst:" ^ h
+let atom_resource r = "res:" ^ Resource.to_string r
+let atom_perm p = "perm:" ^ p
+
+let mal_app_atom = "mal:app"
+let mal_comp_atom = "mal:cmp"
+let mal_intent_atom = "mal:intent"
+let mal_filter_atom = "mal:filter"
+
+(* Delivery classes: which component kind an ICC mechanism addresses. *)
+let kind_atom = function
+  | Component.Activity -> "icc:activity"
+  | Component.Service -> "icc:service"
+  | Component.Receiver -> "icc:receiver"
+  | Component.Provider -> "icc:provider"
+
+let delivery_kind = Api.delivery_kind
+
+(* --- scope configuration ------------------------------------------------ *)
+
+type config = {
+  with_mal_intent : bool; (* the adversary sends an intent *)
+  with_mal_filter : bool; (* the adversary registers an intent filter *)
+}
+
+(* Witness domains: each signature declares named witnesses; their value
+   in a satisfying instance identifies the victim elements. *)
+type witness_domain = Wcomponent | Wintent | Wpath | Wresource | Wpermission
+
+type env = {
+  universe : Universe.t;
+  bounds : Bounds.t;
+  bundle : Bundle.t;
+  (* component atom <-> model *)
+  comp_atoms : (string * App_model.component_model) list;
+  comp_atom_of : string -> string; (* cm_name -> atom *)
+  (* unary sigs *)
+  r_application : Relation.t;
+  r_component : Relation.t;
+  r_activity : Relation.t;
+  r_service : Relation.t;
+  r_receiver : Relation.t;
+  r_provider : Relation.t;
+  r_intent : Relation.t;
+  r_filter : Relation.t;
+  r_action : Relation.t;
+  r_category : Relation.t;
+  r_dtype : Relation.t;
+  r_dscheme : Relation.t;
+  r_dhost : Relation.t;
+  r_resource : Relation.t;
+  r_permission : Relation.t;
+  r_path : Relation.t;
+  r_installed : Relation.t;  (* device.apps *)
+  r_exported : Relation.t;
+  r_passive : Relation.t;
+  r_wants_result : Relation.t;
+  (* binary relations *)
+  r_cmp_app : Relation.t;       (* Component -> Application *)
+  r_cmp_filters : Relation.t;   (* Component -> IntentFilter *)
+  r_cmp_req_perms : Relation.t; (* Component -> Permission (enforced) *)
+  r_cmp_paths : Relation.t;     (* Component -> Path *)
+  r_app_perms : Relation.t;     (* Application -> Permission (granted) *)
+  r_path_src : Relation.t;      (* Path -> Resource *)
+  r_path_snk : Relation.t;      (* Path -> Resource *)
+  r_sender : Relation.t;        (* Intent -> Component *)
+  r_target : Relation.t;        (* Intent -> Component (explicit/resolved) *)
+  r_iaction : Relation.t;       (* Intent -> Action *)
+  r_icats : Relation.t;         (* Intent -> Category *)
+  r_idtype : Relation.t;        (* Intent -> DataType *)
+  r_idscheme : Relation.t;      (* Intent -> DataScheme *)
+  r_idhost : Relation.t;        (* Intent -> DataHost *)
+  r_iextras : Relation.t;       (* Intent -> Resource *)
+  r_ikind : Relation.t;         (* Intent -> delivery-kind atom *)
+  r_kind_sets : (Component.kind * Relation.t) list; (* constant singletons *)
+  r_res_consts : (Resource.t * Relation.t) list;    (* constant singletons *)
+  r_if_actions : Relation.t;    (* IntentFilter -> Action *)
+  r_if_cats : Relation.t;
+  r_if_types : Relation.t;
+  r_if_schemes : Relation.t;
+  r_if_hosts : Relation.t;
+  r_res_perm : Relation.t;      (* Resource -> Permission *)
+  r_mal_comp : Relation.t;      (* singleton *)
+  r_mal_intent : Relation.t;    (* empty or singleton, per config *)
+  r_mal_filter : Relation.t;    (* empty or singleton, per config *)
+  r_witnesses : (string * Relation.t) list;
+  facts : Ast.formula list;
+}
+
+(* --- helpers over app models ------------------------------------------- *)
+
+let uniq xs = List.sort_uniq compare xs
+
+let intent_of_bundle b =
+  List.map (fun (_, _, i) -> i) (Bundle.all_intents b)
+
+(* Collect all vocabulary strings appearing in the bundle. *)
+let vocabulary bundle =
+  let intents = intent_of_bundle bundle in
+  let comps = List.map snd (Bundle.all_components bundle) in
+  let filters = List.concat_map (fun c -> c.App_model.cm_filters) comps in
+  let actions =
+    List.filter_map (fun i -> i.App_model.im_action) intents
+    @ List.concat_map (fun f -> f.Intent_filter.actions) filters
+  in
+  let categories =
+    List.concat_map (fun i -> i.App_model.im_categories) intents
+    @ List.concat_map (fun f -> f.Intent_filter.categories) filters
+  in
+  let dtypes =
+    List.filter_map (fun i -> i.App_model.im_data_type) intents
+    @ List.concat_map (fun f -> f.Intent_filter.data_types) filters
+  in
+  let dschemes =
+    List.filter_map (fun i -> i.App_model.im_data_scheme) intents
+    @ List.concat_map (fun f -> f.Intent_filter.data_schemes) filters
+  in
+  let dhosts =
+    List.filter_map (fun i -> i.App_model.im_data_host) intents
+    @ List.concat_map (fun f -> f.Intent_filter.data_hosts) filters
+  in
+  let perms =
+    List.concat_map
+      (fun app -> app.App_model.am_declared_permissions)
+      (Bundle.apps bundle)
+    @ List.concat_map (fun c -> c.App_model.cm_required_permissions) comps
+    @ List.filter_map Resource.permission (Resource.sources @ Resource.sinks)
+  in
+  (uniq actions, uniq categories, uniq dtypes, uniq dschemes, uniq dhosts,
+   uniq perms)
+
+(* --- environment construction ------------------------------------------ *)
+
+let build ?(config = { with_mal_intent = true; with_mal_filter = true })
+    ?(witnesses = []) (bundle : Bundle.t) : env =
+  let apps = Bundle.apps bundle in
+  let comps = Bundle.all_components bundle in
+  (* Component atoms: cm_name, disambiguated by package when needed. *)
+  let name_counts = Hashtbl.create 16 in
+  List.iter
+    (fun (_, c) ->
+      let n = c.App_model.cm_name in
+      Hashtbl.replace name_counts n
+        (1 + Option.value ~default:0 (Hashtbl.find_opt name_counts n)))
+    comps;
+  let comp_atom app c =
+    let n = c.App_model.cm_name in
+    if Hashtbl.find name_counts n > 1 then app.App_model.am_package ^ "/" ^ n
+    else n
+  in
+  let comp_atoms =
+    List.map (fun (app, c) -> (comp_atom app c, c)) comps
+  in
+  let comp_atom_of name =
+    match
+      List.find_opt (fun (_, c) -> c.App_model.cm_name = name) comp_atoms
+    with
+    | Some (a, _) -> a
+    | None -> name
+  in
+  let actions, categories, dtypes, dschemes, dhosts, perms =
+    vocabulary bundle
+  in
+  let intents = Bundle.all_intents bundle in
+  let intent_atoms = List.map (fun (_, _, i) -> i.App_model.im_id) intents in
+  let filter_atoms =
+    List.concat_map
+      (fun (app, c) ->
+        List.mapi
+          (fun i _ -> Printf.sprintf "%s#f%d" (comp_atom app c) i)
+          c.App_model.cm_filters)
+      comps
+  in
+  let path_atoms =
+    List.concat_map
+      (fun (app, c) ->
+        List.mapi
+          (fun i _ -> Printf.sprintf "%s#p%d" (comp_atom app c) i)
+          c.App_model.cm_paths)
+      comps
+  in
+  let resource_atoms = List.map atom_resource (uniq (Resource.sources @ Resource.sinks)) in
+  let kind_atoms =
+    List.map kind_atom
+      [ Component.Activity; Component.Service; Component.Receiver;
+        Component.Provider ]
+  in
+  let atoms =
+    List.map (fun a -> atom_app a.App_model.am_package) apps
+    @ [ mal_app_atom; mal_comp_atom ]
+    @ (if config.with_mal_intent then [ mal_intent_atom ] else [])
+    @ (if config.with_mal_filter then [ mal_filter_atom ] else [])
+    @ List.map fst comp_atoms
+    @ intent_atoms @ filter_atoms @ path_atoms
+    @ List.map atom_action actions
+    @ List.map atom_category categories
+    @ List.map atom_dtype dtypes
+    @ List.map atom_dscheme dschemes
+    @ List.map atom_dhost dhosts
+    @ resource_atoms
+    @ List.map atom_perm perms
+    @ kind_atoms
+  in
+  let universe = Universe.of_atoms (uniq atoms) in
+  let bounds = Bounds.create universe in
+  let ts1 names = Bounds.tuples_a bounds 1 (List.map (fun a -> [ a ]) names) in
+  let ts2 pairs = Bounds.tuples_a bounds 2 (List.map (fun (a, b) -> [ a; b ]) pairs) in
+  let mk name arity = Relation.make name arity in
+
+  (* unary signatures *)
+  let r_application = mk "Application" 1 in
+  Bounds.bound_exact bounds r_application
+    (ts1 (mal_app_atom :: List.map (fun a -> atom_app a.App_model.am_package) apps));
+  let r_installed = mk "InstalledApp" 1 in
+  Bounds.bound_exact bounds r_installed
+    (ts1 (List.map (fun a -> atom_app a.App_model.am_package) apps));
+  let r_component = mk "Component" 1 in
+  Bounds.bound_exact bounds r_component
+    (ts1 (mal_comp_atom :: List.map fst comp_atoms));
+  let by_kind k =
+    List.filter_map
+      (fun (a, c) -> if c.App_model.cm_kind = k then Some a else None)
+      comp_atoms
+  in
+  let r_activity = mk "Activity" 1 in
+  (* the malicious component poses as an Activity, per the paper *)
+  Bounds.bound_exact bounds r_activity
+    (ts1 (mal_comp_atom :: by_kind Component.Activity));
+  let r_service = mk "Service" 1 in
+  Bounds.bound_exact bounds r_service (ts1 (by_kind Component.Service));
+  let r_receiver = mk "Receiver" 1 in
+  Bounds.bound_exact bounds r_receiver (ts1 (by_kind Component.Receiver));
+  let r_provider = mk "Provider" 1 in
+  Bounds.bound_exact bounds r_provider (ts1 (by_kind Component.Provider));
+  let r_intent = mk "Intent" 1 in
+  Bounds.bound_exact bounds r_intent
+    (ts1 ((if config.with_mal_intent then [ mal_intent_atom ] else []) @ intent_atoms));
+  let r_filter = mk "IntentFilter" 1 in
+  Bounds.bound_exact bounds r_filter
+    (ts1 ((if config.with_mal_filter then [ mal_filter_atom ] else []) @ filter_atoms));
+  let r_action = mk "Action" 1 in
+  Bounds.bound_exact bounds r_action (ts1 (List.map atom_action actions));
+  let r_category = mk "Category" 1 in
+  Bounds.bound_exact bounds r_category (ts1 (List.map atom_category categories));
+  let r_dtype = mk "DataType" 1 in
+  Bounds.bound_exact bounds r_dtype (ts1 (List.map atom_dtype dtypes));
+  let r_dscheme = mk "DataScheme" 1 in
+  Bounds.bound_exact bounds r_dscheme (ts1 (List.map atom_dscheme dschemes));
+  let r_dhost = mk "DataHost" 1 in
+  Bounds.bound_exact bounds r_dhost (ts1 (List.map atom_dhost dhosts));
+  let r_resource = mk "Resource" 1 in
+  Bounds.bound_exact bounds r_resource (ts1 resource_atoms);
+  let r_permission = mk "Permission" 1 in
+  Bounds.bound_exact bounds r_permission (ts1 (List.map atom_perm perms));
+  let r_path = mk "Path" 1 in
+  Bounds.bound_exact bounds r_path (ts1 path_atoms);
+  let r_exported = mk "exported" 1 in
+  Bounds.bound_exact bounds r_exported
+    (ts1
+       (mal_comp_atom
+       :: List.filter_map
+            (fun (a, c) -> if c.App_model.cm_public then Some a else None)
+            comp_atoms));
+
+  (* intents: exact facts from extraction *)
+  let bundle_intent_info =
+    List.map
+      (fun (app, c, i) -> (i.App_model.im_id, app, comp_atom app c, i))
+      intents
+  in
+  let r_passive = mk "passive" 1 in
+  Bounds.bound_exact bounds r_passive
+    (ts1
+       (List.filter_map
+          (fun (id, _, _, i) -> if i.App_model.im_passive then Some id else None)
+          bundle_intent_info));
+  let r_wants_result = mk "wantsResult" 1 in
+  Bounds.bound_exact bounds r_wants_result
+    (ts1
+       (List.filter_map
+          (fun (id, _, _, i) ->
+            if i.App_model.im_wants_result then Some id else None)
+          bundle_intent_info));
+
+  (* binary relations over known elements *)
+  let r_cmp_app = mk "app" 2 in
+  Bounds.bound_exact bounds r_cmp_app
+    (ts2
+       ((mal_comp_atom, mal_app_atom)
+       :: List.concat_map
+            (fun app ->
+              List.map
+                (fun c -> (comp_atom app c, atom_app app.App_model.am_package))
+                app.App_model.am_components)
+            apps));
+  let r_cmp_filters = mk "intentFilters" 2 in
+  let fixed_cmp_filters =
+    List.concat_map
+      (fun (app, c) ->
+        List.mapi
+          (fun i _ ->
+            (comp_atom app c, Printf.sprintf "%s#f%d" (comp_atom app c) i))
+          c.App_model.cm_filters)
+      comps
+  in
+  if config.with_mal_filter then
+    Bounds.bound_exact bounds r_cmp_filters
+      (ts2 ((mal_comp_atom, mal_filter_atom) :: fixed_cmp_filters))
+  else Bounds.bound_exact bounds r_cmp_filters (ts2 fixed_cmp_filters);
+  let r_cmp_req_perms = mk "permissions" 2 in
+  Bounds.bound_exact bounds r_cmp_req_perms
+    (ts2
+       (List.concat_map
+          (fun (app, c) ->
+            List.map
+              (fun p -> (comp_atom app c, atom_perm p))
+              c.App_model.cm_required_permissions)
+          comps));
+  let r_app_perms = mk "appPermissions" 2 in
+  Bounds.bound_exact bounds r_app_perms
+    (ts2
+       (List.concat_map
+          (fun app ->
+            List.map
+              (fun p -> (atom_app app.App_model.am_package, atom_perm p))
+              app.App_model.am_declared_permissions)
+          apps));
+  let r_cmp_paths = mk "paths" 2 in
+  Bounds.bound_exact bounds r_cmp_paths
+    (ts2
+       (List.concat_map
+          (fun (app, c) ->
+            List.mapi
+              (fun i _ ->
+                (comp_atom app c, Printf.sprintf "%s#p%d" (comp_atom app c) i))
+              c.App_model.cm_paths)
+          comps));
+  let r_path_src = mk "source" 2 in
+  let r_path_snk = mk "sink" 2 in
+  let path_pairs f =
+    List.concat_map
+      (fun (app, c) ->
+        List.mapi
+          (fun i p ->
+            (Printf.sprintf "%s#p%d" (comp_atom app c) i, atom_resource (f p)))
+          c.App_model.cm_paths)
+      comps
+  in
+  Bounds.bound_exact bounds r_path_src
+    (ts2 (path_pairs (fun p -> p.App_model.pm_source)));
+  Bounds.bound_exact bounds r_path_snk
+    (ts2 (path_pairs (fun p -> p.App_model.pm_sink)));
+
+  (* intent fields; the malicious intent's fields are free *)
+  let all_action_atoms = List.map atom_action actions in
+  let all_comp_atoms = List.map fst comp_atoms in
+  let bound_intent_field rel fixed_pairs mal_upper =
+    let fixed = ts2 fixed_pairs in
+    if config.with_mal_intent then
+      let upper =
+        Tuple_set.union fixed
+          (ts2 (List.map (fun x -> (mal_intent_atom, x)) mal_upper))
+      in
+      Bounds.bound bounds rel ~lower:fixed ~upper
+    else Bounds.bound_exact bounds rel fixed
+  in
+  let r_sender = mk "sender" 2 in
+  Bounds.bound_exact bounds r_sender
+    (ts2
+       ((if config.with_mal_intent then [ (mal_intent_atom, mal_comp_atom) ]
+         else [])
+       @ List.map (fun (id, _, catom, _) -> (id, catom)) bundle_intent_info));
+  let r_target = mk "target" 2 in
+  bound_intent_field r_target
+    (List.concat_map
+       (fun (id, _, _, i) ->
+         (match i.App_model.im_target with
+         | Some t -> [ (id, comp_atom_of t) ]
+         | None -> [])
+         @ List.map
+             (fun t -> (id, comp_atom_of t))
+             i.App_model.im_resolved_targets)
+       bundle_intent_info)
+    all_comp_atoms;
+  let r_iaction = mk "action" 2 in
+  (* unresolved actions get a free bound over the whole vocabulary *)
+  let fixed_actions =
+    List.concat_map
+      (fun (id, _, _, i) ->
+        match i.App_model.im_action with
+        | Some a -> [ (id, atom_action a) ]
+        | None -> [])
+      bundle_intent_info
+  in
+  let unresolved_action_pairs =
+    List.concat_map
+      (fun (id, _, _, i) ->
+        if i.App_model.im_action_unresolved then
+          List.map (fun a -> (id, a)) all_action_atoms
+        else [])
+      bundle_intent_info
+  in
+  let iaction_lower = ts2 fixed_actions in
+  let iaction_upper =
+    Tuple_set.union iaction_lower
+      (Tuple_set.union
+         (ts2 unresolved_action_pairs)
+         (if config.with_mal_intent then
+            ts2 (List.map (fun a -> (mal_intent_atom, a)) all_action_atoms)
+          else Tuple_set.empty 2))
+  in
+  Bounds.bound bounds r_iaction ~lower:iaction_lower ~upper:iaction_upper;
+  let r_icats = mk "categories" 2 in
+  bound_intent_field r_icats
+    (List.concat_map
+       (fun (id, _, _, i) ->
+         List.map (fun c -> (id, atom_category c)) i.App_model.im_categories)
+       bundle_intent_info)
+    (List.map atom_category categories);
+  let r_idtype = mk "dataType" 2 in
+  bound_intent_field r_idtype
+    (List.concat_map
+       (fun (id, _, _, i) ->
+         match i.App_model.im_data_type with
+         | Some t -> [ (id, atom_dtype t) ]
+         | None -> [])
+       bundle_intent_info)
+    (List.map atom_dtype dtypes);
+  let r_idscheme = mk "dataScheme" 2 in
+  bound_intent_field r_idscheme
+    (List.concat_map
+       (fun (id, _, _, i) ->
+         match i.App_model.im_data_scheme with
+         | Some s -> [ (id, atom_dscheme s) ]
+         | None -> [])
+       bundle_intent_info)
+    (List.map atom_dscheme dschemes);
+  let r_idhost = mk "dataHost" 2 in
+  bound_intent_field r_idhost
+    (List.concat_map
+       (fun (id, _, _, i) ->
+         match i.App_model.im_data_host with
+         | Some h -> [ (id, atom_dhost h) ]
+         | None -> [])
+       bundle_intent_info)
+    (List.map atom_dhost dhosts);
+  let r_iextras = mk "extra" 2 in
+  bound_intent_field r_iextras
+    (List.concat_map
+       (fun (id, _, _, i) ->
+         List.map (fun r -> (id, atom_resource r)) i.App_model.im_extras)
+       bundle_intent_info)
+    resource_atoms;
+  let r_ikind = mk "deliveryKind" 2 in
+  bound_intent_field r_ikind
+    (List.map
+       (fun (id, _, _, i) ->
+         (id, kind_atom (delivery_kind i.App_model.im_icc)))
+       bundle_intent_info)
+    kind_atoms;
+
+  (* constant kind singletons *)
+  let r_kind_sets =
+    List.map
+      (fun k ->
+        let r = mk ("K" ^ kind_atom k) 1 in
+        Bounds.bound_exact bounds r (ts1 [ kind_atom k ]);
+        (k, r))
+      [ Component.Activity; Component.Service; Component.Receiver;
+        Component.Provider ]
+  in
+
+  (* constant resource singletons *)
+  let r_res_consts =
+    List.map
+      (fun r ->
+        let rl = mk ("KRes_" ^ Resource.to_string r) 1 in
+        Bounds.bound_exact bounds rl (ts1 [ atom_resource r ]);
+        (r, rl))
+      (uniq (Resource.sources @ Resource.sinks))
+  in
+
+  (* filter fields; the malicious filter's fields are free *)
+  let filter_info =
+    List.concat_map
+      (fun (app, c) ->
+        List.mapi
+          (fun i f -> (Printf.sprintf "%s#f%d" (comp_atom app c) i, f))
+          c.App_model.cm_filters)
+      comps
+  in
+  let bound_filter_field rel fixed mal_upper =
+    let fixed = ts2 fixed in
+    if config.with_mal_filter then
+      Bounds.bound bounds rel ~lower:fixed
+        ~upper:
+          (Tuple_set.union fixed
+             (ts2 (List.map (fun x -> (mal_filter_atom, x)) mal_upper)))
+    else Bounds.bound_exact bounds rel fixed
+  in
+  let r_if_actions = mk "ifActions" 2 in
+  bound_filter_field r_if_actions
+    (List.concat_map
+       (fun (fa, f) ->
+         List.map (fun a -> (fa, atom_action a)) f.Intent_filter.actions)
+       filter_info)
+    all_action_atoms;
+  let r_if_cats = mk "ifCategories" 2 in
+  bound_filter_field r_if_cats
+    (List.concat_map
+       (fun (fa, f) ->
+         List.map (fun c -> (fa, atom_category c)) f.Intent_filter.categories)
+       filter_info)
+    (List.map atom_category categories);
+  let r_if_types = mk "ifDataTypes" 2 in
+  bound_filter_field r_if_types
+    (List.concat_map
+       (fun (fa, f) ->
+         List.map (fun t -> (fa, atom_dtype t)) f.Intent_filter.data_types)
+       filter_info)
+    (List.map atom_dtype dtypes);
+  let r_if_schemes = mk "ifDataSchemes" 2 in
+  bound_filter_field r_if_schemes
+    (List.concat_map
+       (fun (fa, f) ->
+         List.map (fun s -> (fa, atom_dscheme s)) f.Intent_filter.data_schemes)
+       filter_info)
+    (List.map atom_dscheme dschemes);
+  let r_if_hosts = mk "ifDataHosts" 2 in
+  bound_filter_field r_if_hosts
+    (List.concat_map
+       (fun (fa, f) ->
+         List.map (fun h -> (fa, atom_dhost h)) f.Intent_filter.data_hosts)
+       filter_info)
+    (List.map atom_dhost dhosts);
+
+  (* static resource -> permission map *)
+  let r_res_perm = mk "resourcePermission" 2 in
+  Bounds.bound_exact bounds r_res_perm
+    (ts2
+       (List.filter_map
+          (fun r ->
+            match Resource.permission r with
+            | Some p when List.mem p perms ->
+                Some (atom_resource r, atom_perm p)
+            | _ -> None)
+          (uniq (Resource.sources @ Resource.sinks))));
+
+  (* the malicious capability *)
+  let r_mal_comp = mk "MalComponent" 1 in
+  Bounds.bound_exact bounds r_mal_comp (ts1 [ mal_comp_atom ]);
+  let r_mal_intent = mk "MalIntent" 1 in
+  Bounds.bound_exact bounds r_mal_intent
+    (ts1 (if config.with_mal_intent then [ mal_intent_atom ] else []));
+  let r_mal_filter = mk "MalFilter" 1 in
+  Bounds.bound_exact bounds r_mal_filter
+    (ts1 (if config.with_mal_filter then [ mal_filter_atom ] else []));
+
+  (* witness relations: free singletons over their domain *)
+  let domain_upper = function
+    | Wcomponent -> ts1 (List.map fst comp_atoms)
+    | Wintent -> ts1 intent_atoms
+    | Wpath -> ts1 path_atoms
+    | Wresource -> ts1 resource_atoms
+    | Wpermission -> ts1 (List.map atom_perm perms)
+  in
+  let r_witnesses =
+    List.map
+      (fun (name, dom) ->
+        let r = mk ("W_" ^ name) 1 in
+        Bounds.bound bounds r ~lower:(Tuple_set.empty 1) ~upper:(domain_upper dom);
+        (name, r))
+      witnesses
+  in
+
+  (* well-formedness facts constraining the free (malicious) relations *)
+  let open Ast.Dsl in
+  let facts = ref [] in
+  let add f = facts := f :: !facts in
+  if config.with_mal_intent then begin
+    let mi = rel r_mal_intent in
+    add (lone (mi |. rel r_iaction));
+    add (lone (mi |. rel r_target));
+    add (lone (mi |. rel r_idtype));
+    add (lone (mi |. rel r_idscheme));
+    add (lone (mi |. rel r_idhost));
+    add (one (mi |. rel r_ikind))
+  end;
+  if config.with_mal_filter then begin
+    let mf = rel r_mal_filter in
+    add (some (mf |. rel r_if_actions))
+  end;
+  List.iter (fun (_, r) -> add (one (Rel r))) r_witnesses;
+
+  {
+    universe;
+    bounds;
+    bundle;
+    comp_atoms;
+    comp_atom_of;
+    r_application;
+    r_component;
+    r_activity;
+    r_service;
+    r_receiver;
+    r_provider;
+    r_intent;
+    r_filter;
+    r_action;
+    r_category;
+    r_dtype;
+    r_dscheme;
+    r_dhost;
+    r_resource;
+    r_permission;
+    r_path;
+    r_installed;
+    r_exported;
+    r_passive;
+    r_wants_result;
+    r_cmp_app;
+    r_cmp_filters;
+    r_cmp_req_perms;
+    r_cmp_paths;
+    r_app_perms;
+    r_path_src;
+    r_path_snk;
+    r_sender;
+    r_target;
+    r_iaction;
+    r_icats;
+    r_idtype;
+    r_idscheme;
+    r_idhost;
+    r_iextras;
+    r_ikind;
+    r_kind_sets;
+    r_res_consts;
+    r_if_actions;
+    r_if_cats;
+    r_if_types;
+    r_if_schemes;
+    r_if_hosts;
+    r_res_perm;
+    r_mal_comp;
+    r_mal_intent;
+    r_mal_filter;
+    r_witnesses;
+    facts = List.rev !facts;
+  }
+
+let witness env name =
+  match List.assoc_opt name env.r_witnesses with
+  | Some r -> Ast.Rel r
+  | None -> invalid_arg ("Encode.witness: undeclared witness " ^ name)
+
+(* --- derived expressions and predicates --------------------------------- *)
+
+open Ast.Dsl
+
+(* Components of the apps installed on the device. *)
+let device_components env =
+  Ast.Join (Ast.Rel env.r_installed, Ast.Transpose (Ast.Rel env.r_cmp_app))
+
+(* Intents sent by device components (everything bound except MalIntent). *)
+let device_intents env = Ast.Diff (Ast.Rel env.r_intent, Ast.Rel env.r_mal_intent)
+
+let kind_set env k = Ast.Rel (List.assoc k env.r_kind_sets)
+
+(* Constant singleton for one resource (e.g. the ICC pseudo-resource). *)
+let resource_const env r =
+  Ast.Rel (List.assoc r env.r_res_consts)
+
+(* The action test of intent resolution. *)
+let action_test env i f =
+  let ia = i |. rel env.r_iaction in
+  let fa = f |. rel env.r_if_actions in
+  (no ia &&: some fa) ||: (some ia &&: (ia <: fa))
+
+let category_test env i f =
+  (i |. rel env.r_icats) <: (f |. rel env.r_if_cats)
+
+let data_test env i f =
+  let it = i |. rel env.r_idtype and isch = i |. rel env.r_idscheme in
+  let ft = f |. rel env.r_if_types and fsch = f |. rel env.r_if_schemes in
+  let ih = i |. rel env.r_idhost and fh = f |. rel env.r_if_hosts in
+  (* authority refinement: a filter constraining hosts requires a
+     matching host in the intent's URI *)
+  let host_ok = no fh ||: (some ih &&: (ih <: fh)) in
+  ((no it &&: no isch &&: no ft &&: no fsch)
+  ||: (no it &&: some isch &&: (isch <: fsch) &&: no ft)
+  ||: (some it &&: no isch &&: (it <: ft) &&: no fsch)
+  ||: (some it &&: some isch &&: (it <: ft) &&: (isch <: fsch)))
+  &&: host_ok
+
+(* Does intent [i] pass some filter of component [c]? *)
+let matches_some_filter env i c =
+  exists ~base:"f"
+    (c |. rel env.r_cmp_filters)
+    (fun f -> action_test env i f &&: category_test env i f &&: data_test env i f)
+
+(* Delivery-class compatibility between an intent and a component kind. *)
+let kind_compatible env i c =
+  let ik = i |. rel env.r_ikind in
+  conj
+    (List.map
+       (fun (k, kr) ->
+         let kind_rel =
+           match k with
+           | Component.Activity -> env.r_activity
+           | Component.Service -> env.r_service
+           | Component.Receiver -> env.r_receiver
+           | Component.Provider -> env.r_provider
+         in
+         (c <: Ast.Rel kind_rel) ==>: (ik <: Ast.Rel kr))
+       env.r_kind_sets)
+
+(* Full resolution: [i] is delivered to [c].  Explicit addressing
+   reaches private components only within the sender's own app. *)
+let resolves env i c =
+  let sender_app_components =
+    i |. rel env.r_sender |. rel env.r_cmp_app |. tilde (rel env.r_cmp_app)
+  in
+  let explicit =
+    c <: (i |. rel env.r_target)
+    &&: (c <: sender_app_components ||: (c <: Ast.Rel env.r_exported))
+  in
+  let implicit =
+    no (i |. rel env.r_target)
+    &&: not_ (i <: Ast.Rel env.r_passive)
+    &&: (c <: Ast.Rel env.r_exported)
+    &&: kind_compatible env i c
+    &&: matches_some_filter env i c
+  in
+  explicit ||: implicit
+
+(* Permission-checked delivery: the receiving component's required
+   permissions must all be granted to the sender's application. *)
+let sender_has_required_perms env i c =
+  (c |. rel env.r_cmp_req_perms)
+  <: (i |. rel env.r_sender |. rel env.r_cmp_app |. rel env.r_app_perms)
+
+let delivered env i c =
+  resolves env i c &&: sender_has_required_perms env i c

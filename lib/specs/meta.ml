@@ -1,0 +1,97 @@
+(* Well-formedness facts of the Android framework meta-model (the paper's
+   Listing 3), stated as relational formulas over an encoded environment.
+
+   The encoding constructs device relations with exact bounds, so these
+   invariants hold by construction — but "by construction" claims rot.
+   {!check} re-verifies every invariant on the concrete instance with
+   the independent ground evaluator, giving the encoder a machine-checked
+   consistency test that tests and CI exercise on every bundle. *)
+
+open Separ_relog
+open Ast.Dsl
+
+(* The meta-model facts, quantified over the encoded relations. *)
+let wellformedness (env : Encode.env) : (string * Ast.formula) list =
+  let cmp = Ast.Rel env.Encode.r_component in
+  [
+    (* each component belongs to exactly one application *)
+    ( "component_has_one_app",
+      all ~base:"c" cmp (fun c -> one (c |. rel env.Encode.r_cmp_app)) );
+    (* each intent filter belongs to exactly one component *)
+    ( "filter_has_one_component",
+      all ~base:"f"
+        (Ast.Rel env.Encode.r_filter)
+        (fun f -> one (f |. tilde (rel env.Encode.r_cmp_filters))) );
+    (* no intent filters on content providers *)
+    ( "no_filters_on_providers",
+      no
+        (Ast.Rel env.Encode.r_provider
+        |. rel env.Encode.r_cmp_filters) );
+    (* every intent has exactly one sender, a component *)
+    ( "intent_has_one_sender",
+      all ~base:"i"
+        (Ast.Rel env.Encode.r_intent)
+        (fun i ->
+          one (i |. rel env.Encode.r_sender)
+          &&: ((i |. rel env.Encode.r_sender) <: cmp)) );
+    (* intents carry at most one action, data type and scheme *)
+    ( "intent_multiplicities",
+      all ~base:"i"
+        (Ast.Rel env.Encode.r_intent)
+        (fun i ->
+          lone (i |. rel env.Encode.r_iaction)
+          &&: lone (i |. rel env.Encode.r_idtype)
+          &&: lone (i |. rel env.Encode.r_idscheme)) );
+    (* every path has exactly one source and one sink, both resources *)
+    ( "path_endpoints",
+      all ~base:"p"
+        (Ast.Rel env.Encode.r_path)
+        (fun p ->
+          one (p |. rel env.Encode.r_path_src)
+          &&: one (p |. rel env.Encode.r_path_snk)
+          &&: ((p |. rel env.Encode.r_path_src) <: Ast.Rel env.Encode.r_resource)
+          &&: ((p |. rel env.Encode.r_path_snk) <: Ast.Rel env.Encode.r_resource)) );
+    (* paths belong to at most one component *)
+    ( "path_ownership",
+      all ~base:"p"
+        (Ast.Rel env.Encode.r_path)
+        (fun p -> lone (p |. tilde (rel env.Encode.r_cmp_paths))) );
+    (* the four component kinds partition... at least: are components *)
+    ( "kinds_are_components",
+      Ast.Rel env.Encode.r_activity
+      +: Ast.Rel env.Encode.r_service
+      +: Ast.Rel env.Encode.r_receiver
+      +: Ast.Rel env.Encode.r_provider
+      <: cmp );
+    (* kinds are pairwise disjoint *)
+    ( "kinds_disjoint",
+      no (Ast.Rel env.Encode.r_activity &: Ast.Rel env.Encode.r_service)
+      &&: no (Ast.Rel env.Encode.r_activity &: Ast.Rel env.Encode.r_receiver)
+      &&: no (Ast.Rel env.Encode.r_activity &: Ast.Rel env.Encode.r_provider)
+      &&: no (Ast.Rel env.Encode.r_service &: Ast.Rel env.Encode.r_receiver)
+      &&: no (Ast.Rel env.Encode.r_service &: Ast.Rel env.Encode.r_provider)
+      &&: no (Ast.Rel env.Encode.r_receiver &: Ast.Rel env.Encode.r_provider) );
+    (* installed apps are applications *)
+    ( "installed_are_apps",
+      Ast.Rel env.Encode.r_installed <: Ast.Rel env.Encode.r_application );
+    (* exported components are components *)
+    ( "exported_are_components", Ast.Rel env.Encode.r_exported <: cmp );
+  ]
+
+(* The exact-bounds instance of the encoding (everything known; free
+   relations at their lower bounds). *)
+let exact_instance (env : Encode.env) : Instance.t =
+  Instance.make env.Encode.universe
+    (List.map
+       (fun rel ->
+         let lower, _ = Bounds.get env.Encode.bounds rel in
+         (rel, lower))
+       (Bounds.relations env.Encode.bounds))
+
+(* Re-verify every invariant on the concrete encoding.  Returns the
+   names of violated invariants ([] = consistent). *)
+let check (env : Encode.env) : string list =
+  let inst = exact_instance env in
+  List.filter_map
+    (fun (name, f) -> if Eval.check inst f then None else Some name)
+    (wellformedness env)

@@ -1,0 +1,15 @@
+(** Well-formedness facts of the Android framework meta-model (the
+    paper's Listing 3), and a machine-checked consistency test of the
+    encoder: every invariant is re-verified on the concrete encoding with
+    the independent ground evaluator. *)
+
+(** Named invariants over an encoded environment. *)
+val wellformedness :
+  Encode.env -> (string * Separ_relog.Ast.formula) list
+
+(** The exact-bounds instance of the encoding (free relations at their
+    lower bounds). *)
+val exact_instance : Encode.env -> Separ_relog.Instance.t
+
+(** Names of violated invariants ([[]] = consistent). *)
+val check : Encode.env -> string list

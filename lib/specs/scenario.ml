@@ -1,0 +1,67 @@
+(* A decoded attack scenario: the output of the synthesis step, in domain
+   vocabulary.  The malicious capability description is what gets
+   concretized into an attack app; the witness bindings identify the
+   victim elements; the policy deriver consumes both. *)
+
+open Separ_android
+
+type mal_intent = {
+  mi_target : string option;        (* explicit target component *)
+  mi_action : string option;
+  mi_categories : string list;
+  mi_data_type : string option;
+  mi_data_scheme : string option;
+  mi_data_host : string option;
+  mi_extras : Resource.t list;      (* payload resources *)
+  mi_delivery : Component.kind;     (* which ICC mechanism class *)
+}
+
+type mal_filter = {
+  mf_actions : string list;
+  mf_categories : string list;
+  mf_data_types : string list;
+  mf_data_schemes : string list;
+  mf_data_hosts : string list;
+}
+
+type t = {
+  sc_kind : string;                         (* signature name *)
+  sc_witnesses : (string * string list) list; (* witness name -> atoms *)
+  sc_mal_intent : mal_intent option;
+  sc_mal_filter : mal_filter option;
+  sc_description : string;
+}
+
+let witness t name =
+  Option.value ~default:[] (List.assoc_opt name t.sc_witnesses)
+
+let witness1 t name =
+  match witness t name with [ x ] -> Some x | _ -> None
+
+let pp_mal_intent ppf mi =
+  Fmt.pf ppf "MalIntent{%s%s cats=[%a] extras=[%a]}"
+    (match mi.mi_action with Some a -> "action=" ^ a | None -> "no-action")
+    (match mi.mi_target with Some t -> " target=" ^ t | None -> "")
+    Fmt.(list ~sep:(any ",") string)
+    mi.mi_categories
+    Fmt.(list ~sep:(any ",") Resource.pp)
+    mi.mi_extras
+
+let pp_mal_filter ppf mf =
+  Fmt.pf ppf "MalFilter{actions=[%a] cats=[%a]}"
+    Fmt.(list ~sep:(any ",") string)
+    mf.mf_actions
+    Fmt.(list ~sep:(any ",") string)
+    mf.mf_categories
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v 2>%s scenario:@,%a%a%a%s@]" t.sc_kind
+    Fmt.(
+      list ~sep:cut (fun ppf (n, atoms) ->
+          pf ppf "%s = %a" n (list ~sep:(any ", ") string) atoms))
+    t.sc_witnesses
+    Fmt.(option (fun ppf mi -> pf ppf "@,%a" pp_mal_intent mi))
+    t.sc_mal_intent
+    Fmt.(option (fun ppf mf -> pf ppf "@,%a" pp_mal_filter mf))
+    t.sc_mal_filter
+    (if t.sc_description = "" then "" else "\n" ^ t.sc_description)

@@ -1,0 +1,43 @@
+(** A decoded attack scenario: the synthesis output in domain vocabulary.
+    The malicious-capability description is what the attack concretizer
+    turns into a runnable app; the witness bindings identify the victim
+    elements; the policy deriver consumes both. *)
+
+open Separ_android
+
+type mal_intent = {
+  mi_target : string option;
+  mi_action : string option;
+  mi_categories : string list;
+  mi_data_type : string option;
+  mi_data_scheme : string option;
+  mi_data_host : string option;
+  mi_extras : Resource.t list;
+  mi_delivery : Component.kind;  (** which ICC mechanism class *)
+}
+
+type mal_filter = {
+  mf_actions : string list;
+  mf_categories : string list;
+  mf_data_types : string list;
+  mf_data_schemes : string list;
+  mf_data_hosts : string list;
+}
+
+type t = {
+  sc_kind : string;  (** signature name *)
+  sc_witnesses : (string * string list) list;
+  sc_mal_intent : mal_intent option;
+  sc_mal_filter : mal_filter option;
+  sc_description : string;
+}
+
+(** Atoms bound to a witness ([[]] if absent). *)
+val witness : t -> string -> string list
+
+(** The single atom of a singleton witness. *)
+val witness1 : t -> string -> string option
+
+val pp_mal_intent : Format.formatter -> mal_intent -> unit
+val pp_mal_filter : Format.formatter -> mal_filter -> unit
+val pp : Format.formatter -> t -> unit

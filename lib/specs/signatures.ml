@@ -1,0 +1,344 @@
+(* Axiomatized inter-app vulnerability signatures — the plugin layer of
+   SEPAR.  Each signature declares its scope configuration (how much
+   malicious machinery the scenario needs), its witness relations, the
+   relational-logic formula characterising an exploit, and a decoder from
+   satisfying instances to domain scenarios.
+
+   The five signatures below cover the paper's catalogue: Intent hijack,
+   Activity launch, Service launch, privilege escalation, and
+   inter-component information leakage.  Users can register additional
+   signatures through {!register}. *)
+
+open Separ_android
+open Separ_relog
+open Ast.Dsl
+
+type t = {
+  name : string;
+  config : Encode.config;
+  witnesses : (string * Encode.witness_domain) list;
+  formula : Encode.env -> Ast.formula;
+  describe : Scenario.t -> string;
+}
+
+(* --- decoding helpers ---------------------------------------------------- *)
+
+let strip prefix s =
+  let n = String.length prefix in
+  if String.length s >= n && String.sub s 0 n = prefix then
+    String.sub s n (String.length s - n)
+  else s
+
+let decode_mal_intent (env : Encode.env) inst =
+  let atoms rel = Instance.image inst rel Encode.mal_intent_atom in
+  match Instance.atoms_of inst env.Encode.r_mal_intent with
+  | [] -> None
+  | _ ->
+      let target = List.nth_opt (atoms env.Encode.r_target) 0 in
+      let action =
+        Option.map (strip "act:") (List.nth_opt (atoms env.Encode.r_iaction) 0)
+      in
+      let delivery =
+        match atoms env.Encode.r_ikind with
+        | [ "icc:service" ] -> Component.Service
+        | [ "icc:receiver" ] -> Component.Receiver
+        | [ "icc:provider" ] -> Component.Provider
+        | _ -> Component.Activity
+      in
+      Some
+        Scenario.{
+          mi_target = target;
+          mi_action = action;
+          mi_categories = List.map (strip "cat:") (atoms env.Encode.r_icats);
+          mi_data_type =
+            Option.map (strip "typ:") (List.nth_opt (atoms env.Encode.r_idtype) 0);
+          mi_data_scheme =
+            Option.map (strip "sch:")
+              (List.nth_opt (atoms env.Encode.r_idscheme) 0);
+          mi_data_host =
+            Option.map (strip "hst:")
+              (List.nth_opt (atoms env.Encode.r_idhost) 0);
+          mi_extras =
+            List.filter_map
+              (fun a -> Resource.of_string (strip "res:" a))
+              (atoms env.Encode.r_iextras);
+          mi_delivery = delivery;
+        }
+
+let decode_mal_filter (env : Encode.env) inst =
+  let atoms rel = Instance.image inst rel Encode.mal_filter_atom in
+  match Instance.atoms_of inst env.Encode.r_mal_filter with
+  | [] -> None
+  | _ ->
+      Some
+        Scenario.{
+          mf_actions = List.map (strip "act:") (atoms env.Encode.r_if_actions);
+          mf_categories = List.map (strip "cat:") (atoms env.Encode.r_if_cats);
+          mf_data_types = List.map (strip "typ:") (atoms env.Encode.r_if_types);
+          mf_data_schemes =
+            List.map (strip "sch:") (atoms env.Encode.r_if_schemes);
+          mf_data_hosts = List.map (strip "hst:") (atoms env.Encode.r_if_hosts);
+        }
+
+let decode (sig_ : t) (env : Encode.env) inst : Scenario.t =
+  let witnesses =
+    List.map
+      (fun (name, rel) -> (name, Instance.atoms_of inst rel))
+      env.Encode.r_witnesses
+  in
+  let s =
+    Scenario.{
+      sc_kind = sig_.name;
+      sc_witnesses = witnesses;
+      sc_mal_intent = decode_mal_intent env inst;
+      sc_mal_filter = decode_mal_filter env inst;
+      sc_description = "";
+    }
+  in
+  { s with Scenario.sc_description = sig_.describe s }
+
+(* --- the signatures ------------------------------------------------------ *)
+
+(* Unauthorized intent receipt: a device component sends an implicit,
+   extra-carrying intent that a filter registered by a not-yet-installed
+   component would intercept. *)
+let intent_hijack : t =
+  {
+    name = "intent_hijack";
+    config = { Encode.with_mal_intent = false; with_mal_filter = true };
+    witnesses = [ ("hijackedIntent", Encode.Wintent) ];
+    formula =
+      (fun env ->
+        let i = Encode.witness env "hijackedIntent" in
+        let mf = Ast.Rel env.Encode.r_mal_filter in
+        i <: Encode.device_intents env
+        &&: no (i |. rel env.Encode.r_target)
+        &&: not_ (i <: Ast.Rel env.Encode.r_passive)
+        &&: some (i |. rel env.Encode.r_iextras)
+        &&: not_ (i <: Ast.Rel env.Encode.r_provider) (* providers excluded *)
+        &&: Encode.action_test env i mf
+        &&: Encode.category_test env i mf
+        &&: Encode.data_test env i mf);
+    describe =
+      (fun s ->
+        match Scenario.witness1 s "hijackedIntent" with
+        | Some i ->
+            Printf.sprintf
+              "A malicious component can register an intent filter that \
+               intercepts implicit intent %s and steal its payload."
+              i
+        | None -> "intent hijack");
+  }
+
+(* Activity/Service launch: a public device component with an
+   ICC-triggered sensitive path can be driven by a crafted intent from a
+   component outside the device. *)
+let launch kind_name kind_rel_of : t =
+  {
+    name = kind_name ^ "_launch";
+    config = { Encode.with_mal_intent = true; with_mal_filter = false };
+    witnesses =
+      [ ("launchedCmp", Encode.Wcomponent); ("triggeredPath", Encode.Wpath) ];
+    formula =
+      (fun env ->
+        let c = Encode.witness env "launchedCmp" in
+        let p = Encode.witness env "triggeredPath" in
+        let mi = Ast.Rel env.Encode.r_mal_intent in
+        c <: Encode.device_components env
+        &&: (c <: Ast.Rel (kind_rel_of env))
+        &&: (c <: Ast.Rel env.Encode.r_exported)
+        &&: (p <: (c |. rel env.Encode.r_cmp_paths))
+        &&: ((p |. rel env.Encode.r_path_src)
+             =: Encode.resource_const env Resource.Icc)
+        &&: some (mi |. rel env.Encode.r_iextras)
+        &&: Encode.delivered env mi c);
+    describe =
+      (fun s ->
+        match Scenario.witness1 s "launchedCmp" with
+        | Some c ->
+            Printf.sprintf
+              "A crafted intent can launch exported component %s, whose \
+               entry point feeds a sensitive operation."
+              c
+        | None -> kind_name ^ " launch");
+  }
+
+let activity_launch = launch "activity" (fun env -> env.Encode.r_activity)
+let service_launch = launch "service" (fun env -> env.Encode.r_service)
+
+(* Privilege escalation: a public device component exercises a dangerous
+   permission on behalf of callers without enforcing that permission. *)
+let privilege_escalation : t =
+  {
+    name = "privilege_escalation";
+    config = { Encode.with_mal_intent = true; with_mal_filter = false };
+    witnesses =
+      [
+        ("victimCmp", Encode.Wcomponent);
+        ("escalatedPath", Encode.Wpath);
+        ("escalatedPerm", Encode.Wpermission);
+      ];
+    formula =
+      (fun env ->
+        let c = Encode.witness env "victimCmp" in
+        let p = Encode.witness env "escalatedPath" in
+        let perm = Encode.witness env "escalatedPerm" in
+        let mi = Ast.Rel env.Encode.r_mal_intent in
+        c <: Encode.device_components env
+        &&: (c <: Ast.Rel env.Encode.r_exported)
+        &&: (p <: (c |. rel env.Encode.r_cmp_paths))
+        &&: ((p |. rel env.Encode.r_path_src)
+             =: Encode.resource_const env Resource.Icc)
+        &&: (perm =: (p |. rel env.Encode.r_path_snk |. rel env.Encode.r_res_perm))
+        &&: (perm <: (c |. rel env.Encode.r_cmp_app |. rel env.Encode.r_app_perms))
+        &&: not_ (perm <: (c |. rel env.Encode.r_cmp_req_perms))
+        &&: Encode.delivered env mi c);
+    describe =
+      (fun s ->
+        match
+          (Scenario.witness1 s "victimCmp", Scenario.witness1 s "escalatedPerm")
+        with
+        | Some c, Some p ->
+            Printf.sprintf
+              "Component %s performs an operation requiring %s for any \
+               caller, without checking the caller's permission."
+              c (strip "perm:" p)
+        | _ -> "privilege escalation");
+  }
+
+(* Inter-component information leakage: a sensitive resource flows out of
+   one device component inside an intent and reaches another device
+   component that writes it to an externally observable sink. *)
+let information_leakage : t =
+  {
+    name = "information_leakage";
+    config = { Encode.with_mal_intent = false; with_mal_filter = false };
+    witnesses =
+      [
+        ("leakIntent", Encode.Wintent);
+        ("receiverCmp", Encode.Wcomponent);
+        ("leakedResource", Encode.Wresource);
+        ("exitPath", Encode.Wpath);
+      ];
+    formula =
+      (fun env ->
+        let i = Encode.witness env "leakIntent" in
+        let c2 = Encode.witness env "receiverCmp" in
+        let s = Encode.witness env "leakedResource" in
+        let p2 = Encode.witness env "exitPath" in
+        i <: Encode.device_intents env
+        &&: (s <: (i |. rel env.Encode.r_iextras))
+        &&: not_ (s =: Encode.resource_const env Resource.Icc)
+        &&: (c2 <: Encode.device_components env)
+        &&: Encode.delivered env i c2
+        &&: (p2 <: (c2 |. rel env.Encode.r_cmp_paths))
+        &&: ((p2 |. rel env.Encode.r_path_src)
+             =: Encode.resource_const env Resource.Icc)
+        &&: disj
+              (List.map
+                 (fun r ->
+                   (p2 |. rel env.Encode.r_path_snk)
+                   =: Encode.resource_const env r)
+                 [ Resource.Log; Resource.Sdcard; Resource.Network;
+                   Resource.Sms; Resource.Display ]));
+    describe =
+      (fun s ->
+        match
+          ( Scenario.witness1 s "leakedResource",
+            Scenario.witness1 s "receiverCmp" )
+        with
+        | Some r, Some c ->
+            Printf.sprintf
+              "Sensitive %s flows through ICC into component %s and leaks \
+               to an externally observable sink."
+              (strip "res:" r) c
+        | _ -> "information leakage");
+  }
+
+(* Two-hop leakage: a sensitive resource enters a *forwarding* component
+   (ICC in, ICC out) and only reaches the observable sink in a third
+   component — the OwnCloud-style "chain of intent message passing" of
+   the paper's RQ2 discussion.  The single-hop signature cannot see this
+   because each component's taint summary is local. *)
+let information_leakage_2hop : t =
+  {
+    name = "information_leakage_2hop";
+    config = { Encode.with_mal_intent = false; with_mal_filter = false };
+    witnesses =
+      [
+        ("leakIntent", Encode.Wintent);      (* c1 -> c2, carries s *)
+        ("forwarderCmp", Encode.Wcomponent); (* c2: ICC -> ICC path *)
+        ("relayIntent", Encode.Wintent);     (* c2 -> c3, carries ICC taint *)
+        ("finalCmp", Encode.Wcomponent);     (* c3: ICC -> sink path *)
+        ("leakedResource", Encode.Wresource);
+      ];
+    formula =
+      (fun env ->
+        let i1 = Encode.witness env "leakIntent" in
+        let c2 = Encode.witness env "forwarderCmp" in
+        let i2 = Encode.witness env "relayIntent" in
+        let c3 = Encode.witness env "finalCmp" in
+        let s = Encode.witness env "leakedResource" in
+        let fwd_path =
+          exists ~base:"p" (c2 |. rel env.Encode.r_cmp_paths) (fun p ->
+              ((p |. rel env.Encode.r_path_src)
+               =: Encode.resource_const env Resource.Icc)
+              &&: ((p |. rel env.Encode.r_path_snk)
+                   =: Encode.resource_const env Resource.Icc))
+        in
+        let exit_path =
+          exists ~base:"p" (c3 |. rel env.Encode.r_cmp_paths) (fun p ->
+              ((p |. rel env.Encode.r_path_src)
+               =: Encode.resource_const env Resource.Icc)
+              &&: disj
+                    (List.map
+                       (fun r ->
+                         (p |. rel env.Encode.r_path_snk)
+                         =: Encode.resource_const env r)
+                       [ Resource.Log; Resource.Sdcard; Resource.Network;
+                         Resource.Sms; Resource.Display ]))
+        in
+        i1 <: Encode.device_intents env
+        &&: (s <: (i1 |. rel env.Encode.r_iextras))
+        &&: not_ (s =: Encode.resource_const env Resource.Icc)
+        &&: (c2 <: Encode.device_components env)
+        &&: Encode.delivered env i1 c2
+        &&: fwd_path
+        &&: (i2 <: Encode.device_intents env)
+        &&: ((i2 |. rel env.Encode.r_sender) =: c2)
+        &&: (Encode.resource_const env Resource.Icc
+             <: (i2 |. rel env.Encode.r_iextras))
+        &&: (c3 <: Encode.device_components env)
+        &&: not_ (c3 =: c2)
+        &&: Encode.delivered env i2 c3
+        &&: exit_path);
+    describe =
+      (fun sc ->
+        match
+          ( Scenario.witness1 sc "leakedResource",
+            Scenario.witness1 sc "forwarderCmp",
+            Scenario.witness1 sc "finalCmp" )
+        with
+        | Some r, Some c2, Some c3 ->
+            Printf.sprintf
+              "Sensitive %s crosses two ICC hops (via %s) before %s leaks \
+               it to an observable sink."
+              (strip "res:" r) c2 c3
+        | _ -> "two-hop information leakage");
+  }
+
+let builtin =
+  [
+    intent_hijack;
+    activity_launch;
+    service_launch;
+    privilege_escalation;
+    information_leakage;
+    information_leakage_2hop;
+  ]
+
+(* Plugin registry: user-provided signatures extend the built-in set. *)
+let registry : t list ref = ref builtin
+let register s = registry := !registry @ [ s ]
+let all () = !registry
+let find name = List.find_opt (fun s -> s.name = name) (all ())

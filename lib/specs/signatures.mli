@@ -1,0 +1,48 @@
+(** Axiomatized inter-app vulnerability signatures — SEPAR's plugin
+    layer.  A signature declares its scope configuration (how much
+    malicious machinery the scenario needs), named witness relations, the
+    relational-logic formula characterising an exploit, and a description
+    renderer.  {!builtin} covers the paper's catalogue; {!register} adds
+    user plugins. *)
+
+type t = {
+  name : string;
+  config : Encode.config;
+  witnesses : (string * Encode.witness_domain) list;
+  formula : Encode.env -> Separ_relog.Ast.formula;
+  describe : Scenario.t -> string;
+}
+
+(** Decode a satisfying instance into a scenario (witness bindings plus
+    the synthesized malicious intent/filter). *)
+val decode : t -> Encode.env -> Separ_relog.Instance.t -> Scenario.t
+
+(** Unauthorized intent receipt of an implicit, extra-carrying intent. *)
+val intent_hijack : t
+
+(** A public activity with an ICC-triggered sensitive path. *)
+val activity_launch : t
+
+(** A public service with an ICC-triggered sensitive path. *)
+val service_launch : t
+
+(** A public component exercising a dangerous permission for unchecked
+    callers. *)
+val privilege_escalation : t
+
+(** A sensitive resource flows out of one device component inside an
+    intent and reaches another that writes it to an observable sink. *)
+val information_leakage : t
+
+(** A sensitive resource crosses two ICC hops — source component,
+    forwarding component, sink component — before leaking (the paper's
+    OwnCloud-style chain). *)
+val information_leakage_2hop : t
+
+val builtin : t list
+
+(** Append a user-provided signature to the registry. *)
+val register : t -> unit
+
+val all : unit -> t list
+val find : string -> t option

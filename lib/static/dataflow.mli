@@ -1,0 +1,18 @@
+(** A generic forward worklist dataflow engine over the instruction-level
+    CFG.  Returns the state *before* each instruction. *)
+
+type 'a lattice = {
+  bot : 'a;
+  join : 'a -> 'a -> 'a;
+  equal : 'a -> 'a -> bool;
+}
+
+(** [forward lat ~entry ~transfer cfg]: [entry] is the state before
+    instruction 0; [transfer i instr s] the state after executing
+    [instr] at index [i] in state [s]. *)
+val forward :
+  'a lattice ->
+  entry:'a ->
+  transfer:(int -> Separ_dalvik.Ir.instr -> 'a -> 'a) ->
+  Cfg.t ->
+  'a array

@@ -1,0 +1,100 @@
+(* One benchmark case: a set of apps with known ground-truth leaks, plus
+   a runtime driver that actually exercises the leak on the simulated
+   device (used by tests to validate the ground truth end-to-end). *)
+
+open Separ_android
+open Separ_dalvik
+module B = Builder
+module Finding = Separ_baselines.Finding
+
+type t = {
+  name : string;
+  group : string; (* "DroidBench" or "ICC-Bench" *)
+  apks : Apk.t list;
+  truth : Finding.t list;
+  run : Separ_runtime.Device.t -> unit; (* drive the scenario *)
+}
+
+(* --- building blocks ----------------------------------------------------- *)
+
+(* A component that reads extra [keys] from its incoming intent and
+   writes them to the log (the canonical DroidBench sink). *)
+let leaker ~name ~kind ~entry ?exported ?(filters = []) ?(keys = [ "secret" ])
+    () =
+  let m =
+    B.meth ~name:entry ~params:1 (fun b ->
+        List.iter
+          (fun key ->
+            let v = B.get_string_extra b 0 ~key in
+            B.write_log b ~payload:v)
+          keys)
+  in
+  ( Component.make ~name ~kind ?exported ~intent_filters:filters (),
+    B.cls ~name [ m ] )
+
+(* A component that reads [resources], stores them as extras and sends
+   one intent configured by [setup].  [via] performs the ICC call. *)
+let sender ~name ~kind ~entry ~resources ~setup ~via () =
+  let m =
+    B.meth ~name:entry ~params:1 (fun b ->
+        let i = B.new_intent b in
+        setup b i;
+        List.iteri
+          (fun idx r ->
+            let v = B.source_call b r in
+            let key = if idx = 0 then "secret" else Printf.sprintf "secret%d" idx in
+            B.put_extra b i ~key ~value:v)
+          resources;
+        via b i)
+  in
+  (Component.make ~name ~kind (), B.cls ~name [ m ])
+
+let app ~pkg ?(perms = []) pieces =
+  Apk.make
+    ~manifest:
+      (Manifest.make ~package:pkg ~uses_permissions:perms
+         ~components:(List.map fst pieces) ())
+    ~classes:(List.map snd pieces)
+
+(* Permissions required to read the given resources. *)
+let perms_for resources =
+  List.sort_uniq compare (List.filter_map Resource.permission resources)
+
+let start device ~pkg ~component ~entry =
+  Separ_runtime.Device.start_component device ~pkg ~component ~entry
+
+(* The standard one-app, source-component-to-leak-component case.
+   [decoy_filters], when given, add a second leak-capable component whose
+   filters do NOT really match the intent (they differ in the data test):
+   tools that skip the data test report a spurious leak into it. *)
+let intra_app_case ~name ~pkg ~resources ~sender_kind ~sender_entry ~setup
+    ~via ~leaker_kind ~leaker_entry ?leaker_exported ?(leaker_filters = [])
+    ?(leak_keys = [ "secret" ]) ?(decoy_filters = []) () =
+  let src_name = name ^ "_Src" and dst_name = name ^ "_Leak" in
+  let s =
+    sender ~name:src_name ~kind:sender_kind ~entry:sender_entry ~resources
+      ~setup ~via ()
+  in
+  let l =
+    leaker ~name:dst_name ~kind:leaker_kind ~entry:leaker_entry
+      ?exported:leaker_exported ~filters:leaker_filters ~keys:leak_keys ()
+  in
+  let decoys =
+    if decoy_filters = [] then []
+    else
+      [
+        leaker ~name:(name ^ "_Decoy") ~kind:leaker_kind ~entry:leaker_entry
+          ~filters:decoy_filters ~keys:leak_keys ();
+      ]
+  in
+  {
+    name;
+    group = "DroidBench";
+    apks = [ app ~pkg ~perms:(perms_for resources) ([ s; l ] @ decoys) ];
+    truth =
+      List.map
+        (fun r -> Finding.{ src = src_name; dst = dst_name; resource = r })
+        resources;
+    run =
+      (fun d -> start d ~pkg ~component:(name ^ "_Src") ~entry:sender_entry);
+  }

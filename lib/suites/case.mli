@@ -1,0 +1,70 @@
+(** One benchmark case: apps with known ground-truth leaks, plus a
+    runtime driver that exercises the leak on the simulated device (the
+    tests validate the truth labels end-to-end). *)
+
+open Separ_android
+open Separ_dalvik
+module Finding = Separ_baselines.Finding
+
+type t = {
+  name : string;
+  group : string;  (** "DroidBench", "ICC-Bench" or "Extended" *)
+  apks : Apk.t list;
+  truth : Finding.t list;
+  run : Separ_runtime.Device.t -> unit;
+}
+
+(** {1 Building blocks for case definitions} *)
+
+(** A component that reads extra [keys] from its incoming intent and logs
+    them (the canonical DroidBench sink). *)
+val leaker :
+  name:string ->
+  kind:Component.kind ->
+  entry:string ->
+  ?exported:bool ->
+  ?filters:Intent_filter.t list ->
+  ?keys:string list ->
+  unit ->
+  Component.t * Ir.cls
+
+(** A component that reads [resources], stores them as extras ("secret",
+    "secret1", ...) and sends one intent configured by [setup] via the
+    ICC call [via]. *)
+val sender :
+  name:string ->
+  kind:Component.kind ->
+  entry:string ->
+  resources:Resource.t list ->
+  setup:(Builder.t -> Ir.reg -> unit) ->
+  via:(Builder.t -> Ir.reg -> unit) ->
+  unit ->
+  Component.t * Ir.cls
+
+val app :
+  pkg:string -> ?perms:Permission.t list -> (Component.t * Ir.cls) list -> Apk.t
+
+val perms_for : Resource.t list -> Permission.t list
+
+val start :
+  Separ_runtime.Device.t -> pkg:string -> component:string -> entry:string -> unit
+
+(** The standard one-app source-to-leak case.  [decoy_filters] add a
+    second leak-capable component whose filters differ only in the data
+    test: tools skipping that test report a spurious leak into it. *)
+val intra_app_case :
+  name:string ->
+  pkg:string ->
+  resources:Resource.t list ->
+  sender_kind:Component.kind ->
+  sender_entry:string ->
+  setup:(Builder.t -> Ir.reg -> unit) ->
+  via:(Builder.t -> Ir.reg -> unit) ->
+  leaker_kind:Component.kind ->
+  leaker_entry:string ->
+  ?leaker_exported:bool ->
+  ?leaker_filters:Intent_filter.t list ->
+  ?leak_keys:string list ->
+  ?decoy_filters:Intent_filter.t list ->
+  unit ->
+  t

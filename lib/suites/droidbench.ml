@@ -1,0 +1,389 @@
+(* Reconstruction of the 23 DroidBench 2.0 ICC/IAC cases of the paper's
+   Table I.  Each case reproduces the *semantics* that made the original
+   APK interesting — which ICC mechanism, implicit vs explicit
+   addressing, data filters, result intents, reachability, providers —
+   so each analysis tool's verdict is forced by its capability profile,
+   not hard-coded. *)
+
+open Separ_android
+open Separ_dalvik
+module B = Builder
+module Finding = Separ_baselines.Finding
+open Case
+
+let cat_default = "android.intent.category.DEFAULT"
+
+(* -- bound services ------------------------------------------------------ *)
+
+let bind_service1 () =
+  intra_app_case ~name:"ICC_bindService1" ~pkg:"db.bs1"
+    ~resources:[ Resource.Imei ] ~sender_kind:Component.Activity
+    ~sender_entry:"onCreate"
+    ~setup:(fun b i -> B.set_action b i "bs1.bind")
+    ~via:B.bind_service ~leaker_kind:Component.Service ~leaker_entry:"onBind"
+    ~leaker_filters:[ Intent_filter.make ~actions:[ "bs1.bind" ] () ]
+    ()
+
+let bind_service2 () =
+  intra_app_case ~name:"ICC_bindService2" ~pkg:"db.bs2"
+    ~resources:[ Resource.Imei ] ~sender_kind:Component.Activity
+    ~sender_entry:"onCreate"
+    ~setup:(fun b i -> B.set_class_name b i "ICC_bindService2_Leak")
+    ~via:B.bind_service ~leaker_kind:Component.Service ~leaker_entry:"onBind"
+    ()
+
+(* The intent is built in a helper method: the link is only visible to an
+   inter-procedural analysis. *)
+let bind_service3 () =
+  let pkg = "db.bs3" in
+  let src_name = "ICC_bindService3_Src" and dst_name = "ICC_bindService3_Leak" in
+  let helper =
+    B.meth ~name:"buildAndBind" ~params:1 (fun b ->
+        let i = B.new_intent b in
+        B.set_action b i "bs3.bind";
+        B.put_extra b i ~key:"secret" ~value:0;
+        B.bind_service b i)
+  in
+  let entry =
+    B.meth ~name:"onCreate" ~params:1 (fun b ->
+        let v = B.source_call b Resource.Imei in
+        B.call b ~cls:src_name ~name:"buildAndBind" [ v ])
+  in
+  let src =
+    (Component.make ~name:src_name ~kind:Component.Activity (),
+     B.cls ~name:src_name [ entry; helper ])
+  in
+  let l =
+    leaker ~name:dst_name ~kind:Component.Service ~entry:"onBind"
+      ~filters:[ Intent_filter.make ~actions:[ "bs3.bind" ] () ]
+      ()
+  in
+  {
+    name = "ICC_bindService3";
+    group = "DroidBench";
+    apks = [ app ~pkg ~perms:(perms_for [ Resource.Imei ]) [ src; l ] ];
+    truth = [ Finding.{ src = src_name; dst = dst_name; resource = Resource.Imei } ];
+    run = (fun d -> start d ~pkg ~component:src_name ~entry:"onCreate");
+  }
+
+(* Two distinct sensitive resources leak through the same binding. *)
+let bind_service4 () =
+  intra_app_case ~name:"ICC_bindService4" ~pkg:"db.bs4"
+    ~resources:[ Resource.Imei; Resource.Location ]
+    ~sender_kind:Component.Activity ~sender_entry:"onCreate"
+    ~setup:(fun b i -> B.set_action b i "bs4.bind")
+    ~via:B.bind_service ~leaker_kind:Component.Service ~leaker_entry:"onBind"
+    ~leaker_filters:[ Intent_filter.make ~actions:[ "bs4.bind" ] () ]
+    ~leak_keys:[ "secret"; "secret1" ] ()
+
+(* -- broadcasts ----------------------------------------------------------- *)
+
+let send_broadcast1 () =
+  intra_app_case ~name:"ICC_sendBroadcast1" ~pkg:"db.sb1"
+    ~resources:[ Resource.Imei ] ~sender_kind:Component.Activity
+    ~sender_entry:"onCreate"
+    ~setup:(fun b i -> B.set_action b i "sb1.event")
+    ~via:B.send_broadcast ~leaker_kind:Component.Receiver
+    ~leaker_entry:"onReceive"
+    ~leaker_filters:[ Intent_filter.make ~actions:[ "sb1.event" ] () ]
+    ()
+
+(* -- activities ----------------------------------------------------------- *)
+
+let start_activity1 () =
+  intra_app_case ~name:"ICC_startActivity1" ~pkg:"db.sa1"
+    ~resources:[ Resource.Imei ] ~sender_kind:Component.Activity
+    ~sender_entry:"onCreate"
+    ~setup:(fun b i ->
+      B.set_action b i "sa1.show";
+      B.add_category b i cat_default)
+    ~via:B.start_activity ~leaker_kind:Component.Activity
+    ~leaker_entry:"onCreate"
+    ~leaker_filters:
+      [ Intent_filter.make ~actions:[ "sa1.show" ] ~categories:[ cat_default ] () ]
+    ()
+
+(* Data-scheme constrained resolution. *)
+let start_activity2 () =
+  intra_app_case ~name:"ICC_startActivity2" ~pkg:"db.sa2"
+    ~resources:[ Resource.Imei ] ~sender_kind:Component.Activity
+    ~sender_entry:"onCreate"
+    ~setup:(fun b i ->
+      B.set_action b i "sa2.view";
+      B.set_data_scheme b i "content")
+    ~via:B.start_activity ~leaker_kind:Component.Activity
+    ~leaker_entry:"onCreate"
+    ~leaker_filters:
+      [ Intent_filter.make ~actions:[ "sa2.view" ] ~data_schemes:[ "content" ] () ]
+    ~decoy_filters:
+      [ Intent_filter.make ~actions:[ "sa2.view" ] ~data_schemes:[ "http" ] () ]
+    ()
+
+(* The action is assigned in one of two branches: multi-value resolution. *)
+let start_activity3 () =
+  let pkg = "db.sa3" in
+  let src_name = "ICC_startActivity3_Src" and dst_name = "ICC_startActivity3_Leak" in
+  let entry =
+    B.meth ~name:"onCreate" ~params:1 (fun b ->
+        let v = B.source_call b Resource.Imei in
+        let i = B.new_intent b in
+        let cond = B.get_string_extra b 0 ~key:"which" in
+        let l_else = B.fresh_label b in
+        let l_end = B.fresh_label b in
+        B.if_eqz b cond l_else;
+        B.set_action b i "sa3.a";
+        B.goto b l_end;
+        B.place_label b l_else;
+        B.set_action b i "sa3.b";
+        B.place_label b l_end;
+        B.put_extra b i ~key:"secret" ~value:v;
+        B.start_activity b i)
+  in
+  let src =
+    (Component.make ~name:src_name ~kind:Component.Activity (),
+     B.cls ~name:src_name [ entry ])
+  in
+  let l =
+    leaker ~name:dst_name ~kind:Component.Activity ~entry:"onCreate"
+      ~filters:[ Intent_filter.make ~actions:[ "sa3.b" ] () ]
+      ()
+  in
+  {
+    name = "ICC_startActivity3";
+    group = "DroidBench";
+    apks = [ app ~pkg ~perms:(perms_for [ Resource.Imei ]) [ src; l ] ];
+    truth = [ Finding.{ src = src_name; dst = dst_name; resource = Resource.Imei } ];
+    run = (fun d -> start d ~pkg ~component:src_name ~entry:"onCreate");
+  }
+
+(* The leaking code sits in a method no entry point ever calls: there is
+   no real leak; tools without reachability pruning report one. *)
+let unreachable_case ~name ~pkg ~action =
+  let src_name = name ^ "_Src" and dst_name = name ^ "_Leak" in
+  let dead =
+    B.meth ~name:"neverCalled" ~params:1 (fun b ->
+        let v = B.source_call b Resource.Imei in
+        let i = B.new_intent b in
+        B.set_action b i action;
+        B.put_extra b i ~key:"secret" ~value:v;
+        B.start_activity b i)
+  in
+  let entry =
+    B.meth ~name:"onCreate" ~params:1 (fun b -> B.nop b)
+  in
+  let src =
+    (Component.make ~name:src_name ~kind:Component.Activity (),
+     B.cls ~name:src_name [ entry; dead ])
+  in
+  let l =
+    leaker ~name:dst_name ~kind:Component.Activity ~entry:"onCreate"
+      ~filters:[ Intent_filter.make ~actions:[ action ] () ]
+      ()
+  in
+  {
+    name;
+    group = "DroidBench";
+    apks = [ app ~pkg ~perms:(perms_for [ Resource.Imei ]) [ src; l ] ];
+    truth = [];
+    run = (fun d -> start d ~pkg ~component:src_name ~entry:"onCreate");
+  }
+
+let start_activity4 () =
+  unreachable_case ~name:"ICC_startActivity4" ~pkg:"db.sa4" ~action:"sa4.show"
+
+let start_activity5 () =
+  unreachable_case ~name:"ICC_startActivity5" ~pkg:"db.sa5" ~action:"sa5.show"
+
+(* -- startActivityForResult: the passive-intent cases --------------------- *)
+
+(* [origin] starts [responder] for a result; the responder reads a source
+   and ships it back via setResult; the origin leaks it in
+   onActivityResult.  Only Algorithm 1 (passive-intent target update)
+   connects the reply to the origin. *)
+let for_result_case ~name ~pkg ~resources ?(via_helper = false) () =
+  let origin = name ^ "_Origin" and responder = name ^ "_Resp" in
+  let action = String.lowercase_ascii name ^ ".request" in
+  let origin_create =
+    B.meth ~name:"onCreate" ~params:1 (fun b ->
+        let i = B.new_intent b in
+        B.set_action b i action;
+        B.start_activity_for_result b i)
+  in
+  let origin_result =
+    B.meth ~name:"onActivityResult" ~params:1 (fun b ->
+        List.iteri
+          (fun idx _ ->
+            let key = if idx = 0 then "secret" else Printf.sprintf "secret%d" idx in
+            let v = B.get_string_extra b 0 ~key in
+            B.write_log b ~payload:v)
+          resources)
+  in
+  let respond b =
+    let i = B.new_intent b in
+    List.iteri
+      (fun idx r ->
+        let v = B.source_call b r in
+        let key = if idx = 0 then "secret" else Printf.sprintf "secret%d" idx in
+        B.put_extra b i ~key ~value:v)
+      resources;
+    B.set_result b i
+  in
+  let responder_methods =
+    if via_helper then
+      [
+        B.meth ~name:"onCreate" ~params:1 (fun b ->
+            B.call b ~cls:responder ~name:"reply" [ 0 ]);
+        B.meth ~name:"reply" ~params:1 respond;
+      ]
+    else [ B.meth ~name:"onCreate" ~params:1 (fun b -> respond b) ]
+  in
+  let pieces =
+    [
+      (Component.make ~name:origin ~kind:Component.Activity (),
+       B.cls ~name:origin [ origin_create; origin_result ]);
+      (Component.make ~name:responder ~kind:Component.Activity
+         ~intent_filters:[ Intent_filter.make ~actions:[ action ] () ]
+         (),
+       B.cls ~name:responder responder_methods);
+    ]
+  in
+  {
+    name;
+    group = "DroidBench";
+    apks = [ app ~pkg ~perms:(perms_for resources) pieces ];
+    truth =
+      List.map
+        (fun r -> Finding.{ src = responder; dst = origin; resource = r })
+        resources;
+    run = (fun d -> start d ~pkg ~component:origin ~entry:"onCreate");
+  }
+
+let for_result1 () =
+  for_result_case ~name:"ICC_startActivityForResult1" ~pkg:"db.afr1"
+    ~resources:[ Resource.Imei ] ()
+
+let for_result2 () =
+  for_result_case ~name:"ICC_startActivityForResult2" ~pkg:"db.afr2"
+    ~resources:[ Resource.Location ] ()
+
+let for_result3 () =
+  for_result_case ~name:"ICC_startActivityForResult3" ~pkg:"db.afr3"
+    ~resources:[ Resource.Imei ] ~via_helper:true ()
+
+let for_result4 () =
+  for_result_case ~name:"ICC_startActivityForResult4" ~pkg:"db.afr4"
+    ~resources:[ Resource.Imei; Resource.Location ] ()
+
+(* -- services -------------------------------------------------------------- *)
+
+let start_service1 () =
+  intra_app_case ~name:"ICC_startService1" ~pkg:"db.ss1"
+    ~resources:[ Resource.Imei ] ~sender_kind:Component.Activity
+    ~sender_entry:"onCreate"
+    ~setup:(fun b i -> B.set_action b i "ss1.go")
+    ~via:B.start_service ~leaker_kind:Component.Service
+    ~leaker_entry:"onStartCommand"
+    ~leaker_filters:[ Intent_filter.make ~actions:[ "ss1.go" ] () ]
+    ()
+
+let start_service2 () =
+  intra_app_case ~name:"ICC_startService2" ~pkg:"db.ss2"
+    ~resources:[ Resource.Imei ] ~sender_kind:Component.Activity
+    ~sender_entry:"onCreate"
+    ~setup:(fun b i -> B.set_class_name b i "ICC_startService2_Leak")
+    ~via:B.start_service ~leaker_kind:Component.Service
+    ~leaker_entry:"onStartCommand" ()
+
+(* -- content providers ------------------------------------------------------ *)
+
+let provider_case ~name ~pkg ~op ~entry =
+  let src_name = name ^ "_Src" and dst_name = name ^ "_Leak" in
+  let s =
+    sender ~name:src_name ~kind:Component.Activity ~entry:"onCreate"
+      ~resources:[ Resource.Contacts ]
+      ~setup:(fun b i -> B.set_class_name b i dst_name)
+      ~via:(fun b i -> B.provider_op b op i)
+      ()
+  in
+  let l =
+    leaker ~name:dst_name ~kind:Component.Provider ~entry ~exported:true ()
+  in
+  {
+    name;
+    group = "DroidBench";
+    apks = [ app ~pkg ~perms:(perms_for [ Resource.Contacts ]) [ s; l ] ];
+    truth =
+      [ Finding.{ src = src_name; dst = dst_name; resource = Resource.Contacts } ];
+    run = (fun d -> start d ~pkg ~component:src_name ~entry:"onCreate");
+  }
+
+let delete1 () =
+  provider_case ~name:"ICC_delete1" ~pkg:"db.del1" ~op:Api.Provider_delete
+    ~entry:"delete"
+
+let insert1 () =
+  provider_case ~name:"ICC_insert1" ~pkg:"db.ins1" ~op:Api.Provider_insert
+    ~entry:"insert"
+
+let query1 () =
+  provider_case ~name:"ICC_query1" ~pkg:"db.qry1" ~op:Api.Provider_query
+    ~entry:"query"
+
+let update1 () =
+  provider_case ~name:"ICC_update1" ~pkg:"db.upd1" ~op:Api.Provider_update
+    ~entry:"update"
+
+(* -- inter-app cases --------------------------------------------------------- *)
+
+let iac_case ~name ~pkg1 ~pkg2 ~via ~leaker_kind ~leaker_entry ~action =
+  let src_name = name ^ "_Src" and dst_name = name ^ "_Leak" in
+  let s =
+    sender ~name:src_name ~kind:Component.Activity ~entry:"onCreate"
+      ~resources:[ Resource.Imei ]
+      ~setup:(fun b i -> B.set_action b i action)
+      ~via ()
+  in
+  let l =
+    leaker ~name:dst_name ~kind:leaker_kind ~entry:leaker_entry
+      ~filters:[ Intent_filter.make ~actions:[ action ] () ]
+      ()
+  in
+  {
+    name;
+    group = "DroidBench";
+    apks =
+      [
+        app ~pkg:pkg1 ~perms:(perms_for [ Resource.Imei ]) [ s ];
+        app ~pkg:pkg2 [ l ];
+      ];
+    truth =
+      [ Finding.{ src = src_name; dst = dst_name; resource = Resource.Imei } ];
+    run = (fun d -> start d ~pkg:pkg1 ~component:src_name ~entry:"onCreate");
+  }
+
+let iac_start_activity1 () =
+  iac_case ~name:"IAC_startActivity1" ~pkg1:"db.iacsa.a" ~pkg2:"db.iacsa.b"
+    ~via:B.start_activity ~leaker_kind:Component.Activity
+    ~leaker_entry:"onCreate" ~action:"iac.sa1.show"
+
+let iac_start_service1 () =
+  iac_case ~name:"IAC_startService1" ~pkg1:"db.iacss.a" ~pkg2:"db.iacss.b"
+    ~via:B.start_service ~leaker_kind:Component.Service
+    ~leaker_entry:"onStartCommand" ~action:"iac.ss1.go"
+
+let iac_send_broadcast1 () =
+  iac_case ~name:"IAC_sendBroadcast1" ~pkg1:"db.iacsb.a" ~pkg2:"db.iacsb.b"
+    ~via:B.send_broadcast ~leaker_kind:Component.Receiver
+    ~leaker_entry:"onReceive" ~action:"iac.sb1.event"
+
+let all () =
+  [
+    bind_service1 (); bind_service2 (); bind_service3 (); bind_service4 ();
+    send_broadcast1 ();
+    start_activity1 (); start_activity2 (); start_activity3 ();
+    start_activity4 (); start_activity5 ();
+    for_result1 (); for_result2 (); for_result3 (); for_result4 ();
+    start_service1 (); start_service2 ();
+    delete1 (); insert1 (); query1 (); update1 ();
+    iac_start_activity1 (); iac_start_service1 (); iac_send_broadcast1 ();
+  ]

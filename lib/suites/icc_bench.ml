@@ -1,0 +1,233 @@
+(* Reconstruction of the 9 ICC-Bench cases of Table I: the spectrum of
+   intent-resolution tests (explicit, action, category, data type, data
+   scheme, mixes) plus the two dynamically-registered-receiver cases that
+   define SEPAR's known false negatives. *)
+
+open Separ_android
+open Separ_dalvik
+module B = Builder
+module Finding = Separ_baselines.Finding
+open Case
+
+let mk ?(decoys = []) ~name ~pkg ~setup ~filters () =
+  let c =
+    intra_app_case ~name ~pkg ~resources:[ Resource.Imei ]
+      ~sender_kind:Component.Activity ~sender_entry:"onCreate" ~setup
+      ~via:B.start_activity ~leaker_kind:Component.Activity
+      ~leaker_entry:"onCreate" ~leaker_filters:filters ~decoy_filters:decoys ()
+  in
+  { c with group = "ICC-Bench" }
+
+let explicit_src_sink () =
+  let c =
+    intra_app_case ~name:"Explicit_Src_Sink" ~pkg:"icb.exp"
+      ~resources:[ Resource.Imei ] ~sender_kind:Component.Activity
+      ~sender_entry:"onCreate"
+      ~setup:(fun b i -> B.set_class_name b i "Explicit_Src_Sink_Leak")
+      ~via:B.start_activity ~leaker_kind:Component.Activity
+      ~leaker_entry:"onCreate" ()
+  in
+  { c with group = "ICC-Bench" }
+
+let implicit_action () =
+  mk ~name:"Implicit_Action" ~pkg:"icb.act"
+    ~setup:(fun b i -> B.set_action b i "icb.action")
+    ~filters:[ Intent_filter.make ~actions:[ "icb.action" ] () ]
+    ()
+
+let implicit_category () =
+  mk ~name:"Implicit_Category" ~pkg:"icb.cat"
+    ~setup:(fun b i ->
+      B.set_action b i "icb.cat.action";
+      B.add_category b i "icb.cat.extra")
+    ~filters:
+      [
+        Intent_filter.make ~actions:[ "icb.cat.action" ]
+          ~categories:[ "icb.cat.extra"; "icb.cat.other" ] ();
+      ]
+    ()
+
+let implicit_data1 () =
+  mk ~name:"Implicit_Data1" ~pkg:"icb.dt1"
+    ~setup:(fun b i ->
+      B.set_action b i "icb.dt1.action";
+      B.set_data_type b i "text/plain")
+    ~filters:
+      [
+        Intent_filter.make ~actions:[ "icb.dt1.action" ]
+          ~data_types:[ "text/plain" ] ();
+      ]
+    ~decoys:
+      [
+        Intent_filter.make ~actions:[ "icb.dt1.action" ]
+          ~data_types:[ "image/jpeg" ] ();
+      ]
+    ()
+
+let implicit_data2 () =
+  mk ~name:"Implicit_Data2" ~pkg:"icb.dt2"
+    ~setup:(fun b i ->
+      B.set_action b i "icb.dt2.action";
+      B.set_data_scheme b i "https")
+    ~filters:
+      [
+        Intent_filter.make ~actions:[ "icb.dt2.action" ]
+          ~data_schemes:[ "https" ] ();
+      ]
+    ()
+
+let implicit_mix1 () =
+  mk ~name:"Implicit_Mix1" ~pkg:"icb.mx1"
+    ~setup:(fun b i ->
+      B.set_action b i "icb.mx1.action";
+      B.add_category b i "icb.mx1.cat";
+      B.set_data_type b i "image/png")
+    ~filters:
+      [
+        Intent_filter.make ~actions:[ "icb.mx1.action" ]
+          ~categories:[ "icb.mx1.cat" ] ~data_types:[ "image/png" ] ();
+      ]
+    ()
+
+let implicit_mix2 () =
+  mk ~name:"Implicit_Mix2" ~pkg:"icb.mx2"
+    ~setup:(fun b i ->
+      B.set_action b i "icb.mx2.action";
+      B.set_data_scheme b i "file")
+    ~filters:
+      [
+        Intent_filter.make ~actions:[ "icb.mx2.other" ] ();
+        Intent_filter.make ~actions:[ "icb.mx2.action" ]
+          ~data_schemes:[ "file"; "content" ] ();
+      ]
+    ~decoys:
+      [ Intent_filter.make ~actions:[ "icb.mx2.action" ] ~data_schemes:[ "ftp" ] () ]
+    ()
+
+(* A receiver registered in code.  The registration is statically
+   resolvable, so tools that model dynamic registration (AmanDroid) find
+   the leak; SEPAR's extractor deliberately does not, and misses it. *)
+let dyn_registered_receiver1 () =
+  let pkg = "icb.dyn1" in
+  let reg = "DynReg1_Registrar"
+  and recv = "DynReg1_Leak"
+  and send = "DynReg1_Src" in
+  let registrar =
+    B.meth ~name:"onCreate" ~params:1 (fun b ->
+        let i = B.new_intent b in
+        B.set_class_name b i recv;
+        B.set_action b i "dyn1.event";
+        B.register_receiver b i)
+  in
+  let pieces =
+    [
+      (Component.make ~name:reg ~kind:Component.Activity (),
+       B.cls ~name:reg [ registrar ]);
+      leaker ~name:recv ~kind:Component.Receiver ~entry:"onReceive"
+        ~exported:false ();
+      sender ~name:send ~kind:Component.Activity ~entry:"onCreate"
+        ~resources:[ Resource.Imei ]
+        ~setup:(fun b i -> B.set_action b i "dyn1.event")
+        ~via:B.send_broadcast ();
+    ]
+  in
+  {
+    name = "DynRegisteredReceiver1";
+    group = "ICC-Bench";
+    apks = [ app ~pkg ~perms:(perms_for [ Resource.Imei ]) pieces ];
+    truth = [ Finding.{ src = send; dst = recv; resource = Resource.Imei } ];
+    run =
+      (fun d ->
+        start d ~pkg ~component:reg ~entry:"onCreate";
+        start d ~pkg ~component:send ~entry:"onCreate");
+  }
+
+(* The registered action comes from the triggering intent: statically
+   unresolvable, so every static tool misses the leak. *)
+let dyn_registered_receiver2 () =
+  let pkg = "icb.dyn2" in
+  let reg = "DynReg2_Registrar"
+  and recv = "DynReg2_Leak"
+  and send = "DynReg2_Src" in
+  let registrar =
+    B.meth ~name:"onCreate" ~params:1 (fun b ->
+        let action = B.get_string_extra b 0 ~key:"which_action" in
+        let i = B.new_intent b in
+        B.set_class_name b i recv;
+        B.invoke b (Api.mref Api.c_intent "setAction") [ i; action ];
+        B.register_receiver b i)
+  in
+  let pieces =
+    [
+      (Component.make ~name:reg ~kind:Component.Activity (),
+       B.cls ~name:reg [ registrar ]);
+      leaker ~name:recv ~kind:Component.Receiver ~entry:"onReceive"
+        ~exported:false ();
+      sender ~name:send ~kind:Component.Activity ~entry:"onCreate"
+        ~resources:[ Resource.Imei ]
+        ~setup:(fun b i -> B.set_action b i "dyn2.event")
+        ~via:B.send_broadcast ();
+    ]
+  in
+  {
+    name = "DynRegisteredReceiver2";
+    group = "ICC-Bench";
+    apks = [ app ~pkg ~perms:(perms_for [ Resource.Imei ]) pieces ];
+    truth = [ Finding.{ src = send; dst = recv; resource = Resource.Imei } ];
+    run =
+      (fun d ->
+        let intent =
+          Intent.make
+            ~extras:
+              [ Intent.{ key = "which_action"; value = "dyn2.event"; taint = [] } ]
+            ()
+        in
+        Separ_runtime.Device.start_component d ~pkg ~component:reg
+          ~entry:"onCreate" ~intent;
+        start d ~pkg ~component:send ~entry:"onCreate");
+  }
+
+let all () =
+  [
+    explicit_src_sink (); implicit_action (); implicit_category ();
+    implicit_data1 (); implicit_data2 (); implicit_mix1 (); implicit_mix2 ();
+    dyn_registered_receiver1 (); dyn_registered_receiver2 ();
+  ]
+
+(* --- extended cases beyond the paper's nine: URI authorities ------------- *)
+
+(* The data URI names an authority and the filter constrains hosts: a
+   real leak that requires the full host test to resolve. *)
+let implicit_authority () =
+  let c =
+    mk ~name:"Implicit_Authority" ~pkg:"icb.auth"
+      ~setup:(fun b i ->
+        B.set_action b i "icb.auth.view";
+        B.set_data_uri b i "content://books.provider")
+      ~filters:
+        [
+          Intent_filter.make ~actions:[ "icb.auth.view" ]
+            ~data_schemes:[ "content" ] ~data_hosts:[ "books.provider" ] ();
+        ]
+      ()
+  in
+  { c with group = "Extended" }
+
+(* The filter's host does not match the intent's authority: no leak; a
+   tool skipping the data test reports one. *)
+let authority_mismatch () =
+  let c =
+    mk ~name:"Authority_Mismatch" ~pkg:"icb.authx"
+      ~setup:(fun b i ->
+        B.set_action b i "icb.authx.view";
+        B.set_data_uri b i "content://books.provider")
+      ~filters:
+        [
+          Intent_filter.make ~actions:[ "icb.authx.view" ]
+            ~data_schemes:[ "content" ] ~data_hosts:[ "other.provider" ] ();
+        ]
+      ()
+  in
+  { c with group = "Extended"; truth = [] }
+
+let extended () = [ implicit_authority (); authority_mismatch () ]

@@ -1,0 +1,84 @@
+(* The Table I experiment: run DidFail, AmanDroid and SEPAR over every
+   DroidBench and ICC-Bench case, score each against ground truth, and
+   render the comparison with per-tool precision / recall / F-measure. *)
+
+module Finding = Separ_baselines.Finding
+
+type tool = {
+  tool_name : string;
+  tool_run : Separ_dalvik.Apk.t list -> Finding.t list;
+}
+
+let tools =
+  [
+    { tool_name = "DidFail"; tool_run = Separ_baselines.Didfail.analyze };
+    { tool_name = "AmanDroid"; tool_run = Separ_baselines.Amandroid.analyze };
+    { tool_name = "SEPAR"; tool_run = Separ_baselines.Separ_tool.analyze };
+  ]
+
+type row = {
+  case : Case.t;
+  cells : (string * Finding.score) list; (* per tool *)
+}
+
+let run_case (c : Case.t) : row =
+  {
+    case = c;
+    cells =
+      List.map
+        (fun tool ->
+          let found = tool.tool_run c.Case.apks in
+          (tool.tool_name, Finding.score ~truth:c.Case.truth ~found))
+        tools;
+  }
+
+let all_cases () =
+  Droidbench.all () @ Icc_bench.all () @ Icc_bench.extended ()
+
+let run () = List.map run_case (all_cases ())
+
+let totals rows =
+  List.map
+    (fun tool ->
+      let s =
+        List.fold_left
+          (fun acc row -> Finding.add acc (List.assoc tool.tool_name row.cells))
+          Finding.zero rows
+      in
+      (tool.tool_name, s))
+    tools
+
+let cell_string (s : Finding.score) =
+  let part n sym = if n = 0 then "" else String.concat "" (List.init n (fun _ -> sym)) in
+  let str = part s.Finding.tp "O" ^ part s.Finding.fp "!" ^ part s.Finding.fn "x" in
+  if str = "" then "-" else str
+
+(* Render the table; O = true positive, ! = false positive, x = false
+   negative, - = nothing to report (matching the paper's symbols). *)
+let render rows =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%-32s %-10s %-10s %-10s\n" "Test Case" "DidFail" "AmanDroid" "SEPAR";
+  let current_group = ref "" in
+  List.iter
+    (fun row ->
+      if row.case.Case.group <> !current_group then begin
+        current_group := row.case.Case.group;
+        add "--- %s ---\n" !current_group
+      end;
+      add "%-32s %-10s %-10s %-10s\n" row.case.Case.name
+        (cell_string (List.assoc "DidFail" row.cells))
+        (cell_string (List.assoc "AmanDroid" row.cells))
+        (cell_string (List.assoc "SEPAR" row.cells)))
+    rows;
+  let t = totals rows in
+  let metric name f =
+    add "%-32s" name;
+    List.iter (fun (_, s) -> add " %-10s" (Printf.sprintf "%.0f%%" (100.0 *. f s))) t;
+    add "\n"
+  in
+  add "%s\n" (String.make 64 '-');
+  metric "Precision" Finding.precision;
+  metric "Recall" Finding.recall;
+  metric "F-measure" Finding.f_measure;
+  Buffer.contents buf

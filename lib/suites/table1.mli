@@ -1,0 +1,27 @@
+(** The Table I experiment: run DidFail, AmanDroid and SEPAR over every
+    DroidBench / ICC-Bench / Extended case, score against ground truth,
+    and render the comparison with precision / recall / F-measure. *)
+
+module Finding = Separ_baselines.Finding
+
+type tool = {
+  tool_name : string;
+  tool_run : Separ_dalvik.Apk.t list -> Finding.t list;
+}
+
+val tools : tool list
+
+type row = {
+  case : Case.t;
+  cells : (string * Finding.score) list;  (** per tool *)
+}
+
+val run_case : Case.t -> row
+val all_cases : unit -> Case.t list
+val run : unit -> row list
+val totals : row list -> (string * Finding.score) list
+val cell_string : Finding.score -> string
+
+(** Render the table; O = true positive, ! = false positive, x = false
+    negative, - = nothing to report. *)
+val render : row list -> string

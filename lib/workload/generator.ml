@@ -1,0 +1,368 @@
+(* Synthetic app-store generator for the RQ2/RQ3/Figure-5 experiments.
+
+   Real market APKs are not available in this environment, so we generate
+   a population of apps whose *architectural statistics* (components per
+   app, intent traffic, filter counts, app sizes) and *vulnerability
+   rates* are calibrated so the pipeline faces workloads of the same
+   shape as the paper's 4,000-app corpus.  Every app is a full IR program
+   that AME must genuinely analyze — vulnerabilities are injected as
+   code patterns, never as labels. *)
+
+open Separ_android
+open Separ_dalvik
+module B = Builder
+
+type vuln_kind = Hijack | Launch | Privesc | Leak
+
+(* A store profile: how many apps, their size range and per-category
+   vulnerability injection rates (calibrated against RQ2's counts). *)
+type profile = {
+  store : string;
+  count : int;
+  size_lo : int;   (* filler instructions *)
+  size_hi : int;
+  rate_hijack : float;
+  rate_launch : float;
+  rate_privesc : float;
+  rate_leak : float;
+}
+
+(* 4,000 apps total: 1,600 Google Play (600 random + 1,000 popular),
+   1,100 F-Droid, 1,200 Malgenome, 100 Bazaar.  Rates are tuned so the
+   expected vulnerable-app counts match RQ2: ~97 hijack, ~124 launch,
+   ~128 leak, ~36 privilege escalation. *)
+let default_profiles =
+  [
+    { store = "play"; count = 1600; size_lo = 120; size_hi = 2400;
+      rate_hijack = 0.0153; rate_launch = 0.0160; rate_privesc = 0.0071;
+      rate_leak = 0.0274 };
+    { store = "fdroid"; count = 1100; size_lo = 60; size_hi = 1200;
+      rate_hijack = 0.0180; rate_launch = 0.0179; rate_privesc = 0.0081;
+      rate_leak = 0.0320 };
+    { store = "malgenome"; count = 1200; size_lo = 80; size_hi = 1600;
+      rate_hijack = 0.0299; rate_launch = 0.0292; rate_privesc = 0.0133;
+      rate_leak = 0.0526 };
+    { store = "bazaar"; count = 100; size_lo = 100; size_hi = 2000;
+      rate_hijack = 0.0264; rate_launch = 0.0265; rate_privesc = 0.0099;
+      rate_leak = 0.0470 };
+  ]
+
+let sensitive_sources =
+  [ Resource.Location; Resource.Imei; Resource.Contacts; Resource.Sms_inbox;
+    Resource.Accounts; Resource.Call_log; Resource.Browser_history;
+    Resource.Calendar ]
+
+(* Filler: benign straight-line work (string constants, moves, field
+   traffic, logging of untainted data) that inflates app size and keeps
+   the analyses honest. *)
+let emit_filler rng b n =
+  for k = 1 to n / 4 do
+    let r = B.const_str b (Printf.sprintf "cfg_%d" k) in
+    let r2 = B.move_to_fresh b r in
+    if Rng.bool rng 0.3 then B.sput b ~field:(Printf.sprintf "F%d" (k mod 7)) ~src:r2
+    else ignore (B.sget b ~field:(Printf.sprintf "F%d" (k mod 7)))
+  done
+
+(* --- component templates -------------------------------------------------- *)
+
+(* Benign UI component: local work only, plus a dead legacy method that
+   no entry point calls (real apps carry unused code; only analyses with
+   reachability pruning ignore it). *)
+let benign_activity rng ~name ~filler =
+  let m =
+    B.meth ~name:"onCreate" ~params:1 (fun b ->
+        emit_filler rng b filler;
+        let v = B.const_str b "ready" in
+        B.invoke b (Api.mref Api.c_notification "notify") [ v ])
+  in
+  let dead =
+    B.meth ~name:"legacySync" ~params:1 (fun b ->
+        let v = B.get_device_id b in
+        let i = B.new_intent b in
+        B.set_action b i (name ^ ".legacy");
+        B.put_extra b i ~key:"dev" ~value:v;
+        B.send_broadcast b i)
+  in
+  (Component.make ~name ~kind:Component.Activity (), B.cls ~name [ m; dead ])
+
+(* Benign public UI entry point: exported activity with a filter. *)
+let benign_public_activity rng ~name ~action ~filler =
+  let m =
+    B.meth ~name:"onCreate" ~params:1 (fun b ->
+        emit_filler rng b filler;
+        let v = B.const_str b "ready" in
+        B.invoke b (Api.mref Api.c_notification "notify") [ v ])
+  in
+  ( Component.make ~name ~kind:Component.Activity
+      ~intent_filters:
+        [
+          Intent_filter.make ~actions:[ action ]
+            ~categories:[ "android.intent.category.DEFAULT" ] ();
+        ]
+      (),
+    B.cls ~name [ m ] )
+
+(* Benign intra-app messaging: explicit intents to a sibling worker. *)
+let benign_pair rng ~name ~filler =
+  let worker = name ^ "Worker" in
+  let m =
+    B.meth ~name:"onCreate" ~params:1 (fun b ->
+        emit_filler rng b filler;
+        let i = B.new_intent b in
+        B.set_class_name b i worker;
+        let v = B.const_str b "job" in
+        B.put_extra b i ~key:"task" ~value:v;
+        B.start_service b i;
+        let i2 = B.new_intent b in
+        B.set_class_name b i2 worker;
+        let v2 = B.const_str b "cleanup" in
+        B.put_extra b i2 ~key:"task" ~value:v2;
+        B.start_service b i2;
+        let i3 = B.new_intent b in
+        B.set_class_name b i3 worker;
+        let v3 = B.const_str b "flush" in
+        B.put_extra b i3 ~key:"task" ~value:v3;
+        B.start_service b i3)
+  in
+  let wm =
+    B.meth ~name:"onStartCommand" ~params:1 (fun b ->
+        let v = B.get_string_extra b 0 ~key:"task" in
+        B.invoke b (Api.mref Api.c_notification "notify") [ v ])
+  in
+  [
+    (Component.make ~name ~kind:Component.Activity (), B.cls ~name [ m ]);
+    (Component.make ~name:worker ~kind:Component.Service (),
+     B.cls ~name:worker [ wm ]);
+  ]
+
+(* Benign implicit intra-app messaging: the common pattern the paper's
+   motivating example warns about, here with a harmless payload. *)
+let benign_implicit_pair rng ~name ~action ~filler =
+  let worker = name ^ "Handler" in
+  let m =
+    B.meth ~name:"onCreate" ~params:1 (fun b ->
+        emit_filler rng b filler;
+        let i = B.new_intent b in
+        B.set_action b i action;
+        let v = B.const_str b "refresh" in
+        B.put_extra b i ~key:"op" ~value:v;
+        B.start_service b i;
+        let i2 = B.new_intent b in
+        B.set_action b i2 action;
+        let v2 = B.const_str b "sync" in
+        B.put_extra b i2 ~key:"op" ~value:v2;
+        B.start_service b i2)
+  in
+  let wm =
+    (* branch on the received op but surface only constants: no data flow
+       from the ICC input to any sink *)
+    B.meth ~name:"onStartCommand" ~params:1 (fun b ->
+        let v = B.get_string_extra b 0 ~key:"op" in
+        let other = B.fresh_label b in
+        let fin = B.fresh_label b in
+        B.if_eqz b v other;
+        let a = B.const_str b "did-refresh" in
+        B.invoke b (Api.mref Api.c_notification "notify") [ a ];
+        B.goto b fin;
+        B.place_label b other;
+        let c = B.const_str b "did-sync" in
+        B.invoke b (Api.mref Api.c_notification "notify") [ c ];
+        B.place_label b fin)
+  in
+  [
+    (Component.make ~name ~kind:Component.Activity (), B.cls ~name [ m ]);
+    (Component.make ~name:worker ~kind:Component.Service
+       ~intent_filters:[ Intent_filter.make ~actions:[ action ] () ]
+       (),
+     B.cls ~name:worker [ wm ]);
+  ]
+
+(* Hijack-vulnerable: broadcasts a sensitive value with an implicit
+   intent (the paper's LocationFinder anti-pattern). *)
+let hijackable rng ~name ~action ~resource ~filler =
+  let m =
+    B.meth ~name:"onCreate" ~params:1 (fun b ->
+        emit_filler rng b filler;
+        let v = B.source_call b resource in
+        let i = B.new_intent b in
+        B.set_action b i action;
+        B.put_extra b i ~key:"payload" ~value:v;
+        B.start_service b i)
+  in
+  (Component.make ~name ~kind:Component.Activity (), B.cls ~name [ m ])
+
+(* Launch-vulnerable: a public service whose entry point feeds incoming
+   data into a no-permission sink (unauthorized task execution).  The
+   log sink keeps this pattern disjoint from privilege escalation. *)
+let launchable rng ~name ~action ~filler =
+  let m =
+    B.meth ~name:"onStartCommand" ~params:1 (fun b ->
+        emit_filler rng b filler;
+        let v = B.get_string_extra b 0 ~key:"cmd" in
+        B.write_log b ~payload:v)
+  in
+  ( Component.make ~name ~kind:Component.Service
+      ~intent_filters:[ Intent_filter.make ~actions:[ action ] () ]
+      (),
+    B.cls ~name [ m ] )
+
+(* Privilege-escalation-vulnerable: public service exercising SEND_SMS on
+   behalf of unchecked callers (the paper's MessageSender / Ermete SMS).
+   The [guarded] variant adds the permission check and is not
+   vulnerable. *)
+let sms_service rng ~name ~action ~guarded ~filler =
+  let m =
+    B.meth ~name:"onStartCommand" ~params:1 (fun b ->
+        emit_filler rng b filler;
+        let num = B.get_string_extra b 0 ~key:"PHONE_NUM" in
+        let msg = B.get_string_extra b 0 ~key:"TEXT_MSG" in
+        if guarded then begin
+          let res = B.check_calling_permission b Permission.send_sms in
+          let deny = B.fresh_label b in
+          B.if_eqz b res deny;
+          B.send_text_message b ~number:num ~body:msg;
+          B.place_label b deny
+        end
+        else B.send_text_message b ~number:num ~body:msg)
+  in
+  ( Component.make ~name ~kind:Component.Service
+      ~intent_filters:[ Intent_filter.make ~actions:[ action ] () ]
+      (),
+    B.cls ~name [ m ] )
+
+(* Leak-vulnerable: an intra-app pair — a reader that forwards a
+   sensitive value by explicit intent to a private logger component that
+   writes it out (the DroidBench pattern, and RQ2's OwnCloud shape).
+   Explicit addressing and a private receiver keep this pattern disjoint
+   from hijack and launch. *)
+let leak_pair rng ~name ~resource ~filler =
+  let logger = name ^ "Logger" in
+  let m =
+    B.meth ~name:"onCreate" ~params:1 (fun b ->
+        emit_filler rng b filler;
+        let v = B.source_call b resource in
+        let i = B.new_intent b in
+        B.set_class_name b i logger;
+        B.put_extra b i ~key:"data" ~value:v;
+        B.start_service b i)
+  in
+  let lm =
+    B.meth ~name:"onStartCommand" ~params:1 (fun b ->
+        let v = B.get_string_extra b 0 ~key:"data" in
+        B.write_log b ~payload:v)
+  in
+  [
+    (Component.make ~name ~kind:Component.Activity (), B.cls ~name [ m ]);
+    (Component.make ~name:logger ~kind:Component.Service (),
+     B.cls ~name:logger [ lm ]);
+  ]
+
+(* --- app assembly ---------------------------------------------------------- *)
+
+type generated = {
+  apk : Apk.t;
+  store : string;
+  injected : vuln_kind list; (* ground truth of what was injected *)
+}
+
+let generate_app rng (profile : profile) idx : generated =
+  let pkg = Printf.sprintf "%s.app%04d" profile.store idx in
+  let prefix = Printf.sprintf "%s_A%04d" (String.capitalize_ascii profile.store) idx in
+  let injected = ref [] in
+  let pieces = ref [] in
+  let perms = ref [] in
+  let filler () = Rng.skewed rng ~lo:(profile.size_lo / 4) ~hi:(profile.size_hi / 4) in
+  let uid = ref 0 in
+  let fresh_action tag =
+    incr uid;
+    Printf.sprintf "%s.%s.%s%d" profile.store tag prefix !uid
+  in
+  let n_units = 2 + Rng.int rng 5 in
+  for k = 1 to n_units do
+    let name = Printf.sprintf "%s_B%d" prefix k in
+    let dice = Rng.float rng in
+    if dice < 0.25 then
+      pieces :=
+        benign_public_activity rng ~name ~action:(fresh_action "main")
+          ~filler:(filler ())
+        :: !pieces
+    else if dice < 0.40 then
+      pieces := benign_activity rng ~name ~filler:(filler ()) :: !pieces
+    else if dice < 0.70 then
+      pieces := benign_pair rng ~name ~filler:(filler ()) @ !pieces
+    else
+      pieces :=
+        benign_implicit_pair rng ~name ~action:(fresh_action "msg")
+          ~filler:(filler ())
+        @ !pieces
+  done;
+  if Rng.bool rng profile.rate_hijack then begin
+    injected := Hijack :: !injected;
+    let r = Rng.choose rng sensitive_sources in
+    perms := Option.to_list (Resource.permission r) @ !perms;
+    pieces :=
+      hijackable rng ~name:(prefix ^ "_Hij") ~action:(fresh_action "hij")
+        ~resource:r ~filler:(filler ())
+      :: !pieces
+  end;
+  if Rng.bool rng profile.rate_launch then begin
+    injected := Launch :: !injected;
+    perms := Permission.write_external_storage :: !perms;
+    pieces :=
+      launchable rng ~name:(prefix ^ "_Exec") ~action:(fresh_action "exec")
+        ~filler:(filler ())
+      :: !pieces
+  end;
+  if Rng.bool rng profile.rate_privesc then begin
+    injected := Privesc :: !injected;
+    perms := Permission.send_sms :: !perms;
+    pieces :=
+      sms_service rng ~name:(prefix ^ "_Sms") ~action:(fresh_action "sms")
+        ~guarded:false ~filler:(filler ())
+      :: !pieces
+  end
+  else if Rng.bool rng 0.02 then begin
+    (* a *guarded* SMS service: superficially similar, not vulnerable *)
+    perms := Permission.send_sms :: !perms;
+    pieces :=
+      sms_service rng ~name:(prefix ^ "_Sms") ~action:(fresh_action "sms")
+        ~guarded:true ~filler:(filler ())
+      :: !pieces
+  end;
+  if Rng.bool rng profile.rate_leak then begin
+    injected := Leak :: !injected;
+    let r = Rng.choose rng sensitive_sources in
+    perms := Option.to_list (Resource.permission r) @ !perms;
+    pieces :=
+      leak_pair rng ~name:(prefix ^ "_Rd") ~resource:r ~filler:(filler ())
+      @ !pieces
+  end;
+  let manifest =
+    Manifest.make ~package:pkg
+      ~uses_permissions:(List.sort_uniq compare !perms)
+      ~components:(List.map fst !pieces)
+      ()
+  in
+  {
+    apk = Apk.make ~manifest ~classes:(List.map snd !pieces);
+    store = profile.store;
+    injected = !injected;
+  }
+
+(* Generate a full corpus; deterministic in [seed]. *)
+let generate ?(seed = 2016) ?(profiles = default_profiles) () : generated list =
+  let rng = Rng.create seed in
+  List.concat_map
+    (fun profile ->
+      List.init profile.count (fun i -> generate_app rng profile i))
+    profiles
+
+(* Partition into bundles of [size] apps, as in the paper's 80x50 setup. *)
+let bundles ?(size = 50) (apps : generated list) : generated list list =
+  let rec go acc current n = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | x :: rest ->
+        if n + 1 = size then go (List.rev (x :: current) :: acc) [] 0 rest
+        else go acc (x :: current) (n + 1) rest
+  in
+  go [] [] 0 apps

@@ -1,0 +1,37 @@
+(** Synthetic app-store generator for the RQ2 / RQ3 / Figure 5
+    experiments.  Deterministic in the seed; every app is a full IR
+    program the extractor must genuinely analyze — vulnerabilities are
+    injected as code patterns, never as labels. *)
+
+open Separ_dalvik
+
+type vuln_kind = Hijack | Launch | Privesc | Leak
+
+(** A store profile: population size, app-size range and per-category
+    injection rates (calibrated against the paper's RQ2 counts). *)
+type profile = {
+  store : string;
+  count : int;
+  size_lo : int;
+  size_hi : int;
+  rate_hijack : float;
+  rate_launch : float;
+  rate_privesc : float;
+  rate_leak : float;
+}
+
+(** Google Play (1,600), F-Droid (1,100), Malgenome (1,200), Bazaar
+    (100): the paper's 4,000-app corpus. *)
+val default_profiles : profile list
+
+type generated = {
+  apk : Apk.t;
+  store : string;
+  injected : vuln_kind list;  (** ground truth of what was injected *)
+}
+
+(** Generate a corpus; deterministic in [seed] (default 2016). *)
+val generate : ?seed:int -> ?profiles:profile list -> unit -> generated list
+
+(** Partition into bundles of [size] apps (default use: 80 x 50). *)
+val bundles : ?size:int -> generated list -> generated list list

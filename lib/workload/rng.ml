@@ -1,0 +1,34 @@
+(* Deterministic splitmix64 PRNG: the workload generator must produce the
+   same 4,000 apps on every run so experiments are reproducible. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))
+
+let float t =
+  float_of_int (int t 1_000_000) /. 1_000_000.0
+
+let bool t p = float t < p
+
+let choose t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.choose: empty"
+  | _ -> List.nth xs (int t (List.length xs))
+
+(* Sample approximately log-normally in [lo, hi] (skewed towards lo). *)
+let skewed t ~lo ~hi =
+  let u = float t in
+  let u = u *. u in
+  lo + int_of_float (u *. float_of_int (hi - lo))

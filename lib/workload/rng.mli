@@ -1,0 +1,21 @@
+(** Deterministic splitmix64 PRNG: the workload generator must produce
+    the same corpus on every run. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+
+(** Uniform in [0, bound). *)
+val int : t -> int -> int
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+(** True with probability [p]. *)
+val bool : t -> float -> bool
+
+val choose : t -> 'a list -> 'a
+
+(** Quadratically skewed towards [lo]. *)
+val skewed : t -> lo:int -> hi:int -> int

@@ -1,0 +1,252 @@
+(* Tests for the Android domain substrate: intent resolution tests,
+   permissions, resources, API classification. *)
+
+open Separ_android
+
+let check = Alcotest.(check bool)
+
+let filter = Intent_filter.make
+let intent = Intent.make
+
+let matches i f = Intent_filter.matches ~intent:i f
+
+(* --- action test ----------------------------------------------------------- *)
+
+let test_action_match () =
+  check "listed action matches" true
+    (matches (intent ~action:"a.b" ()) (filter ~actions:[ "a.b"; "c" ] ()));
+  check "unlisted action fails" false
+    (matches (intent ~action:"x" ()) (filter ~actions:[ "a.b" ] ()));
+  check "no action passes if filter has actions" true
+    (matches (intent ()) (filter ~actions:[ "a.b" ] ()));
+  check "no action fails against empty filter" false
+    (matches (intent ()) (filter ()))
+
+(* --- category test ----------------------------------------------------------- *)
+
+let test_category_match () =
+  let f = filter ~actions:[ "a" ] ~categories:[ "c1"; "c2" ] () in
+  check "subset of filter categories passes" true
+    (matches (intent ~action:"a" ~categories:[ "c1" ] ()) f);
+  check "all categories pass" true
+    (matches (intent ~action:"a" ~categories:[ "c1"; "c2" ] ()) f);
+  check "extra category fails" false
+    (matches (intent ~action:"a" ~categories:[ "c3" ] ()) f);
+  check "no categories pass" true (matches (intent ~action:"a" ()) f)
+
+(* --- data test: the four framework cases ----------------------------------- *)
+
+let test_data_case_neither () =
+  check "no data vs no data filter" true
+    (matches (intent ~action:"a" ()) (filter ~actions:[ "a" ] ()));
+  check "no data vs typed filter fails" false
+    (matches (intent ~action:"a" ())
+       (filter ~actions:[ "a" ] ~data_types:[ "t" ] ()));
+  check "no data vs scheme filter fails" false
+    (matches (intent ~action:"a" ())
+       (filter ~actions:[ "a" ] ~data_schemes:[ "s" ] ()))
+
+let test_data_case_scheme_only () =
+  let i = intent ~action:"a" ~data_scheme:"content" () in
+  check "scheme listed passes" true
+    (matches i (filter ~actions:[ "a" ] ~data_schemes:[ "content" ] ()));
+  check "scheme unlisted fails" false
+    (matches i (filter ~actions:[ "a" ] ~data_schemes:[ "http" ] ()));
+  check "filter with types too fails" false
+    (matches i
+       (filter ~actions:[ "a" ] ~data_schemes:[ "content" ]
+          ~data_types:[ "t" ] ()))
+
+let test_data_case_type_only () =
+  let i = intent ~action:"a" ~data_type:"text/plain" () in
+  check "type listed passes" true
+    (matches i (filter ~actions:[ "a" ] ~data_types:[ "text/plain" ] ()));
+  check "type unlisted fails" false
+    (matches i (filter ~actions:[ "a" ] ~data_types:[ "image/png" ] ()))
+
+let test_data_host () =
+  let i scheme host =
+    intent ~action:"a" ~data_scheme:scheme ?data_host:host ()
+  in
+  let f hosts =
+    filter ~actions:[ "a" ] ~data_schemes:[ "content" ] ~data_hosts:hosts ()
+  in
+  check "host listed passes" true
+    (matches (i "content" (Some "books.prov")) (f [ "books.prov" ]));
+  check "host unlisted fails" false
+    (matches (i "content" (Some "evil.prov")) (f [ "books.prov" ]));
+  check "filter without hosts accepts any" true
+    (matches (i "content" (Some "whatever")) (f []));
+  check "filter with hosts rejects hostless intents" false
+    (matches (i "content" None) (f [ "books.prov" ]))
+
+let test_split_uri () =
+  Alcotest.(check (pair string (option string)))
+    "scheme and host" ("content", Some "books.prov")
+    (Intent.split_uri "content://books.prov");
+  Alcotest.(check (pair string (option string)))
+    "path stripped" ("https", Some "example.com")
+    (Intent.split_uri "https://example.com/a/b");
+  Alcotest.(check (pair string (option string)))
+    "bare scheme" ("content", None)
+    (Intent.split_uri "content");
+  Alcotest.(check (pair string (option string)))
+    "empty host" ("file", None)
+    (Intent.split_uri "file://")
+
+let test_data_case_both () =
+  let i = intent ~action:"a" ~data_type:"t" ~data_scheme:"s" () in
+  check "both listed passes" true
+    (matches i
+       (filter ~actions:[ "a" ] ~data_types:[ "t" ] ~data_schemes:[ "s" ] ()));
+  check "scheme missing fails" false
+    (matches i (filter ~actions:[ "a" ] ~data_types:[ "t" ] ()))
+
+(* --- components --------------------------------------------------------------- *)
+
+let test_component_public () =
+  let c = Component.make ~name:"C" ~kind:Component.Service () in
+  check "no filter, no attribute: private" false (Component.is_public c);
+  let c =
+    Component.make ~name:"C" ~kind:Component.Service
+      ~intent_filters:[ filter ~actions:[ "a" ] () ]
+      ()
+  in
+  check "filter implies public" true (Component.is_public c);
+  let c =
+    Component.make ~name:"C" ~kind:Component.Service ~exported:false
+      ~intent_filters:[ filter ~actions:[ "a" ] () ]
+      ()
+  in
+  check "explicit exported=false wins" false (Component.is_public c)
+
+let test_provider_no_filters () =
+  Alcotest.check_raises "providers cannot declare filters"
+    (Invalid_argument "Component.make: content providers cannot declare filters")
+    (fun () ->
+      ignore
+        (Component.make ~name:"P" ~kind:Component.Provider
+           ~intent_filters:[ filter ~actions:[ "a" ] () ]
+           ()))
+
+let test_manifest () =
+  let m =
+    Manifest.make ~package:"p"
+      ~uses_permissions:[ Permission.send_sms ]
+      ~components:[ Component.make ~name:"A" ~kind:Component.Activity () ]
+      ()
+  in
+  check "has perm" true (Manifest.has_permission m Permission.send_sms);
+  check "lacks perm" false (Manifest.has_permission m Permission.internet);
+  check "find component" true (Manifest.component m "A" <> None);
+  Alcotest.check_raises "duplicate components rejected"
+    (Invalid_argument "Manifest.make: duplicate component in p") (fun () ->
+      ignore
+        (Manifest.make ~package:"p"
+           ~components:
+             [
+               Component.make ~name:"A" ~kind:Component.Activity ();
+               Component.make ~name:"A" ~kind:Component.Service ();
+             ]
+           ()))
+
+(* --- permissions and resources ------------------------------------------------ *)
+
+let test_permission_protection () =
+  check "SEND_SMS dangerous" true
+    (Permission.protection Permission.send_sms = Permission.Dangerous);
+  check "INTERNET normal" true
+    (Permission.protection Permission.internet = Permission.Normal);
+  check "unknown is signature" true
+    (Permission.protection "com.custom.PERM" = Permission.Signature)
+
+let test_resources () =
+  check "13 non-ICC sources" true
+    (List.length (List.filter (fun r -> r <> Resource.Icc) Resource.sources)
+    = 13);
+  check "5 non-ICC sinks" true
+    (List.length (List.filter (fun r -> r <> Resource.Icc) Resource.sinks) = 5);
+  check "ICC is both" true (Resource.is_source Resource.Icc && Resource.is_sink Resource.Icc);
+  List.iter
+    (fun r ->
+      Alcotest.(check (option string))
+        ("round trip " ^ Resource.to_string r)
+        (Some (Resource.to_string r))
+        (Option.map Resource.to_string (Resource.of_string (Resource.to_string r))))
+    (Resource.sources @ Resource.sinks)
+
+let test_api_classification () =
+  check "location is source" true
+    (Api.classify (Api.mref Api.c_location "getLastKnownLocation")
+    = Api.Source Resource.Location);
+  check "sms is sink" true
+    (Api.classify (Api.mref Api.c_sms_manager "sendTextMessage")
+    = Api.Sink Resource.Sms);
+  check "startService is ICC" true
+    (Api.classify (Api.mref Api.c_context "startService")
+    = Api.Icc Api.Start_service);
+  check "setAction is intent op" true
+    (Api.classify (Api.mref Api.c_intent "setAction")
+    = Api.Intent_op Api.Set_action);
+  check "checkCallingPermission" true
+    (Api.classify (Api.mref Api.c_context "checkCallingPermission")
+    = Api.Permission_check);
+  check "unknown is other" true
+    (Api.classify (Api.mref "com.app.Helper" "doWork") = Api.Other)
+
+let test_api_permission_map () =
+  Alcotest.(check (option string))
+    "sendTextMessage needs SEND_SMS" (Some Permission.send_sms)
+    (Api.permission_of (Api.mref Api.c_sms_manager "sendTextMessage"));
+  Alcotest.(check (option string))
+    "log needs nothing" None
+    (Api.permission_of (Api.mref Api.c_log "i"));
+  check "allowed with perm" true
+    (Api.allowed [ Permission.send_sms ]
+       (Api.mref Api.c_sms_manager "sendTextMessage"));
+  check "refused without perm" false
+    (Api.allowed [] (Api.mref Api.c_sms_manager "sendTextMessage"))
+
+let test_intent_taint () =
+  let i =
+    Intent.make ()
+    |> fun i ->
+    Intent.put_extra i ~key:"a" ~value:"v" ~taint:[ Resource.Location ]
+    |> fun i ->
+    Intent.put_extra i ~key:"b" ~value:"w" ~taint:[ Resource.Imei; Resource.Location ]
+  in
+  Alcotest.(check int)
+    "carried resources deduplicated" 2
+    (List.length (Intent.carried_resources i))
+
+let qcheck_category_monotone =
+  (* shrinking the intent's categories never breaks a match *)
+  QCheck.Test.make ~name:"category test is monotone" ~count:200
+    QCheck.(pair (small_list (string_of_size (Gen.return 2))) small_nat)
+    (fun (cats, k) ->
+      let f = filter ~actions:[ "a" ] ~categories:cats () in
+      let i = intent ~action:"a" ~categories:cats () in
+      let fewer = List.filteri (fun idx _ -> idx <> k) cats in
+      let i' = intent ~action:"a" ~categories:fewer () in
+      (not (matches i f)) || matches i' f)
+
+let tests =
+  [
+    Alcotest.test_case "action test" `Quick test_action_match;
+    Alcotest.test_case "category test" `Quick test_category_match;
+    Alcotest.test_case "data test: neither" `Quick test_data_case_neither;
+    Alcotest.test_case "data test: scheme" `Quick test_data_case_scheme_only;
+    Alcotest.test_case "data test: type" `Quick test_data_case_type_only;
+    Alcotest.test_case "data test: both" `Quick test_data_case_both;
+    Alcotest.test_case "data test: host" `Quick test_data_host;
+    Alcotest.test_case "split_uri" `Quick test_split_uri;
+    Alcotest.test_case "component publicity" `Quick test_component_public;
+    Alcotest.test_case "provider filters rejected" `Quick test_provider_no_filters;
+    Alcotest.test_case "manifest" `Quick test_manifest;
+    Alcotest.test_case "permission protection" `Quick test_permission_protection;
+    Alcotest.test_case "resources" `Quick test_resources;
+    Alcotest.test_case "api classification" `Quick test_api_classification;
+    Alcotest.test_case "api permission map" `Quick test_api_permission_map;
+    Alcotest.test_case "intent taint" `Quick test_intent_taint;
+    QCheck_alcotest.to_alcotest qcheck_category_monotone;
+  ]

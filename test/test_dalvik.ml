@@ -1,0 +1,198 @@
+(* Tests for the IR substrate: builder output validity, validation
+   errors, assembler round trips (including a property test over random
+   programs), and the APK text container. *)
+
+open Separ_android
+open Separ_dalvik
+module B = Builder
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_builder_valid () =
+  let m =
+    B.meth ~name:"m" ~params:1 (fun b ->
+        let v = B.get_location b in
+        let i = B.new_intent b in
+        B.set_action b i "a";
+        B.put_extra b i ~key:"k" ~value:v;
+        B.start_service b i)
+  in
+  Ir.validate_method m;
+  check "params recorded" true (m.Ir.n_params = 1);
+  check "has instructions" true (Array.length m.Ir.body > 5)
+
+let test_builder_implicit_return () =
+  let m = B.meth ~name:"m" (fun b -> B.nop b) in
+  check "implicit return appended" true
+    (m.Ir.body.(Array.length m.Ir.body - 1) = Ir.Return None)
+
+let test_validate_bad_register () =
+  let m =
+    Ir.{ mname = "bad"; n_params = 0; n_regs = 1; body = [| Move (5, 0) |] }
+  in
+  check "bad register rejected" true
+    (try
+       Ir.validate_method m;
+       false
+     with Failure _ -> true)
+
+let test_validate_bad_label () =
+  let m =
+    Ir.{ mname = "bad"; n_params = 0; n_regs = 1; body = [| Goto "nowhere" |] }
+  in
+  check "bad label rejected" true
+    (try
+       Ir.validate_method m;
+       false
+     with Failure _ -> true)
+
+let test_validate_move_result () =
+  let m =
+    Ir.{ mname = "bad"; n_params = 0; n_regs = 1; body = [| Move_result 0 |] }
+  in
+  check "floating move-result rejected" true
+    (try
+       Ir.validate_method m;
+       false
+     with Failure _ -> true)
+
+let test_branches () =
+  let m =
+    B.meth ~name:"m" ~params:1 (fun b ->
+        let skip = B.fresh_label b in
+        B.if_eqz b 0 skip;
+        B.nop b;
+        B.place_label b skip)
+  in
+  let cfg = Separ_static.Cfg.make m in
+  check "branch has two successors" true
+    (List.length (Separ_static.Cfg.succs cfg 0) = 2)
+
+(* --- assembler round trips -------------------------------------------------- *)
+
+let sample_class () =
+  B.cls ~name:"com.x.Sample"
+    [
+      B.meth ~name:"onCreate" ~params:1 (fun b ->
+          let v = B.get_device_id b in
+          let i = B.new_intent b in
+          B.set_action b i "act.x";
+          B.add_category b i "cat.y";
+          B.set_class_name b i "Other";
+          B.put_extra b i ~key:"k \"quoted\"" ~value:v;
+          let skip = B.fresh_label b in
+          B.if_nez b v skip;
+          B.write_log b ~payload:v;
+          B.place_label b skip;
+          B.start_activity b i);
+      B.meth ~name:"helper" ~params:2 (fun b -> B.return_reg b 1);
+    ]
+
+let test_asm_roundtrip () =
+  let c = sample_class () in
+  let text = Asm.disassemble_class c in
+  match Asm.assemble text with
+  | [ c' ] ->
+      check "class name" true (c'.Ir.cname = c.Ir.cname);
+      check "structurally equal" true (c = c')
+  | _ -> Alcotest.fail "expected one class"
+
+let random_method rand =
+  let n_regs = 2 + Random.State.int rand 6 in
+  let b = B.create ~params:1 () in
+  let n = 3 + Random.State.int rand 15 in
+  let labels = ref [] in
+  for k = 0 to n do
+    match Random.State.int rand 8 with
+    | 0 -> ignore (B.const_str b (Printf.sprintf "s%d" k))
+    | 1 -> ignore (B.const_int b k)
+    | 2 -> B.move b ~dst:0 ~src:0
+    | 3 ->
+        let l = B.fresh_label b in
+        labels := l :: !labels;
+        B.if_eqz b 0 l
+    | 4 -> B.sput b ~field:"f" ~src:0
+    | 5 -> ignore (B.sget b ~field:"g")
+    | 6 -> B.invoke b (Separ_android.Api.mref "com.a.B" "m") [ 0 ]
+    | _ -> B.nop b
+  done;
+  (* place all pending labels so branches resolve *)
+  List.iter (B.place_label b) !labels;
+  B.return_void b;
+  ignore n_regs;
+  B.finish b ~name:"r"
+
+let test_asm_random_roundtrip () =
+  let rand = Random.State.make [| 99 |] in
+  for _ = 1 to 100 do
+    let c = Ir.{ cname = "R"; methods = [ random_method rand ] } in
+    let text = Asm.disassemble_class c in
+    match Asm.assemble text with
+    | [ c' ] -> check "random class round trips" true (c = c')
+    | _ -> Alcotest.fail "expected one class"
+  done
+
+(* --- APK container ----------------------------------------------------------- *)
+
+let sample_apk () =
+  Apk.make
+    ~manifest:
+      (Manifest.make ~package:"com.x"
+         ~uses_permissions:[ Permission.read_phone_state ]
+         ~components:
+           [
+             Component.make ~name:"com.x.Sample" ~kind:Component.Activity
+               ~intent_filters:
+                 [
+                   Intent_filter.make ~actions:[ "a1"; "a2" ]
+                     ~categories:[ "c" ] ~data_schemes:[ "https" ] ();
+                 ]
+               ();
+             Component.make ~name:"Other" ~kind:Component.Service
+               ~exported:true ~permission:Permission.send_sms ();
+           ]
+         ())
+    ~classes:[ sample_class () ]
+
+let test_apk_text_roundtrip () =
+  let apk = sample_apk () in
+  let text = Apk_text.print apk in
+  let apk' = Apk_text.parse text in
+  check "package" true (Apk.package apk' = "com.x");
+  check "manifest equal" true (apk.Apk.manifest = apk'.Apk.manifest);
+  check "classes equal" true (apk.Apk.classes = apk'.Apk.classes)
+
+let test_apk_size () =
+  let apk = sample_apk () in
+  check "size counts instructions" true (Apk.size apk > 10)
+
+let test_entry_methods () =
+  check_int "activity entries" 7
+    (List.length (Apk.entry_methods Component.Activity));
+  Alcotest.(check (list string))
+    "lifecycle after onCreate" [ "onStart"; "onResume" ]
+    (Apk.lifecycle_after "onCreate");
+  check "service start entry" true
+    (Apk.entry_for_icc Separ_android.Api.Start_service = "onStartCommand");
+  check "bind entry" true
+    (Apk.entry_for_icc Separ_android.Api.Bind_service = "onBind");
+  check "broadcast entry" true
+    (Apk.entry_for_icc Separ_android.Api.Send_broadcast = "onReceive")
+
+let tests =
+  [
+    Alcotest.test_case "builder produces valid IR" `Quick test_builder_valid;
+    Alcotest.test_case "builder implicit return" `Quick
+      test_builder_implicit_return;
+    Alcotest.test_case "validate bad register" `Quick test_validate_bad_register;
+    Alcotest.test_case "validate bad label" `Quick test_validate_bad_label;
+    Alcotest.test_case "validate move-result" `Quick test_validate_move_result;
+    Alcotest.test_case "branch successors" `Quick test_branches;
+    Alcotest.test_case "assembler round trip" `Quick test_asm_roundtrip;
+    Alcotest.test_case "assembler random round trips" `Slow
+      test_asm_random_roundtrip;
+    Alcotest.test_case "apk text round trip" `Quick test_apk_text_roundtrip;
+    Alcotest.test_case "apk size" `Quick test_apk_size;
+    Alcotest.test_case "entry methods" `Quick test_entry_methods;
+  ]

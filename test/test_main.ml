@@ -1,0 +1,20 @@
+(* Aggregates all test suites. *)
+let () =
+  Alcotest.run "separ"
+    [
+      ("sat", Test_sat.tests);
+      ("relog", Test_relog.tests);
+      ("android", Test_android.tests);
+      ("dalvik", Test_dalvik.tests);
+      ("static", Test_static.tests);
+      ("ame", Test_ame.tests);
+      ("specs", Test_specs.tests);
+      ("policy", Test_policy.tests);
+      ("runtime", Test_runtime.tests);
+      ("suites", Test_suites.tests);
+      ("workload", Test_workload.tests);
+      ("integration", Test_integration.tests);
+      ("errors", Test_errors.tests);
+      ("properties", Test_properties.tests);
+      ("report", Test_report.tests);
+    ]

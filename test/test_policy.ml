@@ -1,0 +1,309 @@
+(* Tests for the ECA policy layer: condition evaluation, PDP decision
+   precedence, serialization round trips (unit + property), and policy
+   derivation from each scenario kind. *)
+
+open Separ_android
+module Policy = Separ_policy.Policy
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let base_event =
+  Policy.
+    {
+      ev_kind = Icc_receive;
+      ev_sender_component = "Sender";
+      ev_sender_app = "com.s";
+      ev_sender_installed_at_analysis = true;
+      ev_sender_permissions = [ Permission.internet ];
+      ev_intent =
+        Intent.make ~action:"go"
+          ~extras:
+            [ Intent.{ key = "k"; value = "v"; taint = [ Resource.Location ] } ]
+          ();
+      ev_receiver_component = "Receiver";
+      ev_receiver_app = "com.r";
+    }
+
+let test_conditions () =
+  let holds c = Policy.condition_holds base_event c in
+  check "receiver is" true (holds (Policy.Receiver_is "Receiver"));
+  check "receiver is not" false (holds (Policy.Receiver_is "Other"));
+  check "receiver not in" true (holds (Policy.Receiver_not_in [ "A"; "B" ]));
+  check "receiver in allow set" false
+    (holds (Policy.Receiver_not_in [ "Receiver" ]));
+  check "sender is" true (holds (Policy.Sender_is "Sender"));
+  check "installed" false (holds Policy.Sender_app_not_installed);
+  check "action is" true (holds (Policy.Action_is "go"));
+  check "action is not" false (holds (Policy.Action_is "stop"));
+  check "implicit" true (holds Policy.Implicit);
+  check "extras include" true (holds (Policy.Extras_include Resource.Location));
+  check "extras exclude" false (holds (Policy.Extras_include Resource.Imei));
+  check "lacks permission" true
+    (holds (Policy.Sender_lacks_permission Permission.send_sms));
+  check "has permission" false
+    (holds (Policy.Sender_lacks_permission Permission.internet))
+
+let policy ?(event = Policy.Icc_receive) ?(conds = []) ?(action = Policy.Prompt)
+    id =
+  Policy.
+    {
+      p_id = id;
+      p_event = event;
+      p_conditions = conds;
+      p_action = action;
+      p_reason = "test";
+    }
+
+let test_decide_precedence () =
+  let allow = policy ~action:Policy.Allow "a" in
+  let prompt = policy ~action:Policy.Prompt "p" in
+  let deny = policy ~action:Policy.Deny "d" in
+  (match Policy.decide [ allow; prompt; deny ] base_event with
+  | Policy.Denied p -> check "deny wins" true (p.Policy.p_id = "d")
+  | _ -> Alcotest.fail "expected deny");
+  (match Policy.decide [ allow; prompt ] base_event with
+  | Policy.Prompted p -> check "prompt beats allow" true (p.Policy.p_id = "p")
+  | _ -> Alcotest.fail "expected prompt");
+  check "no match allows" true (Policy.decide [] base_event = Policy.Allowed)
+
+let test_decide_event_kind () =
+  let send_policy = policy ~event:Policy.Icc_send "s" in
+  check "send policy ignores receive events" true
+    (Policy.decide [ send_policy ] base_event = Policy.Allowed)
+
+let test_decide_conjunction () =
+  let p =
+    policy
+      ~conds:[ Policy.Receiver_is "Receiver"; Policy.Action_is "stop" ]
+      "conj"
+  in
+  check "all conditions must hold" true
+    (Policy.decide [ p ] base_event = Policy.Allowed)
+
+let test_roundtrip_unit () =
+  let policies =
+    [
+      policy
+        ~conds:
+          [
+            Policy.Receiver_is "MessageSender";
+            Policy.Extras_include Resource.Location;
+            Policy.Receiver_not_in [ "A"; "B" ];
+            Policy.Sender_lacks_permission Permission.send_sms;
+            Policy.Implicit;
+            Policy.Sender_app_not_installed;
+            Policy.Action_is "showLoc";
+            Policy.Sender_is "LocationFinder";
+          ]
+        "p1";
+      policy ~event:Policy.Icc_send ~action:Policy.Deny "p2";
+    ]
+  in
+  let restored = Policy.of_string (Policy.to_string policies) in
+  check "round trip" true (restored = policies)
+
+let qcheck_roundtrip =
+  let cond_gen =
+    QCheck.Gen.oneof
+      [
+        QCheck.Gen.map (fun s -> Policy.Receiver_is s) (QCheck.Gen.string_size ~gen:QCheck.Gen.(char_range 'a' 'z') (QCheck.Gen.return 5));
+        QCheck.Gen.map (fun s -> Policy.Sender_is s) (QCheck.Gen.string_size ~gen:QCheck.Gen.(char_range 'a' 'z') (QCheck.Gen.return 4));
+        QCheck.Gen.return Policy.Implicit;
+        QCheck.Gen.return Policy.Sender_app_not_installed;
+        QCheck.Gen.map
+          (fun r -> Policy.Extras_include r)
+          (QCheck.Gen.oneofl (Resource.sources @ Resource.sinks));
+        QCheck.Gen.map
+          (fun p -> Policy.Sender_lacks_permission p)
+          (QCheck.Gen.oneofl Permission.all);
+      ]
+  in
+  let policy_gen =
+    QCheck.Gen.map
+      (fun (conds, deny) ->
+        policy ~conds ~action:(if deny then Policy.Deny else Policy.Prompt) "q")
+      (QCheck.Gen.pair (QCheck.Gen.list_size (QCheck.Gen.int_range 0 5) cond_gen) QCheck.Gen.bool)
+  in
+  QCheck.Test.make ~name:"policy serialization round trips" ~count:200
+    (QCheck.make policy_gen) (fun p ->
+      Policy.of_line (Policy.to_line p) = p)
+
+let test_event_marshalling_roundtrip () =
+  (* payload values may contain the printable separators of naive
+     encodings (regression: a comma in a GPS string used to drop taint) *)
+  let ev =
+    Policy.
+      {
+        base_event with
+        ev_intent =
+          Intent.make ~action:"a,b=c:d"
+            ~categories:[ "x"; "y,z" ]
+            ~extras:
+              [
+                Intent.{
+                  key = "locationInfo";
+                  value = "37.4220,-122.0841";
+                  taint = [ Resource.Location; Resource.Imei ];
+                };
+                Intent.{ key = "k=v"; value = "p|q:r"; taint = [] };
+              ]
+            ();
+        ev_sender_permissions =
+          [ Permission.send_sms; Permission.access_fine_location ];
+      }
+  in
+  let ev' = Policy.event_of_line (Policy.event_to_line ev) in
+  check "marshalling round trips" true (ev' = ev);
+  (* and the remote PDP therefore decides identically *)
+  let p =
+    policy ~conds:[ Policy.Extras_include Resource.Location ] "loc"
+  in
+  check "remote decision matches local" true
+    (match (Policy.decide [ p ] ev, Policy.decide_remote [ p ] ev) with
+    | Policy.Prompted a, Policy.Prompted b -> a = b
+    | _ -> false)
+
+(* --- derivation ---------------------------------------------------------------- *)
+
+let analysis () =
+  Separ.analyze [ Separ.Demo.navigation_app (); Separ.Demo.messenger_app () ]
+
+let test_derivation_kinds () =
+  let a = analysis () in
+  let ids = List.map (fun p -> p.Policy.p_id) a.Separ.policies in
+  let has prefix =
+    List.exists
+      (fun id ->
+        String.length id > String.length prefix
+        && String.sub id 0 (String.length prefix) = prefix)
+      ids
+  in
+  check "hijack policy" true (has "pol-hijack");
+  check "launch policy" true (has "pol-launch");
+  check "privesc policy" true (has "pol-privesc");
+  check "leak policy" true (has "pol-leak")
+
+let test_derivation_dedup () =
+  let a = analysis () in
+  let keys =
+    List.map
+      (fun p ->
+        (p.Policy.p_event, List.sort compare p.Policy.p_conditions, p.Policy.p_action))
+      a.Separ.policies
+  in
+  check_int "no duplicate policies" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_hijack_policy_allows_legit_receiver () =
+  let a = analysis () in
+  let hijack =
+    List.find
+      (fun p ->
+        String.length p.Policy.p_id > 10
+        && String.sub p.Policy.p_id 0 10 = "pol-hijack")
+      a.Separ.policies
+  in
+  check "legitimate receiver in allow set" true
+    (List.exists
+       (function
+         | Policy.Receiver_not_in allowed -> List.mem "RouteFinder" allowed
+         | _ -> false)
+       hijack.Policy.p_conditions)
+
+let tests =
+  [
+    Alcotest.test_case "condition evaluation" `Quick test_conditions;
+    Alcotest.test_case "decision precedence" `Quick test_decide_precedence;
+    Alcotest.test_case "decision event kind" `Quick test_decide_event_kind;
+    Alcotest.test_case "conjunction semantics" `Quick test_decide_conjunction;
+    Alcotest.test_case "serialization round trip" `Quick test_roundtrip_unit;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    Alcotest.test_case "event marshalling round trip" `Quick
+      test_event_marshalling_roundtrip;
+    Alcotest.test_case "derivation kinds" `Quick test_derivation_kinds;
+    Alcotest.test_case "derivation dedup" `Quick test_derivation_dedup;
+    Alcotest.test_case "hijack allow-set" `Quick
+      test_hijack_policy_allows_legit_receiver;
+  ]
+
+(* --- store minimization ---------------------------------------------------------- *)
+
+let test_subsumption () =
+  let general = policy ~conds:[ Policy.Receiver_is "R" ] ~action:Policy.Deny "g" in
+  let specific =
+    policy
+      ~conds:[ Policy.Receiver_is "R"; Policy.Action_is "a" ]
+      ~action:Policy.Prompt "s"
+  in
+  check "fewer conditions + stronger action subsumes" true
+    (Policy.subsumes general specific);
+  check "not vice versa" false (Policy.subsumes specific general);
+  let weaker = { general with Policy.p_action = Policy.Prompt } in
+  check "weaker action does not subsume deny" false
+    (Policy.subsumes weaker { specific with Policy.p_action = Policy.Deny });
+  (* allow-set widening *)
+  let narrow = policy ~conds:[ Policy.Receiver_not_in [ "A" ] ] "n" in
+  let wide = policy ~conds:[ Policy.Receiver_not_in [ "A"; "B" ] ] "w" in
+  check "smaller exclusion set subsumes larger" true (Policy.subsumes narrow wide)
+
+let test_minimize_store () =
+  let general = policy ~conds:[ Policy.Receiver_is "R" ] ~action:Policy.Deny "g" in
+  let specific =
+    policy ~conds:[ Policy.Receiver_is "R"; Policy.Action_is "a" ] "s"
+  in
+  let unrelated = policy ~conds:[ Policy.Receiver_is "Q" ] "u" in
+  let dup = { general with Policy.p_id = "g2" } in
+  let minimized = Policy.minimize_store [ general; specific; unrelated; dup ] in
+  Alcotest.(check (list string))
+    "dominated and duplicate dropped" [ "g"; "u" ]
+    (List.map (fun p -> p.Policy.p_id) minimized);
+  (* semantics preserved on a probe event *)
+  let probe = { base_event with Policy.ev_receiver_component = "R" } in
+  check "same decision after minimization" true
+    (Policy.decide [ general; specific; unrelated; dup ] probe
+    = Policy.decide minimized probe)
+
+let qcheck_minimize_preserves_decisions =
+  let policies_gen =
+    QCheck.Gen.list_size (QCheck.Gen.int_range 0 6)
+      (QCheck.Gen.map
+         (fun (recv, act, deny) ->
+           policy
+             ~conds:
+               ((if recv then [ Policy.Receiver_is "Receiver" ] else [])
+               @ if act then [ Policy.Action_is "go" ] else [])
+             ~action:(if deny then Policy.Deny else Policy.Prompt)
+             "q")
+         (QCheck.Gen.triple QCheck.Gen.bool QCheck.Gen.bool QCheck.Gen.bool))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"minimize_store preserves every decision"
+       ~count:300 (QCheck.make policies_gen) (fun policies ->
+         let minimized = Policy.minimize_store policies in
+         List.for_all
+           (fun ev ->
+             let d1 = Policy.decide policies ev in
+             let d2 = Policy.decide minimized ev in
+             (match (d1, d2) with
+             | Policy.Allowed, Policy.Allowed -> true
+             | Policy.Prompted _, Policy.Prompted _ -> true
+             | Policy.Denied _, Policy.Denied _ -> true
+             | _ -> false))
+           [
+             base_event;
+             { base_event with Policy.ev_receiver_component = "X" };
+             {
+               base_event with
+               Policy.ev_intent = Intent.make ~action:"other" ();
+             };
+           ]))
+
+let minimization_tests =
+  [
+    Alcotest.test_case "subsumption" `Quick test_subsumption;
+    Alcotest.test_case "minimize store" `Quick test_minimize_store;
+    qcheck_minimize_preserves_decisions;
+  ]
+
+let tests = tests @ minimization_tests

@@ -1,0 +1,310 @@
+(* Tests for the relational-logic engine: tuple-set algebra, translation
+   to SAT, quantifier and multiplicity semantics, minimal instances, and
+   a differential property — solver-found instances always re-check under
+   the independent ground evaluator, and satisfiability agrees with
+   brute-force enumeration on small bounds. *)
+
+open Separ_relog
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ts arity l = Tuple_set.of_list arity (List.map Array.of_list l)
+
+(* --- tuple-set algebra ---------------------------------------------------- *)
+
+let test_ts_ops () =
+  let a = ts 1 [ [ 0 ]; [ 1 ] ] and b = ts 1 [ [ 1 ]; [ 2 ] ] in
+  check_int "union" 3 (Tuple_set.size (Tuple_set.union a b));
+  check_int "inter" 1 (Tuple_set.size (Tuple_set.inter a b));
+  check_int "diff" 1 (Tuple_set.size (Tuple_set.diff a b));
+  check "subset" true (Tuple_set.subset (ts 1 [ [ 1 ] ]) a);
+  check "not subset" false (Tuple_set.subset b a)
+
+let test_ts_join () =
+  let r = ts 2 [ [ 0; 1 ]; [ 1; 2 ] ] in
+  let x = ts 1 [ [ 0 ] ] in
+  let j = Tuple_set.join x r in
+  check "x.r = {1}" true (Tuple_set.equal j (ts 1 [ [ 1 ] ]));
+  let rr = Tuple_set.join r r in
+  check "r.r = {(0,2)}" true (Tuple_set.equal rr (ts 2 [ [ 0; 2 ] ]))
+
+let test_ts_product_transpose () =
+  let a = ts 1 [ [ 0 ]; [ 1 ] ] and b = ts 1 [ [ 2 ] ] in
+  let p = Tuple_set.product a b in
+  check "product" true (Tuple_set.equal p (ts 2 [ [ 0; 2 ]; [ 1; 2 ] ]));
+  check "transpose" true
+    (Tuple_set.equal (Tuple_set.transpose p) (ts 2 [ [ 2; 0 ]; [ 2; 1 ] ]))
+
+let test_ts_closure () =
+  let r = ts 2 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ] ] in
+  let c = Tuple_set.closure r in
+  check_int "closure size" 6 (Tuple_set.size c);
+  check "0 reaches 3" true (Tuple_set.mem [| 0; 3 |] c);
+  check "3 reaches nothing" false (Tuple_set.mem [| 3; 0 |] c)
+
+(* --- a fixed problem: the paper's Alloy warm-up --------------------------- *)
+
+let paper_problem extra_constraints =
+  let u = Universe.of_atoms [ "App0"; "App1"; "Cmp0"; "Cmp1" ] in
+  let application = Relation.make "Application" 1 in
+  let component = Relation.make "Component" 1 in
+  let cmps = Relation.make "cmps" 2 in
+  let b = Bounds.create u in
+  Bounds.bound b application ~lower:(Tuple_set.empty 1)
+    ~upper:(Bounds.tuples b [ [ "App0" ]; [ "App1" ] ]);
+  Bounds.bound b component ~lower:(Tuple_set.empty 1)
+    ~upper:(Bounds.tuples b [ [ "Cmp0" ]; [ "Cmp1" ] ]);
+  Bounds.bound b cmps ~lower:(Tuple_set.empty 2)
+    ~upper:
+      (Bounds.tuples b
+         [
+           [ "App0"; "Cmp0" ]; [ "App0"; "Cmp1" ];
+           [ "App1"; "Cmp0" ]; [ "App1"; "Cmp1" ];
+         ]);
+  let open Ast.Dsl in
+  let facts =
+    [
+      rel cmps <: rel application --> rel component;
+      all (rel component) (fun c -> one (c |. tilde (rel cmps)));
+      some (rel component);
+    ]
+  in
+  ( Solve.{ bounds = b; constraints = facts @ extra_constraints application component cmps },
+    (application, component, cmps) )
+
+let no_extra _ _ _ = []
+
+let test_paper_example_sat () =
+  let problem, _ = paper_problem no_extra in
+  match Solve.solve problem with
+  | Solve.Sat inst, _ ->
+      check "instance verifies" true (Solve.verify problem inst)
+  | Solve.Unsat, _ -> Alcotest.fail "expected sat"
+
+let test_paper_example_minimal () =
+  let problem, (application, component, cmps) = paper_problem no_extra in
+  match Solve.solve problem with
+  | Solve.Sat inst, _ ->
+      (* Aluminum-style minimality: one component, its app, one pair *)
+      check_int "one app" 1 (Tuple_set.size (Instance.value inst application));
+      check_int "one component" 1 (Tuple_set.size (Instance.value inst component));
+      check_int "one cmps pair" 1 (Tuple_set.size (Instance.value inst cmps))
+  | Solve.Unsat, _ -> Alcotest.fail "expected sat"
+
+let test_paper_example_unsat_no_apps () =
+  let problem, _ =
+    paper_problem (fun application _ _ -> [ Ast.Dsl.no (Ast.Rel application) ])
+  in
+  match Solve.solve problem with
+  | Solve.Unsat, _ -> ()
+  | Solve.Sat _, _ -> Alcotest.fail "expected unsat"
+
+let test_paper_example_enumeration () =
+  let problem, _ = paper_problem no_extra in
+  let instances, _ = Solve.enumerate ~limit:50 problem in
+  (* minimal instances: component x app choices = 4 *)
+  check_int "four minimal instances" 4 (List.length instances);
+  List.iter
+    (fun inst -> check "each verifies" true (Solve.verify problem inst))
+    instances
+
+(* --- multiplicity and quantifier semantics --------------------------------- *)
+
+let small_problem ?(n = 3) f =
+  let atoms = List.init n (fun i -> "a" ^ string_of_int i) in
+  let u = Universe.of_atoms atoms in
+  let s = Relation.make "S" 1 in
+  let b = Bounds.create u in
+  Bounds.bound b s ~lower:(Tuple_set.empty 1)
+    ~upper:(Tuple_set.univ n);
+  (Solve.{ bounds = b; constraints = f s }, s)
+
+let test_mult_no () =
+  let problem, s = small_problem (fun s -> [ Ast.Dsl.no (Ast.Rel s) ]) in
+  match Solve.solve problem with
+  | Solve.Sat inst, _ ->
+      check_int "no S: empty" 0 (Tuple_set.size (Instance.value inst s))
+  | _ -> Alcotest.fail "expected sat"
+
+let test_mult_one () =
+  let problem, s = small_problem (fun s -> [ Ast.Dsl.one (Ast.Rel s) ]) in
+  match Solve.solve problem with
+  | Solve.Sat inst, _ ->
+      check_int "one S: singleton" 1 (Tuple_set.size (Instance.value inst s))
+  | _ -> Alcotest.fail "expected sat"
+
+let test_mult_lone_allows_empty () =
+  let problem, _ =
+    small_problem (fun s ->
+        [ Ast.Dsl.lone (Ast.Rel s); Ast.Dsl.no (Ast.Rel s) ])
+  in
+  match Solve.solve problem with
+  | Solve.Sat _, _ -> ()
+  | _ -> Alcotest.fail "lone must allow empty"
+
+let test_quantifier_all () =
+  (* all x in univ: x in S  ==> S = univ *)
+  let problem, s =
+    small_problem (fun s ->
+        [ Ast.Dsl.(all Ast.Univ (fun x -> x <: Ast.Rel s)) ])
+  in
+  match Solve.solve problem with
+  | Solve.Sat inst, _ ->
+      check_int "S is the universe" 3 (Tuple_set.size (Instance.value inst s))
+  | _ -> Alcotest.fail "expected sat"
+
+let test_quantifier_exists_witness () =
+  let problem, _ =
+    small_problem (fun s ->
+        [
+          Ast.Dsl.(exists Ast.Univ (fun x -> x <: Ast.Rel s));
+          Ast.Dsl.no (Ast.Rel s);
+        ])
+  in
+  match Solve.solve problem with
+  | Solve.Unsat, _ -> ()
+  | _ -> Alcotest.fail "exists + no is unsat"
+
+(* --- differential: random problems vs ground evaluation ------------------- *)
+
+(* Random formula generator over one unary and one binary relation. *)
+let random_formula rand s r =
+  let open Ast in
+  let rec expr1 depth =
+    if depth = 0 then if Random.State.bool rand then Rel s else Univ
+    else
+      match Random.State.int rand 5 with
+      | 0 -> Union (expr1 (depth - 1), expr1 (depth - 1))
+      | 1 -> Inter (expr1 (depth - 1), expr1 (depth - 1))
+      | 2 -> Diff (expr1 (depth - 1), expr1 (depth - 1))
+      | 3 -> Join (expr1 (depth - 1), expr2 (depth - 1))
+      | _ -> Rel s
+  and expr2 depth =
+    if depth = 0 then Rel r
+    else
+      match Random.State.int rand 4 with
+      | 0 -> Transpose (expr2 (depth - 1))
+      | 1 -> Closure (expr2 (depth - 1))
+      | 2 -> Union (expr2 (depth - 1), expr2 (depth - 1))
+      | _ -> Rel r
+  in
+  let rec formula depth =
+    if depth = 0 then
+      match Random.State.int rand 4 with
+      | 0 -> Subset (expr1 1, expr1 1)
+      | 1 -> Mult (Msome, expr1 1)
+      | 2 -> Mult (Mno, expr1 1)
+      | _ -> Mult (Mlone, expr1 1)
+    else
+      match Random.State.int rand 6 with
+      | 0 -> And_f (formula (depth - 1), formula (depth - 1))
+      | 1 -> Or_f (formula (depth - 1), formula (depth - 1))
+      | 2 -> Not_f (formula (depth - 1))
+      | 3 -> Dsl.all (Rel s) (fun x -> Subset (Join (x, Rel r), Rel s))
+      | 4 -> Dsl.exists Univ (fun x -> Subset (x, expr1 1))
+      | _ -> formula 0
+  in
+  formula 2
+
+(* Enumerate all instances by brute force for tiny bounds. *)
+let brute_force_sat n s r formula =
+  let u = Universe.of_atoms (List.init n (fun i -> "b" ^ string_of_int i)) in
+  let unary =
+    List.init n (fun i -> [| i |])
+  in
+  let binary =
+    List.concat_map (fun i -> List.init n (fun j -> [| i; j |]))
+      (List.init n (fun i -> i))
+  in
+  let rec subsets = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let rs = subsets rest in
+        rs @ List.map (fun set -> x :: set) rs
+  in
+  List.exists
+    (fun s_set ->
+      List.exists
+        (fun r_set ->
+          let inst =
+            Instance.make u
+              [
+                (s, Tuple_set.of_list 1 s_set); (r, Tuple_set.of_list 2 r_set);
+              ]
+          in
+          Eval.check inst formula)
+        (subsets binary))
+    (subsets unary)
+
+let test_differential_vs_eval () =
+  let rand = Random.State.make [| 23 |] in
+  for _ = 1 to 60 do
+    let n = 2 in
+    let s = Relation.make "S" 1 in
+    let r = Relation.make "R" 2 in
+    let u = Universe.of_atoms (List.init n (fun i -> "b" ^ string_of_int i)) in
+    let b = Bounds.create u in
+    Bounds.bound b s ~lower:(Tuple_set.empty 1) ~upper:(Tuple_set.univ n);
+    Bounds.bound b r ~lower:(Tuple_set.empty 2)
+      ~upper:
+        (Tuple_set.of_list 2
+           (List.concat_map
+              (fun i -> List.init n (fun j -> [| i; j |]))
+              (List.init n (fun i -> i))));
+    let f = random_formula rand s r in
+    let problem = Solve.{ bounds = b; constraints = [ f ] } in
+    let solver_sat =
+      match Solve.solve problem with
+      | Solve.Sat inst, _ ->
+          check "instance satisfies formula under Eval" true
+            (Eval.check inst f);
+          true
+      | Solve.Unsat, _ -> false
+    in
+    let brute = brute_force_sat n s r f in
+    check "solver agrees with brute force" brute solver_sat
+  done
+
+let test_stats_populated () =
+  let problem, _ = paper_problem no_extra in
+  let _, session = Solve.solve problem in
+  let st = Solve.stats session in
+  check "has variables" true (st.Solve.n_vars > 0);
+  check "has clauses" true (st.Solve.n_clauses > 0);
+  check "translation timed" true (st.Solve.translation_ms >= 0.0)
+
+let test_universe () =
+  let u = Universe.of_atoms [ "x"; "y" ] in
+  check_int "size" 2 (Universe.size u);
+  check_int "atom index" 1 (Universe.atom u "y");
+  check "mem" true (Universe.mem u "x");
+  check "not mem" false (Universe.mem u "z");
+  Alcotest.check_raises "duplicate atoms rejected"
+    (Invalid_argument "Universe.of_atoms: duplicate atom x") (fun () ->
+      ignore (Universe.of_atoms [ "x"; "x" ]))
+
+let tests =
+  [
+    Alcotest.test_case "tuple-set ops" `Quick test_ts_ops;
+    Alcotest.test_case "tuple-set join" `Quick test_ts_join;
+    Alcotest.test_case "tuple-set product/transpose" `Quick
+      test_ts_product_transpose;
+    Alcotest.test_case "tuple-set closure" `Quick test_ts_closure;
+    Alcotest.test_case "paper example sat" `Quick test_paper_example_sat;
+    Alcotest.test_case "paper example minimal" `Quick test_paper_example_minimal;
+    Alcotest.test_case "paper example unsat" `Quick
+      test_paper_example_unsat_no_apps;
+    Alcotest.test_case "paper example enumeration" `Quick
+      test_paper_example_enumeration;
+    Alcotest.test_case "mult no" `Quick test_mult_no;
+    Alcotest.test_case "mult one" `Quick test_mult_one;
+    Alcotest.test_case "mult lone allows empty" `Quick
+      test_mult_lone_allows_empty;
+    Alcotest.test_case "all quantifier" `Quick test_quantifier_all;
+    Alcotest.test_case "exists quantifier" `Quick test_quantifier_exists_witness;
+    Alcotest.test_case "differential vs ground eval" `Slow
+      test_differential_vs_eval;
+    Alcotest.test_case "solver stats" `Quick test_stats_populated;
+    Alcotest.test_case "universe" `Quick test_universe;
+  ]

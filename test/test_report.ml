@@ -1,0 +1,64 @@
+(* Tests for the JSON report layer: escaping, printer structure, and the
+   analysis report shape. *)
+
+module Json = Separ_report.Json
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let test_scalars () =
+  check_str "null" "null" (Json.to_string Json.Null);
+  check_str "bool" "true" (Json.to_string (Json.Bool true));
+  check_str "int" "42" (Json.to_string (Json.Int 42));
+  check_str "string" "\"hi\"" (Json.to_string (Json.Str "hi"));
+  check_str "integral float" "2.0" (Json.to_string (Json.Float 2.0))
+
+let test_escaping () =
+  check_str "quotes and backslashes" "\"a\\\"b\\\\c\""
+    (Json.to_string (Json.Str "a\"b\\c"));
+  check_str "newlines" "\"l1\\nl2\"" (Json.to_string (Json.Str "l1\nl2"));
+  check_str "control chars" "\"\\u0001\""
+    (Json.to_string (Json.Str "\001"))
+
+let test_compact_structures () =
+  check_str "empty list" "[]" (Json.to_string ~indent:false (Json.List []));
+  check_str "empty object" "{}" (Json.to_string ~indent:false (Json.Obj []));
+  check_str "nested" "{\"a\":[1,2],\"b\":{\"c\":null}}"
+    (Json.to_string ~indent:false
+       (Json.Obj
+          [
+            ("a", Json.List [ Json.Int 1; Json.Int 2 ]);
+            ("b", Json.Obj [ ("c", Json.Null) ]);
+          ]))
+
+let test_analysis_report_shape () =
+  let analysis =
+    Separ.analyze [ Separ.Demo.navigation_app (); Separ.Demo.messenger_app () ]
+  in
+  let s =
+    Separ_report.Report.to_string ~report:analysis.Separ.report
+      ~policies:analysis.Separ.policies ()
+  in
+  let contains needle =
+    let n = String.length needle and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  check "has bundle stats" true (contains "\"bundle\"");
+  check "has vulnerabilities" true (contains "\"intent_hijack\"");
+  check "has policies" true (contains "\"user_prompt\"");
+  check "policy conditions serialized" true (contains "Intent.extra=LOCATION");
+  (* compact output is a single line *)
+  let compact =
+    Separ_report.Report.to_string ~indent:false ~report:analysis.Separ.report
+      ~policies:analysis.Separ.policies ()
+  in
+  check "compact is one line" false (String.contains compact '\n')
+
+let tests =
+  [
+    Alcotest.test_case "scalars" `Quick test_scalars;
+    Alcotest.test_case "escaping" `Quick test_escaping;
+    Alcotest.test_case "compact structures" `Quick test_compact_structures;
+    Alcotest.test_case "analysis report shape" `Quick test_analysis_report_shape;
+  ]

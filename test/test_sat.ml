@@ -1,0 +1,207 @@
+(* Tests for the CDCL SAT solver: unit behaviours, differential testing
+   against the naive DPLL reference, and the minimal-model machinery. *)
+
+open Separ_sat
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let solve_clauses ?(assumptions = []) clauses =
+  let s = Solver.create () in
+  List.iter (Solver.add_clause s) clauses;
+  (Solver.solve ~assumptions s, s)
+
+let test_empty () =
+  let r, _ = solve_clauses [] in
+  check "empty problem is sat" true (r = Solver.Sat)
+
+let test_unit_propagation () =
+  let r, s = solve_clauses [ [ 1 ]; [ -1; 2 ]; [ -2; 3 ] ] in
+  check "sat" true (r = Solver.Sat);
+  check "v1" true (Solver.value s 1);
+  check "v2" true (Solver.value s 2);
+  check "v3" true (Solver.value s 3)
+
+let test_trivially_unsat () =
+  let r, _ = solve_clauses [ [ 1 ]; [ -1 ] ] in
+  check "unsat" true (r = Solver.Unsat)
+
+let test_empty_clause () =
+  let r, _ = solve_clauses [ [ 1 ]; [] ] in
+  check "unsat" true (r = Solver.Unsat)
+
+let test_tautology_ignored () =
+  let r, _ = solve_clauses [ [ 1; -1 ]; [ 2 ] ] in
+  check "sat" true (r = Solver.Sat)
+
+let test_pigeonhole_3_2 () =
+  (* 3 pigeons, 2 holes: classic small unsat instance *)
+  let var p h = (p * 2) + h + 1 in
+  let clauses =
+    (* each pigeon in some hole *)
+    List.init 3 (fun p -> [ var p 0; var p 1 ])
+    (* no two pigeons share a hole *)
+    @ List.concat_map
+        (fun h ->
+          [
+            [ -var 0 h; -var 1 h ];
+            [ -var 0 h; -var 2 h ];
+            [ -var 1 h; -var 2 h ];
+          ])
+        [ 0; 1 ]
+  in
+  let r, _ = solve_clauses clauses in
+  check "pigeonhole unsat" true (r = Solver.Unsat)
+
+let test_assumptions () =
+  let clauses = [ [ 1; 2 ]; [ -1; 3 ] ] in
+  let r, s = solve_clauses ~assumptions:[ -2 ] clauses in
+  check "sat under -2" true (r = Solver.Sat);
+  check "forces 1" true (Solver.value s 1);
+  check "forces 3" true (Solver.value s 3);
+  check "unsat under -1 -2" true
+    (Solver.solve ~assumptions:[ -1; -2 ] s = Solver.Unsat);
+  check "still sat without assumptions" true (Solver.solve s = Solver.Sat)
+
+let test_incremental_add () =
+  let s = Solver.create () in
+  Solver.add_clause s [ 1; 2 ];
+  check "sat" true (Solver.solve s = Solver.Sat);
+  Solver.add_clause s [ -1 ];
+  Solver.add_clause s [ -2 ];
+  check "unsat after additions" true (Solver.solve s = Solver.Unsat)
+
+let test_add_clause_after_model () =
+  (* adding a clause between solves must not corrupt the solver state
+     (regression: unit simplification used to assert decision level 0) *)
+  let s = Solver.create () in
+  Solver.add_clause s [ 1 ];
+  Solver.add_clause s [ 2; 3 ];
+  check "sat" true (Solver.solve s = Solver.Sat);
+  (* a clause made unit by level-0 facts, added while a model is live *)
+  Solver.add_clause s [ -1; 4 ];
+  check "still sat" true (Solver.solve s = Solver.Sat);
+  check "v4 implied" true (Solver.value s 4)
+
+let random_clauses rand nv nc =
+  List.init nc (fun _ ->
+      List.init
+        (1 + Random.State.int rand 3)
+        (fun _ ->
+          let v = 1 + Random.State.int rand nv in
+          if Random.State.bool rand then v else -v))
+
+let test_differential () =
+  let rand = Random.State.make [| 7 |] in
+  for _ = 1 to 500 do
+    let nv = 3 + Random.State.int rand 9 in
+    let nc = 3 + Random.State.int rand 35 in
+    let clauses = random_clauses rand nv nc in
+    let r, s = solve_clauses clauses in
+    let expected = Reference.satisfiable clauses in
+    check "sat agrees with reference" expected (r = Solver.Sat);
+    if r = Solver.Sat then
+      check "model satisfies clauses" true
+        (Reference.check_model (Solver.model s) clauses)
+  done
+
+let test_minimize_properties () =
+  let rand = Random.State.make [| 11 |] in
+  for _ = 1 to 200 do
+    let nv = 4 + Random.State.int rand 7 in
+    let clauses = random_clauses rand nv (4 + Random.State.int rand 25) in
+    let s = Solver.create () in
+    Dimacs.load_into s { Dimacs.n_vars = nv; clauses };
+    let r = Solver.solve s in
+    if r = Solver.Sat then begin
+      let soft = List.init nv (fun i -> i + 1) in
+      let trues = Models.minimize s ~soft in
+      check "minimized model valid" true
+        (Reference.check_model (Solver.model s) clauses);
+      (* minimality: removing any true var while keeping the others'
+         false vars false is unsat *)
+      List.iter
+        (fun v ->
+          let assumptions =
+            -v
+            :: List.filter_map
+                 (fun u ->
+                   if u = v || List.mem u trues then None else Some (-u))
+                 soft
+          in
+          check "scenario is minimal" true
+            (Solver.solve ~assumptions s = Solver.Unsat))
+        trues
+    end
+  done
+
+let test_enumerate_minimal () =
+  (* x1 or x2: minimal models are {x1} and {x2} *)
+  let s = Solver.create () in
+  Solver.add_clause s [ 1; 2 ];
+  let models = Models.enumerate_minimal s ~soft:[ 1; 2 ] in
+  check_int "two minimal models" 2 (List.length models);
+  List.iter (fun m -> check_int "each is a singleton" 1 (List.length m)) models
+
+let test_block_superset () =
+  let s = Solver.create () in
+  Solver.add_clause s [ 1; 2 ];
+  check "sat" true (Solver.solve s = Solver.Sat);
+  Models.block_superset s ~trues:[ 1 ];
+  Models.block_superset s ~trues:[ 2 ];
+  check "all supersets blocked" true (Solver.solve s = Solver.Unsat)
+
+let test_dimacs_roundtrip () =
+  let p = Dimacs.{ n_vars = 4; clauses = [ [ 1; -2 ]; [ 3; 4 ]; [ -1 ] ] } in
+  let p' = Dimacs.parse_string (Dimacs.to_string p) in
+  check_int "vars preserved" p.Dimacs.n_vars p'.Dimacs.n_vars;
+  Alcotest.(check (list (list int)))
+    "clauses preserved" p.Dimacs.clauses p'.Dimacs.clauses
+
+let test_dimacs_comments () =
+  let p = Dimacs.parse_string "c a comment\np cnf 3 2\n1 -2 0\n3 0\n" in
+  check_int "vars" 3 p.Dimacs.n_vars;
+  check_int "clauses" 2 (List.length p.Dimacs.clauses)
+
+let qcheck_solver_agrees =
+  QCheck.Test.make ~name:"solver agrees with DPLL reference on random CNF"
+    ~count:300
+    QCheck.(
+      pair (int_range 3 8)
+        (small_list (small_list (int_range (-8) 8))))
+    (fun (nv, raw) ->
+      let clauses =
+        List.map
+          (List.filter_map (fun l ->
+               if l = 0 then None
+               else
+                 let v = (abs l mod nv) + 1 in
+                 Some (if l > 0 then v else -v)))
+          raw
+      in
+      let clauses = List.filter (( <> ) []) clauses in
+      let r, s = solve_clauses clauses in
+      let expected = Reference.satisfiable clauses in
+      if r = Solver.Sat then
+        expected && Reference.check_model (Solver.model s) clauses
+      else not expected)
+
+let tests =
+  [
+    Alcotest.test_case "empty problem" `Quick test_empty;
+    Alcotest.test_case "unit propagation" `Quick test_unit_propagation;
+    Alcotest.test_case "trivially unsat" `Quick test_trivially_unsat;
+    Alcotest.test_case "empty clause" `Quick test_empty_clause;
+    Alcotest.test_case "tautology ignored" `Quick test_tautology_ignored;
+    Alcotest.test_case "pigeonhole 3-2" `Quick test_pigeonhole_3_2;
+    Alcotest.test_case "assumptions" `Quick test_assumptions;
+    Alcotest.test_case "incremental add" `Quick test_incremental_add;
+    Alcotest.test_case "add clause after model" `Quick test_add_clause_after_model;
+    Alcotest.test_case "differential vs reference" `Slow test_differential;
+    Alcotest.test_case "minimize properties" `Slow test_minimize_properties;
+    Alcotest.test_case "enumerate minimal" `Quick test_enumerate_minimal;
+    Alcotest.test_case "block superset" `Quick test_block_superset;
+    Alcotest.test_case "dimacs round trip" `Quick test_dimacs_roundtrip;
+    Alcotest.test_case "dimacs comments" `Quick test_dimacs_comments;
+    QCheck_alcotest.to_alcotest qcheck_solver_agrees;
+  ]

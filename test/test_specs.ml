@@ -1,0 +1,403 @@
+(* Tests for the formal encoding and the vulnerability signatures: the
+   relational resolution predicate must agree with the runtime's intent
+   matching (cross-layer consistency), witnesses must decode, and each
+   signature must fire exactly on its pattern. *)
+
+open Separ_android
+open Separ_dalvik
+open Separ_ame
+open Separ_specs
+module B = Builder
+
+let check = Alcotest.(check bool)
+
+(* Build a one-app bundle with one sender (sending one implicit intent
+   with the given properties) and one receiver (with the given filter),
+   and ask the relational encoding whether the intent resolves. *)
+let relational_resolves ?send_via ~action ~categories ~data_type ~data_scheme
+    ~filter ~kind () =
+  let setup b i =
+    B.set_action b i action;
+    List.iter (fun c -> B.add_category b i c) categories;
+    Option.iter (fun t -> B.set_data_type b i t) data_type;
+    Option.iter (fun s -> B.set_data_scheme b i s) data_scheme
+  in
+  let send =
+    match send_via with
+    | Some f -> f
+    | None -> (
+        match kind with
+        | Component.Service -> B.start_service
+        | Component.Receiver -> B.send_broadcast
+        | _ -> B.start_activity)
+  in
+  let sender =
+    B.cls ~name:"Sndr"
+      [
+        B.meth ~name:"onCreate" ~params:1 (fun b ->
+            let v = B.get_device_id b in
+            let i = B.new_intent b in
+            setup b i;
+            B.put_extra b i ~key:"k" ~value:v;
+            send b i);
+      ]
+  in
+  let apk =
+    Apk.make
+      ~manifest:
+        (Manifest.make ~package:"p"
+           ~uses_permissions:[ Permission.read_phone_state ]
+           ~components:
+             [
+               Component.make ~name:"Sndr" ~kind:Component.Activity ();
+               Component.make ~name:"Rcvr" ~kind ~intent_filters:[ filter ] ();
+             ]
+           ())
+      ~classes:
+        [
+          sender;
+          B.cls ~name:"Rcvr"
+            [
+              B.meth
+                ~name:
+                  (match kind with
+                  | Component.Service -> "onStartCommand"
+                  | Component.Receiver -> "onReceive"
+                  | _ -> "onCreate")
+                ~params:1
+                (fun b ->
+                  let v = B.get_string_extra b 0 ~key:"k" in
+                  B.write_log b ~payload:v);
+            ];
+        ]
+  in
+  let bundle = Bundle.of_models [ Extract.extract apk ] in
+  let env =
+    Encode.build
+      ~config:{ Encode.with_mal_intent = false; with_mal_filter = false }
+      ~witnesses:[ ("i", Encode.Wintent); ("c", Encode.Wcomponent) ]
+      bundle
+  in
+  let open Separ_relog in
+  let open Ast.Dsl in
+  let i = Encode.witness env "i" in
+  let c = Encode.witness env "c" in
+  let formula =
+    i <: Encode.device_intents env &&: Encode.resolves env i c
+  in
+  (* force c to be the receiver *)
+  let receiver_atom = env.Encode.comp_atom_of "Rcvr" in
+  let cset =
+    Bounds.tuples_a env.Encode.bounds 1 [ [ receiver_atom ] ]
+  in
+  let receiver_rel = Relation.make "TheReceiver" 1 in
+  Bounds.bound_exact env.Encode.bounds receiver_rel cset;
+  let formula = formula &&: (c =: rel receiver_rel) in
+  let problem =
+    Solve.{ bounds = env.Encode.bounds; constraints = env.Encode.facts @ [ formula ] }
+  in
+  match Solve.solve problem with
+  | Solve.Sat _, _ -> true
+  | Solve.Unsat, _ -> false
+
+(* The same question answered by the runtime matching rules. *)
+let runtime_resolves ~action ~categories ~data_type ~data_scheme ~filter () =
+  Intent_filter.matches
+    ~intent:
+      (Intent.make ~action ~categories ?data_type ?data_scheme ())
+    filter
+
+let agreement_case ~action ~categories ~data_type ~data_scheme ~filter () =
+  let r = runtime_resolves ~action ~categories ~data_type ~data_scheme ~filter () in
+  let f =
+    relational_resolves ~action ~categories ~data_type ~data_scheme ~filter
+      ~kind:Component.Service ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "relational = runtime for action %s" action)
+    r f
+
+let test_resolution_agreement () =
+  let cases =
+    [
+      ("go", [], None, None, Intent_filter.make ~actions:[ "go" ] ());
+      ("go", [], None, None, Intent_filter.make ~actions:[ "other" ] ());
+      ( "go",
+        [ "c1" ],
+        None,
+        None,
+        Intent_filter.make ~actions:[ "go" ] ~categories:[ "c1"; "c2" ] () );
+      ( "go",
+        [ "c3" ],
+        None,
+        None,
+        Intent_filter.make ~actions:[ "go" ] ~categories:[ "c1" ] () );
+      ( "go",
+        [],
+        Some "t/x",
+        None,
+        Intent_filter.make ~actions:[ "go" ] ~data_types:[ "t/x" ] () );
+      ( "go",
+        [],
+        Some "t/x",
+        None,
+        Intent_filter.make ~actions:[ "go" ] () );
+      ( "go",
+        [],
+        None,
+        Some "https",
+        Intent_filter.make ~actions:[ "go" ] ~data_schemes:[ "https" ] () );
+      ( "go",
+        [],
+        None,
+        Some "ftp",
+        Intent_filter.make ~actions:[ "go" ] ~data_schemes:[ "https" ] () );
+      ( "go",
+        [],
+        Some "t/x",
+        Some "https",
+        Intent_filter.make ~actions:[ "go" ] ~data_types:[ "t/x" ]
+          ~data_schemes:[ "https" ] () );
+      ("go", [], None, None, Intent_filter.make ~actions:[ "go" ] ~data_types:[ "t" ] ());
+    ]
+  in
+  List.iter
+    (fun (action, categories, data_type, data_scheme, filter) ->
+      agreement_case ~action ~categories ~data_type ~data_scheme ~filter ())
+    cases
+
+let test_kind_compatibility () =
+  (* a startService intent does not resolve to a receiver, even when the
+     filter matches *)
+  let f = Intent_filter.make ~actions:[ "go" ] () in
+  check "kind mismatch blocks resolution" false
+    (relational_resolves ~send_via:B.start_service ~action:"go" ~categories:[]
+       ~data_type:None ~data_scheme:None ~filter:f ~kind:Component.Receiver ())
+
+(* --- signatures ---------------------------------------------------------------- *)
+
+let analyze apks =
+  let bundle = Bundle.of_models (List.map Extract.extract apks) in
+  Separ_ase.Ase.analyze bundle
+
+let kinds report =
+  List.sort_uniq compare
+    (List.map
+       (fun v -> v.Separ_ase.Ase.v_kind)
+       report.Separ_ase.Ase.r_vulnerabilities)
+
+let hijack_app () =
+  Apk.make
+    ~manifest:
+      (Manifest.make ~package:"h"
+         ~uses_permissions:[ Permission.access_fine_location ]
+         ~components:[ Component.make ~name:"H" ~kind:Component.Activity () ]
+         ())
+    ~classes:
+      [
+        B.cls ~name:"H"
+          [
+            B.meth ~name:"onCreate" ~params:1 (fun b ->
+                let v = B.get_location b in
+                let i = B.new_intent b in
+                B.set_action b i "evt";
+                B.put_extra b i ~key:"k" ~value:v;
+                B.send_broadcast b i);
+          ];
+      ]
+
+let test_hijack_fires () =
+  check "hijack detected" true (List.mem "intent_hijack" (kinds (analyze [ hijack_app () ])))
+
+let test_hijack_needs_sensitive_extras () =
+  let benign =
+    Apk.make
+      ~manifest:
+        (Manifest.make ~package:"b"
+           ~components:[ Component.make ~name:"Bc" ~kind:Component.Activity () ]
+           ())
+      ~classes:
+        [
+          B.cls ~name:"Bc"
+            [
+              B.meth ~name:"onCreate" ~params:1 (fun b ->
+                  let i = B.new_intent b in
+                  B.set_action b i "evt";
+                  let v = B.const_str b "plain" in
+                  B.put_extra b i ~key:"k" ~value:v;
+                  B.send_broadcast b i);
+            ];
+        ]
+  in
+  check "clean payload not flagged" false
+    (List.mem "intent_hijack" (kinds (analyze [ benign ])))
+
+let test_hijack_needs_implicit () =
+  let explicit =
+    Apk.make
+      ~manifest:
+        (Manifest.make ~package:"e"
+           ~uses_permissions:[ Permission.access_fine_location ]
+           ~components:
+             [
+               Component.make ~name:"Ec" ~kind:Component.Activity ();
+               Component.make ~name:"Ed" ~kind:Component.Service ();
+             ]
+           ())
+      ~classes:
+        [
+          B.cls ~name:"Ec"
+            [
+              B.meth ~name:"onCreate" ~params:1 (fun b ->
+                  let v = B.get_location b in
+                  let i = B.new_intent b in
+                  B.set_class_name b i "Ed";
+                  B.put_extra b i ~key:"k" ~value:v;
+                  B.start_service b i);
+            ];
+          B.cls ~name:"Ed" [ B.meth ~name:"onStartCommand" ~params:1 (fun b -> B.nop b) ];
+        ]
+  in
+  check "explicit intent not hijackable" false
+    (List.mem "intent_hijack" (kinds (analyze [ explicit ])))
+
+let launchable_app ~public () =
+  Apk.make
+    ~manifest:
+      (Manifest.make ~package:"l"
+         ~components:
+           [
+             (if public then
+                Component.make ~name:"L" ~kind:Component.Service
+                  ~intent_filters:[ Intent_filter.make ~actions:[ "do" ] () ]
+                  ()
+              else Component.make ~name:"L" ~kind:Component.Service ());
+           ]
+         ())
+    ~classes:
+      [
+        B.cls ~name:"L"
+          [
+            B.meth ~name:"onStartCommand" ~params:1 (fun b ->
+                let v = B.get_string_extra b 0 ~key:"cmd" in
+                B.write_log b ~payload:v);
+          ];
+      ]
+
+let test_service_launch_fires () =
+  check "service launch detected" true
+    (List.mem "service_launch" (kinds (analyze [ launchable_app ~public:true () ])))
+
+let test_private_component_safe () =
+  check "private component not launchable" false
+    (List.mem "service_launch" (kinds (analyze [ launchable_app ~public:false () ])))
+
+let test_privilege_escalation_guard () =
+  let vuln = analyze [ Test_ame.guarded_sms_apk false ] in
+  check "unguarded sms service escalates" true
+    (List.mem "privilege_escalation" (kinds vuln));
+  let safe = analyze [ Test_ame.guarded_sms_apk true ] in
+  check "guarded sms service safe" false
+    (List.mem "privilege_escalation" (kinds safe))
+
+let test_scenario_description () =
+  let report = analyze [ hijack_app () ] in
+  List.iter
+    (fun v ->
+      check "scenario described" true
+        (String.length v.Separ_ase.Ase.v_scenario.Scenario.sc_description > 0))
+    report.Separ_ase.Ase.r_vulnerabilities
+
+let test_plugin_registration () =
+  let before = List.length (Signatures.all ()) in
+  let dummy =
+    Signatures.
+      {
+        name = "always_unsat_plugin";
+        config = { Encode.with_mal_intent = false; with_mal_filter = false };
+        witnesses = [];
+        formula = (fun _ -> Separ_relog.Ast.False_f);
+        describe = (fun _ -> "never fires");
+      }
+  in
+  Signatures.register dummy;
+  check "registered" true (List.length (Signatures.all ()) = before + 1);
+  check "findable" true (Signatures.find "always_unsat_plugin" <> None);
+  (* and it never produces scenarios *)
+  let report =
+    Separ_ase.Ase.analyze
+      ~signatures:[ dummy ]
+      (Bundle.of_models [ Extract.extract (hijack_app ()) ])
+  in
+  check "no scenarios" true (report.Separ_ase.Ase.r_vulnerabilities = [])
+
+let tests =
+  [
+    Alcotest.test_case "relational resolution = runtime matching" `Quick
+      test_resolution_agreement;
+    Alcotest.test_case "kind compatibility" `Quick test_kind_compatibility;
+    Alcotest.test_case "hijack fires" `Quick test_hijack_fires;
+    Alcotest.test_case "hijack needs sensitive extras" `Quick
+      test_hijack_needs_sensitive_extras;
+    Alcotest.test_case "hijack needs implicit intent" `Quick
+      test_hijack_needs_implicit;
+    Alcotest.test_case "service launch fires" `Quick test_service_launch_fires;
+    Alcotest.test_case "private component safe" `Quick test_private_component_safe;
+    Alcotest.test_case "privilege escalation vs guard" `Quick
+      test_privilege_escalation_guard;
+    Alcotest.test_case "scenario descriptions" `Quick test_scenario_description;
+    Alcotest.test_case "plugin registration" `Quick test_plugin_registration;
+  ]
+
+(* --- meta-model consistency and Alloy emission ------------------------------- *)
+
+let bundle_of apks = Bundle.of_models (List.map Extract.extract apks)
+
+let test_meta_wellformedness () =
+  let bundles =
+    [
+      bundle_of [ Separ.Demo.navigation_app (); Separ.Demo.messenger_app () ];
+      bundle_of [ hijack_app () ];
+      bundle_of (List.concat_map (fun c -> c.Separ_suites.Case.apks)
+                   (Separ_suites.Table1.all_cases ()));
+    ]
+  in
+  List.iter
+    (fun bundle ->
+      let bundle = Bundle.update_passive_targets bundle in
+      List.iter
+        (fun config ->
+          let env = Encode.build ~config bundle in
+          Alcotest.(check (list string))
+            "no violated meta-model invariants" [] (Meta.check env))
+        [
+          { Encode.with_mal_intent = false; with_mal_filter = false };
+          { Encode.with_mal_intent = true; with_mal_filter = true };
+        ])
+    bundles
+
+let test_alloy_emission () =
+  let bundle =
+    bundle_of [ Separ.Demo.navigation_app (); Separ.Demo.messenger_app () ]
+  in
+  let text = Alloy_pp.bundle_spec bundle in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  check "meta-model header" true (contains "module androidDeclaration");
+  check "paper fact present" true (contains "fact IFandComponent");
+  check "app module" true (contains "App_com_example_navigation");
+  check "component sig" true (contains "one sig LocationFinder extends Service");
+  check "filter actions" true (contains "actions = showLoc");
+  check "path endpoints" true (contains "source = LOCATION")
+
+let meta_tests =
+  [
+    Alcotest.test_case "meta-model invariants hold on encodings" `Quick
+      test_meta_wellformedness;
+    Alcotest.test_case "Alloy-style emission" `Quick test_alloy_emission;
+  ]
+
+let tests = tests @ meta_tests

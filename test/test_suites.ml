@@ -1,0 +1,229 @@
+(* Tests for the benchmark suites and the Table I experiment.
+
+   The strongest check here is ground-truth validation: every case's
+   expected leaks are confirmed by *executing* the apps on the simulated
+   device and observing which tainted resources actually reach a sink —
+   so the suite's truth labels are facts about behaviour, not opinions.
+   Then the three analyzers are checked against their expected capability
+   profiles, and the aggregate Table I ordering is asserted. *)
+
+open Separ_runtime
+module Finding = Separ_baselines.Finding
+module Case = Separ_suites.Case
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let all_cases () = Separ_suites.Table1.all_cases ()
+
+let observed_leaked_resources (c : Case.t) =
+  let d = Device.create () in
+  List.iter (Device.install d) c.Case.apks;
+  c.Case.run d;
+  List.sort_uniq compare
+    (List.concat_map
+       (function
+         | Effect.Log_written { taint; _ } -> taint
+         | _ -> [])
+       (Device.effects d))
+
+(* one alcotest case per benchmark case, for failure isolation *)
+let ground_truth_tests =
+  List.map
+    (fun (c : Case.t) ->
+      Alcotest.test_case
+        (Printf.sprintf "ground truth at runtime: %s" c.Case.name)
+        `Quick
+        (fun () ->
+          let expected =
+            List.sort_uniq compare
+              (List.map (fun f -> f.Finding.resource) c.Case.truth)
+          in
+          let observed = observed_leaked_resources c in
+          Alcotest.(check (list string))
+            (c.Case.name ^ ": runtime confirms ground truth")
+            (List.map Separ_android.Resource.to_string expected)
+            (List.map Separ_android.Resource.to_string observed)))
+    (all_cases ())
+
+let test_case_counts () =
+  let cases = all_cases () in
+  check_int "23 DroidBench cases" 23
+    (List.length (List.filter (fun c -> c.Case.group = "DroidBench") cases));
+  check_int "9 ICC-Bench cases" 9
+    (List.length (List.filter (fun c -> c.Case.group = "ICC-Bench") cases));
+  check_int "2 extended authority cases" 2
+    (List.length (List.filter (fun c -> c.Case.group = "Extended") cases))
+
+let rows = lazy (Separ_suites.Table1.run ())
+
+let score_of tool (row : Separ_suites.Table1.row) =
+  List.assoc tool row.Separ_suites.Table1.cells
+
+let find_row name =
+  List.find
+    (fun r -> r.Separ_suites.Table1.case.Case.name = name)
+    (Lazy.force rows)
+
+(* the paper: SEPAR detects everything except the two dynamic-receiver
+   cases, with no false positives anywhere — one test per case *)
+let separ_cell_tests =
+  List.map
+    (fun (c : Case.t) ->
+      Alcotest.test_case
+        (Printf.sprintf "SEPAR cell: %s" c.Case.name)
+        `Slow
+        (fun () ->
+          let row = find_row c.Case.name in
+          let s = score_of "SEPAR" row in
+          let name = c.Case.name in
+          check_int (name ^ ": SEPAR has no false positives") 0 s.Finding.fp;
+          if
+            name = "DynRegisteredReceiver1" || name = "DynRegisteredReceiver2"
+          then check_int (name ^ ": SEPAR misses (documented)") 1 s.Finding.fn
+          else check_int (name ^ ": SEPAR finds all") 0 s.Finding.fn))
+    (all_cases ())
+
+let test_didfail_profile () =
+  (* explicit intents invisible *)
+  let s = score_of "DidFail" (find_row "Explicit_Src_Sink") in
+  check_int "DidFail misses explicit" 1 s.Finding.fn;
+  (* bound services unsupported *)
+  let s = score_of "DidFail" (find_row "ICC_bindService1") in
+  check_int "DidFail misses bind" 1 s.Finding.fn;
+  (* no reachability pruning: false alarm on dead code *)
+  let s = score_of "DidFail" (find_row "ICC_startActivity4") in
+  check "DidFail false positive on unreachable" true (s.Finding.fp >= 1);
+  (* no data test: decoy over-match *)
+  let s = score_of "DidFail" (find_row "ICC_startActivity2") in
+  check "DidFail decoy false positive" true (s.Finding.fp >= 1);
+  (* providers unsupported *)
+  let s = score_of "DidFail" (find_row "ICC_query1") in
+  check_int "DidFail misses providers" 1 s.Finding.fn;
+  (* but plain implicit broadcasts are found *)
+  let s = score_of "DidFail" (find_row "IAC_sendBroadcast1") in
+  check_int "DidFail finds broadcasts" 1 s.Finding.tp;
+  (* authority mismatch: no data test, so a spurious leak *)
+  let s = score_of "DidFail" (find_row "Authority_Mismatch") in
+  check "DidFail authority false positive" true (s.Finding.fp >= 1)
+
+let test_amandroid_profile () =
+  (* explicit intents supported *)
+  let s = score_of "AmanDroid" (find_row "Explicit_Src_Sink") in
+  check_int "AmanDroid finds explicit" 1 s.Finding.tp;
+  (* data tests supported: no decoy FP *)
+  let s = score_of "AmanDroid" (find_row "ICC_startActivity2") in
+  check_int "AmanDroid respects data test" 0 s.Finding.fp;
+  (* bound services unsupported *)
+  let s = score_of "AmanDroid" (find_row "ICC_bindService2") in
+  check_int "AmanDroid misses bind" 1 s.Finding.fn;
+  (* content providers unsupported *)
+  let s = score_of "AmanDroid" (find_row "ICC_insert1") in
+  check_int "AmanDroid misses providers" 1 s.Finding.fn;
+  (* result intents unsupported *)
+  let s = score_of "AmanDroid" (find_row "ICC_startActivityForResult1") in
+  check_int "AmanDroid misses result intents" 1 s.Finding.fn;
+  (* resolvable dynamic receivers supported *)
+  let s = score_of "AmanDroid" (find_row "DynRegisteredReceiver1") in
+  check_int "AmanDroid finds resolvable dynamic receiver" 1 s.Finding.tp;
+  (* unresolvable ones are not *)
+  let s = score_of "AmanDroid" (find_row "DynRegisteredReceiver2") in
+  check_int "AmanDroid misses unresolvable registration" 1 s.Finding.fn;
+  (* the full host test avoids the authority false positive *)
+  let s = score_of "AmanDroid" (find_row "Authority_Mismatch") in
+  check_int "AmanDroid respects the host test" 0 s.Finding.fp;
+  let s = score_of "AmanDroid" (find_row "Implicit_Authority") in
+  check_int "AmanDroid resolves authorities" 1 s.Finding.tp
+
+let test_aggregate_ordering () =
+  let totals = Separ_suites.Table1.totals (Lazy.force rows) in
+  let f tool = Finding.f_measure (List.assoc tool totals) in
+  let recall tool = Finding.recall (List.assoc tool totals) in
+  let precision tool = Finding.precision (List.assoc tool totals) in
+  check "SEPAR precision 100%" true (precision "SEPAR" = 1.0);
+  check "SEPAR recall > 90%" true (recall "SEPAR" > 0.9);
+  check "F: DidFail < AmanDroid" true (f "DidFail" < f "AmanDroid");
+  check "F: AmanDroid < SEPAR" true (f "AmanDroid" < f "SEPAR");
+  check "recall ordering" true
+    (recall "DidFail" < recall "AmanDroid" && recall "AmanDroid" < recall "SEPAR")
+
+let test_render_nonempty () =
+  let out = Separ_suites.Table1.render (Lazy.force rows) in
+  check "renders rows" true (String.length out > 500);
+  check "mentions precision" true
+    (String.split_on_char '\n' out
+    |> List.exists (fun l -> String.length l > 9 && String.sub l 0 9 = "Precision"))
+
+let tests =
+  [
+    Alcotest.test_case "case counts" `Quick test_case_counts;
+    Alcotest.test_case "DidFail capability profile" `Slow test_didfail_profile;
+    Alcotest.test_case "AmanDroid capability profile" `Slow
+      test_amandroid_profile;
+    Alcotest.test_case "aggregate ordering" `Slow test_aggregate_ordering;
+    Alcotest.test_case "table renders" `Slow test_render_nonempty;
+  ]
+
+(* --- FlowBench: the taint-precision suite -------------------------------------- *)
+
+module Flowbench = Separ_suites.Flowbench
+
+let test_flowbench_runtime_truth () =
+  List.iter
+    (fun (c : Flowbench.case) ->
+      check
+        (c.Flowbench.fb_name ^ ": runtime matches declared truth")
+        true
+        (Flowbench.runtime_verdict c = c.Flowbench.fb_truth))
+    (Flowbench.all ())
+
+let test_flowbench_analysis_verdicts () =
+  List.iter
+    (fun (c : Flowbench.case) ->
+      check
+        (c.Flowbench.fb_name ^ ": analysis verdict as expected")
+        true
+        (Flowbench.analysis_verdict c = c.Flowbench.fb_expected))
+    (Flowbench.all ())
+
+let test_flowbench_sound () =
+  (* no real leak is ever missed *)
+  List.iter
+    (fun (c : Flowbench.case) ->
+      if c.Flowbench.fb_truth = Flowbench.Leak then
+        check (c.Flowbench.fb_name ^ ": sound") true
+          (Flowbench.analysis_verdict c = Flowbench.Leak))
+    (Flowbench.all ())
+
+let flowbench_tests =
+  [
+    Alcotest.test_case "flowbench runtime truth" `Quick
+      test_flowbench_runtime_truth;
+    Alcotest.test_case "flowbench analysis verdicts" `Quick
+      test_flowbench_analysis_verdicts;
+    Alcotest.test_case "flowbench soundness" `Quick test_flowbench_sound;
+  ]
+
+(* per-case FlowBench tests, for failure isolation *)
+let flowbench_case_tests =
+  List.concat_map
+    (fun (c : Flowbench.case) ->
+      [
+        Alcotest.test_case
+          (Printf.sprintf "flowbench runtime: %s" c.Flowbench.fb_name)
+          `Quick
+          (fun () ->
+            check "runtime matches truth" true
+              (Flowbench.runtime_verdict c = c.Flowbench.fb_truth));
+        Alcotest.test_case
+          (Printf.sprintf "flowbench analysis: %s" c.Flowbench.fb_name)
+          `Quick
+          (fun () ->
+            check "analysis verdict as expected" true
+              (Flowbench.analysis_verdict c = c.Flowbench.fb_expected));
+      ])
+    (Flowbench.all ())
+
+let tests =
+  tests @ ground_truth_tests @ separ_cell_tests @ flowbench_tests
+  @ flowbench_case_tests

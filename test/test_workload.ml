@@ -1,0 +1,145 @@
+(* Tests for the synthetic workload generator: determinism, corpus
+   statistics, well-formedness of every generated app, and bundle
+   partitioning. *)
+
+open Separ_workload
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small_profiles =
+  List.map
+    (fun p -> { p with Generator.count = p.Generator.count / 40 })
+    Generator.default_profiles
+
+let expected_count =
+  List.fold_left (fun acc p -> acc + p.Generator.count) 0 small_profiles
+
+let corpus = lazy (Generator.generate ~profiles:small_profiles ())
+
+let test_determinism () =
+  let a = Generator.generate ~profiles:small_profiles () in
+  let b = Generator.generate ~profiles:small_profiles () in
+  check "same seed, same corpus" true (a = b);
+  let c = Generator.generate ~seed:99 ~profiles:small_profiles () in
+  check "different seed, different corpus" false (a = c)
+
+let test_counts_and_stores () =
+  let corpus = Lazy.force corpus in
+  check_int "expected corpus size" expected_count (List.length corpus);
+  let stores =
+    List.sort_uniq compare (List.map (fun g -> g.Generator.store) corpus)
+  in
+  Alcotest.(check (list string))
+    "all four stores" [ "bazaar"; "fdroid"; "malgenome"; "play" ] stores
+
+let test_all_apps_wellformed () =
+  List.iter
+    (fun g ->
+      let apk = g.Generator.apk in
+      Separ_dalvik.Apk.validate apk;
+      check "app has components" true
+        (apk.Separ_dalvik.Apk.manifest.Separ_android.Manifest.components <> []))
+    (Lazy.force corpus)
+
+let test_unique_packages_and_components () =
+  let corpus = Lazy.force corpus in
+  let pkgs = List.map (fun g -> Separ_dalvik.Apk.package g.Generator.apk) corpus in
+  check_int "unique packages" (List.length pkgs)
+    (List.length (List.sort_uniq compare pkgs));
+  let comps =
+    List.concat_map
+      (fun g ->
+        List.map
+          (fun c -> c.Separ_android.Component.name)
+          g.Generator.apk.Separ_dalvik.Apk.manifest
+            .Separ_android.Manifest.components)
+      corpus
+  in
+  check_int "unique component names across corpus" (List.length comps)
+    (List.length (List.sort_uniq compare comps))
+
+let test_sizes_vary () =
+  let sizes =
+    List.map (fun g -> Separ_dalvik.Apk.size g.Generator.apk) (Lazy.force corpus)
+  in
+  let lo = List.fold_left min max_int sizes in
+  let hi = List.fold_left max 0 sizes in
+  check "sizes spread" true (hi > 3 * lo)
+
+let test_injection_detected () =
+  (* every injected vulnerability is detectable by the pipeline when the
+     app is analyzed alone *)
+  let vulnerable =
+    List.filter (fun g -> g.Generator.injected <> []) (Lazy.force corpus)
+  in
+  check "some vulnerable apps in sample" true (List.length vulnerable > 0);
+  List.iter
+    (fun g ->
+      let analysis = Separ.analyze [ g.Generator.apk ] in
+      let kinds =
+        List.sort_uniq compare
+          (List.map
+             (fun v -> v.Separ_ase.Ase.v_kind)
+             analysis.Separ.report.Separ_ase.Ase.r_vulnerabilities)
+      in
+      List.iter
+        (fun inj ->
+          let expected =
+            match inj with
+            | Generator.Hijack -> "intent_hijack"
+            | Generator.Launch -> "service_launch"
+            | Generator.Privesc -> "privilege_escalation"
+            | Generator.Leak -> "information_leakage"
+          in
+          check
+            (Printf.sprintf "%s: injected %s detected"
+               (Separ_dalvik.Apk.package g.Generator.apk)
+               expected)
+            true (List.mem expected kinds))
+        g.Generator.injected)
+    vulnerable
+
+let test_clean_apps_mostly_clean () =
+  (* apps with no injected vulnerability produce no hijack/leak/privesc
+     findings when analyzed alone *)
+  let clean =
+    List.filteri
+      (fun i g -> i < 20 && g.Generator.injected = [])
+      (Lazy.force corpus)
+  in
+  List.iter
+    (fun g ->
+      let analysis = Separ.analyze [ g.Generator.apk ] in
+      let kinds =
+        List.map
+          (fun v -> v.Separ_ase.Ase.v_kind)
+          analysis.Separ.report.Separ_ase.Ase.r_vulnerabilities
+      in
+      check "clean app has no hijack" false (List.mem "intent_hijack" kinds);
+      check "clean app has no leak" false (List.mem "information_leakage" kinds);
+      check "clean app has no privesc" false
+        (List.mem "privilege_escalation" kinds))
+    clean
+
+let test_bundles () =
+  let corpus = Lazy.force corpus in
+  let n = List.length corpus in
+  let bundles = Generator.bundles ~size:30 corpus in
+  check_int "partition count" ((n + 29) / 30) (List.length bundles);
+  check_int "first bundle full" 30 (List.length (List.hd bundles));
+  check_int "total preserved" n
+    (List.fold_left (fun acc b -> acc + List.length b) 0 bundles)
+
+let tests =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "counts and stores" `Quick test_counts_and_stores;
+    Alcotest.test_case "all apps well-formed" `Quick test_all_apps_wellformed;
+    Alcotest.test_case "unique names" `Quick test_unique_packages_and_components;
+    Alcotest.test_case "size spread" `Quick test_sizes_vary;
+    Alcotest.test_case "injected vulnerabilities detectable" `Slow
+      test_injection_detected;
+    Alcotest.test_case "clean apps clean" `Slow test_clean_apps_mostly_clean;
+    Alcotest.test_case "bundle partitioning" `Quick test_bundles;
+  ]
