@@ -25,16 +25,11 @@ let header title =
   Printf.printf "%s\n" title;
   Printf.printf "==================================================\n%!"
 
-let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
-
-let percentile p xs =
-  let arr = Array.of_list (List.sort compare xs) in
-  let n = Array.length arr in
-  if n = 0 then 0.0 else arr.(min (n - 1) (int_of_float (p *. float_of_int n)))
-
-let stddev xs =
-  let m = mean xs in
-  sqrt (mean (List.map (fun x -> (x -. m) ** 2.0) xs))
+(* Descriptive statistics come from the shared implementation so every
+   table reports the same (nearest-rank) percentile estimator. *)
+let mean = Separ_report.Stats.mean
+let percentile = Separ_report.Stats.percentile
+let stddev = Separ_report.Stats.stddev
 
 (* --- Table I ---------------------------------------------------------------- *)
 
@@ -335,6 +330,9 @@ let run_rq4 () =
     "ICC-heavy workload (%d startService calls): overhead %.2f%% +- %.2f%% \
      at 95%% confidence\n"
     n_ops m ci;
+  Printf.printf "  p50 %.2f%%  p95 %.2f%%  p99 %.2f%%\n"
+    (percentile 0.50 overheads) (percentile 0.95 overheads)
+    (percentile 0.99 overheads);
   Printf.printf "(paper: 11.80%% +- 1.76%%)\n";
   (* non-ICC calls: hooks only intercept ICC, so overhead must vanish *)
   let cpu = rq4_non_icc_app 60000 in
@@ -365,8 +363,10 @@ let run_rq4 () =
   let cid = 1.96 *. stddev diffs /. sqrt (float_of_int reps) in
   Printf.printf
     "non-ICC workload: %.2f%% +- %.2f%% overhead (paper: no overhead on \
-     non-ICC calls)\n%!"
-    md cid
+     non-ICC calls)\n"
+    md cid;
+  Printf.printf "  p50 %.2f%%  p95 %.2f%%  p99 %.2f%%\n%!"
+    (percentile 0.50 diffs) (percentile 0.95 diffs) (percentile 0.99 diffs)
 
 (* --- the running example (E6) --------------------------------------------------- *)
 
@@ -550,6 +550,154 @@ let run_ablation_incremental () =
   Printf.printf "re-analysis after 1 app changed: %.2fs (%.1fx faster extraction+synthesis)\n%!"
     t_incr (t_full /. t_incr)
 
+(* --- solver benchmark (BENCH_solver.json) --------------------------------------- *)
+
+module Json = Separ_report.Json
+
+(* Pigeonhole principle: [p] pigeons in [h] holes — unsat when p > h.  A
+   classic conflict-heavy instance that exercises clause learning, learnt
+   minimization and database reduction. *)
+let pigeonhole p h =
+  let var pi hi = (pi * h) + hi + 1 in
+  let some_hole = List.init p (fun pi -> List.init h (fun hi -> var pi hi)) in
+  let no_share =
+    List.concat_map
+      (fun hi ->
+        let rec pairs = function
+          | [] -> []
+          | a :: rest ->
+              List.map (fun b -> [ -var a hi; -var b hi ]) rest @ pairs rest
+        in
+        pairs (List.init p Fun.id))
+      (List.init h Fun.id)
+  in
+  some_hole @ no_share
+
+let random_3sat rand nv nc =
+  List.init nc (fun _ ->
+      List.init 3 (fun _ ->
+          let v = 1 + Random.State.int rand nv in
+          if Random.State.bool rand then v else -v))
+
+(* The three solver kernels behind BENCH_solver.json:
+   - workload: the Table II kernel (encode + enumerate the demo bundle's
+     exploit scenarios across all signatures)
+   - pigeonhole: pure CDCL stress, guaranteed learnt-db churn
+   - enumeration: Aluminum-style minimal-model enumeration on random
+     3-SAT, exercising the shared activation literal *)
+let run_solver_bench ~mode () =
+  let module S = Separ_sat.Solver in
+  let t0 = Unix.gettimeofday () in
+  (* Table II workload: the demo bundle through the full ASE pipeline. *)
+  let models =
+    List.map Extract.extract [ Demo.navigation_app (); Demo.messenger_app () ]
+  in
+  let bundle = Bundle.of_models models in
+  let limit = if mode = "smoke" then 4 else 16 in
+  let report = Ase.analyze ~limit_per_sig:limit bundle in
+  (* Pigeonhole stress. *)
+  let php = S.create () in
+  List.iter (S.add_clause php) (pigeonhole 8 7);
+  let php_result = S.solve php in
+  let php_stats = S.stats_record php in
+  (* Minimal-model enumeration stress. *)
+  let rand = Random.State.make [| 2026 |] in
+  let nv = 40 in
+  let enum = S.create () in
+  List.iter (S.add_clause enum) (random_3sat rand nv 140);
+  let scenarios =
+    Separ_sat.Models.enumerate_minimal ~limit:24 enum
+      ~soft:(List.init nv (fun i -> i + 1))
+  in
+  let enum_stats = S.stats_record enum in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let solver = Separ_report.Report.of_solver_stats in
+  let json =
+    Json.Obj
+      [
+        ("mode", Json.Str mode);
+        ("elapsed_s", Json.Float elapsed);
+        ( "workload",
+          Json.Obj
+            [
+              ("construction_ms", Json.Float report.Ase.r_construction_ms);
+              ("solving_ms", Json.Float report.Ase.r_solving_ms);
+              ( "vulnerabilities",
+                Json.Int (List.length report.Ase.r_vulnerabilities) );
+              ("solver", solver report.Ase.r_solver);
+            ] );
+        ( "pigeonhole_8_7",
+          Json.Obj
+            [
+              ( "result",
+                Json.Str
+                  (match php_result with S.Sat -> "sat" | S.Unsat -> "unsat") );
+              ("solver", solver php_stats);
+            ] );
+        ( "enumeration",
+          Json.Obj
+            [
+              ("scenarios", Json.Int (List.length scenarios));
+              ("solver", solver enum_stats);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_solver.json" in
+  output_string oc (Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  let total f =
+    f report.Ase.r_solver + f php_stats + f enum_stats
+  in
+  Printf.printf
+    "solver kernels (%.1fs): %d conflicts, %d propagations, %d learnt-db \
+     reductions (%d clauses deleted), %d literals minimized, activation \
+     vars retired %d -> BENCH_solver.json\n%!"
+    elapsed
+    (total (fun s -> s.S.s_conflicts))
+    (total (fun s -> s.S.s_propagations))
+    (total (fun s -> s.S.s_db_reductions))
+    (total (fun s -> s.S.s_learnts_deleted))
+    (total (fun s -> s.S.s_lits_minimized))
+    (total (fun s -> s.S.s_act_retired));
+  (report, php_result, php_stats, scenarios, enum_stats)
+
+(* Fast correctness/perf gate for `dune runtest`: fails (exit 1) when the
+   solver stops reducing its learnt database, stops terminating the
+   stress kernels in a sane number of conflicts, or leaks activation
+   variables again. *)
+let run_smoke () =
+  header "Smoke: solver kernels + demo-bundle synthesis (tier-1 gate)";
+  let module S = Separ_sat.Solver in
+  let report, php_result, php_stats, scenarios, enum_stats =
+    run_solver_bench ~mode:"smoke" ()
+  in
+  let failures = ref [] in
+  let expect cond msg = if not cond then failures := msg :: !failures in
+  expect (php_result = S.Unsat) "pigeonhole 8/7 must be unsat";
+  expect
+    (php_stats.S.s_db_reductions > 0)
+    "learnt-db reductions did not fire on the pigeonhole stress";
+  expect
+    (php_stats.S.s_conflicts < 500_000)
+    "pigeonhole 8/7 took an absurd number of conflicts";
+  expect
+    (php_stats.S.s_lits_minimized > 0)
+    "learnt-clause minimization removed no literals";
+  expect
+    (report.Ase.r_vulnerabilities <> [])
+    "demo bundle produced no exploit scenarios";
+  expect (scenarios <> []) "enumeration kernel produced no scenarios";
+  expect
+    (enum_stats.S.s_act_live = 0
+    && enum_stats.S.s_act_retired <= List.length scenarios + 1)
+    "activation literals leak again (one per shrink round?)";
+  match !failures with
+  | [] -> Printf.printf "smoke: all solver gates passed\n%!"
+  | fs ->
+      List.iter (fun f -> Printf.printf "smoke FAILURE: %s\n" f) fs;
+      exit 1
+
 (* --- Bechamel kernels ---------------------------------------------------------- *)
 
 let run_kernels () =
@@ -607,7 +755,9 @@ let run_kernels () =
           | _ -> Printf.printf "%-26s (no estimate)\n" name)
         stats)
     tests;
-  Printf.printf "%!"
+  Printf.printf "%!";
+  (* Solver counters for the same pipeline, persisted for trend tracking. *)
+  ignore (run_solver_bench ~mode:"kernels" ())
 
 (* --- driver ----------------------------------------------------------------------- *)
 
@@ -623,6 +773,7 @@ let () =
     go args
   in
   let all = List.length args <= 1 || has "all" in
+  if has "--smoke" then run_smoke ();
   if all || has "table1" then run_table1 ();
   if all || has "flowbench" then run_flowbench ();
   if all || has "scenario" then run_scenario ();

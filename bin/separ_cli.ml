@@ -39,7 +39,14 @@ let analyze_cmd =
       & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
       & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json")
   in
-  let run paths out limit format =
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print CDCL solver counters (conflicts, learnt-db \
+                reductions, minimized literals, ...) to stderr")
+  in
+  let run paths out limit format stats =
     let apks = load_apks paths in
     let analysis = Separ.analyze ~limit_per_sig:limit apks in
     (match format with
@@ -48,6 +55,17 @@ let analyze_cmd =
         print_endline
           (Separ_report.Report.to_string ~report:analysis.Separ.report
              ~policies:analysis.Separ.policies ()));
+    if stats then begin
+      let s = analysis.Separ.report.Separ_ase.Ase.r_solver in
+      let open Separ_sat.Solver in
+      Fmt.epr
+        "solver: vars=%d clauses=%d conflicts=%d decisions=%d props=%d \
+         restarts=%d learnt-db: peak=%d reductions=%d deleted=%d \
+         minimized-lits=%d activation-vars: live=%d retired=%d@."
+        s.s_vars s.s_clauses s.s_conflicts s.s_decisions s.s_propagations
+        s.s_restarts s.s_peak_learnts s.s_db_reductions s.s_learnts_deleted
+        s.s_lits_minimized s.s_act_live s.s_act_retired
+    end;
     match out with
     | Some path ->
         let oc = open_out path in
@@ -61,7 +79,7 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Analyze a bundle and synthesize policies")
-    Term.(const run $ paths $ out $ limit $ format)
+    Term.(const run $ paths $ out $ limit $ format $ stats)
 
 let extract_cmd =
   let path =

@@ -25,6 +25,8 @@ type report = {
   r_solving_ms : float;      (* SAT search (Table II) *)
   r_vars : int;
   r_clauses : int;
+  r_solver : Separ_sat.Solver.stats_record;
+  (* CDCL counters aggregated over all signatures' solver sessions *)
 }
 
 (* The device components implicated in a scenario: component witnesses,
@@ -91,6 +93,7 @@ let analyze ?(signatures = Signatures.all ()) ?(limit_per_sig = 16)
   let bundle = Bundle.update_passive_targets bundle in
   let construction = ref 0.0 and solving = ref 0.0 in
   let vars = ref 0 and clauses = ref 0 in
+  let solver_totals = ref Separ_sat.Solver.empty_stats in
   let vulnerabilities =
     List.concat_map
       (fun sig_ ->
@@ -99,6 +102,8 @@ let analyze ?(signatures = Signatures.all ()) ?(limit_per_sig = 16)
         solving := !solving +. stats.Solve.solving_ms;
         vars := !vars + stats.Solve.n_vars;
         clauses := !clauses + stats.Solve.n_clauses;
+        solver_totals :=
+          Separ_sat.Solver.sum_stats !solver_totals stats.Solve.solver;
         List.map
           (fun sc ->
             {
@@ -116,6 +121,7 @@ let analyze ?(signatures = Signatures.all ()) ?(limit_per_sig = 16)
     r_solving_ms = !solving;
     r_vars = !vars;
     r_clauses = !clauses;
+    r_solver = !solver_totals;
   }
 
 (* Apps having at least one vulnerability of the given kind. *)
@@ -137,13 +143,20 @@ let vulnerable_apps report bundle kind =
        report.r_vulnerabilities)
 
 let pp_report ppf r =
+  let s = r.r_solver in
   Fmt.pf ppf
     "@[<v>bundle: %d apps, %d components, %d intents, %d filters@,\
-     %d vulnerabilities (construction %.1f ms, solving %.1f ms)@,%a@]"
+     %d vulnerabilities (construction %.1f ms, solving %.1f ms)@,\
+     solver: %d conflicts, %d propagations, %d restarts; learnt db: \
+     peak %d, %d reductions, %d deleted, %d literals minimized@,%a@]"
     r.r_stats.Bundle.n_apps r.r_stats.Bundle.n_components
     r.r_stats.Bundle.n_intents r.r_stats.Bundle.n_intent_filters
     (List.length r.r_vulnerabilities)
     r.r_construction_ms r.r_solving_ms
+    s.Separ_sat.Solver.s_conflicts s.Separ_sat.Solver.s_propagations
+    s.Separ_sat.Solver.s_restarts s.Separ_sat.Solver.s_peak_learnts
+    s.Separ_sat.Solver.s_db_reductions s.Separ_sat.Solver.s_learnts_deleted
+    s.Separ_sat.Solver.s_lits_minimized
     Fmt.(
       list ~sep:cut (fun ppf v ->
           pf ppf "- [%s] %s (components: %a)" v.v_kind

@@ -20,6 +20,9 @@ type report = {
   r_solving_ms : float;       (** SAT search (Table II) *)
   r_vars : int;
   r_clauses : int;
+  r_solver : Separ_sat.Solver.stats_record;
+      (** CDCL counters (conflicts, learnt-db reductions, minimized
+          literals, ...) aggregated over all signatures *)
 }
 
 (** The device components implicated in a scenario. *)

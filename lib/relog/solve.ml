@@ -15,6 +15,7 @@ type stats = {
   n_vars : int;
   n_clauses : int;
   n_gates : int;
+  solver : Separ_sat.Solver.stats_record;
 }
 
 type session = {
@@ -52,6 +53,7 @@ let prepare problem =
         n_vars = Separ_sat.Solver.n_vars solver;
         n_clauses = Separ_sat.Solver.n_clauses solver;
         n_gates = Circuit.gate_count translation.Translate.circuit;
+        solver = Separ_sat.Solver.stats_record solver;
       };
   }
 
@@ -81,7 +83,11 @@ let next ?(minimal = true) session =
             Sat (decode session))
   in
   session.stats <-
-    { session.stats with solving_ms = session.stats.solving_ms +. ms };
+    {
+      session.stats with
+      solving_ms = session.stats.solving_ms +. ms;
+      solver = Separ_sat.Solver.stats_record session.solver;
+    };
   result
 
 (* Exclude all extensions of the current instance's free choices. *)

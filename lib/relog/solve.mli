@@ -15,6 +15,9 @@ type stats = {
   n_vars : int;
   n_clauses : int;
   n_gates : int;
+  solver : Separ_sat.Solver.stats_record;
+      (** CDCL counters (conflicts, learnt-db reductions, ...), snapshotted
+          after each solve *)
 }
 
 (** A prepared problem: translation done, solver loaded. *)

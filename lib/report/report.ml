@@ -69,6 +69,27 @@ let of_vulnerability (v : Ase.vulnerability) =
       ("scenario", of_scenario v.Ase.v_scenario);
     ]
 
+(* CDCL solver counters, shared between the analysis report and the
+   solver benchmark (BENCH_solver.json). *)
+let of_solver_stats (s : Separ_sat.Solver.stats_record) =
+  let open Separ_sat.Solver in
+  Json.Obj
+    [
+      ("variables", Json.Int s.s_vars);
+      ("clauses", Json.Int s.s_clauses);
+      ("learnts", Json.Int s.s_learnts);
+      ("peak_learnts", Json.Int s.s_peak_learnts);
+      ("conflicts", Json.Int s.s_conflicts);
+      ("decisions", Json.Int s.s_decisions);
+      ("propagations", Json.Int s.s_propagations);
+      ("restarts", Json.Int s.s_restarts);
+      ("db_reductions", Json.Int s.s_db_reductions);
+      ("learnts_deleted", Json.Int s.s_learnts_deleted);
+      ("literals_minimized", Json.Int s.s_lits_minimized);
+      ("activation_vars_live", Json.Int s.s_act_live);
+      ("activation_vars_retired", Json.Int s.s_act_retired);
+    ]
+
 let of_stats (s : Bundle.stats) =
   Json.Obj
     [
@@ -90,12 +111,7 @@ let of_analysis ~(report : Ase.report) ~(policies : Policy.t list) =
             ("construction", Json.Float report.Ase.r_construction_ms);
             ("solving", Json.Float report.Ase.r_solving_ms);
           ] );
-      ( "solver",
-        Json.Obj
-          [
-            ("variables", Json.Int report.Ase.r_vars);
-            ("clauses", Json.Int report.Ase.r_clauses);
-          ] );
+      ("solver", of_solver_stats report.Ase.r_solver);
       ( "vulnerabilities",
         Json.List (List.map of_vulnerability report.Ase.r_vulnerabilities) );
       ("policies", Json.List (List.map of_policy policies));

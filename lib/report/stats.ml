@@ -1,0 +1,22 @@
+(* Shared descriptive statistics for the benchmark harnesses (Fig. 5
+   latency tables, RQ4 overhead tables).  One implementation so every
+   table reports the same estimator. *)
+
+let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  let m = mean xs in
+  sqrt (mean (List.map (fun x -> (x -. m) ** 2.0) xs))
+
+(* Nearest-rank percentile: the smallest sample x such that at least
+   [p * n] samples are <= x, i.e. index [ceil (p * n) - 1] of the sorted
+   data.  (Truncating [p * n] instead — the old implementation — selects
+   one rank too low whenever [p * n] is not integral, under-reporting
+   p95/p99.) *)
+let percentile p xs =
+  let arr = Array.of_list (List.sort compare xs) in
+  let n = Array.length arr in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    arr.(max 0 (min (n - 1) rank))

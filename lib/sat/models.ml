@@ -12,15 +12,36 @@ let split_soft solver soft =
    minimal w.r.t. the set of true [soft] variables (no model exists whose
    true-set is a strict subset).  Returns the final true-set.
 
+   All shrink rounds of one call share a single activation literal (from
+   the solver's activation session): successive rounds only ever add
+   already-falsified variables to the assumption set, so earlier rounds'
+   shrink clauses are satisfied by the assumptions and need not be retired
+   one by one.  The literal is released (unit [-act]) once the minimum is
+   reached, so an enumeration retires exactly one variable per scenario
+   instead of one per shrink round.
+
    [extra] are assumptions to maintain throughout (e.g. blocking
    activation literals from an enclosing enumeration). *)
 let minimize ?(extra = []) solver ~soft =
+  let reestablish trues falses =
+    (* Retire the activation literal first (it adds a clause, invalidating
+       the model), then re-establish the minimal model as the current
+       assignment so callers can decode it. *)
+    Solver.retire_activation solver;
+    let assumptions =
+      trues @ List.map (fun v -> -v) falses @ extra
+    in
+    match Solver.solve ~assumptions solver with
+    | Solver.Sat -> trues
+    | Solver.Unsat -> assert false
+  in
   let rec shrink trues falses =
     match trues with
-    | [] -> []
+    | [] -> reestablish [] falses
     | _ ->
-        (* Activation literal guards the temporary "shrink" clause. *)
-        let act = Solver.new_var solver in
+        (* The session activation literal guards the temporary "shrink"
+           clause: some currently-true soft variable must turn false. *)
+        let act = Solver.activation_var solver in
         Solver.add_clause solver (-act :: List.map (fun v -> -v) trues);
         let assumptions =
           (act :: List.map (fun v -> -v) falses) @ extra
@@ -28,19 +49,8 @@ let minimize ?(extra = []) solver ~soft =
         (match Solver.solve ~assumptions solver with
         | Solver.Sat ->
             let trues', falses' = split_soft solver (trues @ falses) in
-            Solver.add_clause solver [ -act ];
             shrink trues' falses'
-        | Solver.Unsat ->
-            Solver.add_clause solver [ -act ];
-            (* Re-establish the minimal model as the current assignment. *)
-            let assumptions =
-              List.map (fun v -> v) trues
-              @ List.map (fun v -> -v) falses
-              @ extra
-            in
-            (match Solver.solve ~assumptions solver with
-            | Solver.Sat -> trues
-            | Solver.Unsat -> assert false))
+        | Solver.Unsat -> reestablish trues falses)
   in
   let trues, falses = split_soft solver soft in
   shrink trues falses

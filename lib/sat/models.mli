@@ -6,7 +6,13 @@
     one whose set of true [soft] variables is minimal (no model has a
     strict subset).  Returns the final true-set; the solver is left with
     that model established.  [extra] assumptions are maintained
-    throughout. *)
+    throughout.
+
+    All shrink rounds of one call share a single solver activation
+    literal, which is released (via the unit clause [-act]) once the
+    minimum is reached — an enumeration retires one activation variable
+    per scenario rather than one per shrink round; see
+    {!Solver.activation_counts}. *)
 val minimize :
   ?extra:int list -> Solver.t -> soft:int list -> int list
 

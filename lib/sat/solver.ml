@@ -1,8 +1,9 @@
 (* A CDCL SAT solver: two-watched-literal propagation, first-UIP conflict
-   analysis with clause learning, VSIDS-style variable activities with a
-   binary heap, phase saving, and Luby-sequence restarts.  Incremental use
-   is supported through solve-time assumptions; clauses may be added
-   between calls.
+   analysis with clause learning and learnt-clause minimization, VSIDS-style
+   variable activities with a binary heap, clause activities with periodic
+   learnt-database reduction, phase saving, and Luby-sequence restarts.
+   Incremental use is supported through solve-time assumptions; clauses may
+   be added between calls.
 
    The external interface uses DIMACS conventions: variables are positive
    integers obtained from [new_var], a literal is [+v] or [-v]. *)
@@ -10,6 +11,7 @@
 type clause = {
   mutable lits : int array; (* internal literal encoding, see {!Lit} *)
   learnt : bool;
+  mutable activity : float; (* clause activity; learnt clauses only *)
 }
 
 type lbool = LTrue | LFalse | LUndef
@@ -29,15 +31,24 @@ type t = {
   mutable qhead : int;                     (* propagation queue head *)
   mutable nvars : int;
   heap : Heap.t;                           (* decision heap, max-activity *)
-  mutable var_inc : float;                 (* activity increment *)
+  mutable var_inc : float;                 (* variable activity increment *)
+  mutable cla_inc : float;                 (* clause activity increment *)
+  mutable learnt_limit : int;              (* learnt-db capacity; 0 = unset *)
   mutable ok : bool;                       (* false once trivially unsat *)
+  mutable model_valid : bool;              (* last operation was a Sat solve *)
+  mutable act_live : int;                  (* live activation var, 0 = none *)
+  mutable n_act_retired : int;             (* retired activation vars *)
   mutable n_conflicts : int;
   mutable n_decisions : int;
   mutable n_propagations : int;
   mutable n_restarts : int;
+  mutable n_reduce_db : int;               (* learnt-db reductions performed *)
+  mutable n_learnts_deleted : int;         (* clauses dropped by reduce_db *)
+  mutable n_lits_minimized : int;          (* literals removed by ccmin *)
+  mutable peak_learnts : int;              (* high-water mark of the db *)
 }
 
-let dummy_clause = { lits = [||]; learnt = false }
+let dummy_clause = { lits = [||]; learnt = false; activity = 0.0 }
 
 let create () =
   {
@@ -56,11 +67,20 @@ let create () =
     nvars = 0;
     heap = Heap.create ();
     var_inc = 1.0;
+    cla_inc = 1.0;
+    learnt_limit = 0;
     ok = true;
+    model_valid = false;
+    act_live = 0;
+    n_act_retired = 0;
     n_conflicts = 0;
     n_decisions = 0;
     n_propagations = 0;
     n_restarts = 0;
+    n_reduce_db = 0;
+    n_learnts_deleted = 0;
+    n_lits_minimized = 0;
+    peak_learnts = 0;
   }
 
 let n_vars t = t.nvars
@@ -118,6 +138,15 @@ let var_bump t v =
 
 let var_decay t = t.var_inc <- t.var_inc /. 0.95
 
+let cla_bump t (c : clause) =
+  c.activity <- c.activity +. t.cla_inc;
+  if c.activity > 1e20 then begin
+    Vec.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) t.learnts;
+    t.cla_inc <- t.cla_inc *. 1e-20
+  end
+
+let cla_decay t = t.cla_inc <- t.cla_inc /. 0.999
+
 (* Enqueue literal [l] as true, with optional antecedent. *)
 let enqueue t l reason =
   let v = Lit.var l in
@@ -147,6 +176,61 @@ let cancel_until t lvl =
 let attach t c =
   Vec.push t.watches.(Lit.negate c.lits.(0)) c;
   Vec.push t.watches.(Lit.negate c.lits.(1)) c
+
+(* Remove a clause from the watch lists of its two watched literals. *)
+let detach t c =
+  let remove_from l =
+    let ws = t.watches.(Lit.negate l) in
+    let rec find i =
+      if i < Vec.size ws then
+        if Vec.get ws i == c then Vec.swap_remove ws i else find (i + 1)
+    in
+    find 0
+  in
+  remove_from c.lits.(0);
+  remove_from c.lits.(1)
+
+(* A clause is locked while it is the antecedent of its asserting literal
+   (position 0 holds the implied literal for as long as it is assigned:
+   propagation only ever swaps the newly-false literal into position 1). *)
+let locked t c =
+  Array.length c.lits > 0
+  &&
+  match t.reason.(Lit.var c.lits.(0)) with
+  | Some c' -> c' == c
+  | None -> false
+
+(* Record a freshly learnt clause (>= 2 literals) in the database. *)
+let new_learnt t lits =
+  let c = { lits; learnt = true; activity = 0.0 } in
+  cla_bump t c;
+  Vec.push t.learnts c;
+  if Vec.size t.learnts > t.peak_learnts then
+    t.peak_learnts <- Vec.size t.learnts;
+  attach t c;
+  c
+
+(* Delete the colder half of the learnt database, ordered by clause
+   activity.  Locked clauses (current antecedents) and binary learnts are
+   never deleted: locked clauses back live trail literals, and binaries
+   are cheap to keep and expensive to re-learn. *)
+let reduce_db t =
+  t.n_reduce_db <- t.n_reduce_db + 1;
+  let n = Vec.size t.learnts in
+  let arr = Array.init n (Vec.get t.learnts) in
+  Array.sort
+    (fun (a : clause) (b : clause) -> compare a.activity b.activity)
+    arr;
+  Vec.clear t.learnts;
+  Array.iteri
+    (fun i c ->
+      if Array.length c.lits <= 2 || locked t c || i >= n / 2 then
+        Vec.push t.learnts c
+      else begin
+        detach t c;
+        t.n_learnts_deleted <- t.n_learnts_deleted + 1
+      end)
+    arr
 
 exception Conflict of clause
 
@@ -199,7 +283,10 @@ let propagate t =
   with Conflict c -> Some c
 
 (* First-UIP conflict analysis.  Returns the learnt clause (with the
-   asserting literal first) and the backtrack level. *)
+   asserting literal first) and the backtrack level.  Before the clause is
+   returned it is shortened by self-subsumption (MiniSat's local "ccmin"):
+   a literal whose antecedent is fully covered by the remaining clause and
+   level-0 facts resolves away without weakening the clause. *)
 let analyze t confl =
   let learnt = Vec.create 0 in
   Vec.push learnt 0 (* placeholder for asserting literal *);
@@ -212,6 +299,7 @@ let analyze t confl =
     let c =
       match !confl with Some c -> c | None -> assert false
     in
+    if c.learnt then cla_bump t c;
     let start = if !p = -1 then 0 else 1 in
     for j = start to Array.length c.lits - 1 do
       let q = c.lits.(j) in
@@ -237,26 +325,47 @@ let analyze t confl =
     if !path <= 0 then continue := false
   done;
   Vec.set learnt 0 (Lit.negate !p);
+  (* Self-subsumption pass: at this point [seen] holds exactly the vars of
+     learnt.(1..); a literal is redundant iff every other literal of its
+     antecedent is already in the clause or false at level 0. *)
+  let redundant q =
+    match t.reason.(Lit.var q) with
+    | None -> false
+    | Some c ->
+        let ok = ref true in
+        for k = 1 to Array.length c.lits - 1 do
+          let v = Lit.var c.lits.(k) in
+          if (not t.seen.(v)) && t.level.(v) > 0 then ok := false
+        done;
+        !ok
+  in
+  let keep = Vec.create 0 in
+  Vec.push keep (Vec.get learnt 0);
+  for i = 1 to Vec.size learnt - 1 do
+    let q = Vec.get learnt i in
+    if redundant q then t.n_lits_minimized <- t.n_lits_minimized + 1
+    else Vec.push keep q
+  done;
   (* Compute backtrack level: the max level among the other literals. *)
   let blevel = ref 0 in
   let swap_pos = ref 1 in
-  for i = 1 to Vec.size learnt - 1 do
-    let lv = t.level.(Lit.var (Vec.get learnt i)) in
+  for i = 1 to Vec.size keep - 1 do
+    let lv = t.level.(Lit.var (Vec.get keep i)) in
     if lv > !blevel then begin
       blevel := lv;
       swap_pos := i
     end
   done;
-  if Vec.size learnt > 1 then begin
-    let tmp = Vec.get learnt 1 in
-    Vec.set learnt 1 (Vec.get learnt !swap_pos);
-    Vec.set learnt !swap_pos tmp
+  if Vec.size keep > 1 then begin
+    let tmp = Vec.get keep 1 in
+    Vec.set keep 1 (Vec.get keep !swap_pos);
+    Vec.set keep !swap_pos tmp
   end;
-  (* Clear seen flags. *)
+  (* Clear seen flags, including vars of minimized-away literals. *)
   for i = 0 to Vec.size learnt - 1 do
     t.seen.(Lit.var (Vec.get learnt i)) <- false
   done;
-  (Array.init (Vec.size learnt) (Vec.get learnt), !blevel)
+  (Array.init (Vec.size keep) (Vec.get keep), !blevel)
 
 (* Add a clause given in internal literal encoding.  Performs top-level
    simplification: removes duplicate/false literals, detects tautologies. *)
@@ -290,7 +399,7 @@ let add_clause_internal t lits =
               if propagate t <> None then t.ok <- false
             end
         | _ ->
-            let c = { lits = Array.of_list lits; learnt = false } in
+            let c = { lits = Array.of_list lits; learnt = false; activity = 0.0 } in
             Vec.push t.clauses c;
             attach t c
     end
@@ -298,9 +407,10 @@ let add_clause_internal t lits =
 
 (* Public clause interface: DIMACS-style signed integers.  Adding a clause
    invalidates the current model: the solver backtracks to the root level
-   so the clause can be simplified against level-0 facts only.  Callers
-   must read model values before adding clauses. *)
+   so the clause can be simplified against level-0 facts only.  Model
+   values must be read before clauses are added. *)
 let add_clause t lits =
+  t.model_valid <- false;
   cancel_until t 0;
   List.iter
     (fun i ->
@@ -311,6 +421,25 @@ let add_clause t lits =
       done)
     lits;
   add_clause_internal t (List.map Lit.of_int lits)
+
+(* Activation-literal support for assumption-guarded temporary clauses
+   (used by {!Models.minimize}).  At most one activation variable is live;
+   retiring it adds the unit clause [-act], permanently satisfying every
+   clause it guards, and the next acquisition allocates a fresh one. *)
+let activation_var t =
+  if t.act_live = 0 then t.act_live <- new_var t;
+  t.act_live
+
+let retire_activation t =
+  if t.act_live <> 0 then begin
+    let act = t.act_live in
+    t.act_live <- 0;
+    t.n_act_retired <- t.n_act_retired + 1;
+    add_clause t [ -act ]
+  end
+
+let activation_counts t =
+  ((if t.act_live = 0 then 0 else 1), t.n_act_retired)
 
 (* Luby restart sequence, following the classical MiniSat formulation. *)
 let luby y x =
@@ -340,6 +469,8 @@ type result = Sat | Unsat
 
 exception Unsat_exc
 
+let set_learnt_limit t n = t.learnt_limit <- max 1 n
+
 (* The CDCL search loop.  [assumptions] are internal literals decided first,
    in order; a conflict forcing their negation yields Unsat. *)
 let search t assumptions =
@@ -358,39 +489,21 @@ let search t assumptions =
           (* number of assumption decisions currently on the trail *)
           min (decision_level t) (List.length assumptions)
         in
+        cancel_until t blevel;
+        let c =
+          if Array.length learnt = 1 then None
+          else Some (new_learnt t learnt)
+        in
         if blevel < n_assumed then begin
           (* The learnt clause is asserting below an assumption level:
              check whether it contradicts the assumptions. *)
-          cancel_until t blevel;
-          let c =
-            if Array.length learnt = 1 then None
-            else begin
-              let c = { lits = learnt; learnt = true } in
-              Vec.push t.learnts c;
-              attach t c;
-              Some c
-            end
-          in
           if value_lit t learnt.(0) = LFalse then raise Unsat_exc;
-          if value_lit t learnt.(0) = LUndef then enqueue t learnt.(0) c;
-          var_decay t;
-          loop ()
+          if value_lit t learnt.(0) = LUndef then enqueue t learnt.(0) c
         end
-        else begin
-          cancel_until t blevel;
-          let c =
-            if Array.length learnt = 1 then None
-            else begin
-              let c = { lits = learnt; learnt = true } in
-              Vec.push t.learnts c;
-              attach t c;
-              Some c
-            end
-          in
-          enqueue t learnt.(0) c;
-          var_decay t;
-          loop ()
-        end
+        else enqueue t learnt.(0) c;
+        var_decay t;
+        cla_decay t;
+        loop ()
     | None ->
         if !conflicts_budget <= 0 then begin
           (* Restart: keep assumptions, drop other decisions. *)
@@ -402,6 +515,12 @@ let search t assumptions =
           loop ()
         end
         else begin
+          (* Learnt-database housekeeping: when the database outgrows its
+             (slowly growing) capacity, drop the cold half. *)
+          if Vec.size t.learnts - Vec.size t.trail >= t.learnt_limit then begin
+            reduce_db t;
+            t.learnt_limit <- t.learnt_limit + (t.learnt_limit / 10) + 1
+          end;
           (* Re-establish assumptions as the first decisions. *)
           let dl = decision_level t in
           let rec assume i = function
@@ -438,12 +557,17 @@ let search t assumptions =
   loop ()
 
 let solve ?(assumptions = []) t =
+  t.model_valid <- false;
   if not t.ok then Unsat
   else begin
+    if t.learnt_limit = 0 then
+      t.learnt_limit <- max 100 (Vec.size t.clauses / 3);
     let assumptions = List.map Lit.of_int assumptions in
     cancel_until t 0;
     match search t assumptions with
-    | Sat -> Sat
+    | Sat ->
+        t.model_valid <- true;
+        Sat
     | Unsat -> Unsat
     | exception Unsat_exc ->
         cancel_until t 0;
@@ -451,18 +575,99 @@ let solve ?(assumptions = []) t =
         Unsat
   end
 
-(* Model access: valid only right after [solve] returned [Sat] and before
-   the next mutation. *)
+(* Model access: valid only while the last operation was a [solve] that
+   returned [Sat]; adding a clause (which backtracks to the root level)
+   or an Unsat solve invalidates the assignment. *)
 let value t v =
   if v < 1 || v > t.nvars then invalid_arg "Solver.value";
+  if not t.model_valid then
+    invalid_arg "Solver.value: no model (last operation was not a Sat solve)";
   match t.assigns.(v - 1) with
   | LTrue -> true
   | LFalse -> false
   | LUndef -> false (* unconstrained variables default to false *)
 
-let model t = Array.init t.nvars (fun i -> value t (i + 1))
+let model t =
+  if not t.model_valid then
+    invalid_arg "Solver.model: no model (last operation was not a Sat solve)";
+  Array.init t.nvars (fun i -> value t (i + 1))
+
+type stats_record = {
+  s_vars : int;
+  s_clauses : int;
+  s_learnts : int;
+  s_peak_learnts : int;
+  s_conflicts : int;
+  s_decisions : int;
+  s_propagations : int;
+  s_restarts : int;
+  s_db_reductions : int;
+  s_learnts_deleted : int;
+  s_lits_minimized : int;
+  s_act_live : int;
+  s_act_retired : int;
+}
+
+let stats_record t =
+  let live, retired = activation_counts t in
+  {
+    s_vars = t.nvars;
+    s_clauses = Vec.size t.clauses;
+    s_learnts = Vec.size t.learnts;
+    s_peak_learnts = t.peak_learnts;
+    s_conflicts = t.n_conflicts;
+    s_decisions = t.n_decisions;
+    s_propagations = t.n_propagations;
+    s_restarts = t.n_restarts;
+    s_db_reductions = t.n_reduce_db;
+    s_learnts_deleted = t.n_learnts_deleted;
+    s_lits_minimized = t.n_lits_minimized;
+    s_act_live = live;
+    s_act_retired = retired;
+  }
+
+let empty_stats =
+  {
+    s_vars = 0;
+    s_clauses = 0;
+    s_learnts = 0;
+    s_peak_learnts = 0;
+    s_conflicts = 0;
+    s_decisions = 0;
+    s_propagations = 0;
+    s_restarts = 0;
+    s_db_reductions = 0;
+    s_learnts_deleted = 0;
+    s_lits_minimized = 0;
+    s_act_live = 0;
+    s_act_retired = 0;
+  }
+
+(* Aggregate statistics across solvers: counters add, high-water marks
+   take the maximum. *)
+let sum_stats a b =
+  {
+    s_vars = a.s_vars + b.s_vars;
+    s_clauses = a.s_clauses + b.s_clauses;
+    s_learnts = a.s_learnts + b.s_learnts;
+    s_peak_learnts = max a.s_peak_learnts b.s_peak_learnts;
+    s_conflicts = a.s_conflicts + b.s_conflicts;
+    s_decisions = a.s_decisions + b.s_decisions;
+    s_propagations = a.s_propagations + b.s_propagations;
+    s_restarts = a.s_restarts + b.s_restarts;
+    s_db_reductions = a.s_db_reductions + b.s_db_reductions;
+    s_learnts_deleted = a.s_learnts_deleted + b.s_learnts_deleted;
+    s_lits_minimized = a.s_lits_minimized + b.s_lits_minimized;
+    s_act_live = a.s_act_live + b.s_act_live;
+    s_act_retired = a.s_act_retired + b.s_act_retired;
+  }
 
 let stats t =
-  Printf.sprintf "vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d props=%d restarts=%d"
-    t.nvars (Vec.size t.clauses) (Vec.size t.learnts) t.n_conflicts
-    t.n_decisions t.n_propagations t.n_restarts
+  let s = stats_record t in
+  Printf.sprintf
+    "vars=%d clauses=%d learnts=%d (peak %d) conflicts=%d decisions=%d \
+     props=%d restarts=%d reduce_db=%d deleted=%d minimized_lits=%d \
+     act_vars=%d+%d"
+    s.s_vars s.s_clauses s.s_learnts s.s_peak_learnts s.s_conflicts
+    s.s_decisions s.s_propagations s.s_restarts s.s_db_reductions
+    s.s_learnts_deleted s.s_lits_minimized s.s_act_live s.s_act_retired

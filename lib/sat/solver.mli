@@ -1,5 +1,7 @@
 (** A CDCL SAT solver: two-watched-literal propagation, first-UIP clause
-    learning, VSIDS decision heuristic, phase saving and Luby restarts.
+    learning with learnt-clause minimization, VSIDS decision heuristic,
+    activity-ordered learnt-database reduction, phase saving and Luby
+    restarts.
 
     The interface uses DIMACS conventions: variables are positive integers
     allocated by {!new_var}; a literal is [+v] or [-v].  The solver is
@@ -25,16 +27,64 @@ val add_clause : t -> int list -> unit
     [assumptions] (literals forced true for this call only). *)
 val solve : ?assumptions:int list -> t -> result
 
-(** Model value of a variable; meaningful only immediately after {!solve}
-    returned {!Sat}.  Unconstrained variables read as [false]. *)
+(** Model value of a variable.  Raises [Invalid_argument] unless the last
+    operation on the solver was a {!solve} that returned {!Sat}: adding a
+    clause or an Unsat solve invalidates the model.  Unconstrained
+    variables read as [false]. *)
 val value : t -> int -> bool
 
-(** The full model, indexed by [var - 1]. *)
+(** The full model, indexed by [var - 1].  Raises [Invalid_argument]
+    unless the last operation was a {!solve} that returned {!Sat}. *)
 val model : t -> bool array
+
+(** The session's activation variable for assumption-guarded temporary
+    clauses, allocating one if none is live.  Used by [Models.minimize];
+    at most one activation variable is live at a time. *)
+val activation_var : t -> int
+
+(** Retire the live activation variable, if any: adds the unit clause
+    [-act] (permanently satisfying every clause it guards, and
+    invalidating the current model).  The next {!activation_var} call
+    allocates a fresh variable. *)
+val retire_activation : t -> unit
+
+(** [(live, retired)] activation-variable counts: [live] is 0 or 1. *)
+val activation_counts : t -> int * int
+
+(** Set the initial learnt-database capacity (before growth); primarily
+    for tests and benchmarks.  A tiny limit forces frequent reductions, a
+    huge one disables them.  Must be called before the first {!solve} to
+    override the default of [max 100 (n_clauses / 3)]. *)
+val set_learnt_limit : t -> int -> unit
 
 val n_vars : t -> int
 val n_clauses : t -> int
 val n_conflicts : t -> int
+
+(** Structured solver statistics. *)
+type stats_record = {
+  s_vars : int;
+  s_clauses : int;           (** problem clauses *)
+  s_learnts : int;           (** learnt clauses currently in the database *)
+  s_peak_learnts : int;      (** learnt-database high-water mark *)
+  s_conflicts : int;
+  s_decisions : int;
+  s_propagations : int;
+  s_restarts : int;
+  s_db_reductions : int;     (** times {e reduce_db} fired *)
+  s_learnts_deleted : int;   (** learnt clauses deleted by reductions *)
+  s_lits_minimized : int;    (** literals removed by learnt minimization *)
+  s_act_live : int;          (** live activation variables (0 or 1) *)
+  s_act_retired : int;       (** retired activation variables *)
+}
+
+val stats_record : t -> stats_record
+
+(** All-zero record, the unit of {!sum_stats}. *)
+val empty_stats : stats_record
+
+(** Aggregate two records: counters add, high-water marks take the max. *)
+val sum_stats : stats_record -> stats_record -> stats_record
 
 (** One-line statistics summary (variables, clauses, conflicts, ...). *)
 val stats : t -> string

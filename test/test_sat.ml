@@ -151,6 +151,166 @@ let test_block_superset () =
   Models.block_superset s ~trues:[ 2 ];
   check "all supersets blocked" true (Solver.solve s = Solver.Unsat)
 
+let test_assumption_prefix_conflict () =
+  (* conflicts at or below the assumption prefix (the [blevel < n_assumed]
+     path in search) must yield Unsat without corrupting the solver *)
+  let s = Solver.create () in
+  Solver.add_clause s [ -1; -2 ];
+  check "conflicting assumption pair" true
+    (Solver.solve ~assumptions:[ 1; 2 ] s = Solver.Unsat);
+  check "longer prefix, conflict below the last assumption" true
+    (Solver.solve ~assumptions:[ 3; 1; 2; 4 ] s = Solver.Unsat);
+  check "consistent prefix still sat" true
+    (Solver.solve ~assumptions:[ 1 ] s = Solver.Sat);
+  check "assumption forces the other side" true
+    (Solver.value s 2 = false);
+  check "solver still sat without assumptions" true
+    (Solver.solve s = Solver.Sat);
+  (* deeper: the learnt clause asserts below an assumption level *)
+  let s = Solver.create () in
+  Solver.add_clause s [ -2; -3 ];
+  Solver.add_clause s [ -1; 4 ];
+  check "conflict below prefix end" true
+    (Solver.solve ~assumptions:[ 1; 2; 3 ] s = Solver.Unsat);
+  check "dropping one assumption restores sat" true
+    (Solver.solve ~assumptions:[ 1; 2 ] s = Solver.Sat);
+  check "implied by first assumption" true (Solver.value s 4)
+
+let test_solve_add_resolve () =
+  (* solve -> add clause -> re-solve sequences keep models and learnt
+     state consistent *)
+  let s = Solver.create () in
+  Solver.add_clause s [ 1; 2; 3 ];
+  check "sat" true (Solver.solve s = Solver.Sat);
+  Solver.add_clause s [ -1 ];
+  check "sat after -1" true (Solver.solve s = Solver.Sat);
+  check "model respects -1" false (Solver.value s 1);
+  Solver.add_clause s [ -2 ];
+  check "sat after -2" true (Solver.solve s = Solver.Sat);
+  check "3 forced" true (Solver.value s 3);
+  Solver.add_clause s [ -3 ];
+  check "unsat after all blocked" true (Solver.solve s = Solver.Unsat);
+  check "unsat is sticky" true (Solver.solve s = Solver.Unsat)
+
+let test_model_staleness () =
+  let s = Solver.create () in
+  Solver.add_clause s [ 1; 2 ];
+  check "sat" true (Solver.solve s = Solver.Sat);
+  ignore (Solver.value s 1);
+  Solver.add_clause s [ -1 ];
+  check "value raises after add_clause" true
+    (match Solver.value s 1 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check "model raises after add_clause" true
+    (match Solver.model s with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check "re-solve re-validates" true (Solver.solve s = Solver.Sat);
+  check "fresh model readable" true (Solver.value s 2);
+  check "unsat solve invalidates too" true
+    (Solver.solve ~assumptions:[ 1 ] s = Solver.Unsat
+    &&
+    match Solver.model s with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_reduce_db_under_pressure () =
+  (* With a pathologically small learnt limit the database is reduced
+     constantly; results must still agree with the reference solver, and
+     no live antecedent may ever be deleted (a deleted antecedent shows up
+     as wrong models or crashes in analyze). *)
+  let rand = Random.State.make [| 23 |] in
+  let reductions = ref 0 in
+  for _ = 1 to 200 do
+    (* strict 3-lit clauses near the phase transition: short random
+       clauses propagate too eagerly to ever grow the learnt db past the
+       trail, so reduction would never trigger on them *)
+    let nv = 12 + Random.State.int rand 6 in
+    let nc = nv * 9 / 2 in
+    let clauses =
+      List.init nc (fun _ ->
+          List.init 3 (fun _ ->
+              let v = 1 + Random.State.int rand nv in
+              if Random.State.bool rand then v else -v))
+    in
+    let s = Solver.create () in
+    Solver.set_learnt_limit s 2;
+    List.iter (Solver.add_clause s) clauses;
+    let r = Solver.solve s in
+    let expected = Reference.satisfiable clauses in
+    check "agrees with reference under db pressure" expected (r = Solver.Sat);
+    if r = Solver.Sat then
+      check "model valid under db pressure" true
+        (Reference.check_model (Solver.model s) clauses);
+    reductions := !reductions + (Solver.stats_record s).Solver.s_db_reductions
+  done;
+  check "reductions actually fired" true (!reductions > 0)
+
+let test_reduce_db_keeps_antecedents () =
+  (* pigeonhole with an aggressive limit: unsat must survive heavy churn *)
+  let var p h = (p * 5) + h + 1 in
+  let clauses =
+    List.init 6 (fun p -> List.init 5 (fun h -> var p h))
+    @ List.concat_map
+        (fun h ->
+          List.concat_map
+            (fun a ->
+              List.filter_map
+                (fun b ->
+                  if b > a then Some [ -var a h; -var b h ] else None)
+                (List.init 6 Fun.id))
+            (List.init 6 Fun.id))
+        (List.init 5 Fun.id)
+  in
+  let s = Solver.create () in
+  Solver.set_learnt_limit s 1;
+  List.iter (Solver.add_clause s) clauses;
+  check "pigeonhole 6-5 unsat under reduction" true
+    (Solver.solve s = Solver.Unsat);
+  let st = Solver.stats_record s in
+  check "reductions fired" true (st.Solver.s_db_reductions > 0);
+  check "clauses were deleted" true (st.Solver.s_learnts_deleted > 0)
+
+let test_enumeration_reduction_invariant () =
+  (* enumerate_minimal must return identical scenario sets whether the
+     learnt database is reduced aggressively or never (seed-for-seed) *)
+  let rand = Random.State.make [| 31 |] in
+  let canon models =
+    List.sort compare (List.map (List.sort compare) models)
+  in
+  for _ = 1 to 40 do
+    let nv = 4 + Random.State.int rand 5 in
+    let clauses = random_clauses rand nv (8 + Random.State.int rand 25) in
+    let soft = List.init nv (fun i -> i + 1) in
+    (* exhaustive enumeration: the full antichain of minimal models is
+       order-independent, so it must not depend on db-reduction policy *)
+    let run limit =
+      let s = Solver.create () in
+      Solver.set_learnt_limit s limit;
+      List.iter (Solver.add_clause s) clauses;
+      Models.enumerate_minimal s ~soft
+    in
+    let reduced = run 1 and unreduced = run max_int in
+    Alcotest.(check (list (list int)))
+      "same minimal scenarios with and without reduction" (canon unreduced)
+      (canon reduced)
+  done
+
+let test_minimize_activation_reuse () =
+  (* one activation variable per minimize call, all retired at the end *)
+  let s = Solver.create () in
+  Solver.add_clause s [ 1; 2 ];
+  Solver.add_clause s [ 3; 4 ];
+  let models = Models.enumerate_minimal s ~soft:[ 1; 2; 3; 4 ] in
+  check "several scenarios" true (List.length models >= 2);
+  let live, retired = Solver.activation_counts s in
+  check_int "no live activation var" 0 live;
+  check "at most one retirement per scenario" true
+    (retired <= List.length models);
+  check_int "only activation vars were allocated" (4 + retired)
+    (Solver.n_vars s)
+
 let test_dimacs_roundtrip () =
   let p = Dimacs.{ n_vars = 4; clauses = [ [ 1; -2 ]; [ 3; 4 ]; [ -1 ] ] } in
   let p' = Dimacs.parse_string (Dimacs.to_string p) in
@@ -162,6 +322,32 @@ let test_dimacs_comments () =
   let p = Dimacs.parse_string "c a comment\np cnf 3 2\n1 -2 0\n3 0\n" in
   check_int "vars" 3 p.Dimacs.n_vars;
   check_int "clauses" 2 (List.length p.Dimacs.clauses)
+
+let test_dimacs_whitespace () =
+  (* tabs, CRLF line ends and runs of blanks are all legal separators *)
+  let p = Dimacs.parse_string "p\tcnf  3 2\r\n1\t-2  0\r\n3\t0\r\n" in
+  check_int "vars" 3 p.Dimacs.n_vars;
+  Alcotest.(check (list (list int)))
+    "clauses" [ [ 1; -2 ]; [ 3 ] ] p.Dimacs.clauses;
+  (* a clause-count mismatch in the header warns but still parses *)
+  let p = Dimacs.parse_string "p cnf 3 7\n1 2 0\n" in
+  check_int "mismatched header tolerated" 1 (List.length p.Dimacs.clauses)
+
+let qcheck_dimacs_roundtrip =
+  QCheck.Test.make ~name:"DIMACS print/parse round-trips" ~count:200
+    QCheck.(small_list (small_list (int_range (-9) 9)))
+    (fun raw ->
+      let clauses =
+        List.map (List.filter (fun l -> l <> 0)) raw
+      in
+      let n_vars =
+        List.fold_left
+          (List.fold_left (fun acc l -> max acc (abs l)))
+          0 clauses
+      in
+      let p = Dimacs.{ n_vars; clauses } in
+      let p' = Dimacs.parse_string (Dimacs.to_string p) in
+      p'.Dimacs.n_vars = n_vars && p'.Dimacs.clauses = clauses)
 
 let qcheck_solver_agrees =
   QCheck.Test.make ~name:"solver agrees with DPLL reference on random CNF"
@@ -197,11 +383,26 @@ let tests =
     Alcotest.test_case "assumptions" `Quick test_assumptions;
     Alcotest.test_case "incremental add" `Quick test_incremental_add;
     Alcotest.test_case "add clause after model" `Quick test_add_clause_after_model;
+    Alcotest.test_case "assumption prefix conflict" `Quick
+      test_assumption_prefix_conflict;
+    Alcotest.test_case "solve-add-resolve sequences" `Quick
+      test_solve_add_resolve;
+    Alcotest.test_case "model staleness" `Quick test_model_staleness;
+    Alcotest.test_case "reduce_db under pressure" `Slow
+      test_reduce_db_under_pressure;
+    Alcotest.test_case "reduce_db keeps antecedents" `Quick
+      test_reduce_db_keeps_antecedents;
+    Alcotest.test_case "enumeration invariant under reduction" `Slow
+      test_enumeration_reduction_invariant;
+    Alcotest.test_case "minimize reuses activation literal" `Quick
+      test_minimize_activation_reuse;
     Alcotest.test_case "differential vs reference" `Slow test_differential;
     Alcotest.test_case "minimize properties" `Slow test_minimize_properties;
     Alcotest.test_case "enumerate minimal" `Quick test_enumerate_minimal;
     Alcotest.test_case "block superset" `Quick test_block_superset;
     Alcotest.test_case "dimacs round trip" `Quick test_dimacs_roundtrip;
     Alcotest.test_case "dimacs comments" `Quick test_dimacs_comments;
+    Alcotest.test_case "dimacs whitespace" `Quick test_dimacs_whitespace;
     QCheck_alcotest.to_alcotest qcheck_solver_agrees;
+    QCheck_alcotest.to_alcotest qcheck_dimacs_roundtrip;
   ]
