@@ -19,6 +19,9 @@
 
 open Separ
 module Generator = Separ_workload.Generator
+module Trace = Separ_obs.Trace
+module Metrics = Separ_obs.Metrics
+module Telemetry = Separ_report.Telemetry
 
 let header title =
   Printf.printf "\n==================================================\n";
@@ -26,20 +29,24 @@ let header title =
   Printf.printf "==================================================\n%!"
 
 (* Descriptive statistics come from the shared implementation so every
-   table reports the same (nearest-rank) percentile estimator. *)
+   table reports the same (nearest-rank) percentile estimator.  The
+   confidence intervals use the sample (n-1) standard deviation and
+   Student-t critical values — the paper's ±1.76% is a t-interval, and z
+   = 1.96 with a population stddev understates the interval at n = 33. *)
 let mean = Separ_report.Stats.mean
 let percentile = Separ_report.Stats.percentile
-let stddev = Separ_report.Stats.stddev
+let ci95 = Separ_report.Stats.ci95_halfwidth
 
 (* --- Table I ---------------------------------------------------------------- *)
 
 let run_table1 () =
   header "Table I: ICC vulnerability detection (DroidBench 2.0 + ICC-Bench)";
-  let t0 = Unix.gettimeofday () in
-  let rows = Separ_suites.Table1.run () in
+  let rows, elapsed_ms =
+    Trace.timed "bench.table1" (fun () -> Separ_suites.Table1.run ())
+  in
   print_string (Separ_suites.Table1.render rows);
   Printf.printf "\n(paper: DidFail 55/37/44, AmanDroid 86/48/63, SEPAR 100/97/98)\n";
-  Printf.printf "elapsed: %.1fs\n%!" (Unix.gettimeofday () -. t0)
+  Printf.printf "elapsed: %.1fs\n%!" (elapsed_ms /. 1000.0)
 
 (* --- shared corpus ------------------------------------------------------------ *)
 
@@ -55,33 +62,38 @@ let run_rq2 ~bundles:n_bundles () =
   let bundles = Generator.bundles ~size:50 corpus in
   let chosen = List.filteri (fun i _ -> i < n_bundles) bundles in
   let tally : (string * string, unit) Hashtbl.t = Hashtbl.create 256 in
-  let t0 = Unix.gettimeofday () in
-  List.iteri
-    (fun bi bundle_apps ->
-      let models =
-        List.map (fun g -> Extract.extract g.Generator.apk) bundle_apps
-      in
-      let bundle = Bundle.of_models models in
-      let report = Ase.analyze ~limit_per_sig:40 bundle in
-      List.iter
-        (fun v ->
-          let kind =
-            match v.Ase.v_kind with
-            | "activity_launch" | "service_launch" -> "Activity/Service launch"
-            | "intent_hijack" -> "Intent hijack"
-            | "information_leakage" -> "Information leakage"
-            | "privilege_escalation" -> "Privilege escalation"
-            | k -> k
-          in
-          List.iter
-            (fun app -> Hashtbl.replace tally (kind, app) ())
-            (Ase.vulnerable_apps report bundle v.Ase.v_kind))
-        report.Ase.r_vulnerabilities;
-      if (bi + 1) mod 10 = 0 then
-        Printf.printf "  ... %d/%d bundles (%.0fs)\n%!" (bi + 1)
-          (List.length chosen)
-          (Unix.gettimeofday () -. t0))
-    chosen;
+  let (), total_ms =
+    Trace.timed "bench.rq2" (fun () ->
+        let t0 = Unix.gettimeofday () in
+        List.iteri
+          (fun bi bundle_apps ->
+            Trace.with_span "bench.rq2.bundle" (fun () ->
+                let models =
+                  List.map (fun g -> Extract.extract g.Generator.apk) bundle_apps
+                in
+                let bundle = Bundle.of_models models in
+                let report = Ase.analyze ~limit_per_sig:40 bundle in
+                List.iter
+                  (fun v ->
+                    let kind =
+                      match v.Ase.v_kind with
+                      | "activity_launch" | "service_launch" ->
+                          "Activity/Service launch"
+                      | "intent_hijack" -> "Intent hijack"
+                      | "information_leakage" -> "Information leakage"
+                      | "privilege_escalation" -> "Privilege escalation"
+                      | k -> k
+                    in
+                    List.iter
+                      (fun app -> Hashtbl.replace tally (kind, app) ())
+                      (Ase.vulnerable_apps report bundle v.Ase.v_kind))
+                  report.Ase.r_vulnerabilities);
+            if (bi + 1) mod 10 = 0 then
+              Printf.printf "  ... %d/%d bundles (%.0fs)\n%!" (bi + 1)
+                (List.length chosen)
+                (Unix.gettimeofday () -. t0))
+          chosen)
+  in
   let count kind =
     Hashtbl.fold (fun (k, _) () acc -> if k = kind then acc + 1 else acc) tally 0
   in
@@ -100,7 +112,7 @@ let run_rq2 ~bundles:n_bundles () =
       ("Information leakage", 128);
       ("Privilege escalation", 36);
     ];
-  Printf.printf "elapsed: %.1fs\n%!" (Unix.gettimeofday () -. t0)
+  Printf.printf "elapsed: %.1fs\n%!" (total_ms /. 1000.0)
 
 (* --- Figure 5 ------------------------------------------------------------------ *)
 
@@ -109,16 +121,16 @@ let run_fig5 ~apps:n_apps () =
     (Printf.sprintf "Figure 5: model extraction time vs app size (%d apps)"
        n_apps);
   let corpus = List.filteri (fun i _ -> i < n_apps) (Lazy.force corpus) in
-  let t0 = Unix.gettimeofday () in
-  let samples =
-    List.map
-      (fun g ->
-        let model = Extract.extract g.Generator.apk in
-        (g.Generator.store, model.App_model.am_size,
-         model.App_model.am_extraction_ms))
-      corpus
+  let samples, total_ms =
+    Trace.timed "bench.fig5" (fun () ->
+        List.map
+          (fun g ->
+            let model = Extract.extract g.Generator.apk in
+            (g.Generator.store, model.App_model.am_size,
+             model.App_model.am_extraction_ms))
+          corpus)
   in
-  let total_s = Unix.gettimeofday () -. t0 in
+  let total_s = total_ms /. 1000.0 in
   (* per-store series *)
   Printf.printf "%-12s %6s %10s %10s %10s\n" "store" "apps" "mean size"
     "mean ms" "p95 ms";
@@ -173,17 +185,21 @@ let run_table2 ~bundles:n_bundles () =
   let rows =
     List.map
       (fun bundle_apps ->
-        let models =
-          List.map (fun g -> Extract.extract g.Generator.apk) bundle_apps
-        in
-        let bundle = Bundle.of_models models in
-        let report = Ase.analyze ~limit_per_sig:40 bundle in
-        let st = report.Ase.r_stats in
-        ( float_of_int st.Bundle.n_components,
-          float_of_int st.Bundle.n_intents,
-          float_of_int st.Bundle.n_intent_filters,
-          report.Ase.r_construction_ms /. 1000.0,
-          report.Ase.r_solving_ms /. 1000.0 ))
+        Trace.with_span "bench.table2.bundle" (fun () ->
+            let models =
+              List.map (fun g -> Extract.extract g.Generator.apk) bundle_apps
+            in
+            let bundle = Bundle.of_models models in
+            let report = Ase.analyze ~limit_per_sig:40 bundle in
+            let st = report.Ase.r_stats in
+            Trace.add_attr "construction_ms"
+              (Trace.Float report.Ase.r_construction_ms);
+            Trace.add_attr "solving_ms" (Trace.Float report.Ase.r_solving_ms);
+            ( float_of_int st.Bundle.n_components,
+              float_of_int st.Bundle.n_intents,
+              float_of_int st.Bundle.n_intent_filters,
+              report.Ase.r_construction_ms /. 1000.0,
+              report.Ase.r_solving_ms /. 1000.0 )))
       chosen
   in
   let avg f = mean (List.map f rows) in
@@ -290,9 +306,12 @@ let time_run apk ~pkg ~component ~enforcement ~policies =
     Device.set_policies d policies [ "bench.icc"; "bench.cpu" ];
     Device.set_enforcement d true
   end;
-  let t0 = Unix.gettimeofday () in
-  Device.start_component d ~pkg ~component;
-  Unix.gettimeofday () -. t0
+  let (), ms =
+    Trace.timed "bench.rq4.launch"
+      ~attrs:[ Trace.attr_bool "enforcement" enforcement ]
+      (fun () -> Device.start_component d ~pkg ~component)
+  in
+  ms /. 1000.0
 
 let run_rq4 () =
   header "RQ4: policy enforcement overhead (33 repetitions, 95% CI)";
@@ -323,9 +342,9 @@ let run_rq4 () =
           100.0 *. (hooked -. base) /. base)
   in
   let m = mean overheads in
-  let ci =
-    1.96 *. stddev overheads /. sqrt (float_of_int (List.length overheads))
-  in
+  (* t(n-1) * s_{n-1} / sqrt n: the paper's ±1.76% is a Student-t
+     interval, not a z interval over the population stddev *)
+  let ci = ci95 overheads in
   Printf.printf
     "ICC-heavy workload (%d startService calls): overhead %.2f%% +- %.2f%% \
      at 95%% confidence\n"
@@ -360,7 +379,7 @@ let run_rq4 () =
           100.0 *. (hooked -. base) /. base)
   in
   let md = mean diffs in
-  let cid = 1.96 *. stddev diffs /. sqrt (float_of_int reps) in
+  let cid = ci95 diffs in
   Printf.printf
     "non-ICC workload: %.2f%% +- %.2f%% overhead (paper: no overhead on \
      non-ICC calls)\n"
@@ -504,21 +523,23 @@ let run_ablation_pruning () =
   (* warm up allocator and caches so measurement order does not matter *)
   ignore (Extract.extract (List.hd sample).Generator.apk);
   let measure all_methods =
-    let t0 = Unix.gettimeofday () in
-    let n_facts =
-      List.fold_left
-        (fun acc g ->
-          let m = Extract.extract ~all_methods g.Generator.apk in
-          acc
-          + List.fold_left
-              (fun acc c ->
-                acc
-                + List.length c.App_model.cm_paths
-                + List.length c.App_model.cm_intents)
-              0 m.App_model.am_components)
-        0 sample
+    let n_facts, ms =
+      Trace.timed "bench.ablation_pruning"
+        ~attrs:[ Trace.attr_bool "all_methods" all_methods ]
+        (fun () ->
+          List.fold_left
+            (fun acc g ->
+              let m = Extract.extract ~all_methods g.Generator.apk in
+              acc
+              + List.fold_left
+                  (fun acc c ->
+                    acc
+                    + List.length c.App_model.cm_paths
+                    + List.length c.App_model.cm_intents)
+                  0 m.App_model.am_components)
+            0 sample)
     in
-    (Unix.gettimeofday () -. t0, n_facts)
+    (ms /. 1000.0, n_facts)
   in
   let t_pruned, f_pruned = measure false in
   let t_all, f_all = measure true in
@@ -538,14 +559,17 @@ let run_ablation_incremental () =
     List.filteri (fun i _ -> i < 50) (Lazy.force corpus)
     |> List.map (fun g -> g.Generator.apk)
   in
-  let t0 = Unix.gettimeofday () in
-  let analysis = analyze bundle_apps in
-  let t_full = Unix.gettimeofday () -. t0 in
+  let analysis, full_ms =
+    Trace.timed "bench.incremental.full" (fun () -> analyze bundle_apps)
+  in
+  let t_full = full_ms /. 1000.0 in
   (* one app is updated (same package, new code) *)
   let changed = List.hd bundle_apps in
-  let t0 = Unix.gettimeofday () in
-  let _ = reanalyze analysis ~changed:[ changed ] in
-  let t_incr = Unix.gettimeofday () -. t0 in
+  let _, incr_ms =
+    Trace.timed "bench.incremental.reanalyze" (fun () ->
+        reanalyze analysis ~changed:[ changed ])
+  in
+  let t_incr = incr_ms /. 1000.0 in
   Printf.printf "full analysis of 50 apps:        %.2fs\n" t_full;
   Printf.printf "re-analysis after 1 app changed: %.2fs (%.1fx faster extraction+synthesis)\n%!"
     t_incr (t_full /. t_incr)
@@ -587,36 +611,57 @@ let random_3sat rand nv nc =
      3-SAT, exercising the shared activation literal *)
 let run_solver_bench ~mode () =
   let module S = Separ_sat.Solver in
-  let t0 = Unix.gettimeofday () in
-  (* Table II workload: the demo bundle through the full ASE pipeline. *)
-  let models =
-    List.map Extract.extract [ Demo.navigation_app (); Demo.messenger_app () ]
+  (* The solver bench always runs with telemetry on so BENCH_solver.json
+     carries its per-phase breakdown; previous state is restored on the
+     way out so [--smoke] under `dune runtest` leaves no residue. *)
+  let was_tracing = Trace.is_enabled () and was_metrics = Metrics.is_enabled () in
+  Trace.enable ();
+  Metrics.enable ();
+  let (report, php_result, php_stats, scenarios, enum_stats), elapsed_ms =
+    Trace.timed "bench.solver" (fun () ->
+        (* Table II workload: the demo bundle through the full ASE
+           pipeline. *)
+        let report =
+          Trace.with_span "bench.solver.workload" (fun () ->
+              let models =
+                List.map Extract.extract
+                  [ Demo.navigation_app (); Demo.messenger_app () ]
+              in
+              let bundle = Bundle.of_models models in
+              let limit = if mode = "smoke" then 4 else 16 in
+              Ase.analyze ~limit_per_sig:limit bundle)
+        in
+        (* Pigeonhole stress. *)
+        let php_result, php_stats =
+          Trace.with_span "bench.solver.pigeonhole" (fun () ->
+              let php = S.create () in
+              List.iter (S.add_clause php) (pigeonhole 8 7);
+              let r = S.solve php in
+              (r, S.stats_record php))
+        in
+        (* Minimal-model enumeration stress. *)
+        let scenarios, enum_stats =
+          Trace.with_span "bench.solver.enumeration" (fun () ->
+              let rand = Random.State.make [| 2026 |] in
+              let nv = 40 in
+              let enum = S.create () in
+              List.iter (S.add_clause enum) (random_3sat rand nv 140);
+              let scenarios =
+                Separ_sat.Models.enumerate_minimal ~limit:24 enum
+                  ~soft:(List.init nv (fun i -> i + 1))
+              in
+              (scenarios, S.stats_record enum))
+        in
+        (report, php_result, php_stats, scenarios, enum_stats))
   in
-  let bundle = Bundle.of_models models in
-  let limit = if mode = "smoke" then 4 else 16 in
-  let report = Ase.analyze ~limit_per_sig:limit bundle in
-  (* Pigeonhole stress. *)
-  let php = S.create () in
-  List.iter (S.add_clause php) (pigeonhole 8 7);
-  let php_result = S.solve php in
-  let php_stats = S.stats_record php in
-  (* Minimal-model enumeration stress. *)
-  let rand = Random.State.make [| 2026 |] in
-  let nv = 40 in
-  let enum = S.create () in
-  List.iter (S.add_clause enum) (random_3sat rand nv 140);
-  let scenarios =
-    Separ_sat.Models.enumerate_minimal ~limit:24 enum
-      ~soft:(List.init nv (fun i -> i + 1))
-  in
-  let enum_stats = S.stats_record enum in
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = elapsed_ms /. 1000.0 in
   let solver = Separ_report.Report.of_solver_stats in
   let json =
     Json.Obj
       [
         ("mode", Json.Str mode);
         ("elapsed_s", Json.Float elapsed);
+        ("telemetry", Telemetry.telemetry_json ());
         ( "workload",
           Json.Obj
             [
@@ -646,6 +691,8 @@ let run_solver_bench ~mode () =
   output_string oc (Json.to_string json);
   output_string oc "\n";
   close_out oc;
+  if not was_tracing then Trace.disable ();
+  if not was_metrics then Metrics.disable ();
   let total f =
     f report.Ase.r_solver + f php_stats + f enum_stats
   in
@@ -696,6 +743,113 @@ let run_smoke () =
   | [] -> Printf.printf "smoke: all solver gates passed\n%!"
   | fs ->
       List.iter (fun f -> Printf.printf "smoke FAILURE: %s\n" f) fs;
+      exit 1
+
+(* --- telemetry smoke (tier-1 gate) ---------------------------------------- *)
+
+(* Runs the §V running example with tracing on and fails (exit 1) when
+   the observability layer regresses: empty span tree, non-monotone
+   timestamps, children escaping their parent span, a missing pipeline
+   phase, a SAT-span total that disagrees with the reported solving
+   time, or a Chrome-trace export that no longer parses. *)
+let run_telemetry_smoke () =
+  header "Telemetry smoke: span tree + Chrome-trace export (tier-1 gate)";
+  Trace.enable ();
+  Metrics.enable ();
+  Trace.reset ();
+  Metrics.reset ();
+  let analysis = analyze [ Demo.navigation_app (); Demo.messenger_app () ] in
+  let failures = ref [] in
+  let expect cond msg = if not cond then failures := msg :: !failures in
+  expect
+    (vulnerabilities analysis <> [])
+    "running example produced no vulnerabilities";
+  let roots = Trace.roots () in
+  expect (roots <> []) "span tree is empty with tracing enabled";
+  (* structural checks: non-negative durations, children contained in
+     their parent, sibling start times monotone *)
+  let rec check_span (sp : Trace.span) =
+    expect (sp.Trace.sp_dur_us >= 0.0)
+      (sp.Trace.sp_name ^ ": negative span duration");
+    let fin = sp.Trace.sp_start_us +. sp.Trace.sp_dur_us in
+    List.iter
+      (fun (c : Trace.span) ->
+        expect
+          (c.Trace.sp_start_us +. 1e-6 >= sp.Trace.sp_start_us
+          && c.Trace.sp_start_us +. c.Trace.sp_dur_us <= fin +. 1e-6)
+          (c.Trace.sp_name ^ " escapes parent span " ^ sp.Trace.sp_name))
+      sp.Trace.sp_children;
+    ignore
+      (List.fold_left
+         (fun prev (c : Trace.span) ->
+           expect
+             (c.Trace.sp_start_us +. 1e-6 >= prev)
+             (c.Trace.sp_name ^ ": sibling start times not monotone");
+           c.Trace.sp_start_us)
+         sp.Trace.sp_start_us sp.Trace.sp_children);
+    List.iter check_span sp.Trace.sp_children
+  in
+  List.iter check_span roots;
+  (* every pipeline phase shows up *)
+  List.iter
+    (fun name ->
+      expect (Trace.count name > 0) ("no " ^ name ^ " spans recorded"))
+    [
+      "ame.extract"; "ase.analyze"; "ase.signature"; "relog.translate";
+      "relog.bounds"; "relog.circuit"; "relog.tseitin"; "sat.solve";
+      "policy.derive";
+    ];
+  (* the trace agrees with the Table II numbers the report carries *)
+  let sat_ms = Trace.total_ms "sat.solve" in
+  let reported = analysis.Separ.report.Ase.r_solving_ms in
+  expect
+    (Float.abs (sat_ms -. reported) <= (0.01 *. reported) +. 1e-6)
+    (Printf.sprintf
+       "sat.solve span total (%.3f ms) disagrees with reported solving \
+        time (%.3f ms)"
+       sat_ms reported);
+  let translate_ms = Trace.total_ms "relog.translate" in
+  let constructed = analysis.Separ.report.Ase.r_construction_ms in
+  expect
+    (Float.abs (translate_ms -. constructed) <= (0.01 *. constructed) +. 1e-6)
+    "relog.translate span total disagrees with reported construction time";
+  (* counters were bridged *)
+  expect
+    (Metrics.counter_value (Metrics.counter "sat.solves") > 0)
+    "sat.solves counter never incremented";
+  expect
+    (Metrics.counter_value (Metrics.counter "ame.apps_extracted") = 2)
+    "ame.apps_extracted counter is not 2";
+  (* the exported Chrome trace parses and its events are well-formed *)
+  let exported = Json.to_string (Telemetry.trace_json ()) in
+  (match Json.parse exported with
+  | exception Json.Parse_error msg ->
+      expect false ("exported trace.json does not parse: " ^ msg)
+  | parsed -> (
+      match Option.bind (Json.member "traceEvents" parsed) Json.to_list with
+      | None | Some [] -> expect false "traceEvents missing or empty"
+      | Some events ->
+          List.iter
+            (fun ev ->
+              let str k = Option.bind (Json.member k ev) Json.to_str in
+              let num k = Option.bind (Json.member k ev) Json.to_float in
+              expect (str "name" <> None) "trace event without name";
+              expect (str "ph" = Some "X") "trace event is not an X event";
+              expect
+                (match num "ts" with Some ts -> ts >= 0.0 | None -> false)
+                "trace event without numeric ts";
+              expect
+                (match num "dur" with Some d -> d >= 0.0 | None -> false)
+                "trace event without numeric dur")
+            events));
+  Trace.disable ();
+  Metrics.disable ();
+  match !failures with
+  | [] ->
+      Printf.printf "telemetry smoke: %d spans, all gates passed\n%!"
+        (Trace.fold_spans (fun acc _ -> acc + 1) 0)
+  | fs ->
+      List.iter (fun f -> Printf.printf "telemetry FAILURE: %s\n" f) fs;
       exit 1
 
 (* --- Bechamel kernels ---------------------------------------------------------- *)
@@ -773,7 +927,14 @@ let () =
     go args
   in
   let all = List.length args <= 1 || has "all" in
+  (* [--trace] records the whole run and writes trace.json at exit. *)
+  let tracing = has "--trace" in
+  if tracing then begin
+    Trace.enable ();
+    Metrics.enable ()
+  end;
   if has "--smoke" then run_smoke ();
+  if has "--telemetry-smoke" then run_telemetry_smoke ();
   if all || has "table1" then run_table1 ();
   if all || has "flowbench" then run_flowbench ();
   if all || has "scenario" then run_scenario ();
@@ -785,4 +946,9 @@ let () =
   if all || has "ablation-context" then run_ablation_context ();
   if all || has "ablation-pruning" then run_ablation_pruning ();
   if all || has "ablation-incremental" then run_ablation_incremental ();
-  if all || has "kernels" then run_kernels ()
+  if all || has "kernels" then run_kernels ();
+  if tracing then begin
+    Separ_report.Telemetry.write_trace "trace.json";
+    Printf.printf "\nwrote Chrome trace to trace.json (load in \
+                   chrome://tracing or https://ui.perfetto.dev)\n%!"
+  end

@@ -15,8 +15,53 @@
    header followed by a smali-like class listing. *)
 
 open Cmdliner
+module Trace = Separ_obs.Trace
+module Metrics = Separ_obs.Metrics
 
 let load_apks paths = List.map Separ_dalvik.Apk_text.load paths
+
+(* Shared [--trace FILE] / [--metrics] flags.  Either one switches the
+   telemetry layer on (spans are what give [--metrics] its per-phase
+   durations); with both off the instrumented hot paths cost one branch
+   each and nothing is recorded. *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON of the run to $(docv) (open in \
+           chrome://tracing or Perfetto)")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Collect pipeline metrics and per-phase durations; they are \
+           merged into JSON output and printed to stderr for text output")
+
+let telemetry_setup ~trace ~metrics =
+  if trace <> None || metrics then begin
+    Trace.enable ();
+    Metrics.enable ()
+  end
+
+(* Flush collected telemetry at the end of a command: the trace file if
+   requested, and (for non-JSON consumers) human-readable summaries on
+   stderr. *)
+let telemetry_finish ?(to_stderr = true) ~trace ~metrics () =
+  (match trace with
+  | Some path ->
+      Separ_report.Telemetry.write_trace path;
+      Fmt.epr "wrote trace to %s@." path
+  | None -> ());
+  if metrics && to_stderr then begin
+    Fmt.epr "--- span tree ---@.";
+    Trace.print_summary ();
+    Fmt.epr "--- metrics ---@.";
+    Metrics.print ()
+  end
 
 let analyze_cmd =
   let paths =
@@ -46,15 +91,24 @@ let analyze_cmd =
           ~doc:"Print CDCL solver counters (conflicts, learnt-db \
                 reductions, minimized literals, ...) to stderr")
   in
-  let run paths out limit format stats =
+  let run paths out limit format stats trace metrics =
+    telemetry_setup ~trace ~metrics;
     let apks = load_apks paths in
     let analysis = Separ.analyze ~limit_per_sig:limit apks in
     (match format with
-    | `Text -> Fmt.pr "%a@." Separ.pp_analysis analysis
+    | `Text ->
+        Fmt.pr "%a@." Separ.pp_analysis analysis;
+        telemetry_finish ~trace ~metrics ()
     | `Json ->
+        let telemetry =
+          if metrics then Some (Separ_report.Telemetry.telemetry_json ())
+          else None
+        in
         print_endline
-          (Separ_report.Report.to_string ~report:analysis.Separ.report
-             ~policies:analysis.Separ.policies ()));
+          (Separ_report.Report.to_string ?telemetry
+             ~report:analysis.Separ.report
+             ~policies:analysis.Separ.policies ());
+        telemetry_finish ~to_stderr:false ~trace ~metrics ());
     if stats then begin
       let s = analysis.Separ.report.Separ_ase.Ase.r_solver in
       let open Separ_sat.Solver in
@@ -79,7 +133,9 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Analyze a bundle and synthesize policies")
-    Term.(const run $ paths $ out $ limit $ format $ stats)
+    Term.(
+      const run $ paths $ out $ limit $ format $ stats $ trace_arg
+      $ metrics_arg)
 
 let extract_cmd =
   let path =
@@ -176,7 +232,8 @@ let enforce_cmd =
       value & flag
       & info [ "approve" ] ~doc:"Approve user prompts (default: refuse)")
   in
-  let run paths policies_file start consent =
+  let run paths policies_file start consent trace metrics =
+    telemetry_setup ~trace ~metrics;
     let apks = load_apks paths in
     let policies =
       let ic = open_in policies_file in
@@ -191,20 +248,26 @@ let enforce_cmd =
       (List.map Separ.Apk.package apks);
     Separ.Device.set_enforcement device true;
     Separ.Device.set_consent device (fun _ _ -> consent);
-    (match String.split_on_char '/' start with
-    | [ pkg; component ] ->
-        Separ.Device.start_component device ~pkg ~component
-    | [ pkg; component; entry ] ->
-        Separ.Device.start_component device ~pkg ~component ~entry
-    | _ -> failwith "--start expects PKG/COMPONENT[/ENTRY]");
+    Trace.with_span "runtime.start_component"
+      ~attrs:[ Trace.attr_str "target" start ]
+      (fun () ->
+        match String.split_on_char '/' start with
+        | [ pkg; component ] ->
+            Separ.Device.start_component device ~pkg ~component
+        | [ pkg; component; entry ] ->
+            Separ.Device.start_component device ~pkg ~component ~entry
+        | _ -> failwith "--start expects PKG/COMPONENT[/ENTRY]");
     List.iter
       (fun e -> Fmt.pr "%a@." Separ.Effect.pp e)
-      (Separ.Device.effects device)
+      (Separ.Device.effects device);
+    telemetry_finish ~trace ~metrics ()
   in
   Cmd.v
     (Cmd.info "enforce"
        ~doc:"Run a component on a simulated device under a policy store")
-    Term.(const run $ paths $ policies_file $ start $ consent)
+    Term.(
+      const run $ paths $ policies_file $ start $ consent $ trace_arg
+      $ metrics_arg)
 
 let generate_cmd =
   let n =

@@ -134,39 +134,63 @@ let extract_component ?(k1 = true) ?(all_methods = false) (apk : Apk.t)
           Intent_filter.make ~actions () ))
       facts.Interp.dynamic_filters )
 
-let now_ms () = Unix.gettimeofday () *. 1000.0
+module Trace = Separ_obs.Trace
+module Metrics = Separ_obs.Metrics
+
+let c_apps = Metrics.counter "ame.apps_extracted"
+let c_components = Metrics.counter "ame.components_extracted"
+let c_intents = Metrics.counter "ame.intent_models"
+let h_extract_ms = Metrics.histogram "ame.extraction_ms"
 
 (* Extract the full app model; records wall-clock time and app size for
-   the Figure 5 experiment. *)
+   the Figure 5 experiment.  Each app gets one [ame.extract] span whose
+   attributes carry the Figure-5 coordinates (instruction count, number
+   of components/intents). *)
 let extract ?(k1 = true) ?(all_methods = false) (apk : Apk.t) : App_model.t =
-  let t0 = now_ms () in
-  let extracted =
-    List.map
-      (extract_component ~k1 ~all_methods apk)
-      apk.Apk.manifest.Manifest.components
-  in
-  (* Dynamic receiver registrations observed anywhere in the app are
-     attached to the component class they name (or, failing that, to the
-     registering component).  SEPAR's formal encoding ignores this field
-     — the paper's documented limitation — but baseline tools read it. *)
-  let registrations = List.concat_map snd extracted in
-  let components =
-    List.map
-      (fun (cm, _) ->
-        let mine =
-          List.filter_map
-            (fun (tgt, f) ->
-              if tgt = cm.App_model.cm_name then Some f else None)
-            registrations
+  let model, extraction_ms =
+    Trace.timed "ame.extract" (fun () ->
+        let extracted =
+          List.map
+            (extract_component ~k1 ~all_methods apk)
+            apk.Apk.manifest.Manifest.components
         in
-        { cm with App_model.cm_dynamic_filters = mine })
-      extracted
+        (* Dynamic receiver registrations observed anywhere in the app are
+           attached to the component class they name (or, failing that, to
+           the registering component).  SEPAR's formal encoding ignores this
+           field — the paper's documented limitation — but baseline tools
+           read it. *)
+        let registrations = List.concat_map snd extracted in
+        let components =
+          List.map
+            (fun (cm, _) ->
+              let mine =
+                List.filter_map
+                  (fun (tgt, f) ->
+                    if tgt = cm.App_model.cm_name then Some f else None)
+                  registrations
+              in
+              { cm with App_model.cm_dynamic_filters = mine })
+            extracted
+        in
+        let n_intents =
+          List.fold_left
+            (fun acc cm -> acc + List.length cm.App_model.cm_intents)
+            0 components
+        in
+        Trace.add_attr "package" (Trace.Str (Apk.package apk));
+        Trace.add_attr "size" (Trace.Int (Apk.size apk));
+        Trace.add_attr "components" (Trace.Int (List.length components));
+        Trace.add_attr "intents" (Trace.Int n_intents);
+        Metrics.incr c_apps;
+        Metrics.add c_components (List.length components);
+        Metrics.add c_intents n_intents;
+        {
+          App_model.am_package = Apk.package apk;
+          am_declared_permissions = apk.Apk.manifest.Manifest.uses_permissions;
+          am_components = components;
+          am_extraction_ms = 0.0;
+          am_size = Apk.size apk;
+        })
   in
-  let t1 = now_ms () in
-  {
-    App_model.am_package = Apk.package apk;
-    am_declared_permissions = apk.Apk.manifest.Manifest.uses_permissions;
-    am_components = components;
-    am_extraction_ms = t1 -. t0;
-    am_size = Apk.size apk;
-  }
+  Metrics.observe h_extract_ms extraction_ms;
+  { model with App_model.am_extraction_ms = extraction_ms }

@@ -11,6 +11,12 @@
 open Separ_relog
 open Separ_ame
 open Separ_specs
+module Trace = Separ_obs.Trace
+module Metrics = Separ_obs.Metrics
+
+let c_scenarios = Metrics.counter "ase.scenarios"
+let c_blocked = Metrics.counter "ase.blocked_models"
+let c_signatures = Metrics.counter "ase.signatures_run"
 
 type vulnerability = {
   v_kind : string;
@@ -58,39 +64,56 @@ let victim_components (bundle : Bundle.t) (s : Scenario.t) =
 
 (* Run one signature against a bundle; returns scenarios and timing. *)
 let run_signature ?(limit = 16) bundle (sig_ : Signatures.t) =
-  let env =
-    Encode.build ~config:sig_.Signatures.config
-      ~witnesses:sig_.Signatures.witnesses bundle
-  in
-  let problem =
-    Solve.
-      {
-        bounds = env.Encode.bounds;
-        constraints = env.Encode.facts @ [ sig_.Signatures.formula env ];
-      }
-  in
-  let session = Solve.prepare problem in
-  (* Enumerate one minimal scenario per distinct witness valuation: the
-     witnesses identify the victim elements, so further instances that
-     only vary the synthesized payload are redundant for policy
-     derivation. *)
-  let witness_rels = List.map snd env.Encode.r_witnesses in
-  let rec go acc k =
-    if k >= limit then List.rev acc
-    else
-      match Solve.next ~minimal:true session with
-      | Solve.Unsat -> List.rev acc
-      | Solve.Sat inst ->
-          Solve.block_on session witness_rels;
-          go (Signatures.decode sig_ env inst :: acc) (k + 1)
-  in
-  let scenarios = go [] 0 in
-  (scenarios, Solve.stats session)
+  Trace.with_span "ase.signature"
+    ~attrs:[ Trace.attr_str "signature" sig_.Signatures.name ]
+    (fun () ->
+      Metrics.incr c_signatures;
+      let env =
+        Trace.with_span "ase.encode" (fun () ->
+            Encode.build ~config:sig_.Signatures.config
+              ~witnesses:sig_.Signatures.witnesses bundle)
+      in
+      let problem =
+        Solve.
+          {
+            bounds = env.Encode.bounds;
+            constraints = env.Encode.facts @ [ sig_.Signatures.formula env ];
+          }
+      in
+      let session = Solve.prepare problem in
+      (* Enumerate one minimal scenario per distinct witness valuation: the
+         witnesses identify the victim elements, so further instances that
+         only vary the synthesized payload are redundant for policy
+         derivation. *)
+      let witness_rels = List.map snd env.Encode.r_witnesses in
+      let rec go acc k =
+        if k >= limit then List.rev acc
+        else
+          match
+            Trace.with_span "ase.scenario" (fun () ->
+                match Solve.next ~minimal:true session with
+                | Solve.Unsat -> None
+                | Solve.Sat inst ->
+                    Solve.block_on session witness_rels;
+                    Metrics.incr c_scenarios;
+                    Metrics.incr c_blocked;
+                    Some (Signatures.decode sig_ env inst))
+          with
+          | None -> List.rev acc
+          | Some sc -> go (sc :: acc) (k + 1)
+      in
+      let scenarios = go [] 0 in
+      Trace.add_attr "scenarios" (Trace.Int (List.length scenarios));
+      (scenarios, Solve.stats session))
 
 let analyze ?(signatures = Signatures.all ()) ?(limit_per_sig = 16)
     (bundle : Bundle.t) : report =
+  Trace.with_span "ase.analyze" (fun () ->
   (* Resolve passive-intent targets across the bundle first (Algorithm 1). *)
-  let bundle = Bundle.update_passive_targets bundle in
+  let bundle =
+    Trace.with_span "ase.resolve_targets" (fun () ->
+        Bundle.update_passive_targets bundle)
+  in
   let construction = ref 0.0 and solving = ref 0.0 in
   let vars = ref 0 and clauses = ref 0 in
   let solver_totals = ref Separ_sat.Solver.empty_stats in
@@ -114,6 +137,7 @@ let analyze ?(signatures = Signatures.all ()) ?(limit_per_sig = 16)
           scenarios)
       signatures
   in
+  Trace.add_attr "vulnerabilities" (Trace.Int (List.length vulnerabilities));
   {
     r_stats = Bundle.stats bundle;
     r_vulnerabilities = vulnerabilities;
@@ -122,7 +146,7 @@ let analyze ?(signatures = Signatures.all ()) ?(limit_per_sig = 16)
     r_vars = !vars;
     r_clauses = !clauses;
     r_solver = !solver_totals;
-  }
+  })
 
 (* Apps having at least one vulnerability of the given kind. *)
 let vulnerable_apps report bundle kind =

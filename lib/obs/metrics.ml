@@ -1,0 +1,150 @@
+(* The metrics registry: named counters, gauges and fixed-bucket
+   histograms.
+
+   Hot-path discipline (cf. the solver's own counter fields): a metric
+   handle is looked up (and registered) once, typically in a top-level
+   binding of the instrumented module; after that an increment is one
+   branch on the enabled flag plus one int-ref store.  Disabled
+   telemetry therefore costs exactly one predictable branch per call
+   site.
+
+   Naming convention: [subsystem.metric_name], e.g. [sat.conflicts],
+   [runtime.hook_latency_us]. *)
+
+type counter = { c_name : string; c_value : int ref }
+type gauge = { g_name : string; g_value : float ref }
+
+type histogram = {
+  h_name : string;
+  h_bounds : float array; (* ascending upper bounds of the buckets *)
+  h_counts : int array; (* length = Array.length h_bounds + 1 (overflow) *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+(* --- registry ------------------------------------------------------------- *)
+
+let enabled = ref false
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let enable () = enabled := true
+let disable () = enabled := false
+let is_enabled () = !enabled
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter")
+  | None ->
+      let c = { c_name = name; c_value = ref 0 } in
+      Hashtbl.replace registry name (Counter c);
+      c
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) -> g
+  | Some _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge")
+  | None ->
+      let g = { g_name = name; g_value = ref 0.0 } in
+      Hashtbl.replace registry name (Gauge g);
+      g
+
+let default_buckets =
+  [| 0.1; 0.5; 1.0; 5.0; 10.0; 50.0; 100.0; 500.0; 1000.0; 5000.0 |]
+
+let histogram ?(buckets = default_buckets) name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> h
+  | Some _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram")
+  | None ->
+      let bounds = Array.copy buckets in
+      Array.sort compare bounds;
+      let h =
+        {
+          h_name = name;
+          h_bounds = bounds;
+          h_counts = Array.make (Array.length bounds + 1) 0;
+          h_sum = 0.0;
+          h_count = 0;
+        }
+      in
+      Hashtbl.replace registry name (Histogram h);
+      h
+
+(* --- hot paths ------------------------------------------------------------ *)
+
+let incr c = if !enabled then Stdlib.incr c.c_value
+let add c n = if !enabled then c.c_value := !(c.c_value) + n
+let set g v = if !enabled then g.g_value := v
+let add_to g v = if !enabled then g.g_value := !(g.g_value) +. v
+
+let observe h v =
+  if !enabled then begin
+    let n = Array.length h.h_bounds in
+    let rec bucket i = if i >= n || v <= h.h_bounds.(i) then i else bucket (i + 1) in
+    let i = bucket 0 in
+    h.h_counts.(i) <- h.h_counts.(i) + 1;
+    h.h_sum <- h.h_sum +. v;
+    h.h_count <- h.h_count + 1
+  end
+
+(* --- reads / export ------------------------------------------------------- *)
+
+let counter_value c = !(c.c_value)
+let gauge_value g = !(g.g_value)
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+let histogram_mean h = if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count
+
+(* (upper-bound, count) pairs; the final pair is (infinity, overflow). *)
+let histogram_buckets h =
+  Array.to_list
+    (Array.mapi
+       (fun i c ->
+         ( (if i < Array.length h.h_bounds then h.h_bounds.(i) else infinity),
+           c ))
+       h.h_counts)
+
+(* All registered metrics, sorted by name for stable export. *)
+let all () =
+  Hashtbl.fold (fun _ m acc -> m :: acc) registry []
+  |> List.sort
+       (fun a b ->
+         let name = function
+           | Counter c -> c.c_name
+           | Gauge g -> g.g_name
+           | Histogram h -> h.h_name
+         in
+         compare (name a) (name b))
+
+(* Zero every registered metric.  Registrations (and the handles already
+   held by instrumented modules) stay valid. *)
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c_value := 0
+      | Gauge g -> g.g_value := 0.0
+      | Histogram h ->
+          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+          h.h_sum <- 0.0;
+          h.h_count <- 0)
+    registry
+
+let pp ppf () =
+  List.iter
+    (fun m ->
+      match m with
+      | Counter c -> Format.fprintf ppf "%-36s %d@." c.c_name !(c.c_value)
+      | Gauge g -> Format.fprintf ppf "%-36s %g@." g.g_name !(g.g_value)
+      | Histogram h ->
+          Format.fprintf ppf "%-36s count=%d sum=%g mean=%g@." h.h_name
+            h.h_count h.h_sum (histogram_mean h))
+    (all ())
+
+let print () = pp Format.err_formatter ()

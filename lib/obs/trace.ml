@@ -1,0 +1,164 @@
+(* Hierarchical tracing for the SEPAR pipeline.
+
+   A span records a named region of execution: monotonic start time,
+   duration, nesting (children are regions entered while the span was
+   open), and key/value attributes.  The clock is injectable so tests
+   are fully deterministic.
+
+   Cost discipline: when tracing is disabled, [with_span] is a single
+   branch around the thunk — no clock reads, no allocation.  [timed]
+   always measures (two clock reads) and additionally records a span
+   when tracing is on; use it where the caller needs the duration
+   regardless of telemetry (the benchmark harness, Table II timing). *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type span = {
+  sp_name : string;
+  sp_start_us : float; (* microseconds since the clock's epoch *)
+  mutable sp_dur_us : float;
+  mutable sp_attrs : (string * value) list; (* in attachment order *)
+  mutable sp_children : span list; (* reversed while open; in order after *)
+}
+
+(* --- global recorder state ------------------------------------------------ *)
+
+let enabled = ref false
+let default_clock () = Unix.gettimeofday ()
+let clock = ref default_clock
+
+(* Open spans, innermost first; finished top-level spans, reversed. *)
+let stack : span list ref = ref []
+let finished : span list ref = ref []
+
+let enable () = enabled := true
+let disable () = enabled := false
+let is_enabled () = !enabled
+
+(* Inject a clock returning seconds (monotone by convention); tests pass
+   a counter-backed fake. *)
+let set_clock f = clock := f
+let use_default_clock () = clock := default_clock
+let now_us () = !clock () *. 1e6
+
+(* Drop all recorded spans (open ones included).  The clock and the
+   enabled flag are left as they are. *)
+let reset () =
+  stack := [];
+  finished := []
+
+let attr_int k v = (k, Int v)
+let attr_float k v = (k, Float v)
+let attr_str k v = (k, Str v)
+let attr_bool k v = (k, Bool v)
+
+(* Attach an attribute to the innermost open span (no-op when disabled
+   or outside any span). *)
+let add_attr key v =
+  match !stack with
+  | sp :: _ -> sp.sp_attrs <- sp.sp_attrs @ [ (key, v) ]
+  | [] -> ()
+
+let start_span ?(attrs = []) name =
+  let sp =
+    {
+      sp_name = name;
+      sp_start_us = now_us ();
+      sp_dur_us = 0.0;
+      sp_attrs = attrs;
+      sp_children = [];
+    }
+  in
+  stack := sp :: !stack;
+  sp
+
+let finish_span sp =
+  sp.sp_dur_us <- now_us () -. sp.sp_start_us;
+  sp.sp_children <- List.rev sp.sp_children;
+  (match !stack with
+  | top :: rest when top == sp -> stack := rest
+  | _ ->
+      (* unbalanced finish (an exception unwound through several spans):
+         pop down to — and including — this span *)
+      let rec pop = function
+        | top :: rest when top == sp -> rest
+        | _ :: rest -> pop rest
+        | [] -> []
+      in
+      stack := pop !stack);
+  match !stack with
+  | parent :: _ -> parent.sp_children <- sp :: parent.sp_children
+  | [] -> finished := sp :: !finished
+
+(* Run [f] inside a span named [name].  The span is recorded even when
+   [f] raises, so the trace stays well-formed around failures. *)
+let with_span ?attrs name f =
+  if not !enabled then f ()
+  else begin
+    let sp = start_span ?attrs name in
+    Fun.protect ~finally:(fun () -> finish_span sp) f
+  end
+
+(* Like [with_span], but also returns the measured duration in
+   milliseconds; the measurement happens whether or not tracing is
+   enabled, and when it is, the recorded span duration is the very same
+   measurement (no skew between the trace and reported timings). *)
+let timed ?attrs name f =
+  if not !enabled then begin
+    let t0 = !clock () in
+    let r = f () in
+    (r, (!clock () -. t0) *. 1000.0)
+  end
+  else begin
+    let sp = start_span ?attrs name in
+    let r = Fun.protect ~finally:(fun () -> finish_span sp) f in
+    (r, sp.sp_dur_us /. 1000.0)
+  end
+
+(* Finished top-level spans, in completion order. *)
+let roots () = List.rev !finished
+
+let fold_spans f acc =
+  let rec go acc sp = List.fold_left go (f acc sp) sp.sp_children in
+  List.fold_left go acc (roots ())
+
+(* Total duration (ms) of every finished span with the given name,
+   anywhere in the tree. *)
+let total_ms name =
+  fold_spans
+    (fun acc sp -> if sp.sp_name = name then acc +. (sp.sp_dur_us /. 1000.0) else acc)
+    0.0
+
+let count name =
+  fold_spans (fun acc sp -> if sp.sp_name = name then acc + 1 else acc) 0
+
+let pp_value ppf = function
+  | Int i -> Format.fprintf ppf "%d" i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%s" s
+  | Bool b -> Format.fprintf ppf "%b" b
+
+(* Human-readable span-tree summary (durations in ms), for [--trace]
+   users who want the shape without loading chrome://tracing. *)
+let pp_summary ppf () =
+  let rec pp_span level sp =
+    Format.fprintf ppf "%s%-*s %10.3f ms"
+      (String.make (2 * level) ' ')
+      (max 1 (32 - (2 * level)))
+      sp.sp_name
+      (sp.sp_dur_us /. 1000.0);
+    if sp.sp_attrs <> [] then begin
+      Format.fprintf ppf "  {";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Format.fprintf ppf ", ";
+          Format.fprintf ppf "%s=%a" k pp_value v)
+        sp.sp_attrs;
+      Format.fprintf ppf "}"
+    end;
+    Format.fprintf ppf "@.";
+    List.iter (pp_span (level + 1)) sp.sp_children
+  in
+  List.iter (pp_span 0) (roots ())
+
+let print_summary () = pp_summary Format.err_formatter ()

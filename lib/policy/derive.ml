@@ -126,9 +126,17 @@ let of_scenario (bundle : Bundle.t) (sc : Scenario.t) : Policy.t list =
       | _ -> [])
   | _ -> []
 
+module Trace = Separ_obs.Trace
+module Metrics = Separ_obs.Metrics
+
+let c_derived = Metrics.counter "policy.policies_derived"
+
 (* Derive the complete policy set from an analysis report, dropping
    duplicates (identical event/condition/action triples). *)
 let of_report (bundle : Bundle.t) (vulns : Scenario.t list) : Policy.t list =
+  Trace.with_span "policy.derive"
+    ~attrs:[ Trace.attr_int "scenarios" (List.length vulns) ]
+    (fun () ->
   let policies = List.concat_map (of_scenario bundle) vulns in
   let seen = Hashtbl.create 16 in
   List.filter
@@ -144,3 +152,7 @@ let of_report (bundle : Bundle.t) (vulns : Scenario.t list) : Policy.t list =
         true
       end)
     policies
+  |> fun unique ->
+  Metrics.add c_derived (List.length unique);
+  Trace.add_attr "policies" (Trace.Int (List.length unique));
+  unique)

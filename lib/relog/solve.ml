@@ -26,20 +26,45 @@ type session = {
   mutable stats : stats;
 }
 
-let time_ms f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  let t1 = Unix.gettimeofday () in
-  (r, (t1 -. t0) *. 1000.0)
+module Trace = Separ_obs.Trace
+module Metrics = Separ_obs.Metrics
 
+(* Telemetry handles (lookup-once; see lib/obs/metrics.ml). *)
+let g_gates = Metrics.gauge "relog.circuit_gates"
+let g_cnf_vars = Metrics.gauge "relog.cnf_vars"
+let g_cnf_clauses = Metrics.gauge "relog.cnf_clauses"
+let c_translations = Metrics.counter "relog.translations"
+
+(* Translation is traced in its three phases: bound-matrix allocation
+   (one solver variable per free tuple), formula -> circuit evaluation,
+   and Tseitin encoding of the asserted gates into CNF. *)
 let prepare problem =
   let solver = Separ_sat.Solver.create () in
   let (translation : Translate.t), translation_ms =
-    time_ms (fun () ->
-        let tr = Translate.create problem.bounds solver in
-        List.iter (Translate.assert_formula tr) problem.constraints;
+    Trace.timed "relog.translate" (fun () ->
+        let tr =
+          Trace.with_span "relog.bounds" (fun () ->
+              Translate.create problem.bounds solver)
+        in
+        let gates =
+          Trace.with_span "relog.circuit" (fun () ->
+              List.map (Translate.gate_of_formula tr) problem.constraints)
+        in
+        Trace.with_span "relog.tseitin" (fun () ->
+            List.iter (Translate.assert_gate tr) gates);
+        Trace.add_attr "gates"
+          (Trace.Int (Circuit.gate_count tr.Translate.circuit));
+        Trace.add_attr "cnf_vars"
+          (Trace.Int (Separ_sat.Solver.n_vars solver));
+        Trace.add_attr "cnf_clauses"
+          (Trace.Int (Separ_sat.Solver.n_clauses solver));
         tr)
   in
+  Metrics.incr c_translations;
+  Metrics.set g_gates
+    (float_of_int (Circuit.gate_count translation.Translate.circuit));
+  Metrics.set g_cnf_vars (float_of_int (Separ_sat.Solver.n_vars solver));
+  Metrics.set g_cnf_clauses (float_of_int (Separ_sat.Solver.n_clauses solver));
   let soft = Translate.all_soft_vars translation in
   {
     problem;
@@ -73,14 +98,19 @@ type outcome = Unsat | Sat of Instance.t
    instance is minimized over the free tuple variables first. *)
 let next ?(minimal = true) session =
   let result, ms =
-    time_ms (fun () ->
-        match Separ_sat.Solver.solve session.solver with
-        | Separ_sat.Solver.Unsat -> Unsat
-        | Separ_sat.Solver.Sat ->
-            if minimal then
-              ignore
-                (Separ_sat.Models.minimize session.solver ~soft:session.soft);
-            Sat (decode session))
+    Trace.timed "sat.solve" (fun () ->
+        let r =
+          match Separ_sat.Solver.solve session.solver with
+          | Separ_sat.Solver.Unsat -> Unsat
+          | Separ_sat.Solver.Sat ->
+              if minimal then
+                ignore
+                  (Separ_sat.Models.minimize session.solver ~soft:session.soft);
+              Sat (decode session)
+        in
+        Trace.add_attr "result"
+          (Trace.Str (match r with Sat _ -> "sat" | Unsat -> "unsat"));
+        r)
   in
   session.stats <-
     {

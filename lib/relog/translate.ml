@@ -142,10 +142,13 @@ let rec formula t (env : env) (f : Ast.formula) : Circuit.gate =
           Circuit.or_ c acc (Circuit.and_ c g body_g))
         dm (Circuit.ff c)
 
+(* The two halves of constraint assertion, split so the caller can
+   trace circuit construction and Tseitin encoding separately. *)
+let gate_of_formula t f = formula t [] f
+let assert_gate t g = Circuit.assert_gate t.encoder g
+
 (* Assert a formula as a problem constraint. *)
-let assert_formula t f =
-  let g = formula t [] f in
-  Circuit.assert_gate t.encoder g
+let assert_formula t f = assert_gate t (gate_of_formula t f)
 
 (* All free tuple variables, for minimization / enumeration. *)
 let all_soft_vars t =

@@ -100,22 +100,29 @@ let of_stats (s : Bundle.stats) =
       ("paths", Json.Int s.Bundle.n_paths);
     ]
 
-(* The complete analysis report. *)
-let of_analysis ~(report : Ase.report) ~(policies : Policy.t list) =
+(* The complete analysis report.  When telemetry was enabled for the
+   run, [?telemetry] merges the span tree (per-phase durations) and the
+   metrics registry into the report. *)
+let of_analysis ?telemetry ~(report : Ase.report) ~(policies : Policy.t list) ()
+    =
   Json.Obj
-    [
-      ("bundle", of_stats report.Ase.r_stats);
-      ( "timing_ms",
-        Json.Obj
-          [
-            ("construction", Json.Float report.Ase.r_construction_ms);
-            ("solving", Json.Float report.Ase.r_solving_ms);
-          ] );
-      ("solver", of_solver_stats report.Ase.r_solver);
-      ( "vulnerabilities",
-        Json.List (List.map of_vulnerability report.Ase.r_vulnerabilities) );
-      ("policies", Json.List (List.map of_policy policies));
-    ]
+    ([
+       ("bundle", of_stats report.Ase.r_stats);
+       ( "timing_ms",
+         Json.Obj
+           [
+             ("construction", Json.Float report.Ase.r_construction_ms);
+             ("solving", Json.Float report.Ase.r_solving_ms);
+           ] );
+       ("solver", of_solver_stats report.Ase.r_solver);
+       ( "vulnerabilities",
+         Json.List (List.map of_vulnerability report.Ase.r_vulnerabilities) );
+       ("policies", Json.List (List.map of_policy policies));
+     ]
+    @
+    match telemetry with
+    | Some t -> [ ("telemetry", t) ]
+    | None -> [])
 
-let to_string ?(indent = true) ~report ~policies () =
-  Json.to_string ~indent (of_analysis ~report ~policies)
+let to_string ?(indent = true) ?telemetry ~report ~policies () =
+  Json.to_string ~indent (of_analysis ?telemetry ~report ~policies ())

@@ -4,9 +4,55 @@
 
 let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
+(* Population standard deviation (divides by n): the spread of the data
+   itself.  Not the right estimator for confidence intervals over a
+   sample — use [sample_stddev] there. *)
 let stddev xs =
   let m = mean xs in
   sqrt (mean (List.map (fun x -> (x -. m) ** 2.0) xs))
+
+(* Sample standard deviation (Bessel's correction, divides by n-1): the
+   unbiased estimator of the underlying variance, as required by a
+   Student-t confidence interval. *)
+let sample_stddev xs =
+  let n = List.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+
+(* Two-sided 95% critical values of Student's t distribution, indexed by
+   degrees of freedom.  Between tabulated rows we take the value of the
+   nearest tabulated df *below* the requested one — t decreases in df,
+   so this rounds the interval conservatively wide.  The z value 1.96 is
+   only correct in the df -> infinity limit; for the paper's 33-rep RQ4
+   measurement the right multiplier is t(32) ~ 2.04. *)
+let t_table_95 =
+  [|
+    (* df = 1 .. 30 *)
+    12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+    2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+    2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042;
+  |]
+
+let t_critical_95 ~df =
+  if df < 1 then invalid_arg "Stats.t_critical_95: df < 1"
+  else if df <= 30 then t_table_95.(df - 1)
+  else if df <= 40 then 2.042
+  else if df <= 60 then 2.021
+  else if df <= 120 then 2.000
+  else 1.980 (* -> 1.960 as df -> infinity; 120+ rounded wide *)
+
+(* Half-width of the two-sided 95% confidence interval of the mean of
+   [xs]: t(n-1) * s / sqrt n with the sample (n-1) standard deviation. *)
+let ci95_halfwidth xs =
+  let n = List.length xs in
+  if n < 2 then 0.0
+  else
+    t_critical_95 ~df:(n - 1)
+    *. sample_stddev xs
+    /. sqrt (float_of_int n)
 
 (* Nearest-rank percentile: the smallest sample x such that at least
    [p * n] samples are <= x, i.e. index [ceil (p * n) - 1] of the sorted

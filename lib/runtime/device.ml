@@ -16,6 +16,20 @@
 open Separ_android
 open Separ_dalvik
 module Policy = Separ_policy.Policy
+module Metrics = Separ_obs.Metrics
+
+(* PEP telemetry: counts and per-hook PDP latency, the RQ4 breakdown.
+   The extra clock reads happen only when metrics are on, so disabled
+   telemetry costs one branch per hook. *)
+let c_hook_checks = Metrics.counter "runtime.hook_checks"
+let c_allowed = Metrics.counter "runtime.allowed"
+let c_denied = Metrics.counter "runtime.denied"
+let c_prompted = Metrics.counter "runtime.prompted"
+
+let h_hook_latency =
+  Metrics.histogram
+    ~buckets:[| 0.5; 1.0; 2.0; 5.0; 10.0; 25.0; 50.0; 100.0; 500.0 |]
+    "runtime.hook_latency_us"
 
 type t = {
   mutable apps : Apk.t list;
@@ -467,7 +481,20 @@ and deliver_one ctx icc (o : Value.intent_obj) (rapk : Apk.t)
       (* the PDP is an independent app: the decision request crosses a
          process boundary (event marshalling both ways); receive- and
          send-side rules are evaluated in the same round trip *)
-      let decision = Policy.decide_remote t.policies ev in
+      let decision =
+        if Metrics.is_enabled () then begin
+          let t0 = Separ_obs.Trace.now_us () in
+          let d = Policy.decide_remote t.policies ev in
+          Metrics.observe h_hook_latency (Separ_obs.Trace.now_us () -. t0);
+          Metrics.incr c_hook_checks;
+          (match d with
+          | Policy.Allowed -> Metrics.incr c_allowed
+          | Policy.Denied _ -> Metrics.incr c_denied
+          | Policy.Prompted _ -> Metrics.incr c_prompted);
+          d
+        end
+        else Policy.decide_remote t.policies ev
+      in
       match decision with
       | Policy.Allowed -> proceed ()
       | Policy.Denied p ->

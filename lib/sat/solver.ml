@@ -556,23 +556,77 @@ let search t assumptions =
   in
   loop ()
 
+(* Telemetry bridge: the solver's own counter fields stay the source of
+   truth (O(1) plain-int increments on the hot path); after each [solve]
+   the deltas are published to the metrics registry, and the per-solve
+   conflict count feeds a histogram.  One registry branch per solve, not
+   per propagation. *)
+module Metrics = Separ_obs.Metrics
+
+let m_solves = Metrics.counter "sat.solves"
+let m_conflicts = Metrics.counter "sat.conflicts"
+let m_decisions = Metrics.counter "sat.decisions"
+let m_propagations = Metrics.counter "sat.propagations"
+let m_restarts = Metrics.counter "sat.restarts"
+let m_learnts_deleted = Metrics.counter "sat.learnts_deleted"
+let m_lits_minimized = Metrics.counter "sat.lits_minimized"
+let m_db_reductions = Metrics.counter "sat.db_reductions"
+
+let m_conflicts_per_solve =
+  Metrics.histogram
+    ~buckets:[| 0.; 1.; 10.; 100.; 1000.; 10_000.; 100_000. |]
+    "sat.conflicts_per_solve"
+
 let solve ?(assumptions = []) t =
   t.model_valid <- false;
-  if not t.ok then Unsat
+  if not t.ok then begin
+    (* trivially unsat at clause-add time: the search never runs, but the
+       call still counts as a solve *)
+    if Metrics.is_enabled () then begin
+      Metrics.incr m_solves;
+      Metrics.observe m_conflicts_per_solve 0.0
+    end;
+    Unsat
+  end
   else begin
     if t.learnt_limit = 0 then
       t.learnt_limit <- max 100 (Vec.size t.clauses / 3);
     let assumptions = List.map Lit.of_int assumptions in
     cancel_until t 0;
-    match search t assumptions with
-    | Sat ->
-        t.model_valid <- true;
-        Sat
-    | Unsat -> Unsat
-    | exception Unsat_exc ->
-        cancel_until t 0;
-        if decision_level t = 0 && propagate t <> None then t.ok <- false;
-        Unsat
+    let conflicts0 = t.n_conflicts
+    and decisions0 = t.n_decisions
+    and propagations0 = t.n_propagations
+    and restarts0 = t.n_restarts
+    and deleted0 = t.n_learnts_deleted
+    and minimized0 = t.n_lits_minimized
+    and reductions0 = t.n_reduce_db in
+    let publish () =
+      if Metrics.is_enabled () then begin
+        Metrics.incr m_solves;
+        Metrics.add m_conflicts (t.n_conflicts - conflicts0);
+        Metrics.add m_decisions (t.n_decisions - decisions0);
+        Metrics.add m_propagations (t.n_propagations - propagations0);
+        Metrics.add m_restarts (t.n_restarts - restarts0);
+        Metrics.add m_learnts_deleted (t.n_learnts_deleted - deleted0);
+        Metrics.add m_lits_minimized (t.n_lits_minimized - minimized0);
+        Metrics.add m_db_reductions (t.n_reduce_db - reductions0);
+        Metrics.observe m_conflicts_per_solve
+          (float_of_int (t.n_conflicts - conflicts0))
+      end
+    in
+    let result =
+      match search t assumptions with
+      | Sat ->
+          t.model_valid <- true;
+          Sat
+      | Unsat -> Unsat
+      | exception Unsat_exc ->
+          cancel_until t 0;
+          if decision_level t = 0 && propagate t <> None then t.ok <- false;
+          Unsat
+    in
+    publish ();
+    result
   end
 
 (* Model access: valid only while the last operation was a [solve] that

@@ -17,4 +17,5 @@ let () =
       ("errors", Test_errors.tests);
       ("properties", Test_properties.tests);
       ("report", Test_report.tests);
+      ("obs", Test_obs.tests);
     ]

@@ -1,0 +1,307 @@
+(* Tests for the separ_obs telemetry kernel: deterministic-clock span
+   nesting and ordering, counter/gauge/histogram semantics, the
+   disabled-mode no-op path, and validity of the exported Chrome
+   trace-event JSON under the minimal reader. *)
+
+module Trace = Separ_obs.Trace
+module Metrics = Separ_obs.Metrics
+module Json = Separ_report.Json
+module Telemetry = Separ_report.Telemetry
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let checkf msg expected actual =
+  Alcotest.(check (float 1e-9)) msg expected actual
+
+(* Run [f] with telemetry enabled, a deterministic clock driven by
+   [tick], and a guaranteed return to the pristine disabled state. *)
+let with_deterministic_telemetry f =
+  let now = ref 0.0 in
+  let tick s = now := !now +. s in
+  Trace.set_clock (fun () -> !now);
+  Trace.enable ();
+  Metrics.enable ();
+  Trace.reset ();
+  Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Metrics.disable ();
+      Trace.use_default_clock ();
+      Trace.reset ();
+      Metrics.reset ())
+    (fun () -> f tick)
+
+(* --- spans ----------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  with_deterministic_telemetry (fun tick ->
+      Trace.with_span "outer" (fun () ->
+          tick 0.001;
+          Trace.with_span "inner_a" (fun () -> tick 0.002);
+          Trace.with_span "inner_b" (fun () ->
+              tick 0.001;
+              Trace.with_span "leaf" (fun () -> tick 0.0005));
+          tick 0.001);
+      match Trace.roots () with
+      | [ outer ] ->
+          check_str "root name" "outer" outer.Trace.sp_name;
+          checkf "outer start" 0.0 outer.Trace.sp_start_us;
+          checkf "outer duration" 5500.0 outer.Trace.sp_dur_us;
+          (match outer.Trace.sp_children with
+          | [ a; b ] ->
+              check_str "first child" "inner_a" a.Trace.sp_name;
+              checkf "inner_a start" 1000.0 a.Trace.sp_start_us;
+              checkf "inner_a duration" 2000.0 a.Trace.sp_dur_us;
+              check_str "second child" "inner_b" b.Trace.sp_name;
+              checkf "inner_b start" 3000.0 b.Trace.sp_start_us;
+              checkf "inner_b duration" 1500.0 b.Trace.sp_dur_us;
+              (match b.Trace.sp_children with
+              | [ leaf ] ->
+                  check_str "grandchild" "leaf" leaf.Trace.sp_name;
+                  checkf "leaf start" 4000.0 leaf.Trace.sp_start_us;
+                  checkf "leaf duration" 500.0 leaf.Trace.sp_dur_us
+              | kids ->
+                  Alcotest.failf "inner_b has %d children" (List.length kids))
+          | kids -> Alcotest.failf "outer has %d children" (List.length kids))
+      | roots -> Alcotest.failf "expected 1 root, got %d" (List.length roots))
+
+let test_span_ordering_and_helpers () =
+  with_deterministic_telemetry (fun tick ->
+      for _ = 1 to 3 do
+        Trace.with_span "phase" (fun () -> tick 0.001)
+      done;
+      check_int "three roots" 3 (List.length (Trace.roots ()));
+      check_int "count" 3 (Trace.count "phase");
+      checkf "total_ms" 3.0 (Trace.total_ms "phase");
+      (* completion order = start order for sequential spans *)
+      let starts =
+        List.map (fun s -> s.Trace.sp_start_us) (Trace.roots ())
+      in
+      check "monotone starts" true (List.sort compare starts = starts))
+
+let test_span_attrs () =
+  with_deterministic_telemetry (fun tick ->
+      Trace.with_span "work" ~attrs:[ Trace.attr_str "kind" "demo" ] (fun () ->
+          tick 0.001;
+          Trace.add_attr "items" (Trace.Int 7));
+      match Trace.roots () with
+      | [ sp ] ->
+          check "has kind attr" true
+            (List.mem_assoc "kind" sp.Trace.sp_attrs);
+          check "has items attr" true
+            (List.mem_assoc "items" sp.Trace.sp_attrs)
+      | _ -> Alcotest.fail "expected one span")
+
+let test_span_exception_safety () =
+  with_deterministic_telemetry (fun tick ->
+      (try
+         Trace.with_span "outer" (fun () ->
+             Trace.with_span "failing" (fun () ->
+                 tick 0.002;
+                 failwith "boom"))
+       with Failure _ -> ());
+      (* both spans were finished despite the exception; a new span does
+         not end up parented under a stale open span *)
+      Trace.with_span "after" (fun () -> tick 0.001);
+      let names = List.map (fun s -> s.Trace.sp_name) (Trace.roots ()) in
+      check "outer and after are roots" true (names = [ "outer"; "after" ]);
+      check_int "failing recorded under outer" 1 (Trace.count "failing"))
+
+let test_timed_measures_when_disabled () =
+  let now = ref 0.0 in
+  Trace.set_clock (fun () -> !now);
+  Trace.disable ();
+  Trace.reset ();
+  Fun.protect
+    ~finally:(fun () -> Trace.use_default_clock ())
+    (fun () ->
+      let v, ms =
+        Trace.timed "untraced" (fun () ->
+            now := !now +. 0.25;
+            42)
+      in
+      check_int "thunk result" 42 v;
+      checkf "duration still measured" 250.0 ms;
+      check_int "but no span recorded" 0 (List.length (Trace.roots ())))
+
+(* --- metrics --------------------------------------------------------------- *)
+
+let test_counter_and_gauge () =
+  with_deterministic_telemetry (fun _tick ->
+      let c = Metrics.counter "test.counter" in
+      Metrics.incr c;
+      Metrics.incr c;
+      Metrics.add c 5;
+      check_int "counter value" 7 (Metrics.counter_value c);
+      (* a second lookup returns the same underlying cell *)
+      Metrics.incr (Metrics.counter "test.counter");
+      check_int "shared handle" 8 (Metrics.counter_value c);
+      let g = Metrics.gauge "test.gauge" in
+      Metrics.set g 3.5;
+      Metrics.add_to g 1.5;
+      checkf "gauge value" 5.0 (Metrics.gauge_value g);
+      Metrics.reset ();
+      check_int "reset zeroes counters" 0 (Metrics.counter_value c);
+      checkf "reset zeroes gauges" 0.0 (Metrics.gauge_value g))
+
+let test_histogram_semantics () =
+  with_deterministic_telemetry (fun _tick ->
+      let h = Metrics.histogram ~buckets:[| 1.0; 5.0; 10.0 |] "test.hist" in
+      List.iter (Metrics.observe h) [ 0.5; 1.0; 3.0; 7.0; 100.0 ];
+      check_int "count" 5 (Metrics.histogram_count h);
+      checkf "sum" 111.5 (Metrics.histogram_sum h);
+      checkf "mean" 22.3 (Metrics.histogram_mean h);
+      match Metrics.histogram_buckets h with
+      | [ (le1, n1); (le5, n2); (le10, n3); (inf_le, n4) ] ->
+          checkf "bucket bound 1" 1.0 le1;
+          check_int "le 1.0 (boundary inclusive)" 2 n1;
+          checkf "bucket bound 5" 5.0 le5;
+          check_int "le 5.0" 1 n2;
+          checkf "bucket bound 10" 10.0 le10;
+          check_int "le 10.0" 1 n3;
+          check "last bound is +inf" true (inf_le = infinity);
+          check_int "overflow" 1 n4
+      | bs -> Alcotest.failf "expected 4 buckets, got %d" (List.length bs))
+
+let test_disabled_is_noop () =
+  Trace.disable ();
+  Metrics.disable ();
+  Trace.reset ();
+  let ran = ref false in
+  Trace.with_span "ghost" (fun () -> ran := true);
+  check "thunk still runs" true !ran;
+  check_int "no spans recorded" 0 (List.length (Trace.roots ()));
+  Trace.add_attr "ghost" (Trace.Int 1);
+  let c = Metrics.counter "test.disabled_counter" in
+  Metrics.incr c;
+  Metrics.add c 10;
+  check_int "counter untouched" 0 (Metrics.counter_value c);
+  let h = Metrics.histogram "test.disabled_hist" in
+  Metrics.observe h 3.0;
+  check_int "histogram untouched" 0 (Metrics.histogram_count h)
+
+(* --- export ---------------------------------------------------------------- *)
+
+(* The exported trace must parse under the minimal JSON reader, every
+   event must be a well-formed "X" event, and parent/child relationships
+   must be recoverable from interval containment. *)
+let test_trace_export_wellformed () =
+  with_deterministic_telemetry (fun tick ->
+      Trace.with_span "parent" (fun () ->
+          tick 0.001;
+          Trace.with_span "child" (fun () ->
+              tick 0.002;
+              Trace.add_attr "n" (Trace.Int 3));
+          tick 0.001);
+      let s = Json.to_string (Telemetry.trace_json ()) in
+      let parsed = Json.parse s in
+      let events =
+        match Option.bind (Json.member "traceEvents" parsed) Json.to_list with
+        | Some evs -> evs
+        | None -> Alcotest.fail "no traceEvents array"
+      in
+      check_int "two events" 2 (List.length events);
+      let field ev k = Json.member k ev in
+      List.iter
+        (fun ev ->
+          check "has name" true
+            (Option.bind (field ev "name") Json.to_str <> None);
+          check_str "ph is X" "X"
+            (Option.get (Option.bind (field ev "ph") Json.to_str));
+          check "numeric ts" true
+            (Option.bind (field ev "ts") Json.to_float <> None);
+          check "numeric dur" true
+            (Option.bind (field ev "dur") Json.to_float <> None))
+        events;
+      let find name =
+        List.find
+          (fun ev ->
+            Option.bind (field ev "name") Json.to_str = Some name)
+          events
+      in
+      let ts ev = Option.get (Option.bind (field ev "ts") Json.to_float) in
+      let dur ev = Option.get (Option.bind (field ev "dur") Json.to_float) in
+      let p = find "parent" and c = find "child" in
+      check "child starts after parent" true (ts c >= ts p);
+      check "child ends before parent" true
+        (ts c +. dur c <= ts p +. dur p);
+      check "child strictly inside" true (dur c < dur p);
+      (* args carried through *)
+      check "child args has n" true
+        (match Option.bind (field c "args") (Json.member "n") with
+        | Some (Json.Int 3) -> true
+        | _ -> false))
+
+let test_metrics_export () =
+  with_deterministic_telemetry (fun _tick ->
+      Metrics.add (Metrics.counter "test.exported") 4;
+      Metrics.set (Metrics.gauge "test.exported_gauge") 2.5;
+      Metrics.observe (Metrics.histogram "test.exported_hist") 1.0;
+      let parsed = Json.parse (Json.to_string (Telemetry.metrics_json ())) in
+      (match Option.bind (Json.member "counters" parsed)
+               (Json.member "test.exported") with
+      | Some (Json.Int 4) -> ()
+      | _ -> Alcotest.fail "counter not exported");
+      (match Option.bind (Json.member "gauges" parsed)
+               (Json.member "test.exported_gauge") with
+      | Some (Json.Float f) -> checkf "gauge exported" 2.5 f
+      | _ -> Alcotest.fail "gauge not exported");
+      match Option.bind (Json.member "histograms" parsed)
+              (Json.member "test.exported_hist") with
+      | Some h ->
+          check "histogram count exported" true
+            (Option.bind (Json.member "count" h) Json.to_float = Some 1.0)
+      | None -> Alcotest.fail "histogram not exported")
+
+(* A full pipeline run records the span hierarchy the report advertises:
+   translation containing bounds/circuit/tseitin, sat.solve totals that
+   equal the reported solving time. *)
+let test_pipeline_spans_consistent () =
+  with_deterministic_telemetry (fun _tick ->
+      (* the deterministic clock never advances: durations are all 0 but
+         structure must still be complete and well-nested *)
+      Trace.use_default_clock ();
+      let analysis =
+        Separ.analyze
+          [ Separ.Demo.navigation_app (); Separ.Demo.messenger_app () ]
+      in
+      check "pipeline produced vulnerabilities" true
+        (Separ.vulnerabilities analysis <> []);
+      check "ame spans" true (Trace.count "ame.extract" = 2);
+      check "translate spans" true (Trace.count "relog.translate" > 0);
+      check_int "bounds under every translate" (Trace.count "relog.translate")
+        (Trace.count "relog.bounds");
+      check "sat.solve spans" true (Trace.count "sat.solve" > 0);
+      check "policy.derive span" true (Trace.count "policy.derive" = 1);
+      let sat_ms = Trace.total_ms "sat.solve" in
+      let reported = analysis.Separ.report.Separ_ase.Ase.r_solving_ms in
+      check "sat span total = reported solving time" true
+        (Float.abs (sat_ms -. reported) <= (0.01 *. reported) +. 1e-6);
+      check "sat.solves counter bridged" true
+        (Metrics.counter_value (Metrics.counter "sat.solves") > 0))
+
+let tests =
+  [
+    Alcotest.test_case "span nesting (deterministic clock)" `Quick
+      test_span_nesting;
+    Alcotest.test_case "span ordering and helpers" `Quick
+      test_span_ordering_and_helpers;
+    Alcotest.test_case "span attributes" `Quick test_span_attrs;
+    Alcotest.test_case "span exception safety" `Quick
+      test_span_exception_safety;
+    Alcotest.test_case "timed measures when disabled" `Quick
+      test_timed_measures_when_disabled;
+    Alcotest.test_case "counter and gauge semantics" `Quick
+      test_counter_and_gauge;
+    Alcotest.test_case "histogram semantics" `Quick test_histogram_semantics;
+    Alcotest.test_case "disabled mode is a no-op" `Quick
+      test_disabled_is_noop;
+    Alcotest.test_case "trace export is well-formed" `Quick
+      test_trace_export_wellformed;
+    Alcotest.test_case "metrics export" `Quick test_metrics_export;
+    Alcotest.test_case "pipeline spans consistent with report" `Quick
+      test_pipeline_spans_consistent;
+  ]
