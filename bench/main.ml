@@ -12,6 +12,7 @@
      table2            Table II  bundle statistics and solver timing
      rq4               §VII.D    policy enforcement overhead (33 reps, 95% CI)
      scenario          §V/§VI    the running example's exploit + policy
+     parallel          ASE at -j 1/2/4 over Table I (BENCH_parallel.json)
      ablation-minimal  minimal vs arbitrary scenarios
      ablation-context  k = 1 vs k = 0 context sensitivity
      ablation-pruning  entry-point reachability pruning on vs off
@@ -448,7 +449,7 @@ let run_ablation_minimal () =
           | None -> 0
         in
         (size, mf)
-    | Separ_relog.Solve.Unsat -> (0, 0)
+    | Separ_relog.Solve.Unsat | Separ_relog.Solve.Unknown -> (0, 0)
   in
   let min_size, min_f = measure true in
   let raw_size, raw_f = measure false in
@@ -676,7 +677,10 @@ let run_solver_bench ~mode () =
             [
               ( "result",
                 Json.Str
-                  (match php_result with S.Sat -> "sat" | S.Unsat -> "unsat") );
+                  (match php_result with
+                  | S.Sat -> "sat"
+                  | S.Unsat -> "unsat"
+                  | S.Unknown -> "unknown") );
               ("solver", solver php_stats);
             ] );
         ( "enumeration",
@@ -852,6 +856,161 @@ let run_telemetry_smoke () =
       List.iter (fun f -> Printf.printf "telemetry FAILURE: %s\n" f) fs;
       exit 1
 
+(* --- parallel synthesis (BENCH_parallel.json) ------------------------------ *)
+
+(* Comparable view of an analysis across [-j N]: kind + description of
+   every scenario, in report order. *)
+let scenario_keys (report : Ase.report) =
+  List.map
+    (fun v -> (v.Ase.v_kind, v.Ase.v_scenario.Scenario.sc_description))
+    report.Ase.r_vulnerabilities
+
+(* The Table I workload (one bundle per DroidBench/ICC-Bench case) run
+   through ASE at increasing worker-pool widths.  Checks that every
+   width produces the identical scenario sets, and measures the 1-vs-N
+   wall-clock speedup -> BENCH_parallel.json. *)
+let run_parallel_bench ~mode () =
+  header "Parallel signature synthesis: ASE at -j 1/2/4 (Table I workload)";
+  let cases =
+    let all = Separ_suites.Table1.all_cases () in
+    if mode = "smoke" then List.filteri (fun i _ -> i < 6) all else all
+  in
+  let bundles =
+    List.map
+      (fun (c : Separ_suites.Case.t) ->
+        ( c.Separ_suites.Case.name,
+          Bundle.of_models
+            (List.map Extract.extract c.Separ_suites.Case.apks) ))
+      cases
+  in
+  let widths = [ 1; 2; 4 ] in
+  let runs =
+    List.map
+      (fun jobs ->
+        let keys, ms =
+          Trace.timed "bench.parallel"
+            ~attrs:[ Trace.attr_int "jobs" jobs ]
+            (fun () ->
+              List.map
+                (fun (name, bundle) ->
+                  let report = Ase.analyze ~jobs bundle in
+                  (name, scenario_keys report, report.Ase.r_degraded))
+                bundles)
+        in
+        (jobs, keys, ms))
+      widths
+  in
+  let _, base_keys, base_ms = List.hd runs in
+  let identical =
+    List.for_all (fun (_, keys, _) -> keys = base_keys) (List.tl runs)
+  in
+  let degradations =
+    List.concat_map (fun (_, keys, _) ->
+        List.concat_map (fun (_, _, d) -> d) keys)
+      runs
+  in
+  let speedup_at jobs =
+    match List.find_opt (fun (j, _, _) -> j = jobs) runs with
+    | Some (_, _, ms) when ms > 0.0 -> base_ms /. ms
+    | _ -> 0.0
+  in
+  (* On a single-core host every extra worker can only time-slice, so
+     the recorded speedup is necessarily <= 1 there; the core count is
+     part of the record so readers can interpret the ratios. *)
+  let cores = Domain.recommended_domain_count () in
+  let json =
+    Json.Obj
+      [
+        ("mode", Json.Str mode);
+        ("cpu_cores", Json.Int cores);
+        ("cases", Json.Int (List.length bundles));
+        ( "runs",
+          Json.List
+            (List.map
+               (fun (jobs, keys, ms) ->
+                 Json.Obj
+                   [
+                     ("jobs", Json.Int jobs);
+                     ("wall_ms", Json.Float ms);
+                     ( "scenarios",
+                       Json.Int
+                         (List.fold_left
+                            (fun acc (_, ks, _) -> acc + List.length ks)
+                            0 keys) );
+                   ])
+               runs) );
+        ("identical_scenario_sets", Json.Bool identical);
+        ("degraded_signatures", Json.Int (List.length degradations));
+        ("speedup_at_2", Json.Float (speedup_at 2));
+        ("speedup_at_4", Json.Float (speedup_at 4));
+      ]
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc (Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  List.iter
+    (fun (jobs, _, ms) ->
+      Printf.printf "-j %d: %7.1f ms (speedup %.2fx)\n" jobs ms
+        (if ms > 0.0 then base_ms /. ms else 0.0))
+    runs;
+  Printf.printf "scenario sets identical across -j: %b -> BENCH_parallel.json\n"
+    identical;
+  if cores = 1 then
+    Printf.printf
+      "(single-core host: workers time-slice one CPU, speedup <= 1 expected)\n";
+  Printf.printf "%!";
+  (identical, degradations)
+
+(* Tier-1 gate for `dune runtest`: a small Table I slice plus the demo
+   bundle at -j 1 and -j 2 must produce byte-identical scenario sets,
+   and a zero conflict budget must degrade every searching signature
+   (terminating, no scenarios) rather than hang or crash. *)
+let run_parallel_smoke () =
+  header "Parallel smoke: -j determinism + budget degradation (tier-1 gate)";
+  let failures = ref [] in
+  let expect cond msg = if not cond then failures := msg :: !failures in
+  let identical, degradations = run_parallel_bench ~mode:"smoke" () in
+  expect identical "scenario sets differ across -j widths";
+  expect (degradations = [])
+    "un-budgeted parallel run reported degraded signatures";
+  let demo_bundle =
+    Bundle.of_models
+      (List.map Extract.extract
+         [ Demo.navigation_app (); Demo.messenger_app () ])
+  in
+  let seq = Ase.analyze ~jobs:1 demo_bundle in
+  let par = Ase.analyze ~jobs:2 demo_bundle in
+  expect (seq.Ase.r_vulnerabilities <> [])
+    "demo bundle produced no scenarios";
+  expect
+    (scenario_keys seq = scenario_keys par)
+    "demo bundle scenario sets differ between -j 1 and -j 2";
+  let budget =
+    { Separ_sat.Solver.b_max_conflicts = Some 0; b_max_time_ms = None }
+  in
+  List.iter
+    (fun jobs ->
+      let starved = Ase.analyze ~jobs ~budget demo_bundle in
+      expect
+        (starved.Ase.r_vulnerabilities = [])
+        "zero-budget analysis still produced scenarios";
+      expect
+        (starved.Ase.r_degraded <> [])
+        "zero-budget analysis recorded no degraded signatures";
+      List.iter
+        (fun (d : Ase.degraded) ->
+          expect
+            (d.Ase.d_reason = "budget_exhausted")
+            ("unexpected degradation reason: " ^ d.Ase.d_reason))
+        starved.Ase.r_degraded)
+    [ 1; 2 ];
+  match !failures with
+  | [] -> Printf.printf "parallel smoke: all gates passed\n%!"
+  | fs ->
+      List.iter (fun f -> Printf.printf "parallel smoke FAILURE: %s\n" f) fs;
+      exit 1
+
 (* --- Bechamel kernels ---------------------------------------------------------- *)
 
 let run_kernels () =
@@ -935,7 +1094,9 @@ let () =
   end;
   if has "--smoke" then run_smoke ();
   if has "--telemetry-smoke" then run_telemetry_smoke ();
+  if has "--parallel-smoke" then run_parallel_smoke ();
   if all || has "table1" then run_table1 ();
+  if all || has "parallel" then ignore (run_parallel_bench ~mode:"full" ());
   if all || has "flowbench" then run_flowbench ();
   if all || has "scenario" then run_scenario ();
   if all || has "fig5" then run_fig5 ~apps:(opt "--apps" 4000) ();

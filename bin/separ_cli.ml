@@ -75,8 +75,39 @@ let analyze_cmd =
   in
   let limit =
     Arg.(
-      value & opt int 16
+      value
+      & opt int Separ_relog.Solve.default_enum_limit
       & info [ "limit" ] ~doc:"Maximum scenarios per vulnerability signature")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Analyze signatures in $(docv) parallel worker processes. \
+             Results are merged in signature order, so output is identical \
+             across $(docv); a crashed worker degrades its signature \
+             instead of failing the run.")
+  in
+  let budget_conflicts =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "solve-budget-conflicts" ] ~docv:"N"
+          ~doc:
+            "Cap each signature's solver session at $(docv) conflicts; on \
+             exhaustion the signature is reported as degraded \
+             (budget_exhausted) with the scenarios found so far.")
+  in
+  let budget_time =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-budget-ms" ] ~docv:"MS"
+          ~doc:
+            "Cap each signature's solver session at $(docv) milliseconds of \
+             wall-clock time; on exhaustion the signature is reported as \
+             degraded (budget_exhausted).")
   in
   let format =
     Arg.(
@@ -91,10 +122,21 @@ let analyze_cmd =
           ~doc:"Print CDCL solver counters (conflicts, learnt-db \
                 reductions, minimized literals, ...) to stderr")
   in
-  let run paths out limit format stats trace metrics =
+  let run paths out limit jobs budget_conflicts budget_time format stats trace
+      metrics =
     telemetry_setup ~trace ~metrics;
+    let budget =
+      match (budget_conflicts, budget_time) with
+      | None, None -> None
+      | _ ->
+          Some
+            {
+              Separ_sat.Solver.b_max_conflicts = budget_conflicts;
+              b_max_time_ms = budget_time;
+            }
+    in
     let apks = load_apks paths in
-    let analysis = Separ.analyze ~limit_per_sig:limit apks in
+    let analysis = Separ.analyze ~limit_per_sig:limit ~jobs ?budget apks in
     (match format with
     | `Text ->
         Fmt.pr "%a@." Separ.pp_analysis analysis;
@@ -134,8 +176,8 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Analyze a bundle and synthesize policies")
     Term.(
-      const run $ paths $ out $ limit $ format $ stats $ trace_arg
-      $ metrics_arg)
+      const run $ paths $ out $ limit $ jobs $ budget_conflicts $ budget_time
+      $ format $ stats $ trace_arg $ metrics_arg)
 
 let extract_cmd =
   let path =

@@ -6,17 +6,24 @@
    for *minimal* satisfying instances (the Aluminum role), and decodes
    each instance into an attack scenario.  Enumeration blocks supersets
    of already-reported scenarios, so each result is a genuinely distinct
-   exploit. *)
+   exploit.
+
+   Signatures are independent problems, so [analyze ~jobs] partitions
+   them across a fork-based worker pool; per-signature solve budgets and
+   crash isolation mean one pathological signature degrades to a
+   recorded [degraded] entry instead of hanging or aborting the run. *)
 
 open Separ_relog
 open Separ_ame
 open Separ_specs
 module Trace = Separ_obs.Trace
 module Metrics = Separ_obs.Metrics
+module Pool = Separ_exec.Pool
 
 let c_scenarios = Metrics.counter "ase.scenarios"
 let c_blocked = Metrics.counter "ase.blocked_models"
 let c_signatures = Metrics.counter "ase.signatures_run"
+let c_degraded = Metrics.counter "ase.degraded_signatures"
 
 type vulnerability = {
   v_kind : string;
@@ -24,9 +31,30 @@ type vulnerability = {
   v_components : string list; (* victim components involved *)
 }
 
+(* A signature whose analysis did not complete: its solve budget ran
+   out, or its worker process died.  Scenarios found before the
+   degradation are still reported; the entry records the gap. *)
+type degraded = {
+  d_kind : string; (* signature name *)
+  d_reason : string; (* "budget_exhausted" or "worker_crashed: ..." *)
+}
+
+type sig_outcome = Complete | Budget_exhausted
+
+(* Everything one signature's run produces; returned by value so the
+   worker pool can marshal it across the process boundary. *)
+type sig_result = {
+  sr_scenarios : Scenario.t list;
+  sr_truncated : bool; (* enumeration cut off at the limit *)
+  sr_outcome : sig_outcome;
+  sr_stats : Solve.stats;
+}
+
 type report = {
   r_stats : Bundle.stats;
   r_vulnerabilities : vulnerability list;
+  r_degraded : degraded list; (* in signature order *)
+  r_truncated : string list; (* signatures whose enumeration hit the limit *)
   r_construction_ms : float; (* translation to CNF (Table II) *)
   r_solving_ms : float;      (* SAT search (Table II) *)
   r_vars : int;
@@ -62,8 +90,11 @@ let victim_components (bundle : Bundle.t) (s : Scenario.t) =
   List.sort_uniq compare
     (List.concat_map of_witness s.Scenario.sc_witnesses @ from_mal_target)
 
-(* Run one signature against a bundle; returns scenarios and timing. *)
-let run_signature ?(limit = 16) bundle (sig_ : Signatures.t) =
+(* Run one signature against a bundle.  [budget], if given, bounds the
+   signature's whole solver session; exhaustion mid-enumeration keeps
+   the scenarios found so far and marks the result [Budget_exhausted]. *)
+let run_signature ?(limit = Solve.default_enum_limit) ?budget bundle
+    (sig_ : Signatures.t) =
   Trace.with_span "ase.signature"
     ~attrs:[ Trace.attr_str "signature" sig_.Signatures.name ]
     (fun () ->
@@ -80,67 +111,113 @@ let run_signature ?(limit = 16) bundle (sig_ : Signatures.t) =
             constraints = env.Encode.facts @ [ sig_.Signatures.formula env ];
           }
       in
-      let session = Solve.prepare problem in
+      let session = Solve.prepare ?budget problem in
       (* Enumerate one minimal scenario per distinct witness valuation: the
          witnesses identify the victim elements, so further instances that
          only vary the synthesized payload are redundant for policy
          derivation. *)
       let witness_rels = List.map snd env.Encode.r_witnesses in
       let rec go acc k =
-        if k >= limit then List.rev acc
+        if k >= limit then (List.rev acc, true, Complete)
         else
           match
             Trace.with_span "ase.scenario" (fun () ->
                 match Solve.next ~minimal:true session with
                 | Solve.Unsat -> None
+                | Solve.Unknown -> Some (Error ())
                 | Solve.Sat inst ->
                     Solve.block_on session witness_rels;
                     Metrics.incr c_scenarios;
                     Metrics.incr c_blocked;
-                    Some (Signatures.decode sig_ env inst))
+                    Some (Ok (Signatures.decode sig_ env inst)))
           with
-          | None -> List.rev acc
-          | Some sc -> go (sc :: acc) (k + 1)
+          | None -> (List.rev acc, false, Complete)
+          | Some (Error ()) -> (List.rev acc, false, Budget_exhausted)
+          | Some (Ok sc) -> go (sc :: acc) (k + 1)
       in
-      let scenarios = go [] 0 in
+      let scenarios, truncated, outcome = go [] 0 in
       Trace.add_attr "scenarios" (Trace.Int (List.length scenarios));
-      (scenarios, Solve.stats session))
+      if truncated then Trace.add_attr "truncated" (Trace.Bool true);
+      if outcome = Budget_exhausted then
+        Trace.add_attr "outcome" (Trace.Str "budget_exhausted");
+      {
+        sr_scenarios = scenarios;
+        sr_truncated = truncated;
+        sr_outcome = outcome;
+        sr_stats = Solve.stats session;
+      })
 
-let analyze ?(signatures = Signatures.all ()) ?(limit_per_sig = 16)
+let analyze ?(signatures = Signatures.all ())
+    ?(limit_per_sig = Solve.default_enum_limit) ?(jobs = 1) ?budget
     (bundle : Bundle.t) : report =
-  Trace.with_span "ase.analyze" (fun () ->
+  Trace.with_span "ase.analyze"
+    ~attrs:[ Trace.attr_int "jobs" jobs ]
+    (fun () ->
   (* Resolve passive-intent targets across the bundle first (Algorithm 1). *)
   let bundle =
     Trace.with_span "ase.resolve_targets" (fun () ->
         Bundle.update_passive_targets bundle)
   in
+  (* One task per signature.  The pool runs them inline at [jobs <= 1]
+     and in forked workers otherwise; either way results come back in
+     signature order, so the merged report is identical across [-j N]. *)
+  let results =
+    Pool.run ~jobs
+      (List.map
+         (fun sig_ () -> run_signature ~limit:limit_per_sig ?budget bundle sig_)
+         signatures)
+  in
   let construction = ref 0.0 and solving = ref 0.0 in
   let vars = ref 0 and clauses = ref 0 in
   let solver_totals = ref Separ_sat.Solver.empty_stats in
+  let degraded = ref [] in
+  let truncated = ref [] in
   let vulnerabilities =
-    List.concat_map
-      (fun sig_ ->
-        let scenarios, stats = run_signature ~limit:limit_per_sig bundle sig_ in
-        construction := !construction +. stats.Solve.translation_ms;
-        solving := !solving +. stats.Solve.solving_ms;
-        vars := !vars + stats.Solve.n_vars;
-        clauses := !clauses + stats.Solve.n_clauses;
-        solver_totals :=
-          Separ_sat.Solver.sum_stats !solver_totals stats.Solve.solver;
-        List.map
-          (fun sc ->
-            {
-              v_kind = sig_.Signatures.name;
-              v_scenario = sc;
-              v_components = victim_components bundle sc;
-            })
-          scenarios)
-      signatures
+    List.concat
+      (List.map2
+         (fun sig_ result ->
+           let name = sig_.Signatures.name in
+           match result with
+           | Pool.Failed msg ->
+               Metrics.incr c_degraded;
+               degraded :=
+                 { d_kind = name; d_reason = "worker_crashed: " ^ msg }
+                 :: !degraded;
+               []
+           | Pool.Done sr ->
+               let stats = sr.sr_stats in
+               construction := !construction +. stats.Solve.translation_ms;
+               solving := !solving +. stats.Solve.solving_ms;
+               vars := !vars + stats.Solve.n_vars;
+               clauses := !clauses + stats.Solve.n_clauses;
+               solver_totals :=
+                 Separ_sat.Solver.sum_stats !solver_totals stats.Solve.solver;
+               if sr.sr_outcome = Budget_exhausted then begin
+                 Metrics.incr c_degraded;
+                 degraded :=
+                   { d_kind = name; d_reason = "budget_exhausted" }
+                   :: !degraded
+               end;
+               if sr.sr_truncated then truncated := name :: !truncated;
+               List.map
+                 (fun sc ->
+                   {
+                     v_kind = name;
+                     v_scenario = sc;
+                     v_components = victim_components bundle sc;
+                   })
+                 sr.sr_scenarios)
+         signatures results)
   in
   Trace.add_attr "vulnerabilities" (Trace.Int (List.length vulnerabilities));
+  let degraded = List.rev !degraded in
+  if degraded <> [] then
+    Trace.add_attr "degraded" (Trace.Int (List.length degraded));
   {
     r_stats = Bundle.stats bundle;
     r_vulnerabilities = vulnerabilities;
+    r_degraded = degraded;
+    r_truncated = List.rev !truncated;
     r_construction_ms = !construction;
     r_solving_ms = !solving;
     r_vars = !vars;
@@ -187,4 +264,14 @@ let pp_report ppf r =
             v.v_scenario.Scenario.sc_description
             (list ~sep:(any ", ") string)
             v.v_components))
-    r.r_vulnerabilities
+    r.r_vulnerabilities;
+  if r.r_degraded <> [] then
+    Fmt.pf ppf "@.degraded: %a"
+      Fmt.(
+        list ~sep:(any ", ") (fun ppf d ->
+            pf ppf "%s (%s)" d.d_kind d.d_reason))
+      r.r_degraded;
+  if r.r_truncated <> [] then
+    Fmt.pf ppf "@.truncated: %a"
+      Fmt.(list ~sep:(any ", ") string)
+      r.r_truncated

@@ -2,7 +2,13 @@
     problem for each registered vulnerability signature over a bundle of
     extracted app models, asks the solver for minimal satisfying
     instances, and decodes each into an attack scenario.  Enumeration
-    yields one scenario per distinct witness valuation. *)
+    yields one scenario per distinct witness valuation.
+
+    Signatures are independent, so {!analyze} can partition them across
+    a fork-based worker pool ([jobs]); per-signature solve budgets and
+    worker-crash isolation degrade a pathological signature to a
+    recorded {!degraded} entry instead of hanging or aborting the
+    analysis. *)
 
 open Separ_ame
 open Separ_specs
@@ -13,9 +19,31 @@ type vulnerability = {
   v_components : string list;     (** victim components involved *)
 }
 
+(** A signature whose analysis did not complete: its solve budget ran
+    out, or its worker process died.  Scenarios found before the
+    degradation are still reported. *)
+type degraded = {
+  d_kind : string;    (** signature name *)
+  d_reason : string;  (** ["budget_exhausted"] or ["worker_crashed: ..."] *)
+}
+
+type sig_outcome = Complete | Budget_exhausted
+
+(** Everything one signature's run produces (marshal-safe, so the worker
+    pool can ship it across the process boundary). *)
+type sig_result = {
+  sr_scenarios : Scenario.t list;
+  sr_truncated : bool;  (** enumeration cut off at the limit *)
+  sr_outcome : sig_outcome;
+  sr_stats : Separ_relog.Solve.stats;
+}
+
 type report = {
   r_stats : Bundle.stats;
   r_vulnerabilities : vulnerability list;
+  r_degraded : degraded list;  (** in signature order *)
+  r_truncated : string list;
+      (** signatures whose enumeration hit the per-signature limit *)
   r_construction_ms : float;  (** translation to CNF (Table II) *)
   r_solving_ms : float;       (** SAT search (Table II) *)
   r_vars : int;
@@ -28,17 +56,32 @@ type report = {
 (** The device components implicated in a scenario. *)
 val victim_components : Bundle.t -> Scenario.t -> string list
 
-(** Run one signature; returns the decoded scenarios and solver stats. *)
+(** Run one signature.  [limit] caps enumeration (default
+    {!Separ_relog.Solve.default_enum_limit}); [budget] bounds the
+    signature's whole solver session — on exhaustion the scenarios found
+    so far are kept and the result is marked [Budget_exhausted]. *)
 val run_signature :
   ?limit:int ->
+  ?budget:Separ_sat.Solver.budget ->
   Bundle.t ->
   Signatures.t ->
-  Scenario.t list * Separ_relog.Solve.stats
+  sig_result
 
 (** Run all (or the given) signatures over the bundle, after resolving
-    passive-intent targets (Algorithm 1). *)
+    passive-intent targets (Algorithm 1).  [jobs] (default 1) sets the
+    worker-pool width: above 1, signatures run in forked worker
+    processes, [jobs] at a time, and results — including worker trace
+    spans and metrics — are merged back in signature order, so the
+    report is identical across [jobs] values for deterministic
+    signatures.  [budget] applies per signature, not to the whole
+    analysis. *)
 val analyze :
-  ?signatures:Signatures.t list -> ?limit_per_sig:int -> Bundle.t -> report
+  ?signatures:Signatures.t list ->
+  ?limit_per_sig:int ->
+  ?jobs:int ->
+  ?budget:Separ_sat.Solver.budget ->
+  Bundle.t ->
+  report
 
 (** Packages having at least one vulnerability of the given kind. *)
 val vulnerable_apps : report -> Bundle.t -> string -> string list

@@ -65,11 +65,17 @@ type analysis = {
 (** Run AME and ASE over a bundle of apps and synthesize policies.
     [k1] selects context sensitivity of extraction; [signatures]
     restricts the vulnerability signatures (default: all registered);
-    [limit_per_sig] caps scenarios per signature. *)
+    [limit_per_sig] caps scenarios per signature; [jobs] widens ASE's
+    fork-based worker pool (default sequential); [budget] bounds each
+    signature's solver session — exhausted or crashed signatures degrade
+    to {!Ase.degraded} entries in the report instead of failing the
+    analysis. *)
 val analyze :
   ?k1:bool ->
   ?signatures:Signatures.t list ->
   ?limit_per_sig:int ->
+  ?jobs:int ->
+  ?budget:Separ_sat.Solver.budget ->
   Apk.t list ->
   analysis
 
@@ -80,6 +86,8 @@ val reanalyze :
   ?k1:bool ->
   ?signatures:Signatures.t list ->
   ?limit_per_sig:int ->
+  ?jobs:int ->
+  ?budget:Separ_sat.Solver.budget ->
   analysis ->
   changed:Apk.t list ->
   analysis

@@ -1,0 +1,171 @@
+(* Fork-based worker pool.
+
+   Concurrency without threads: each task forks a child process, runs
+   the thunk there, and writes [Marshal]-ed results back through a pipe.
+   The parent multiplexes over the read ends with [select], reading
+   incrementally (a result larger than the pipe buffer would deadlock a
+   parent that waited for child exit before reading), and reaps each
+   child after its pipe reaches EOF.
+
+   Crash isolation is the point: a child that raises reports the
+   exception as a [Failed] payload; a child that dies without reporting
+   (segfault, [_exit], kill) is detected by its exit status and turned
+   into [Failed] too.  The parent never throws because of a task.
+
+   Telemetry: children inherit the parent's trace/metrics state at fork
+   time, so each child resets both and records only its own activity;
+   the payload carries the child's finished span roots and a metrics
+   snapshot, which the parent grafts/merges back — pid-tagged — in task
+   order (deterministic merged telemetry regardless of completion
+   order). *)
+
+module Trace = Separ_obs.Trace
+module Metrics = Separ_obs.Metrics
+
+type 'r result = Done of 'r | Failed of string
+
+(* What a child ships back: the task's outcome plus its telemetry. *)
+type 'r payload =
+  ('r, string) Stdlib.result * Trace.span list * Metrics.snapshot
+
+let run_task task =
+  match task () with
+  | v -> Ok v
+  | exception e -> Error (Printexc.to_string e)
+
+(* Inline path: no fork, but the same exception containment, so [-j 1]
+   and [-j N] agree on results for deterministic tasks. *)
+let run_inline tasks =
+  List.map
+    (fun task ->
+      match run_task task with Ok v -> Done v | Error msg -> Failed msg)
+    tasks
+
+(* --- forked path ---------------------------------------------------------- *)
+
+let child_main task w =
+  (* Only this child's own activity should ship back. *)
+  Trace.reset ();
+  Metrics.reset ();
+  let outcome = run_task task in
+  let payload : _ payload = (outcome, Trace.roots (), Metrics.snapshot ()) in
+  let status =
+    match
+      let oc = Unix.out_channel_of_descr w in
+      Marshal.to_channel oc payload [];
+      flush oc
+    with
+    | () -> 0
+    | exception _ -> 2 (* unmarshalable result / broken pipe *)
+  in
+  (* [_exit], not [exit]: skip at_exit and inherited buffered output —
+     a child must not replay the parent's pending stdout. *)
+  Unix._exit status
+
+let status_string = function
+  | Unix.WEXITED code ->
+      Printf.sprintf "worker exited with status %d before reporting" code
+  | Unix.WSIGNALED sg -> Printf.sprintf "worker killed by signal %d" sg
+  | Unix.WSTOPPED sg -> Printf.sprintf "worker stopped by signal %d" sg
+
+let rec waitpid_retry pid =
+  match Unix.waitpid [] pid with
+  | _, status -> status
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+
+let rec select_retry fds =
+  match Unix.select fds [] [] (-1.0) with
+  | ready, _, _ -> ready
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> select_retry fds
+
+let spawn task =
+  let r, w = Unix.pipe ~cloexec:false () in
+  (* Flush before forking or the child inherits (and could replay)
+     pending buffered output. *)
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      Unix.close r;
+      child_main task w
+  | pid ->
+      Unix.close w;
+      (pid, r)
+
+type worker = {
+  wk_pid : int;
+  wk_index : int;
+  wk_buf : Buffer.t; (* marshalled payload, accumulated incrementally *)
+}
+
+let run_forked ~jobs tasks =
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  let results = Array.make n (Failed "not run") in
+  let telemetry = Array.make n None in
+  (* read-fd -> worker, for the live children *)
+  let live : (Unix.file_descr, worker) Hashtbl.t = Hashtbl.create jobs in
+  let next = ref 0 in
+  let launch () =
+    if !next < n then begin
+      let idx = !next in
+      incr next;
+      let pid, r = spawn tasks.(idx) in
+      Hashtbl.replace live r
+        { wk_pid = pid; wk_index = idx; wk_buf = Buffer.create 4096 }
+    end
+  in
+  let finish fd wk =
+    Unix.close fd;
+    Hashtbl.remove live fd;
+    let status = waitpid_retry wk.wk_pid in
+    (match status with
+    | Unix.WEXITED 0 -> (
+        match
+          (Marshal.from_string (Buffer.contents wk.wk_buf) 0 : _ payload)
+        with
+        | Ok v, spans, msnap ->
+            results.(wk.wk_index) <- Done v;
+            telemetry.(wk.wk_index) <- Some (wk.wk_pid, spans, msnap)
+        | Error msg, spans, msnap ->
+            results.(wk.wk_index) <- Failed msg;
+            telemetry.(wk.wk_index) <- Some (wk.wk_pid, spans, msnap)
+        | exception _ ->
+            results.(wk.wk_index) <- Failed "worker sent corrupt payload")
+    | status -> results.(wk.wk_index) <- Failed (status_string status));
+    launch ()
+  in
+  let chunk = Bytes.create 65536 in
+  for _ = 1 to min jobs n do
+    launch ()
+  done;
+  while Hashtbl.length live > 0 do
+    let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) live [] in
+    let ready = select_retry fds in
+    List.iter
+      (fun fd ->
+        match Hashtbl.find_opt live fd with
+        | None -> ()
+        | Some wk -> (
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> finish fd wk
+            | k -> Buffer.add_subbytes wk.wk_buf chunk 0 k
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
+      ready
+  done;
+  (* Merge worker telemetry in task order so the combined trace and
+     metric totals are deterministic. *)
+  Array.iter
+    (function
+      | None -> ()
+      | Some (pid, spans, msnap) ->
+          Trace.graft ~attrs:[ Trace.attr_int "pid" pid ] spans;
+          Metrics.merge msnap)
+    telemetry;
+  Array.to_list results
+
+let run ?(jobs = 1) tasks =
+  if jobs <= 1 || List.length tasks <= 1 then run_inline tasks
+  else run_forked ~jobs tasks
+
+let map ?jobs f xs = run ?jobs (List.map (fun x () -> f x) xs)

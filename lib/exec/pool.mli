@@ -1,0 +1,33 @@
+(** A fork-based worker pool with crash isolation.
+
+    Tasks run in forked child processes (at most [jobs] concurrently);
+    each child ships its result — plus its telemetry — back to the
+    parent over a pipe via [Marshal].  A task that raises, or whose
+    worker process dies outright (segfault, [exit], OOM-kill), yields
+    [Failed] instead of taking the whole run down, so one pathological
+    signature cannot abort an analysis.
+
+    Results are returned in task order regardless of completion order,
+    and worker telemetry (trace spans, metric counters) is merged back
+    into the parent in that same order, so a run at [-j N] is
+    deterministic given deterministic tasks.
+
+    With [jobs <= 1] (or a single task) everything runs inline in the
+    parent — same result type, no forking — which keeps [-j 1] exactly
+    as debuggable as the sequential code it replaces. *)
+
+(** The outcome of one task: its value, or a description of how it
+    failed (the exception it raised, or the worker's exit status). *)
+type 'r result = Done of 'r | Failed of string
+
+(** [run ~jobs tasks] executes every task and returns one result per
+    task, in order.  [jobs] defaults to [1] (inline).
+
+    Forked tasks must return marshal-safe values: no closures, no
+    custom blocks.  Mutations a forked task makes to parent state are
+    invisible to the parent (separate address spaces) — tasks
+    communicate through their return value only. *)
+val run : ?jobs:int -> (unit -> 'r) list -> 'r result list
+
+(** [map ~jobs f xs] is [run ~jobs (List.map (fun x () -> f x) xs)]. *)
+val map : ?jobs:int -> ('a -> 'r) -> 'a list -> 'r result list

@@ -122,6 +122,54 @@ let all () =
          in
          compare (name a) (name b))
 
+(* --- snapshots (cross-process merge) -------------------------------------- *)
+
+(* A marshal-safe, handle-free copy of the registry, for shipping a
+   worker process's metrics back to the parent over a pipe. *)
+type snapshot_entry =
+  | Snap_counter of string * int
+  | Snap_gauge of string * float
+  | Snap_histogram of string * float array * int array * float * int
+      (* name, bucket bounds, bucket counts, sum, count *)
+
+type snapshot = snapshot_entry list
+
+let snapshot () =
+  List.map
+    (function
+      | Counter c -> Snap_counter (c.c_name, !(c.c_value))
+      | Gauge g -> Snap_gauge (g.g_name, !(g.g_value))
+      | Histogram h ->
+          Snap_histogram
+            (h.h_name, Array.copy h.h_bounds, Array.copy h.h_counts, h.h_sum,
+             h.h_count))
+    (all ())
+
+(* Fold a worker's snapshot into the live registry: counters and
+   histograms are additive; gauges are last-write-wins.  Entries a
+   worker never touched (zero counters/counts, 0.0 gauges) are skipped
+   so an idle worker neither clobbers parent gauges nor registers noise.
+   Unknown names are registered on the fly, so parent and worker need
+   not share instrumentation. *)
+let merge snap =
+  if !enabled then
+    List.iter
+      (function
+        | Snap_counter (_, 0) | Snap_gauge (_, 0.0) -> ()
+        | Snap_histogram (_, _, _, _, 0) -> ()
+        | Snap_counter (name, v) -> add (counter name) v
+        | Snap_gauge (name, v) -> set (gauge name) v
+        | Snap_histogram (name, bounds, counts, sum, count) ->
+            let h = histogram ~buckets:bounds name in
+            if Array.length h.h_counts = Array.length counts then begin
+              Array.iteri
+                (fun i c -> h.h_counts.(i) <- h.h_counts.(i) + c)
+                counts;
+              h.h_sum <- h.h_sum +. sum;
+              h.h_count <- h.h_count + count
+            end)
+      snap
+
 (* Zero every registered metric.  Registrations (and the handles already
    held by instrumented modules) stay valid. *)
 let reset () =

@@ -118,6 +118,21 @@ let timed ?attrs name f =
 (* Finished top-level spans, in completion order. *)
 let roots () = List.rev !finished
 
+(* Graft span trees recorded elsewhere (typically in a worker process,
+   shipped back over a pipe) into the current trace: under the innermost
+   open span if there is one, else as top-level roots.  [attrs] — e.g.
+   the worker's pid — are appended to each grafted root so merged traces
+   stay attributable.  No-op when tracing is disabled. *)
+let graft ?(attrs = []) spans =
+  if !enabled then
+    List.iter
+      (fun sp ->
+        if attrs <> [] then sp.sp_attrs <- sp.sp_attrs @ attrs;
+        match !stack with
+        | parent :: _ -> parent.sp_children <- sp :: parent.sp_children
+        | [] -> finished := sp :: !finished)
+      spans
+
 let fold_spans f acc =
   let rec go acc sp = List.fold_left go (f acc sp) sp.sp_children in
   List.fold_left go acc (roots ())

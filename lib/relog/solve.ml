@@ -23,8 +23,29 @@ type session = {
   translation : Translate.t;
   solver : Separ_sat.Solver.t;
   soft : int list; (* free tuple variables, for minimization/blocking *)
+  budget : Separ_sat.Solver.budget; (* for the whole session *)
+  started : float; (* session epoch, for the wall-clock budget *)
   mutable stats : stats;
 }
+
+(* The enumeration cap shared by [enumerate], ASE's per-signature loop
+   and the CLI's [--limit] default — one constant, not three copies. *)
+let default_enum_limit = 16
+
+(* What is left of the session budget right now: the conflict allowance
+   shrinks with every conflict the session's solver has spent (main
+   solves and minimization alike), the time allowance with the clock. *)
+let remaining_budget session =
+  {
+    Separ_sat.Solver.b_max_conflicts =
+      Option.map
+        (fun c -> c - Separ_sat.Solver.n_conflicts session.solver)
+        session.budget.Separ_sat.Solver.b_max_conflicts;
+    b_max_time_ms =
+      Option.map
+        (fun ms -> ms -. ((Unix.gettimeofday () -. session.started) *. 1000.0))
+        session.budget.Separ_sat.Solver.b_max_time_ms;
+  }
 
 module Trace = Separ_obs.Trace
 module Metrics = Separ_obs.Metrics
@@ -37,8 +58,11 @@ let c_translations = Metrics.counter "relog.translations"
 
 (* Translation is traced in its three phases: bound-matrix allocation
    (one solver variable per free tuple), formula -> circuit evaluation,
-   and Tseitin encoding of the asserted gates into CNF. *)
-let prepare problem =
+   and Tseitin encoding of the asserted gates into CNF.  [budget], if
+   given, bounds the *whole session*: conflicts and wall-clock time are
+   metered across every subsequent solve (including minimization), and a
+   solve past the budget answers [Unknown]. *)
+let prepare ?(budget = Separ_sat.Solver.no_budget) problem =
   let solver = Separ_sat.Solver.create () in
   let (translation : Translate.t), translation_ms =
     Trace.timed "relog.translate" (fun () ->
@@ -71,6 +95,8 @@ let prepare problem =
     translation;
     solver;
     soft;
+    budget;
+    started = Unix.gettimeofday ();
     stats =
       {
         translation_ms;
@@ -92,24 +118,50 @@ let decode session =
   in
   Instance.make (Bounds.universe bounds) bindings
 
-type outcome = Unsat | Sat of Instance.t
+type outcome = Unsat | Sat of Instance.t | Unknown
+
+(* Variable/clause counts drift as enumeration adds blocking clauses and
+   minimization adds shrink clauses and activation variables; refresh the
+   snapshot whenever the session mutates the solver so [stats] reports
+   the live formula, not the one frozen at [prepare] time. *)
+let refresh_counts session =
+  session.stats <-
+    {
+      session.stats with
+      n_vars = Separ_sat.Solver.n_vars session.solver;
+      n_clauses = Separ_sat.Solver.n_clauses session.solver;
+    }
 
 (* Find the next satisfying instance.  With [minimal] (default), the
-   instance is minimized over the free tuple variables first. *)
+   instance is minimized over the free tuple variables first.  A session
+   budget that runs out (during either the search or the shrink) yields
+   [Unknown]; minimization itself degrades to a coarser instance before
+   the session does. *)
 let next ?(minimal = true) session =
   let result, ms =
     Trace.timed "sat.solve" (fun () ->
         let r =
-          match Separ_sat.Solver.solve session.solver with
+          match
+            Separ_sat.Solver.solve
+              ~budget:(remaining_budget session)
+              session.solver
+          with
           | Separ_sat.Solver.Unsat -> Unsat
+          | Separ_sat.Solver.Unknown -> Unknown
           | Separ_sat.Solver.Sat ->
               if minimal then
                 ignore
-                  (Separ_sat.Models.minimize session.solver ~soft:session.soft);
+                  (Separ_sat.Models.minimize
+                     ~budget:(remaining_budget session)
+                     session.solver ~soft:session.soft);
               Sat (decode session)
         in
         Trace.add_attr "result"
-          (Trace.Str (match r with Sat _ -> "sat" | Unsat -> "unsat"));
+          (Trace.Str
+             (match r with
+             | Sat _ -> "sat"
+             | Unsat -> "unsat"
+             | Unknown -> "unknown"));
         r)
   in
   session.stats <-
@@ -118,12 +170,14 @@ let next ?(minimal = true) session =
       solving_ms = session.stats.solving_ms +. ms;
       solver = Separ_sat.Solver.stats_record session.solver;
     };
+  refresh_counts session;
   result
 
 (* Exclude all extensions of the current instance's free choices. *)
 let block session =
   let trues = List.filter (Separ_sat.Solver.value session.solver) session.soft in
-  Separ_sat.Models.block_superset session.solver ~trues
+  Separ_sat.Models.block_superset session.solver ~trues;
+  refresh_counts session
 
 (* Exclude future instances that repeat the current valuation of the given
    relations' free tuples (coarser blocking: enumeration per distinct
@@ -133,26 +187,31 @@ let block_on session rels =
     List.concat_map (Translate.soft_vars_of session.translation) rels
   in
   let trues = List.filter (Separ_sat.Solver.value session.solver) soft in
-  Separ_sat.Models.block_superset session.solver ~trues
+  Separ_sat.Models.block_superset session.solver ~trues;
+  refresh_counts session
 
 (* One-shot solve. *)
-let solve ?(minimal = true) problem =
-  let session = prepare problem in
+let solve ?(minimal = true) ?budget problem =
+  let session = prepare ?budget problem in
   (next ~minimal session, session)
 
-(* Enumerate up to [limit] distinct (minimal) instances. *)
-let enumerate ?(limit = 16) ?(minimal = true) problem =
-  let session = prepare problem in
+(* Enumerate up to [limit] distinct (minimal) instances.  The returned
+   flag is [true] iff enumeration stopped because it hit [limit] — i.e.
+   the search space was cut off rather than exhausted (or abandoned on a
+   budget-exhausted [Unknown]). *)
+let enumerate ?(limit = default_enum_limit) ?(minimal = true) ?budget problem =
+  let session = prepare ?budget problem in
   let rec go acc k =
-    if k >= limit then List.rev acc
+    if k >= limit then (List.rev acc, true)
     else
       match next ~minimal session with
-      | Unsat -> List.rev acc
+      | Unsat | Unknown -> (List.rev acc, false)
       | Sat inst ->
           block session;
           go (inst :: acc) (k + 1)
   in
-  (go [] 0, session)
+  let instances, truncated = go [] 0 in
+  (instances, truncated, session)
 
 let stats session = session.stats
 

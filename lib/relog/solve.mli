@@ -23,13 +23,27 @@ type stats = {
 (** A prepared problem: translation done, solver loaded. *)
 type session
 
-(** Translate the problem into a solver session. *)
-val prepare : problem -> session
+(** The enumeration cap shared by {!enumerate}, ASE's per-signature
+    loop and the CLI's [--limit] default. *)
+val default_enum_limit : int
 
-type outcome = Unsat | Sat of Instance.t
+(** Translate the problem into a solver session.  [budget], if given,
+    bounds the whole session: conflicts and wall-clock time are metered
+    across all subsequent solves (minimization included), and once
+    exhausted {!next} answers {!Unknown}. *)
+val prepare : ?budget:Separ_sat.Solver.budget -> problem -> session
+
+(** What remains of the session budget right now (fields of an
+    unbudgeted session stay [None]). *)
+val remaining_budget : session -> Separ_sat.Solver.budget
+
+type outcome = Unsat | Sat of Instance.t | Unknown
 
 (** Find the next satisfying instance; with [minimal] (default) the free
-    tuples are shrunk to a minimal set first. *)
+    tuples are shrunk to a minimal set first.  [Unknown] means the
+    session budget ran out before the search decided the instance;
+    minimization degrades to a coarser (less minimal) instance before
+    the session gives up. *)
 val next : ?minimal:bool -> session -> outcome
 
 (** Exclude all extensions of the current instance's free choices. *)
@@ -40,12 +54,21 @@ val block : session -> unit
 val block_on : session -> Relation.t list -> unit
 
 (** One-shot: prepare and solve. *)
-val solve : ?minimal:bool -> problem -> outcome * session
+val solve :
+  ?minimal:bool -> ?budget:Separ_sat.Solver.budget -> problem ->
+  outcome * session
 
-(** Enumerate up to [limit] distinct (minimal) instances. *)
+(** Enumerate up to [limit] distinct (minimal) instances.  The boolean is
+    [true] iff enumeration was cut off at [limit] (more instances may
+    exist), [false] when the search space was exhausted or a budget ran
+    out first — reports can tell "complete" from "truncated". *)
 val enumerate :
-  ?limit:int -> ?minimal:bool -> problem -> Instance.t list * session
+  ?limit:int -> ?minimal:bool -> ?budget:Separ_sat.Solver.budget -> problem ->
+  Instance.t list * bool * session
 
+(** Statistics of the session so far.  Variable/clause counts are
+    refreshed as enumeration and minimization grow the formula, not
+    frozen at {!prepare} time. *)
 val stats : session -> stats
 
 (** Re-check an instance against the constraints with the independent

@@ -117,6 +117,17 @@ let of_analysis ?telemetry ~(report : Ase.report) ~(policies : Policy.t list) ()
        ("solver", of_solver_stats report.Ase.r_solver);
        ( "vulnerabilities",
          Json.List (List.map of_vulnerability report.Ase.r_vulnerabilities) );
+       ( "degraded",
+         Json.List
+           (List.map
+              (fun (d : Ase.degraded) ->
+                Json.Obj
+                  [
+                    ("kind", Json.Str d.Ase.d_kind);
+                    ("reason", Json.Str d.Ase.d_reason);
+                  ])
+              report.Ase.r_degraded) );
+       ("truncated_signatures", Json.strs report.Ase.r_truncated);
        ("policies", Json.List (List.map of_policy policies));
      ]
     @

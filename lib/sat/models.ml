@@ -8,6 +8,13 @@
 let split_soft solver soft =
   List.partition (fun v -> Solver.value solver v) soft
 
+(* Re-establishing a model that was just satisfiable must succeed: every
+   soft variable is assumed at its model value.  A failure means the
+   solver state is inconsistent with the caller's expectations — a typed
+   error, not an assertion, because budgeted solves made the [Unknown]
+   branch of the enclosing search reachable in release builds. *)
+exception Reestablish_failed of Solver.result
+
 (* Given that [solve] just returned [Sat], shrink the model to one that is
    minimal w.r.t. the set of true [soft] variables (no model exists whose
    true-set is a strict subset).  Returns the final true-set.
@@ -21,19 +28,40 @@ let split_soft solver soft =
    instead of one per shrink round.
 
    [extra] are assumptions to maintain throughout (e.g. blocking
-   activation literals from an enclosing enumeration). *)
-let minimize ?(extra = []) solver ~soft =
+   activation literals from an enclosing enumeration).
+
+   [budget] bounds the whole minimization: each shrink round gets what
+   remains of it, and on exhaustion the current (possibly unminimized)
+   model is re-established and returned — a budgeted minimize degrades
+   to a coarser scenario instead of failing. *)
+let minimize ?(extra = []) ?(budget = Solver.no_budget) solver ~soft =
+  let conflicts0 = Solver.n_conflicts solver in
+  let t0 = Unix.gettimeofday () in
+  let remaining () =
+    {
+      Solver.b_max_conflicts =
+        Option.map
+          (fun c -> c - (Solver.n_conflicts solver - conflicts0))
+          budget.Solver.b_max_conflicts;
+      b_max_time_ms =
+        Option.map
+          (fun ms -> ms -. ((Unix.gettimeofday () -. t0) *. 1000.0))
+          budget.Solver.b_max_time_ms;
+    }
+  in
   let reestablish trues falses =
     (* Retire the activation literal first (it adds a clause, invalidating
        the model), then re-establish the minimal model as the current
-       assignment so callers can decode it. *)
+       assignment so callers can decode it.  No budget here: with every
+       soft variable assumed this is propagation-dominated, and a budgeted
+       failure would lose the very model we are falling back to. *)
     Solver.retire_activation solver;
     let assumptions =
       trues @ List.map (fun v -> -v) falses @ extra
     in
     match Solver.solve ~assumptions solver with
     | Solver.Sat -> trues
-    | Solver.Unsat -> assert false
+    | (Solver.Unsat | Solver.Unknown) as r -> raise (Reestablish_failed r)
   in
   let rec shrink trues falses =
     match trues with
@@ -46,11 +74,14 @@ let minimize ?(extra = []) solver ~soft =
         let assumptions =
           (act :: List.map (fun v -> -v) falses) @ extra
         in
-        (match Solver.solve ~assumptions solver with
+        (match Solver.solve ~assumptions ~budget:(remaining ()) solver with
         | Solver.Sat ->
             let trues', falses' = split_soft solver (trues @ falses) in
             shrink trues' falses'
-        | Solver.Unsat -> reestablish trues falses)
+        | Solver.Unsat -> reestablish trues falses
+        | Solver.Unknown ->
+            (* budget exhausted mid-shrink: keep the model found so far *)
+            reestablish trues falses)
   in
   let trues, falses = split_soft solver soft in
   shrink trues falses
@@ -69,7 +100,7 @@ let enumerate_minimal ?(limit = max_int) solver ~soft =
     if n >= limit then List.rev acc
     else
       match Solver.solve solver with
-      | Solver.Unsat -> List.rev acc
+      | Solver.Unsat | Solver.Unknown -> List.rev acc
       | Solver.Sat ->
           let trues = minimize solver ~soft in
           block_superset solver ~trues;

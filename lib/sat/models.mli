@@ -2,19 +2,34 @@
     variables — the role Aluminum plays for SEPAR: scenarios that are
     minimal in the tuples they include yield the most specific policies. *)
 
+(** Raised when re-establishing a just-satisfiable model fails — the
+    payload is the unexpected solver answer.  Indicates solver-state
+    corruption; reachable in principle now that budgeted solves exist,
+    hence a typed error instead of an assertion. *)
+exception Reestablish_failed of Solver.result
+
 (** Given that [solve] just returned [Sat], shrink the current model to
     one whose set of true [soft] variables is minimal (no model has a
     strict subset).  Returns the final true-set; the solver is left with
     that model established.  [extra] assumptions are maintained
     throughout.
 
+    [budget] bounds the whole minimization (each shrink round receives
+    what remains of it); on exhaustion the current — possibly
+    unminimized — model is re-established and its true-set returned, so
+    a budgeted minimize degrades gracefully instead of failing.
+
     All shrink rounds of one call share a single solver activation
     literal, which is released (via the unit clause [-act]) once the
     minimum is reached — an enumeration retires one activation variable
     per scenario rather than one per shrink round; see
-    {!Solver.activation_counts}. *)
+    {!Solver.activation_counts}.
+
+    @raise Reestablish_failed if the minimal model cannot be
+    re-established (solver-state corruption). *)
 val minimize :
-  ?extra:int list -> Solver.t -> soft:int list -> int list
+  ?extra:int list -> ?budget:Solver.budget -> Solver.t -> soft:int list ->
+  int list
 
 (** Permanently exclude every model whose true [soft] set is a superset
     of [trues]. *)

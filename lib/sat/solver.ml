@@ -465,21 +465,42 @@ let pick_branch_var t =
   in
   go ()
 
-type result = Sat | Unsat
+type result = Sat | Unsat | Unknown
+
+(* A resource budget for one [solve] call.  [None] fields are unlimited;
+   exhausting either bound makes the call return [Unknown] (the model, if
+   any, is invalidated, but the solver remains usable: learnt clauses are
+   kept, and a later unbudgeted call can finish the search). *)
+type budget = {
+  b_max_conflicts : int option;  (* conflicts this call may spend *)
+  b_max_time_ms : float option;  (* wall-clock milliseconds for this call *)
+}
+
+let no_budget = { b_max_conflicts = None; b_max_time_ms = None }
 
 exception Unsat_exc
+exception Budget_exc
 
 let set_learnt_limit t n = t.learnt_limit <- max 1 n
 
 (* The CDCL search loop.  [assumptions] are internal literals decided first,
-   in order; a conflict forcing their negation yields Unsat. *)
-let search t assumptions =
+   in order; a conflict forcing their negation yields Unsat.  [conflict_cap]
+   is an absolute bound on [t.n_conflicts] and [deadline] an absolute
+   wall-clock time; crossing either raises [Budget_exc].  The deadline is
+   only polled every 64 conflicts to keep the syscall off the hot path. *)
+let search t assumptions ~conflict_cap ~deadline =
   let conflicts_budget = ref 100 in
   let restart_count = ref 0 in
   let rec loop () =
     match propagate t with
     | Some confl ->
         t.n_conflicts <- t.n_conflicts + 1;
+        if t.n_conflicts >= conflict_cap then raise Budget_exc;
+        if
+          deadline < infinity
+          && t.n_conflicts land 63 = 0
+          && Unix.gettimeofday () > deadline
+        then raise Budget_exc;
         decr conflicts_budget;
         if decision_level t = 0 then raise Unsat_exc;
         (* A conflict at or below the assumption prefix means the
@@ -564,6 +585,7 @@ let search t assumptions =
 module Metrics = Separ_obs.Metrics
 
 let m_solves = Metrics.counter "sat.solves"
+let m_unknowns = Metrics.counter "sat.unknowns"
 let m_conflicts = Metrics.counter "sat.conflicts"
 let m_decisions = Metrics.counter "sat.decisions"
 let m_propagations = Metrics.counter "sat.propagations"
@@ -577,7 +599,7 @@ let m_conflicts_per_solve =
     ~buckets:[| 0.; 1.; 10.; 100.; 1000.; 10_000.; 100_000. |]
     "sat.conflicts_per_solve"
 
-let solve ?(assumptions = []) t =
+let solve ?(assumptions = []) ?(budget = no_budget) t =
   t.model_valid <- false;
   if not t.ok then begin
     (* trivially unsat at clause-add time: the search never runs, but the
@@ -587,6 +609,20 @@ let solve ?(assumptions = []) t =
       Metrics.observe m_conflicts_per_solve 0.0
     end;
     Unsat
+  end
+  else if
+    (* A budget exhausted before the search even starts: answer [Unknown]
+       immediately, so a caller passing its (possibly non-positive)
+       remaining session budget degrades deterministically. *)
+    (match budget.b_max_conflicts with Some c -> c <= 0 | None -> false)
+    || (match budget.b_max_time_ms with Some ms -> ms <= 0.0 | None -> false)
+  then begin
+    if Metrics.is_enabled () then begin
+      Metrics.incr m_solves;
+      Metrics.incr m_unknowns;
+      Metrics.observe m_conflicts_per_solve 0.0
+    end;
+    Unknown
   end
   else begin
     if t.learnt_limit = 0 then
@@ -614,16 +650,33 @@ let solve ?(assumptions = []) t =
           (float_of_int (t.n_conflicts - conflicts0))
       end
     in
+    let conflict_cap =
+      match budget.b_max_conflicts with
+      | Some c -> t.n_conflicts + c
+      | None -> max_int
+    in
+    let deadline =
+      match budget.b_max_time_ms with
+      | Some ms -> Unix.gettimeofday () +. (ms /. 1000.0)
+      | None -> infinity
+    in
     let result =
-      match search t assumptions with
+      match search t assumptions ~conflict_cap ~deadline with
       | Sat ->
           t.model_valid <- true;
           Sat
       | Unsat -> Unsat
+      | Unknown -> Unknown (* search never returns this; for exhaustiveness *)
       | exception Unsat_exc ->
           cancel_until t 0;
           if decision_level t = 0 && propagate t <> None then t.ok <- false;
           Unsat
+      | exception Budget_exc ->
+          (* Budget exhausted mid-search: drop the partial assignment but
+             keep everything learnt, so a later call resumes cheaper. *)
+          cancel_until t 0;
+          if Metrics.is_enabled () then Metrics.incr m_unknowns;
+          Unknown
     in
     publish ();
     result

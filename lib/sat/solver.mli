@@ -10,7 +10,22 @@
 
 type t
 
-type result = Sat | Unsat
+(** [Unknown] is only produced by budgeted {!solve} calls whose resource
+    budget ran out before the search decided the instance. *)
+type result = Sat | Unsat | Unknown
+
+(** A resource budget for one {!solve} call.  [None] fields are
+    unlimited.  A call whose budget is exhausted — including a budget
+    that is already non-positive on entry — returns {!Unknown}; the
+    solver stays usable and keeps what it learnt, so a later (bigger or
+    unbudgeted) call resumes the search cheaper. *)
+type budget = {
+  b_max_conflicts : int option;  (** conflicts this call may spend *)
+  b_max_time_ms : float option;  (** wall-clock milliseconds for this call *)
+}
+
+(** The unlimited budget: both fields [None]. *)
+val no_budget : budget
 
 (** A fresh, empty solver. *)
 val create : unit -> t
@@ -24,8 +39,10 @@ val new_var : t -> int
 val add_clause : t -> int list -> unit
 
 (** Decide satisfiability of the clause set, optionally under
-    [assumptions] (literals forced true for this call only). *)
-val solve : ?assumptions:int list -> t -> result
+    [assumptions] (literals forced true for this call only) and under a
+    resource [budget] (default: unlimited).  A budget-exhausted call
+    returns {!Unknown} and invalidates the model. *)
+val solve : ?assumptions:int list -> ?budget:budget -> t -> result
 
 (** Model value of a variable.  Raises [Invalid_argument] unless the last
     operation on the solver was a {!solve} that returned {!Sat}: adding a

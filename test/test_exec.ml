@@ -1,0 +1,120 @@
+(* The fork-based worker pool: result ordering, exception and crash
+   isolation, and worker-telemetry merge. *)
+
+module Pool = Separ_exec.Pool
+module Trace = Separ_obs.Trace
+module Metrics = Separ_obs.Metrics
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let done_values results =
+  List.map
+    (function Pool.Done v -> v | Pool.Failed msg -> Alcotest.fail msg)
+    results
+
+(* Results come back in task order, inline and forked alike. *)
+let test_map_order () =
+  let xs = [ 5; 3; 1; 4; 2 ] in
+  let inline = Pool.map ~jobs:1 (fun x -> x * 10) xs in
+  check_int "inline order" 50 (List.hd (done_values inline));
+  Alcotest.(check (list int))
+    "inline results" [ 50; 30; 10; 40; 20 ] (done_values inline);
+  (* Stagger completion: later tasks finish first, results must still
+     come back in task order. *)
+  let forked =
+    Pool.map ~jobs:3
+      (fun x ->
+        Unix.sleepf (0.01 *. float_of_int x);
+        x * 10)
+      xs
+  in
+  Alcotest.(check (list int))
+    "forked results in task order" [ 50; 30; 10; 40; 20 ] (done_values forked)
+
+(* A raising task yields [Failed] with the exception text; neighbours
+   are unaffected.  Same containment inline and forked. *)
+let test_exception_isolation () =
+  let tasks =
+    [
+      (fun () -> 1);
+      (fun () -> failwith "boom");
+      (fun () -> 3);
+    ]
+  in
+  List.iter
+    (fun jobs ->
+      match Pool.run ~jobs tasks with
+      | [ Pool.Done 1; Pool.Failed msg; Pool.Done 3 ] ->
+          check "exception text carried" true (contains ~affix:"boom" msg)
+      | _ -> Alcotest.fail "expected Done/Failed/Done")
+    [ 1; 2 ]
+
+(* A worker that dies without reporting (here: [_exit]) is detected by
+   its exit status and isolated. *)
+let test_crash_isolation () =
+  let tasks =
+    [
+      (fun () -> "ok-a");
+      (fun () -> Unix._exit 7);
+      (fun () -> "ok-b");
+    ]
+  in
+  match Pool.run ~jobs:2 tasks with
+  | [ Pool.Done "ok-a"; Pool.Failed msg; Pool.Done "ok-b" ] ->
+      check "exit status reported" true (contains ~affix:"status 7" msg)
+  | _ -> Alcotest.fail "expected crash isolated to its own task"
+
+(* Worker-side metrics ship back and merge additively into the parent
+   registry. *)
+let test_worker_metrics_merged () =
+  Metrics.enable ();
+  Metrics.reset ();
+  let c = Metrics.counter "test.pool_work" in
+  let results =
+    Pool.map ~jobs:2
+      (fun n ->
+        Metrics.add (Metrics.counter "test.pool_work") n;
+        n)
+      [ 1; 2; 3 ]
+  in
+  check_int "all done" 3 (List.length (done_values results));
+  check_int "counter merged across workers" 6 (Metrics.counter_value c);
+  Metrics.reset ();
+  Metrics.disable ()
+
+(* Worker-side spans are grafted into the parent trace, tagged with the
+   worker pid. *)
+let test_worker_spans_grafted () =
+  Trace.enable ();
+  Trace.reset ();
+  let results =
+    Pool.map ~jobs:2
+      (fun n -> Trace.with_span "test.pool_span" (fun () -> n))
+      [ 1; 2 ]
+  in
+  check_int "all done" 2 (List.length (done_values results));
+  check_int "both worker spans present" 2 (Trace.count "test.pool_span");
+  List.iter
+    (fun sp ->
+      check "grafted span is pid-tagged" true
+        (List.mem_assoc "pid" sp.Trace.sp_attrs))
+    (Trace.roots ());
+  Trace.reset ();
+  Trace.disable ()
+
+let tests =
+  [
+    Alcotest.test_case "map preserves task order" `Quick test_map_order;
+    Alcotest.test_case "exception isolation" `Quick test_exception_isolation;
+    Alcotest.test_case "worker crash isolation" `Quick test_crash_isolation;
+    Alcotest.test_case "worker metrics merged" `Quick
+      test_worker_metrics_merged;
+    Alcotest.test_case "worker spans grafted with pid" `Quick
+      test_worker_spans_grafted;
+  ]

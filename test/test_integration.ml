@@ -263,6 +263,106 @@ let test_two_hop_leak_detected () =
          && List.mem "ChainSink" v.Ase.v_components)
        (vulnerabilities analysis))
 
+(* --- parallel analysis, budgets, graceful degradation ---------------------- *)
+
+(* Comparable view of an analysis: kind + description of every scenario,
+   in report order. *)
+let scenario_keys report =
+  List.map
+    (fun v -> (v.Ase.v_kind, v.Ase.v_scenario.Scenario.sc_description))
+    report.Ase.r_vulnerabilities
+
+let test_parallel_matches_sequential () =
+  let models = List.map Extract.extract (demo_apks ()) in
+  let bundle = Bundle.of_models models in
+  let baseline = Ase.analyze ~jobs:1 bundle in
+  check "baseline finds vulnerabilities" true
+    (baseline.Ase.r_vulnerabilities <> []);
+  List.iter
+    (fun jobs ->
+      let report = Ase.analyze ~jobs bundle in
+      Alcotest.(check (list (pair string string)))
+        (Printf.sprintf "identical scenario set at -j %d" jobs)
+        (scenario_keys baseline) (scenario_keys report);
+      check "no degradation" true (report.Ase.r_degraded = []))
+    [ 2; 4 ]
+
+let test_budget_degrades_gracefully () =
+  let bundle = Bundle.of_models (List.map Extract.extract (demo_apks ())) in
+  let baseline = Ase.analyze bundle in
+  let vulnerable_kinds =
+    List.sort_uniq compare
+      (List.map (fun v -> v.Ase.v_kind) baseline.Ase.r_vulnerabilities)
+  in
+  let budget =
+    { Separ_sat.Solver.b_max_conflicts = Some 0; b_max_time_ms = None }
+  in
+  (* Sequential and parallel runs must both terminate (no hang) with no
+     scenarios and the undecided signatures recorded as budget-exhausted.
+     Signatures whose encoding is trivially unsat still complete — a
+     definitive Unsat costs no budget — so only the signatures that
+     needed actual search degrade; that includes every signature that
+     found a scenario in the unbudgeted baseline. *)
+  List.iter
+    (fun jobs ->
+      let report = Ase.analyze ~jobs ~budget bundle in
+      check_int "no scenarios under a zero budget" 0
+        (List.length report.Ase.r_vulnerabilities);
+      check "some signatures degraded" true (report.Ase.r_degraded <> []);
+      let degraded_kinds = List.map (fun d -> d.Ase.d_kind) report.Ase.r_degraded in
+      List.iter
+        (fun kind ->
+          check
+            (Printf.sprintf "baseline-vulnerable %s degraded at -j %d" kind
+               jobs)
+            true
+            (List.mem kind degraded_kinds))
+        vulnerable_kinds;
+      List.iter
+        (fun d -> Alcotest.(check string) "reason" "budget_exhausted"
+            d.Ase.d_reason)
+        report.Ase.r_degraded)
+    [ 1; 2 ]
+
+let test_worker_crash_degrades () =
+  let bundle = Bundle.of_models (List.map Extract.extract (demo_apks ())) in
+  let crashy =
+    { (List.hd (Signatures.all ())) with
+      Signatures.name = "crashy";
+      formula = (fun _ -> failwith "deliberate crash");
+    }
+  in
+  let signatures = Signatures.all () @ [ crashy ] in
+  let report = Ase.analyze ~jobs:2 ~signatures bundle in
+  (match report.Ase.r_degraded with
+  | [ d ] ->
+      Alcotest.(check string) "crashy signature degraded" "crashy"
+        d.Ase.d_kind;
+      check "reason names the crash" true
+        (String.length d.Ase.d_reason >= 14
+        && String.sub d.Ase.d_reason 0 14 = "worker_crashed")
+  | _ -> Alcotest.fail "expected exactly the crashy signature degraded");
+  (* the healthy signatures still produced their scenarios *)
+  let healthy = Ase.analyze ~jobs:2 bundle in
+  Alcotest.(check (list (pair string string)))
+    "healthy signatures unaffected by the crash"
+    (scenario_keys healthy) (scenario_keys report)
+
+let test_truncation_reported () =
+  let bundle = Bundle.of_models (List.map Extract.extract (demo_apks ())) in
+  let full = Ase.analyze bundle in
+  check "full run is not truncated" true (full.Ase.r_truncated = []);
+  let capped = Ase.analyze ~limit_per_sig:1 bundle in
+  check "a 1-scenario cap truncates some signature" true
+    (capped.Ase.r_truncated <> []);
+  List.iter
+    (fun name ->
+      check "truncated names are signature names" true
+        (List.exists
+           (fun s -> s.Signatures.name = name)
+           (Signatures.all ())))
+    capped.Ase.r_truncated
+
 let test_two_hop_leak_at_runtime () =
   (* the chain is a real leak: IMEI reaches the log via two hops *)
   let d = Device.create () in
@@ -282,6 +382,13 @@ let extension_tests =
     Alcotest.test_case "two-hop leak detected" `Quick test_two_hop_leak_detected;
     Alcotest.test_case "two-hop leak real at runtime" `Quick
       test_two_hop_leak_at_runtime;
+    Alcotest.test_case "parallel analyze matches sequential" `Quick
+      test_parallel_matches_sequential;
+    Alcotest.test_case "budget degrades gracefully" `Quick
+      test_budget_degrades_gracefully;
+    Alcotest.test_case "worker crash degrades its signature" `Quick
+      test_worker_crash_degrades;
+    Alcotest.test_case "truncation reported" `Quick test_truncation_reported;
   ]
 
 let tests = tests @ extension_tests

@@ -3,6 +3,7 @@ let () =
   Alcotest.run "separ"
     [
       ("sat", Test_sat.tests);
+      ("exec", Test_exec.tests);
       ("relog", Test_relog.tests);
       ("android", Test_android.tests);
       ("dalvik", Test_dalvik.tests);

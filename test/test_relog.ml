@@ -80,7 +80,7 @@ let test_paper_example_sat () =
   match Solve.solve problem with
   | Solve.Sat inst, _ ->
       check "instance verifies" true (Solve.verify problem inst)
-  | Solve.Unsat, _ -> Alcotest.fail "expected sat"
+  | (Solve.Unsat | Solve.Unknown), _ -> Alcotest.fail "expected sat"
 
 let test_paper_example_minimal () =
   let problem, (application, component, cmps) = paper_problem no_extra in
@@ -90,7 +90,7 @@ let test_paper_example_minimal () =
       check_int "one app" 1 (Tuple_set.size (Instance.value inst application));
       check_int "one component" 1 (Tuple_set.size (Instance.value inst component));
       check_int "one cmps pair" 1 (Tuple_set.size (Instance.value inst cmps))
-  | Solve.Unsat, _ -> Alcotest.fail "expected sat"
+  | (Solve.Unsat | Solve.Unknown), _ -> Alcotest.fail "expected sat"
 
 let test_paper_example_unsat_no_apps () =
   let problem, _ =
@@ -98,13 +98,14 @@ let test_paper_example_unsat_no_apps () =
   in
   match Solve.solve problem with
   | Solve.Unsat, _ -> ()
-  | Solve.Sat _, _ -> Alcotest.fail "expected unsat"
+  | (Solve.Sat _ | Solve.Unknown), _ -> Alcotest.fail "expected unsat"
 
 let test_paper_example_enumeration () =
   let problem, _ = paper_problem no_extra in
-  let instances, _ = Solve.enumerate ~limit:50 problem in
+  let instances, truncated, _ = Solve.enumerate ~limit:50 problem in
   (* minimal instances: component x app choices = 4 *)
   check_int "four minimal instances" 4 (List.length instances);
+  check "exhausted, not truncated" false truncated;
   List.iter
     (fun inst -> check "each verifies" true (Solve.verify problem inst))
     instances
@@ -260,7 +261,7 @@ let test_differential_vs_eval () =
           check "instance satisfies formula under Eval" true
             (Eval.check inst f);
           true
-      | Solve.Unsat, _ -> false
+      | (Solve.Unsat | Solve.Unknown), _ -> false
     in
     let brute = brute_force_sat n s r f in
     check "solver agrees with brute force" brute solver_sat
@@ -273,6 +274,58 @@ let test_stats_populated () =
   check "has variables" true (st.Solve.n_vars > 0);
   check "has clauses" true (st.Solve.n_clauses > 0);
   check "translation timed" true (st.Solve.translation_ms >= 0.0)
+
+let test_stats_refresh () =
+  (* Regression: n_vars/n_clauses used to be frozen at prepare time;
+     enumeration adds blocking clauses and minimization adds activation
+     variables, and stats must report the live formula. *)
+  let problem, _ = paper_problem no_extra in
+  let session = Solve.prepare problem in
+  let st0 = Solve.stats session in
+  (match Solve.next session with
+  | Solve.Sat _ -> Solve.block session
+  | Solve.Unsat | Solve.Unknown -> Alcotest.fail "expected sat");
+  (match Solve.next session with
+  | Solve.Sat _ -> ()
+  | Solve.Unsat | Solve.Unknown -> Alcotest.fail "expected a second instance");
+  let st1 = Solve.stats session in
+  check "clause count grew past the prepare-time snapshot" true
+    (st1.Solve.n_clauses > st0.Solve.n_clauses);
+  check "variable count grew (activation vars)" true
+    (st1.Solve.n_vars > st0.Solve.n_vars)
+
+let test_enumerate_truncated () =
+  (* the paper example has exactly 4 minimal instances *)
+  let problem, _ = paper_problem no_extra in
+  let instances, truncated, _ = Solve.enumerate ~limit:2 problem in
+  check_int "cut off at the limit" 2 (List.length instances);
+  check "truncated flagged" true truncated;
+  let problem, _ = paper_problem no_extra in
+  let instances, truncated, _ = Solve.enumerate ~limit:4 problem in
+  check_int "limit equal to instance count" 4 (List.length instances);
+  check "stopping exactly at the limit counts as truncated" true truncated
+
+let test_budget_unknown_propagates () =
+  let problem, _ = paper_problem no_extra in
+  let session =
+    Solve.prepare
+      ~budget:
+        { Separ_sat.Solver.b_max_conflicts = Some 0; b_max_time_ms = None }
+      problem
+  in
+  (match Solve.next session with
+  | Solve.Unknown -> ()
+  | Solve.Sat _ | Solve.Unsat ->
+      Alcotest.fail "zero budget must yield Unknown");
+  let problem, _ = paper_problem no_extra in
+  let instances, truncated, _ =
+    Solve.enumerate
+      ~budget:
+        { Separ_sat.Solver.b_max_conflicts = Some 0; b_max_time_ms = None }
+      problem
+  in
+  check_int "no instances under a zero budget" 0 (List.length instances);
+  check "a budget abort is not a truncation" false truncated
 
 let test_universe () =
   let u = Universe.of_atoms [ "x"; "y" ] in
@@ -306,5 +359,11 @@ let tests =
     Alcotest.test_case "differential vs ground eval" `Slow
       test_differential_vs_eval;
     Alcotest.test_case "solver stats" `Quick test_stats_populated;
+    Alcotest.test_case "stats refresh as formula grows" `Quick
+      test_stats_refresh;
+    Alcotest.test_case "enumerate reports truncation" `Quick
+      test_enumerate_truncated;
+    Alcotest.test_case "budget unknown propagates" `Quick
+      test_budget_unknown_propagates;
     Alcotest.test_case "universe" `Quick test_universe;
   ]

@@ -311,6 +311,68 @@ let test_minimize_activation_reuse () =
   check_int "only activation vars were allocated" (4 + retired)
     (Solver.n_vars s)
 
+(* n-pigeon / (n-1)-hole clauses: small but conflict-rich unsat input
+   for the budget tests. *)
+let pigeonhole_clauses n =
+  let holes = n - 1 in
+  let var p h = (p * holes) + h + 1 in
+  List.init n (fun p -> List.init holes (fun h -> var p h))
+  @ List.concat_map
+      (fun h ->
+        List.concat_map
+          (fun a ->
+            List.filter_map
+              (fun b -> if b > a then Some [ -var a h; -var b h ] else None)
+              (List.init n Fun.id))
+          (List.init n Fun.id))
+      (List.init holes Fun.id)
+
+let test_budget_conflicts_unknown () =
+  let clauses = pigeonhole_clauses 8 in
+  let s = Solver.create () in
+  List.iter (Solver.add_clause s) clauses;
+  let budget = { Solver.b_max_conflicts = Some 5; b_max_time_ms = None } in
+  check "tiny budget: unknown" true (Solver.solve ~budget s = Solver.Unknown);
+  check "budget respected (within one restart's slack)" true
+    (Solver.n_conflicts s <= 6);
+  (* the solver state survives a budgeted abort: an unbudgeted re-solve
+     still reaches the right answer *)
+  check "unbudgeted re-solve proves unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_budget_exhausted_on_entry () =
+  let r, _ = solve_clauses [ [ 1; 2 ] ] in
+  check "baseline sat" true (r = Solver.Sat);
+  let s = Solver.create () in
+  Solver.add_clause s [ 1; 2 ];
+  let zero = { Solver.b_max_conflicts = Some 0; b_max_time_ms = None } in
+  check "zero conflict budget: unknown before search" true
+    (Solver.solve ~budget:zero s = Solver.Unknown);
+  let expired = { Solver.b_max_conflicts = None; b_max_time_ms = Some 0.0 } in
+  check "expired time budget: unknown before search" true
+    (Solver.solve ~budget:expired s = Solver.Unknown)
+
+let test_minimize_budget_fallback () =
+  (* With no budget the minimum here is one true variable per clause;
+     with an exhausted budget, minimize must fall back to *some* valid
+     model of the soft set rather than fail. *)
+  let s = Solver.create () in
+  Solver.add_clause s [ 1; 2; 3 ];
+  Solver.add_clause s [ 4; 5 ];
+  check "sat" true (Solver.solve s = Solver.Sat);
+  let soft = [ 1; 2; 3; 4; 5 ] in
+  let budget = { Solver.b_max_conflicts = Some 0; b_max_time_ms = None } in
+  let trues = Models.minimize ~budget s ~soft in
+  check "fallback model established" true
+    (List.for_all (fun v -> Solver.value s v) trues);
+  check "fallback satisfies clause 1" true
+    (List.exists (fun v -> List.mem v trues) [ 1; 2; 3 ]);
+  check "fallback satisfies clause 2" true
+    (List.exists (fun v -> List.mem v trues) [ 4; 5 ]);
+  (* an unbudgeted minimize from here still reaches a true minimum *)
+  check "resat" true (Solver.solve s = Solver.Sat);
+  let minimal = Models.minimize s ~soft in
+  check_int "true minimum found without budget" 2 (List.length minimal)
+
 let test_dimacs_roundtrip () =
   let p = Dimacs.{ n_vars = 4; clauses = [ [ 1; -2 ]; [ 3; 4 ]; [ -1 ] ] } in
   let p' = Dimacs.parse_string (Dimacs.to_string p) in
@@ -400,6 +462,12 @@ let tests =
     Alcotest.test_case "minimize properties" `Slow test_minimize_properties;
     Alcotest.test_case "enumerate minimal" `Quick test_enumerate_minimal;
     Alcotest.test_case "block superset" `Quick test_block_superset;
+    Alcotest.test_case "conflict budget yields unknown" `Quick
+      test_budget_conflicts_unknown;
+    Alcotest.test_case "budget exhausted on entry" `Quick
+      test_budget_exhausted_on_entry;
+    Alcotest.test_case "minimize budget fallback" `Quick
+      test_minimize_budget_fallback;
     Alcotest.test_case "dimacs round trip" `Quick test_dimacs_roundtrip;
     Alcotest.test_case "dimacs comments" `Quick test_dimacs_comments;
     Alcotest.test_case "dimacs whitespace" `Quick test_dimacs_whitespace;

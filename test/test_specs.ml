@@ -98,7 +98,7 @@ let relational_resolves ?send_via ~action ~categories ~data_type ~data_scheme
   in
   match Solve.solve problem with
   | Solve.Sat _, _ -> true
-  | Solve.Unsat, _ -> false
+  | (Solve.Unsat | Solve.Unknown), _ -> false
 
 (* The same question answered by the runtime matching rules. *)
 let runtime_resolves ~action ~categories ~data_type ~data_scheme ~filter () =
