@@ -13,6 +13,7 @@
      rq4               §VII.D    policy enforcement overhead (33 reps, 95% CI)
      scenario          §V/§VI    the running example's exploit + policy
      parallel          ASE at -j 1/2/4 over Table I (BENCH_parallel.json)
+     incremental       shared-base vs from-scratch ASE (BENCH_incremental.json)
      ablation-minimal  minimal vs arbitrary scenarios
      ablation-context  k = 1 vs k = 0 context sensitivity
      ablation-pruning  entry-point reachability pruning on vs off
@@ -812,11 +813,16 @@ let run_telemetry_smoke () =
        "sat.solve span total (%.3f ms) disagrees with reported solving \
         time (%.3f ms)"
        sat_ms reported);
-  let translate_ms = Trace.total_ms "relog.translate" in
+  (* construction = base translations (relog.translate) + per-signature
+     deltas (relog.attach); a from-scratch run simply has no attach spans *)
+  let translate_ms =
+    Trace.total_ms "relog.translate" +. Trace.total_ms "relog.attach"
+  in
   let constructed = analysis.Separ.report.Ase.r_construction_ms in
   expect
     (Float.abs (translate_ms -. constructed) <= (0.01 *. constructed) +. 1e-6)
-    "relog.translate span total disagrees with reported construction time";
+    "relog.translate+attach span total disagrees with reported construction \
+     time";
   (* counters were bridged *)
   expect
     (Metrics.counter_value (Metrics.counter "sat.solves") > 0)
@@ -1011,6 +1017,197 @@ let run_parallel_smoke () =
       List.iter (fun f -> Printf.printf "parallel smoke FAILURE: %s\n" f) fs;
       exit 1
 
+(* --- incremental ASE (BENCH_incremental.json) ------------------------------ *)
+
+(* A report with its performance fields zeroed, serialized: the
+   comparable "what was found" view.  Incremental and from-scratch runs
+   must agree on this byte-for-byte. *)
+let stripped_report_string report =
+  Separ_report.Report.to_string
+    ~report:(Ase.strip_performance report)
+    ~policies:[] ()
+
+(* The Table I workload through ASE twice per pool width: once with the
+   shared-base incremental path, once from scratch.  Gates that both
+   produce byte-identical stripped reports, and that the incremental
+   path's per-signature translation deltas (vars + clauses + gates
+   added after the first signature) are strictly smaller than the
+   from-scratch cost of re-encoding the bundle for every signature.
+   Measurements -> BENCH_incremental.json. *)
+let run_incremental_bench ~mode () =
+  header
+    "Incremental ASE: shared base encoding vs from-scratch (Table I workload)";
+  let cases =
+    let all = Separ_suites.Table1.all_cases () in
+    if mode = "smoke" then List.filteri (fun i _ -> i < 6) all else all
+  in
+  let bundles =
+    List.map
+      (fun (c : Separ_suites.Case.t) ->
+        ( c.Separ_suites.Case.name,
+          Bundle.of_models
+            (List.map Extract.extract c.Separ_suites.Case.apks) ))
+      cases
+  in
+  let widths = [ 1; 2; 4 ] in
+  let run ~incremental jobs =
+    Trace.timed "bench.incremental_ase"
+      ~attrs:
+        [ Trace.attr_int "jobs" jobs; Trace.attr_bool "incremental" incremental ]
+      (fun () ->
+        List.map (fun (_, bundle) -> Ase.analyze ~jobs ~incremental bundle)
+          bundles)
+  in
+  let runs =
+    List.map
+      (fun jobs ->
+        let inc, inc_ms = run ~incremental:true jobs in
+        let scr, scr_ms = run ~incremental:false jobs in
+        (jobs, inc, inc_ms, scr, scr_ms))
+      widths
+  in
+  let identical =
+    List.for_all
+      (fun (_, inc, _, scr, _) ->
+        List.for_all2
+          (fun a b -> stripped_report_string a = stripped_report_string b)
+          inc scr)
+      runs
+  in
+  (* Sharing accounting over the -j 1 run.  The first signature on a
+     fresh solver pays the full bundle translation either way; the gain
+     the incremental path claims is on every signature after it, so the
+     gate compares the summed encoding work (vars + clauses + gates
+     added) of signatures 2..N only. *)
+  let delta_work (d : Ase.sig_delta) =
+    d.Ase.sd_vars + d.Ase.sd_clauses + d.Ase.sd_gates
+  in
+  let tail_work report =
+    match report.Ase.r_sig_deltas with
+    | [] | [ _ ] -> 0
+    | _ :: rest -> List.fold_left (fun acc d -> acc + delta_work d) 0 rest
+  in
+  let sum f reports = List.fold_left (fun acc r -> acc + f r) 0 reports in
+  let sum_delta f report =
+    List.fold_left (fun acc d -> acc + f d) 0 report.Ase.r_sig_deltas
+  in
+  let _, inc1, _, scr1, _ = List.hd runs in
+  let inc_tail = sum tail_work inc1 in
+  let scr_tail = sum tail_work scr1 in
+  let cache_hits = sum (sum_delta (fun d -> d.Ase.sd_cache_hits)) inc1 in
+  let reused_clauses =
+    sum (sum_delta (fun d -> d.Ase.sd_reused_clauses)) inc1
+  in
+  (* Per-signature view at -j 1, summed across bundles: the JSON record
+     of where the saved translation work lives. *)
+  let kinds =
+    match inc1 with
+    | r :: _ -> List.map (fun d -> d.Ase.sd_kind) r.Ase.r_sig_deltas
+    | [] -> []
+  in
+  let per_signature =
+    List.mapi
+      (fun i kind ->
+        let at reports f =
+          sum
+            (fun r ->
+              match List.nth_opt r.Ase.r_sig_deltas i with
+              | Some d -> f d
+              | None -> 0)
+            reports
+        in
+        Json.Obj
+          [
+            ("kind", Json.Str kind);
+            ("incremental_work", Json.Int (at inc1 delta_work));
+            ("scratch_work", Json.Int (at scr1 delta_work));
+            ( "translate_cache_hits",
+              Json.Int (at inc1 (fun d -> d.Ase.sd_cache_hits)) );
+            ( "reused_clauses",
+              Json.Int (at inc1 (fun d -> d.Ase.sd_reused_clauses)) );
+            ( "reused_learnts",
+              Json.Int (at inc1 (fun d -> d.Ase.sd_reused_learnts)) );
+          ])
+      kinds
+  in
+  let cores = Domain.recommended_domain_count () in
+  let json =
+    Json.Obj
+      [
+        ("mode", Json.Str mode);
+        ("cpu_cores", Json.Int cores);
+        ("cases", Json.Int (List.length bundles));
+        ( "runs",
+          Json.List
+            (List.map
+               (fun (jobs, _, inc_ms, _, scr_ms) ->
+                 Json.Obj
+                   [
+                     ("jobs", Json.Int jobs);
+                     ("incremental_wall_ms", Json.Float inc_ms);
+                     ("scratch_wall_ms", Json.Float scr_ms);
+                     ( "speedup",
+                       Json.Float
+                         (if inc_ms > 0.0 then scr_ms /. inc_ms else 0.0) );
+                   ])
+               runs) );
+        ("identical_stripped_reports", Json.Bool identical);
+        ("tail_signature_work_incremental", Json.Int inc_tail);
+        ("tail_signature_work_scratch", Json.Int scr_tail);
+        ("translate_cache_hits", Json.Int cache_hits);
+        ("reused_clauses", Json.Int reused_clauses);
+        ("per_signature", Json.List per_signature);
+      ]
+  in
+  let oc = open_out "BENCH_incremental.json" in
+  output_string oc (Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  List.iter
+    (fun (jobs, _, inc_ms, _, scr_ms) ->
+      Printf.printf
+        "-j %d: incremental %7.1f ms, from-scratch %7.1f ms (%.2fx)\n" jobs
+        inc_ms scr_ms
+        (if inc_ms > 0.0 then scr_ms /. inc_ms else 0.0))
+    runs;
+  Printf.printf
+    "signatures 2..N encoding work: %d incremental vs %d from-scratch\n"
+    inc_tail scr_tail;
+  Printf.printf
+    "translate-cache hits: %d, reused clauses: %d\n" cache_hits reused_clauses;
+  Printf.printf
+    "stripped reports identical across paths and -j: %b -> \
+     BENCH_incremental.json\n%!"
+    identical;
+  (identical, inc_tail, scr_tail, cache_hits, reused_clauses)
+
+(* Tier-1 gate for `dune runtest`: on a Table I slice the incremental
+   and from-scratch paths must produce byte-identical stripped reports
+   at -j 1/2/4, and the incremental path must demonstrably share work
+   (strictly less signature-2..N encoding, non-zero cache hits and
+   reused clauses). *)
+let run_incremental_smoke () =
+  header "Incremental smoke: shared-base identity + sharing (tier-1 gate)";
+  let failures = ref [] in
+  let expect cond msg = if not cond then failures := msg :: !failures in
+  let identical, inc_tail, scr_tail, cache_hits, reused_clauses =
+    run_incremental_bench ~mode:"smoke" ()
+  in
+  expect identical
+    "incremental and from-scratch stripped reports differ";
+  expect
+    (inc_tail < scr_tail)
+    (Printf.sprintf
+       "incremental tail encoding work not strictly lower (%d >= %d)"
+       inc_tail scr_tail);
+  expect (cache_hits > 0) "incremental run recorded no translate-cache hits";
+  expect (reused_clauses > 0) "incremental run reused no clauses";
+  match !failures with
+  | [] -> Printf.printf "incremental smoke: all gates passed\n%!"
+  | fs ->
+      List.iter (fun f -> Printf.printf "incremental smoke FAILURE: %s\n" f) fs;
+      exit 1
+
 (* --- Bechamel kernels ---------------------------------------------------------- *)
 
 let run_kernels () =
@@ -1095,8 +1292,11 @@ let () =
   if has "--smoke" then run_smoke ();
   if has "--telemetry-smoke" then run_telemetry_smoke ();
   if has "--parallel-smoke" then run_parallel_smoke ();
+  if has "--incremental-smoke" then run_incremental_smoke ();
   if all || has "table1" then run_table1 ();
   if all || has "parallel" then ignore (run_parallel_bench ~mode:"full" ());
+  if all || has "incremental" then
+    ignore (run_incremental_bench ~mode:"full" ());
   if all || has "flowbench" then run_flowbench ();
   if all || has "scenario" then run_scenario ();
   if all || has "fig5" then run_fig5 ~apps:(opt "--apps" 4000) ();

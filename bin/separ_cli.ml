@@ -109,6 +109,27 @@ let analyze_cmd =
              wall-clock time; on exhaustion the signature is reported as \
              degraded (budget_exhausted).")
   in
+  let incremental =
+    Arg.(
+      value
+      & vflag true
+          [
+            ( true,
+              info [ "incremental" ]
+                ~doc:
+                  "Share one bundle encoding and solver across the \
+                   signatures of each encoding config (the default): \
+                   per-signature formulas ride on activation-literal \
+                   assumptions and learnt clauses persist.  Results are \
+                   identical to $(b,--no-incremental); only the cost \
+                   differs." );
+            ( false,
+              info [ "no-incremental" ]
+                ~doc:
+                  "Build a fresh encoding and solver for every signature \
+                   (the escape hatch; slower but maximally isolated)." );
+          ])
+  in
   let format =
     Arg.(
       value
@@ -120,10 +141,12 @@ let analyze_cmd =
       value & flag
       & info [ "stats" ]
           ~doc:"Print CDCL solver counters (conflicts, learnt-db \
-                reductions, minimized literals, ...) to stderr")
+                reductions, minimized literals, ...) and encoding-sharing \
+                counters (translate-cache and hash-cons hits, reused \
+                clauses, per-signature deltas) to stderr")
   in
-  let run paths out limit jobs budget_conflicts budget_time format stats trace
-      metrics =
+  let run paths out limit jobs budget_conflicts budget_time incremental format
+      stats trace metrics =
     telemetry_setup ~trace ~metrics;
     let budget =
       match (budget_conflicts, budget_time) with
@@ -136,7 +159,9 @@ let analyze_cmd =
             }
     in
     let apks = load_apks paths in
-    let analysis = Separ.analyze ~limit_per_sig:limit ~jobs ?budget apks in
+    let analysis =
+      Separ.analyze ~limit_per_sig:limit ~jobs ?budget ~incremental apks
+    in
     (match format with
     | `Text ->
         Fmt.pr "%a@." Separ.pp_analysis analysis;
@@ -160,7 +185,29 @@ let analyze_cmd =
          minimized-lits=%d activation-vars: live=%d retired=%d@."
         s.s_vars s.s_clauses s.s_conflicts s.s_decisions s.s_propagations
         s.s_restarts s.s_peak_learnts s.s_db_reductions s.s_learnts_deleted
-        s.s_lits_minimized s.s_act_live s.s_act_retired
+        s.s_lits_minimized s.s_act_live s.s_act_retired;
+      let report = analysis.Separ.report in
+      let deltas = report.Separ_ase.Ase.r_sig_deltas in
+      let sum f = List.fold_left (fun acc d -> acc + f d) 0 deltas in
+      let open Separ_ase.Ase in
+      Fmt.epr
+        "sharing (%s): translate-cache hits=%d misses=%d hash-cons \
+         hits=%d misses=%d reused-clauses=%d reused-learnts=%d@."
+        (if report.r_incremental then "incremental" else "from-scratch")
+        (sum (fun d -> d.sd_cache_hits))
+        (sum (fun d -> d.sd_cache_misses))
+        (sum (fun d -> d.sd_hc_hits))
+        (sum (fun d -> d.sd_hc_misses))
+        (sum (fun d -> d.sd_reused_clauses))
+        (sum (fun d -> d.sd_reused_learnts));
+      List.iter
+        (fun d ->
+          Fmt.epr
+            "  %s: +%d vars +%d clauses +%d gates (construction %.1f ms, \
+             solving %.1f ms)@."
+            d.sd_kind d.sd_vars d.sd_clauses d.sd_gates d.sd_construction_ms
+            d.sd_solving_ms)
+        deltas
     end;
     match out with
     | Some path ->
@@ -177,7 +224,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Analyze a bundle and synthesize policies")
     Term.(
       const run $ paths $ out $ limit $ jobs $ budget_conflicts $ budget_time
-      $ format $ stats $ trace_arg $ metrics_arg)
+      $ incremental $ format $ stats $ trace_arg $ metrics_arg)
 
 let extract_cmd =
   let path =

@@ -11,7 +11,16 @@
    Signatures are independent problems, so [analyze ~jobs] partitions
    them across a fork-based worker pool; per-signature solve budgets and
    crash isolation mean one pathological signature degrades to a
-   recorded [degraded] entry instead of hanging or aborting the run. *)
+   recorded [degraded] entry instead of hanging or aborting the run.
+
+   By default ([incremental]) signatures sharing an encoding config also
+   share one solver: the bundle-common encoding is built once
+   ([Encode.encode_bundle] + [Solve.prepare_base]), and each signature's
+   witness relations and exploit formula ride on an activation-literal
+   delta session ([Solve.attach]), so Tseitin work is not repeated and
+   CDCL learnt clauses persist across signatures.  Minimization is
+   canonical (solver-state independent), so the scenarios — and hence
+   the stripped report — are byte-identical to the from-scratch path. *)
 
 open Separ_relog
 open Separ_ame
@@ -50,6 +59,25 @@ type sig_result = {
   sr_stats : Solve.stats;
 }
 
+(* What one signature cost on top of the state its solver already held:
+   for an incremental delta session the numbers are genuine increments
+   over the shared base; for a from-scratch session they cover the whole
+   problem (and [reused_*] are 0). *)
+type sig_delta = {
+  sd_kind : string; (* signature name *)
+  sd_vars : int;
+  sd_clauses : int;
+  sd_gates : int;
+  sd_cache_hits : int; (* translate expr-cache *)
+  sd_cache_misses : int;
+  sd_hc_hits : int; (* circuit hash-cons *)
+  sd_hc_misses : int;
+  sd_reused_clauses : int; (* already in the solver at session start *)
+  sd_reused_learnts : int; (* learnt clauses carried over *)
+  sd_construction_ms : float;
+  sd_solving_ms : float;
+}
+
 type report = {
   r_stats : Bundle.stats;
   r_vulnerabilities : vulnerability list;
@@ -61,6 +89,8 @@ type report = {
   r_clauses : int;
   r_solver : Separ_sat.Solver.stats_record;
   (* CDCL counters aggregated over all signatures' solver sessions *)
+  r_incremental : bool; (* whether the shared-solver path was used *)
+  r_sig_deltas : sig_delta list; (* per signature, in signature order *)
 }
 
 (* The device components implicated in a scenario: component witnesses,
@@ -90,9 +120,48 @@ let victim_components (bundle : Bundle.t) (s : Scenario.t) =
   List.sort_uniq compare
     (List.concat_map of_witness s.Scenario.sc_witnesses @ from_mal_target)
 
-(* Run one signature against a bundle.  [budget], if given, bounds the
-   signature's whole solver session; exhaustion mid-enumeration keeps
-   the scenarios found so far and marks the result [Budget_exhausted]. *)
+(* Enumerate one minimal scenario per distinct witness valuation: the
+   witnesses identify the victim elements, so further instances that
+   only vary the synthesized payload are redundant for policy
+   derivation.  Shared by the from-scratch and incremental paths — the
+   session's flavour is invisible here. *)
+let enumerate_signature ~limit (sig_ : Signatures.t) (env : Encode.env)
+    session =
+  let witness_rels = List.map snd env.Encode.r_witnesses in
+  let rec go acc k =
+    if k >= limit then (List.rev acc, true, Complete)
+    else
+      match
+        Trace.with_span "ase.scenario" (fun () ->
+            match Solve.next ~minimal:true session with
+            | Solve.Unsat -> None
+            | Solve.Unknown -> Some (Error ())
+            | Solve.Sat inst ->
+                Solve.block_on session witness_rels;
+                Metrics.incr c_scenarios;
+                Metrics.incr c_blocked;
+                Some (Ok (Signatures.decode sig_ env inst)))
+      with
+      | None -> (List.rev acc, false, Complete)
+      | Some (Error ()) -> (List.rev acc, false, Budget_exhausted)
+      | Some (Ok sc) -> go (sc :: acc) (k + 1)
+  in
+  let scenarios, truncated, outcome = go [] 0 in
+  Trace.add_attr "scenarios" (Trace.Int (List.length scenarios));
+  if truncated then Trace.add_attr "truncated" (Trace.Bool true);
+  if outcome = Budget_exhausted then
+    Trace.add_attr "outcome" (Trace.Str "budget_exhausted");
+  {
+    sr_scenarios = scenarios;
+    sr_truncated = truncated;
+    sr_outcome = outcome;
+    sr_stats = Solve.stats session;
+  }
+
+(* Run one signature against a bundle, from scratch: fresh encoding,
+   fresh solver.  [budget], if given, bounds the signature's whole
+   solver session; exhaustion mid-enumeration keeps the scenarios found
+   so far and marks the result [Budget_exhausted]. *)
 let run_signature ?(limit = Solve.default_enum_limit) ?budget bundle
     (sig_ : Signatures.t) =
   Trace.with_span "ase.signature"
@@ -112,79 +181,238 @@ let run_signature ?(limit = Solve.default_enum_limit) ?budget bundle
           }
       in
       let session = Solve.prepare ?budget problem in
-      (* Enumerate one minimal scenario per distinct witness valuation: the
-         witnesses identify the victim elements, so further instances that
-         only vary the synthesized payload are redundant for policy
-         derivation. *)
-      let witness_rels = List.map snd env.Encode.r_witnesses in
-      let rec go acc k =
-        if k >= limit then (List.rev acc, true, Complete)
-        else
-          match
-            Trace.with_span "ase.scenario" (fun () ->
-                match Solve.next ~minimal:true session with
-                | Solve.Unsat -> None
-                | Solve.Unknown -> Some (Error ())
-                | Solve.Sat inst ->
-                    Solve.block_on session witness_rels;
-                    Metrics.incr c_scenarios;
-                    Metrics.incr c_blocked;
-                    Some (Ok (Signatures.decode sig_ env inst)))
-          with
-          | None -> (List.rev acc, false, Complete)
-          | Some (Error ()) -> (List.rev acc, false, Budget_exhausted)
-          | Some (Ok sc) -> go (sc :: acc) (k + 1)
-      in
-      let scenarios, truncated, outcome = go [] 0 in
-      Trace.add_attr "scenarios" (Trace.Int (List.length scenarios));
-      if truncated then Trace.add_attr "truncated" (Trace.Bool true);
-      if outcome = Budget_exhausted then
-        Trace.add_attr "outcome" (Trace.Str "budget_exhausted");
-      {
-        sr_scenarios = scenarios;
-        sr_truncated = truncated;
-        sr_outcome = outcome;
-        sr_stats = Solve.stats session;
-      })
+      enumerate_signature ~limit sig_ env session)
+
+(* --- incremental path ----------------------------------------------------- *)
+
+(* Per-signature outcome inside a shard: kept marshal-safe so a forked
+   worker can ship the whole shard's results back in one payload. *)
+type item = Computed of sig_result | Crashed of string
+
+type shard_result = {
+  sh_items : item list; (* one per signature, in shard order *)
+  (* totals of the shard's shared solvers (one per distinct config),
+     snapshotted after the last signature — *not* per-signature sums,
+     which would double-count the shared base *)
+  sh_vars : int;
+  sh_clauses : int;
+  sh_solver : Separ_sat.Solver.stats_record;
+  sh_base_ms : float; (* base translation time, paid once per config *)
+}
+
+(* Run a shard of signatures on shared per-config bases.  The bundle
+   encoding depends on the signature's [config] (it decides which
+   adversary atoms exist), so signatures are grouped by config: the
+   first signature of each config pays for [Encode.encode_bundle] and
+   [Solve.prepare_base]; the rest attach delta sessions to it.
+
+   A signature that raises is recorded as [Crashed] without poisoning
+   the shard: any half-attached delta is retired (its guarded clauses
+   become permanently satisfied) and the next signature attaches to a
+   clean base. *)
+let run_shard ?(limit = Solve.default_enum_limit) ?budget bundle
+    (sigs : Signatures.t list) =
+  let bases : (Encode.config, Encode.env * Solve.base) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let get_base config =
+    match Hashtbl.find_opt bases config with
+    | Some eb -> eb
+    | None ->
+        let env =
+          Trace.with_span "ase.encode_base" (fun () ->
+              Encode.encode_bundle ~config bundle)
+        in
+        let base =
+          Solve.prepare_base
+            Solve.
+              { bounds = env.Encode.bounds; constraints = env.Encode.facts }
+        in
+        Hashtbl.add bases config (env, base);
+        (env, base)
+  in
+  let items =
+    List.map
+      (fun (sig_ : Signatures.t) ->
+        Trace.with_span "ase.signature"
+          ~attrs:[ Trace.attr_str "signature" sig_.Signatures.name ]
+          (fun () ->
+            Metrics.incr c_signatures;
+            try
+              let base_env, base = get_base sig_.Signatures.config in
+              let env =
+                Trace.with_span "ase.encode" (fun () ->
+                    Encode.encode_signature base_env sig_.Signatures.witnesses)
+              in
+              let constraints =
+                Encode.witness_facts env @ [ sig_.Signatures.formula env ]
+              in
+              let session =
+                Solve.attach ?budget base
+                  ~rels:(List.map snd env.Encode.r_witnesses)
+                  ~constraints
+              in
+              let result = enumerate_signature ~limit sig_ env session in
+              Solve.detach session;
+              Computed result
+            with e ->
+              (* Best-effort cleanup: retiring the (at most one) live
+                 activation literal permanently satisfies whatever this
+                 signature managed to assert, so the shard's remaining
+                 signatures see an intact base. *)
+              Hashtbl.iter
+                (fun _ (_, b) ->
+                  Separ_sat.Solver.retire_activation (Solve.base_solver b))
+                bases;
+              Crashed (Printexc.to_string e)))
+      sigs
+  in
+  let sh_vars = ref 0 and sh_clauses = ref 0 and sh_base_ms = ref 0.0 in
+  let sh_solver = ref Separ_sat.Solver.empty_stats in
+  Hashtbl.iter
+    (fun _ (_, b) ->
+      let s = Solve.base_solver b in
+      sh_vars := !sh_vars + Separ_sat.Solver.n_vars s;
+      sh_clauses := !sh_clauses + Separ_sat.Solver.n_clauses s;
+      sh_solver := Separ_sat.Solver.sum_stats !sh_solver (Solve.base_stats b);
+      sh_base_ms := !sh_base_ms +. Solve.base_translation_ms b)
+    bases;
+  {
+    sh_items = items;
+    sh_vars = !sh_vars;
+    sh_clauses = !sh_clauses;
+    sh_solver = !sh_solver;
+    sh_base_ms = !sh_base_ms;
+  }
+
+(* Split [xs] into at most [k] contiguous, balanced shards (first shards
+   get the remainder).  Contiguity keeps flattened shard results in
+   original signature order. *)
+let partition_contiguous k xs =
+  let n = List.length xs in
+  let k = max 1 (min k n) in
+  let base = n / k and extra = n mod k in
+  let rec take i xs acc =
+    if i = 0 then (List.rev acc, xs)
+    else
+      match xs with
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (i - 1) rest (x :: acc)
+  in
+  let rec go i xs acc =
+    if i >= k then List.rev acc
+    else
+      let sz = base + if i < extra then 1 else 0 in
+      let shard, rest = take sz xs [] in
+      go (i + 1) rest (shard :: acc)
+  in
+  go 0 xs []
+
+let delta_of name (st : Solve.stats) =
+  {
+    sd_kind = name;
+    sd_vars = st.Solve.delta_vars;
+    sd_clauses = st.Solve.delta_clauses;
+    sd_gates = st.Solve.delta_gates;
+    sd_cache_hits = st.Solve.cache_hits;
+    sd_cache_misses = st.Solve.cache_misses;
+    sd_hc_hits = st.Solve.hc_hits;
+    sd_hc_misses = st.Solve.hc_misses;
+    sd_reused_clauses = st.Solve.reused_clauses;
+    sd_reused_learnts = st.Solve.reused_learnts;
+    sd_construction_ms = st.Solve.translation_ms;
+    sd_solving_ms = st.Solve.solving_ms;
+  }
 
 let analyze ?(signatures = Signatures.all ())
     ?(limit_per_sig = Solve.default_enum_limit) ?(jobs = 1) ?budget
-    (bundle : Bundle.t) : report =
+    ?(incremental = true) (bundle : Bundle.t) : report =
   Trace.with_span "ase.analyze"
-    ~attrs:[ Trace.attr_int "jobs" jobs ]
+    ~attrs:
+      [ Trace.attr_int "jobs" jobs; Trace.attr_bool "incremental" incremental ]
     (fun () ->
   (* Resolve passive-intent targets across the bundle first (Algorithm 1). *)
   let bundle =
     Trace.with_span "ase.resolve_targets" (fun () ->
         Bundle.update_passive_targets bundle)
   in
-  (* One task per signature.  The pool runs them inline at [jobs <= 1]
-     and in forked workers otherwise; either way results come back in
-     signature order, so the merged report is identical across [-j N]. *)
-  let results =
-    Pool.run ~jobs
-      (List.map
-         (fun sig_ () -> run_signature ~limit:limit_per_sig ?budget bundle sig_)
-         signatures)
+  (* Two dispatch shapes, one merge.  Incremental: one pool task per
+     contiguous shard of signatures, sharing per-config solvers within
+     the shard.  From-scratch: one task per signature.  Either way the
+     pool runs tasks inline at [jobs <= 1] and in forked workers
+     otherwise, and results come back in signature order — the merged
+     (stripped) report is identical across [-j N] and across the two
+     paths, because minimization is canonical.  [shared_totals] carries
+     solver-level aggregates the incremental path must take from the
+     shards (per-signature sums would double-count the shared base). *)
+  let items, shared_totals =
+    if incremental then begin
+      let shards = partition_contiguous jobs signatures in
+      let shard_results =
+        Pool.run ~jobs
+          (List.map
+             (fun shard () -> run_shard ~limit:limit_per_sig ?budget bundle shard)
+             shards)
+      in
+      let items =
+        List.concat
+          (List.map2
+             (fun shard res ->
+               match res with
+               | Pool.Failed msg ->
+                   (* the whole shard's worker died: every signature in
+                      it is unaccounted for *)
+                   List.map (fun _ -> Crashed msg) shard
+               | Pool.Done sh -> sh.sh_items)
+             shards shard_results)
+      in
+      let vars = ref 0 and clauses = ref 0 and base_ms = ref 0.0 in
+      let solver = ref Separ_sat.Solver.empty_stats in
+      List.iter
+        (function
+          | Pool.Failed _ -> ()
+          | Pool.Done sh ->
+              vars := !vars + sh.sh_vars;
+              clauses := !clauses + sh.sh_clauses;
+              base_ms := !base_ms +. sh.sh_base_ms;
+              solver := Separ_sat.Solver.sum_stats !solver sh.sh_solver)
+        shard_results;
+      (items, Some (!vars, !clauses, !solver, !base_ms))
+    end
+    else
+      let results =
+        Pool.run ~jobs
+          (List.map
+             (fun sig_ () ->
+               run_signature ~limit:limit_per_sig ?budget bundle sig_)
+             signatures)
+      in
+      ( List.map
+          (function
+            | Pool.Failed msg -> Crashed msg
+            | Pool.Done sr -> Computed sr)
+          results,
+        None )
   in
   let construction = ref 0.0 and solving = ref 0.0 in
   let vars = ref 0 and clauses = ref 0 in
   let solver_totals = ref Separ_sat.Solver.empty_stats in
   let degraded = ref [] in
   let truncated = ref [] in
+  let deltas = ref [] in
   let vulnerabilities =
     List.concat
       (List.map2
-         (fun sig_ result ->
+         (fun sig_ item ->
            let name = sig_.Signatures.name in
-           match result with
-           | Pool.Failed msg ->
+           match item with
+           | Crashed msg ->
                Metrics.incr c_degraded;
                degraded :=
                  { d_kind = name; d_reason = "worker_crashed: " ^ msg }
                  :: !degraded;
                []
-           | Pool.Done sr ->
+           | Computed sr ->
                let stats = sr.sr_stats in
                construction := !construction +. stats.Solve.translation_ms;
                solving := !solving +. stats.Solve.solving_ms;
@@ -192,6 +420,7 @@ let analyze ?(signatures = Signatures.all ())
                clauses := !clauses + stats.Solve.n_clauses;
                solver_totals :=
                  Separ_sat.Solver.sum_stats !solver_totals stats.Solve.solver;
+               deltas := delta_of name stats :: !deltas;
                if sr.sr_outcome = Budget_exhausted then begin
                  Metrics.incr c_degraded;
                  degraded :=
@@ -207,23 +436,49 @@ let analyze ?(signatures = Signatures.all ())
                      v_components = victim_components bundle sc;
                    })
                  sr.sr_scenarios)
-         signatures results)
+         signatures items)
   in
   Trace.add_attr "vulnerabilities" (Trace.Int (List.length vulnerabilities));
   let degraded = List.rev !degraded in
   if degraded <> [] then
     Trace.add_attr "degraded" (Trace.Int (List.length degraded));
+  let r_vars, r_clauses, r_solver, r_construction_ms =
+    match shared_totals with
+    | Some (v, c, s, base_ms) ->
+        (* construction = every base paid once + the per-signature deltas *)
+        (v, c, s, base_ms +. !construction)
+    | None -> (!vars, !clauses, !solver_totals, !construction)
+  in
   {
     r_stats = Bundle.stats bundle;
     r_vulnerabilities = vulnerabilities;
     r_degraded = degraded;
     r_truncated = List.rev !truncated;
-    r_construction_ms = !construction;
+    r_construction_ms;
     r_solving_ms = !solving;
-    r_vars = !vars;
-    r_clauses = !clauses;
-    r_solver = !solver_totals;
+    r_vars;
+    r_clauses;
+    r_solver;
+    r_incremental = incremental;
+    r_sig_deltas = List.rev !deltas;
   })
+
+(* Forget everything about *how* the analysis ran, keeping only what it
+   found.  Reports from the incremental and from-scratch paths (at any
+   [-j]) must agree after stripping — the test suite and the bench
+   [--incremental-smoke] gate assert this byte-for-byte on the
+   serialized report. *)
+let strip_performance r =
+  {
+    r with
+    r_construction_ms = 0.0;
+    r_solving_ms = 0.0;
+    r_vars = 0;
+    r_clauses = 0;
+    r_solver = Separ_sat.Solver.empty_stats;
+    r_incremental = false;
+    r_sig_deltas = [];
+  }
 
 (* Apps having at least one vulnerability of the given kind. *)
 let vulnerable_apps report bundle kind =

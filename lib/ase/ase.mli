@@ -38,6 +38,25 @@ type sig_result = {
   sr_stats : Separ_relog.Solve.stats;
 }
 
+(** What one signature cost on top of the state its solver already held:
+    for an incremental delta session the numbers are genuine increments
+    over the shared base; for a from-scratch session they cover the
+    whole problem (and [sd_reused_*] are 0). *)
+type sig_delta = {
+  sd_kind : string;        (** signature name *)
+  sd_vars : int;
+  sd_clauses : int;
+  sd_gates : int;
+  sd_cache_hits : int;     (** translate expression-cache *)
+  sd_cache_misses : int;
+  sd_hc_hits : int;        (** circuit hash-cons *)
+  sd_hc_misses : int;
+  sd_reused_clauses : int; (** already in the solver at session start *)
+  sd_reused_learnts : int; (** learnt clauses carried over *)
+  sd_construction_ms : float;
+  sd_solving_ms : float;
+}
+
 type report = {
   r_stats : Bundle.stats;
   r_vulnerabilities : vulnerability list;
@@ -50,7 +69,11 @@ type report = {
   r_clauses : int;
   r_solver : Separ_sat.Solver.stats_record;
       (** CDCL counters (conflicts, learnt-db reductions, minimized
-          literals, ...) aggregated over all signatures *)
+          literals, ...) aggregated over all signatures.  In incremental
+          mode the aggregate is over the shared per-config solvers, not
+          per-signature sums (which would double-count the base). *)
+  r_incremental : bool;  (** whether the shared-solver path was used *)
+  r_sig_deltas : sig_delta list;  (** per signature, in signature order *)
 }
 
 (** The device components implicated in a scenario. *)
@@ -69,19 +92,32 @@ val run_signature :
 
 (** Run all (or the given) signatures over the bundle, after resolving
     passive-intent targets (Algorithm 1).  [jobs] (default 1) sets the
-    worker-pool width: above 1, signatures run in forked worker
-    processes, [jobs] at a time, and results — including worker trace
-    spans and metrics — are merged back in signature order, so the
-    report is identical across [jobs] values for deterministic
-    signatures.  [budget] applies per signature, not to the whole
-    analysis. *)
+    worker-pool width: above 1, work runs in forked worker processes,
+    [jobs] at a time, and results — including worker trace spans and
+    metrics — are merged back in signature order, so the report is
+    identical across [jobs] values for deterministic signatures.
+    [budget] applies per signature, not to the whole analysis.
+
+    [incremental] (default [true]) shares one solver among the
+    signatures of each encoding config within a worker's shard: the
+    bundle encoding is translated once, each signature rides on an
+    activation-literal delta session, and learnt clauses persist.
+    Minimization is canonical, so {!strip_performance} of the report is
+    byte-identical to the [~incremental:false] from-scratch path. *)
 val analyze :
   ?signatures:Signatures.t list ->
   ?limit_per_sig:int ->
   ?jobs:int ->
   ?budget:Separ_sat.Solver.budget ->
+  ?incremental:bool ->
   Bundle.t ->
   report
+
+(** Zero out every field describing {e how} the analysis ran (timings,
+    solver sizes and counters, per-signature deltas, the incremental
+    flag), keeping only what it found — for comparing analysis results
+    across execution strategies. *)
+val strip_performance : report -> report
 
 (** Packages having at least one vulnerability of the given kind. *)
 val vulnerable_apps : report -> Bundle.t -> string -> string list

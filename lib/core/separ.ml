@@ -60,9 +60,12 @@ type analysis = {
   policies : Policy.t list;
 }
 
-let analyze_models ?signatures ?jobs ?budget ~limit_per_sig models : analysis =
+let analyze_models ?signatures ?jobs ?budget ?incremental ~limit_per_sig
+    models : analysis =
   let bundle = Bundle.of_models models in
-  let report = Ase.analyze ?signatures ~limit_per_sig ?jobs ?budget bundle in
+  let report =
+    Ase.analyze ?signatures ~limit_per_sig ?jobs ?budget ?incremental bundle
+  in
   let scenarios =
     List.map (fun v -> v.Ase.v_scenario) report.Ase.r_vulnerabilities
   in
@@ -73,11 +76,13 @@ let analyze_models ?signatures ?jobs ?budget ~limit_per_sig models : analysis =
 
 (* Run AME and ASE over a bundle of apps and synthesize policies.
    [jobs] widens ASE's worker pool; [budget] bounds each signature's
-   solver session (exhausted signatures degrade, see Ase.degraded). *)
+   solver session (exhausted signatures degrade, see Ase.degraded);
+   [incremental] (default true) shares the bundle encoding and solver
+   state across signatures (see Ase.analyze). *)
 let analyze ?(k1 = true) ?signatures
     ?(limit_per_sig = Separ_relog.Solve.default_enum_limit) ?jobs ?budget
-    (apks : Apk.t list) : analysis =
-  analyze_models ?signatures ?jobs ?budget ~limit_per_sig
+    ?incremental (apks : Apk.t list) : analysis =
+  analyze_models ?signatures ?jobs ?budget ?incremental ~limit_per_sig
     (List.map (Extract.extract ~k1) apks)
 
 (* Incremental re-analysis, the paper's Marshmallow scenario: when apps
@@ -86,14 +91,14 @@ let analyze ?(k1 = true) ?signatures
    only the synthesis step re-runs over the updated bundle. *)
 let reanalyze ?(k1 = true) ?signatures
     ?(limit_per_sig = Separ_relog.Solve.default_enum_limit) ?jobs ?budget
-    (previous : analysis) ~(changed : Apk.t list) : analysis =
+    ?incremental (previous : analysis) ~(changed : Apk.t list) : analysis =
   let changed_pkgs = List.map Apk.package changed in
   let kept =
     List.filter
       (fun m -> not (List.mem m.App_model.am_package changed_pkgs))
       (Bundle.apps previous.bundle)
   in
-  analyze_models ?signatures ?jobs ?budget ~limit_per_sig
+  analyze_models ?signatures ?jobs ?budget ?incremental ~limit_per_sig
     (kept @ List.map (Extract.extract ~k1) changed)
 
 let vulnerabilities analysis = analysis.report.Ase.r_vulnerabilities

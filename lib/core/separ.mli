@@ -69,13 +69,16 @@ type analysis = {
     fork-based worker pool (default sequential); [budget] bounds each
     signature's solver session — exhausted or crashed signatures degrade
     to {!Ase.degraded} entries in the report instead of failing the
-    analysis. *)
+    analysis; [incremental] (default [true]) shares the bundle encoding
+    and solver state across signatures (see {!Ase.analyze}) — results
+    are identical either way, only the cost differs. *)
 val analyze :
   ?k1:bool ->
   ?signatures:Signatures.t list ->
   ?limit_per_sig:int ->
   ?jobs:int ->
   ?budget:Separ_sat.Solver.budget ->
+  ?incremental:bool ->
   Apk.t list ->
   analysis
 
@@ -88,6 +91,7 @@ val reanalyze :
   ?limit_per_sig:int ->
   ?jobs:int ->
   ?budget:Separ_sat.Solver.budget ->
+  ?incremental:bool ->
   analysis ->
   changed:Apk.t list ->
   analysis

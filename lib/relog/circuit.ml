@@ -20,12 +20,21 @@ type t = {
   mutable next_id : int;
   true_g : gate;
   false_g : gate;
+  mutable hc_hits : int;   (* hash-cons lookups answered from the table *)
+  mutable hc_misses : int; (* lookups that built a fresh gate *)
 }
 
 let create () =
   let true_g = { id = 0; node = True } in
   let false_g = { id = 1; node = False } in
-  { table = Hashtbl.create 1024; next_id = 2; true_g; false_g }
+  {
+    table = Hashtbl.create 1024;
+    next_id = 2;
+    true_g;
+    false_g;
+    hc_hits = 0;
+    hc_misses = 0;
+  }
 
 let tt t = t.true_g
 let ff t = t.false_g
@@ -42,12 +51,18 @@ let key node =
 let intern t node =
   let k = key node in
   match Hashtbl.find_opt t.table k with
-  | Some g -> g
+  | Some g ->
+      t.hc_hits <- t.hc_hits + 1;
+      g
   | None ->
+      t.hc_misses <- t.hc_misses + 1;
       let g = { id = t.next_id; node } in
       t.next_id <- t.next_id + 1;
       Hashtbl.add t.table k g;
       g
+
+(* (hits, misses) of the hash-consing table since creation. *)
+let hashcons_counts t = (t.hc_hits, t.hc_misses)
 
 let lit t v =
   if v < 1 then invalid_arg "Circuit.lit: non-positive variable";
@@ -152,6 +167,18 @@ let assert_gate enc g =
   | True -> ()
   | False -> Separ_sat.Solver.add_clause enc.solver []
   | _ -> Separ_sat.Solver.add_clause enc.solver [ encode enc g ]
+
+(* Assert a gate guarded by an activation literal: the constraint holds
+   only while [guard] is assumed.  Tseitin definitions emitted by
+   [encode] stay unguarded — they merely define fresh variables and are
+   satisfiable under any assignment of the inputs — so only the top-level
+   assertion clause carries the guard, and gate encodings remain shared
+   between guarded and unguarded users. *)
+let assert_gate_under enc ~guard g =
+  match g.node with
+  | True -> ()
+  | False -> Separ_sat.Solver.add_clause enc.solver [ -guard ]
+  | _ -> Separ_sat.Solver.add_clause enc.solver [ -guard; encode enc g ]
 
 (* Number of distinct gates created so far (translation size metric). *)
 let gate_count t = t.next_id

@@ -2,7 +2,21 @@
    produces CNF; the CDCL solver searches; satisfying assignments are
    decoded into instances.  Minimal-scenario generation (the role of
    Aluminum in the paper) shrinks the set of free tuples before decoding,
-   and enumeration blocks supersets of already-seen scenarios. *)
+   and enumeration blocks supersets of already-seen scenarios.
+
+   Two ways to build a session:
+
+   - [prepare]: fresh solver, full translation — the from-scratch path.
+   - [prepare_base] + [attach]: one shared solver/translation per bundle
+     (the "base"), with each signature's delta formulas asserted under an
+     activation literal and solved as an assumption, so the base encoding
+     is paid once and learnt clauses persist across signatures.
+
+   Both paths produce identical instances: minimization is the canonical
+   lexicographic search of [Models.minimize_lex], whose answer depends
+   only on the constraint set and the soft-variable order — never on
+   solver search state — so a shared, learnt-clause-laden base solver
+   and a fresh one decode the same scenarios in the same order. *)
 
 type problem = {
   bounds : Bounds.t;
@@ -15,6 +29,19 @@ type stats = {
   n_vars : int;
   n_clauses : int;
   n_gates : int;
+  (* what this session added on top of what its solver already held;
+     for a [prepare] session the deltas are the full counts *)
+  delta_vars : int;
+  delta_clauses : int;
+  delta_gates : int;
+  (* sharing during this session's translation *)
+  cache_hits : int;   (* translate expression-cache *)
+  cache_misses : int;
+  hc_hits : int;      (* circuit hash-consing *)
+  hc_misses : int;
+  (* carried over from earlier sessions on the same solver *)
+  reused_clauses : int;
+  reused_learnts : int;
   solver : Separ_sat.Solver.stats_record;
 }
 
@@ -23,7 +50,10 @@ type session = {
   translation : Translate.t;
   solver : Separ_sat.Solver.t;
   soft : int list; (* free tuple variables, for minimization/blocking *)
+  act : int option; (* activation literal guarding this session's delta *)
+  decode_rels : Relation.t list; (* relations this session decodes *)
   budget : Separ_sat.Solver.budget; (* for the whole session *)
+  conflicts0 : int; (* solver conflicts when the session began *)
   started : float; (* session epoch, for the wall-clock budget *)
   mutable stats : stats;
 }
@@ -33,19 +63,28 @@ type session = {
 let default_enum_limit = 16
 
 (* What is left of the session budget right now: the conflict allowance
-   shrinks with every conflict the session's solver has spent (main
-   solves and minimization alike), the time allowance with the clock. *)
+   shrinks with every conflict the session's solver has spent since the
+   session began (main solves and minimization alike; on a shared base
+   solver, earlier sessions' conflicts don't count), the time allowance
+   with the clock. *)
 let remaining_budget session =
   {
     Separ_sat.Solver.b_max_conflicts =
       Option.map
-        (fun c -> c - Separ_sat.Solver.n_conflicts session.solver)
+        (fun c ->
+          c - (Separ_sat.Solver.n_conflicts session.solver
+               - session.conflicts0))
         session.budget.Separ_sat.Solver.b_max_conflicts;
     b_max_time_ms =
       Option.map
         (fun ms -> ms -. ((Unix.gettimeofday () -. session.started) *. 1000.0))
         session.budget.Separ_sat.Solver.b_max_time_ms;
   }
+
+(* The assumptions every solve of this session carries: the activation
+   literal of an attached session, nothing for a from-scratch one. *)
+let session_assumptions session =
+  match session.act with Some a -> [ a ] | None -> []
 
 module Trace = Separ_obs.Trace
 module Metrics = Separ_obs.Metrics
@@ -55,6 +94,68 @@ let g_gates = Metrics.gauge "relog.circuit_gates"
 let g_cnf_vars = Metrics.gauge "relog.cnf_vars"
 let g_cnf_clauses = Metrics.gauge "relog.cnf_clauses"
 let c_translations = Metrics.counter "relog.translations"
+let c_attaches = Metrics.counter "relog.attaches"
+let c_hc_hits = Metrics.counter "relog.hashcons_hits"
+let c_hc_misses = Metrics.counter "relog.hashcons_misses"
+let c_cache_hits = Metrics.counter "relog.translate_cache_hits"
+let c_cache_misses = Metrics.counter "relog.translate_cache_misses"
+
+(* A snapshot of the sharing counters, for delta accounting around one
+   translation phase. *)
+let sharing_counts translation =
+  let hc_h, hc_m =
+    Circuit.hashcons_counts translation.Translate.circuit
+  in
+  let tc_h, tc_m = Translate.cache_counts translation in
+  (hc_h, hc_m, tc_h, tc_m)
+
+let publish_sharing ~before ~after =
+  let hc_h0, hc_m0, tc_h0, tc_m0 = before
+  and hc_h1, hc_m1, tc_h1, tc_m1 = after in
+  if Metrics.is_enabled () then begin
+    Metrics.add c_hc_hits (hc_h1 - hc_h0);
+    Metrics.add c_hc_misses (hc_m1 - hc_m0);
+    Metrics.add c_cache_hits (tc_h1 - tc_h0);
+    Metrics.add c_cache_misses (tc_m1 - tc_m0)
+  end
+
+(* Deterministic soft-variable order: relations in bound (id) order, each
+   relation's free tuples in tuple order.  Both session flavours build
+   their soft list this way, so position [i] denotes the same
+   (relation, tuple) choice in either — the invariant the canonical
+   minimization's cross-path determinism rests on. *)
+let soft_of_rels translation rels =
+  List.concat_map (Translate.soft_vars_of translation) rels
+
+(* Translation proper, shared by [prepare] and [prepare_base]: bound
+   matrices, formula -> circuit, Tseitin encoding, with per-phase trace
+   spans. *)
+let translate_into solver problem =
+  Trace.timed "relog.translate" (fun () ->
+      let tr =
+        Trace.with_span "relog.bounds" (fun () ->
+            Translate.create problem.bounds solver)
+      in
+      let gates =
+        Trace.with_span "relog.circuit" (fun () ->
+            List.map (Translate.gate_of_formula tr) problem.constraints)
+      in
+      Trace.with_span "relog.tseitin" (fun () ->
+          List.iter (Translate.assert_gate tr) gates);
+      Trace.add_attr "gates"
+        (Trace.Int (Circuit.gate_count tr.Translate.circuit));
+      Trace.add_attr "cnf_vars"
+        (Trace.Int (Separ_sat.Solver.n_vars solver));
+      Trace.add_attr "cnf_clauses"
+        (Trace.Int (Separ_sat.Solver.n_clauses solver));
+      tr)
+
+let publish_sizes translation solver =
+  Metrics.set g_gates
+    (float_of_int (Circuit.gate_count translation.Translate.circuit));
+  Metrics.set g_cnf_vars (float_of_int (Separ_sat.Solver.n_vars solver));
+  Metrics.set g_cnf_clauses
+    (float_of_int (Separ_sat.Solver.n_clauses solver))
 
 (* Translation is traced in its three phases: bound-matrix allocation
    (one solver variable per free tuple), formula -> circuit evaluation,
@@ -64,49 +165,173 @@ let c_translations = Metrics.counter "relog.translations"
    solve past the budget answers [Unknown]. *)
 let prepare ?(budget = Separ_sat.Solver.no_budget) problem =
   let solver = Separ_sat.Solver.create () in
-  let (translation : Translate.t), translation_ms =
-    Trace.timed "relog.translate" (fun () ->
-        let tr =
-          Trace.with_span "relog.bounds" (fun () ->
-              Translate.create problem.bounds solver)
-        in
-        let gates =
-          Trace.with_span "relog.circuit" (fun () ->
-              List.map (Translate.gate_of_formula tr) problem.constraints)
-        in
-        Trace.with_span "relog.tseitin" (fun () ->
-            List.iter (Translate.assert_gate tr) gates);
-        Trace.add_attr "gates"
-          (Trace.Int (Circuit.gate_count tr.Translate.circuit));
-        Trace.add_attr "cnf_vars"
-          (Trace.Int (Separ_sat.Solver.n_vars solver));
-        Trace.add_attr "cnf_clauses"
-          (Trace.Int (Separ_sat.Solver.n_clauses solver));
-        tr)
-  in
+  let translation, translation_ms = translate_into solver problem in
   Metrics.incr c_translations;
-  Metrics.set g_gates
-    (float_of_int (Circuit.gate_count translation.Translate.circuit));
-  Metrics.set g_cnf_vars (float_of_int (Separ_sat.Solver.n_vars solver));
-  Metrics.set g_cnf_clauses (float_of_int (Separ_sat.Solver.n_clauses solver));
-  let soft = Translate.all_soft_vars translation in
+  publish_sharing
+    ~before:(0, 0, 0, 0)
+    ~after:(sharing_counts translation);
+  publish_sizes translation solver;
+  let decode_rels = Bounds.relations problem.bounds in
+  let soft = soft_of_rels translation decode_rels in
+  let hc_hits, hc_misses = Circuit.hashcons_counts translation.Translate.circuit in
+  let cache_hits, cache_misses = Translate.cache_counts translation in
+  let n_vars = Separ_sat.Solver.n_vars solver in
+  let n_clauses = Separ_sat.Solver.n_clauses solver in
+  let n_gates = Circuit.gate_count translation.Translate.circuit in
   {
     problem;
     translation;
     solver;
     soft;
+    act = None;
+    decode_rels;
     budget;
+    conflicts0 = Separ_sat.Solver.n_conflicts solver;
     started = Unix.gettimeofday ();
     stats =
       {
         translation_ms;
         solving_ms = 0.0;
-        n_vars = Separ_sat.Solver.n_vars solver;
-        n_clauses = Separ_sat.Solver.n_clauses solver;
-        n_gates = Circuit.gate_count translation.Translate.circuit;
+        n_vars;
+        n_clauses;
+        n_gates;
+        delta_vars = n_vars;
+        delta_clauses = n_clauses;
+        delta_gates = n_gates;
+        cache_hits;
+        cache_misses;
+        hc_hits;
+        hc_misses;
+        reused_clauses = 0;
+        reused_learnts = 0;
         solver = Separ_sat.Solver.stats_record solver;
       };
   }
+
+(* --- shared base sessions (the incremental path) -------------------------- *)
+
+(* One solver + translation per bundle, holding the bundle-common bounds
+   and constraints.  Signatures then [attach] their delta formulas under
+   an activation literal.  The base records the relations (and their
+   soft variables) bounded at build time, because later attaches grow
+   the shared [Bounds.t] with per-signature witness relations. *)
+type base = {
+  b_problem : problem;
+  b_translation : Translate.t;
+  b_solver : Separ_sat.Solver.t;
+  b_rels : Relation.t list; (* relations bounded at base-build time *)
+  b_soft : int list; (* their free tuple variables, in decode order *)
+  b_translation_ms : float;
+}
+
+let prepare_base problem =
+  let solver = Separ_sat.Solver.create () in
+  let translation, b_translation_ms = translate_into solver problem in
+  Metrics.incr c_translations;
+  publish_sharing
+    ~before:(0, 0, 0, 0)
+    ~after:(sharing_counts translation);
+  publish_sizes translation solver;
+  let rels = Bounds.relations problem.bounds in
+  {
+    b_problem = problem;
+    b_translation = translation;
+    b_solver = solver;
+    b_rels = rels;
+    b_soft = soft_of_rels translation rels;
+    b_translation_ms;
+  }
+
+let base_solver base = base.b_solver
+let base_stats base = Separ_sat.Solver.stats_record base.b_solver
+let base_translation_ms base = base.b_translation_ms
+
+(* Attach one signature's delta to the base: [rels] are the relations
+   the caller bounded into the base's [Bounds.t] since the last attach
+   (the signature's witnesses), [constraints] its delta formulas.  The
+   deltas are asserted under a fresh activation literal (the solver's
+   recycled activation slot), so they hold only while this session's
+   assumption is in force; Tseitin definitions stay unguarded and thus
+   shared with later signatures.  [detach] retires the literal,
+   permanently satisfying every guarded clause.
+
+   At most one attached session per base may be live at a time (the
+   solver has a single activation slot). *)
+let attach ?(budget = Separ_sat.Solver.no_budget) base ~rels ~constraints =
+  let solver = base.b_solver and translation = base.b_translation in
+  let vars0 = Separ_sat.Solver.n_vars solver in
+  let clauses0 = Separ_sat.Solver.n_clauses solver in
+  let gates0 = Circuit.gate_count translation.Translate.circuit in
+  let learnts0 = (Separ_sat.Solver.stats_record solver).Separ_sat.Solver.s_learnts in
+  let sharing0 = sharing_counts translation in
+  let act, translation_ms =
+    Trace.timed "relog.attach" (fun () ->
+        Trace.with_span "relog.bounds" (fun () ->
+            List.iter
+              (Translate.add_relation translation base.b_problem.bounds)
+              rels);
+        let act = Separ_sat.Solver.activation_var solver in
+        let gates =
+          Trace.with_span "relog.circuit" (fun () ->
+              List.map (Translate.gate_of_formula translation) constraints)
+        in
+        Trace.with_span "relog.tseitin" (fun () ->
+            List.iter
+              (Translate.assert_gate_under translation ~guard:act)
+              gates);
+        act)
+  in
+  Metrics.incr c_attaches;
+  publish_sharing ~before:sharing0 ~after:(sharing_counts translation);
+  publish_sizes translation solver;
+  let hc_h0, hc_m0, tc_h0, tc_m0 = sharing0 in
+  let hc_h1, hc_m1, tc_h1, tc_m1 = sharing_counts translation in
+  let n_vars = Separ_sat.Solver.n_vars solver in
+  let n_clauses = Separ_sat.Solver.n_clauses solver in
+  let n_gates = Circuit.gate_count translation.Translate.circuit in
+  {
+    problem =
+      {
+        bounds = base.b_problem.bounds;
+        constraints = base.b_problem.constraints @ constraints;
+      };
+    translation;
+    solver;
+    soft = base.b_soft @ soft_of_rels translation rels;
+    act = Some act;
+    decode_rels = base.b_rels @ rels;
+    budget;
+    conflicts0 = Separ_sat.Solver.n_conflicts solver;
+    started = Unix.gettimeofday ();
+    stats =
+      {
+        translation_ms;
+        solving_ms = 0.0;
+        n_vars;
+        n_clauses;
+        n_gates;
+        delta_vars = n_vars - vars0;
+        delta_clauses = n_clauses - clauses0;
+        delta_gates = n_gates - gates0;
+        cache_hits = tc_h1 - tc_h0;
+        cache_misses = tc_m1 - tc_m0;
+        hc_hits = hc_h1 - hc_h0;
+        hc_misses = hc_m1 - hc_m0;
+        reused_clauses = clauses0;
+        reused_learnts = learnts0;
+        solver = Separ_sat.Solver.stats_record solver;
+      };
+  }
+
+(* End an attached session: retiring the activation literal adds the
+   unit clause [-act], permanently satisfying every clause the session
+   asserted or blocked, so the next attach starts from a base
+   constrained exactly as before (plus inert definitions and whatever
+   the solver learnt).  No-op on [prepare] sessions. *)
+let detach session =
+  match session.act with
+  | None -> ()
+  | Some _ -> Separ_sat.Solver.retire_activation session.solver
 
 let decode session =
   let bounds = session.problem.bounds in
@@ -114,7 +339,7 @@ let decode session =
     List.map
       (fun rel ->
         (rel, Translate.relation_value session.translation rel bounds))
-      (Bounds.relations bounds)
+      session.decode_rels
   in
   Instance.make (Bounds.universe bounds) bindings
 
@@ -133,16 +358,19 @@ let refresh_counts session =
     }
 
 (* Find the next satisfying instance.  With [minimal] (default), the
-   instance is minimized over the free tuple variables first.  A session
-   budget that runs out (during either the search or the shrink) yields
-   [Unknown]; minimization itself degrades to a coarser instance before
-   the session does. *)
+   instance is minimized over the free tuple variables first — with the
+   canonical lexicographic minimization, so attached and from-scratch
+   sessions over equivalent constraints decode identical instances.  A
+   session budget that runs out (during either the search or the
+   minimization) yields [Unknown]; minimization itself degrades to a
+   coarser instance before the session does. *)
 let next ?(minimal = true) session =
+  let assumptions = session_assumptions session in
   let result, ms =
     Trace.timed "sat.solve" (fun () ->
         let r =
           match
-            Separ_sat.Solver.solve
+            Separ_sat.Solver.solve ~assumptions
               ~budget:(remaining_budget session)
               session.solver
           with
@@ -151,7 +379,7 @@ let next ?(minimal = true) session =
           | Separ_sat.Solver.Sat ->
               if minimal then
                 ignore
-                  (Separ_sat.Models.minimize
+                  (Separ_sat.Models.minimize_lex ~extra:assumptions
                      ~budget:(remaining_budget session)
                      session.solver ~soft:session.soft);
               Sat (decode session)
@@ -173,10 +401,21 @@ let next ?(minimal = true) session =
   refresh_counts session;
   result
 
+(* A blocking clause, guarded by the session's activation literal when
+   there is one, so an attached session's exclusions die with it. *)
+let add_block session trues =
+  match session.act with
+  | None -> Separ_sat.Models.block_superset session.solver ~trues
+  | Some act ->
+      Separ_sat.Solver.add_clause session.solver
+        (-act :: List.map (fun v -> -v) trues)
+
 (* Exclude all extensions of the current instance's free choices. *)
 let block session =
-  let trues = List.filter (Separ_sat.Solver.value session.solver) session.soft in
-  Separ_sat.Models.block_superset session.solver ~trues;
+  let trues =
+    List.filter (Separ_sat.Solver.value session.solver) session.soft
+  in
+  add_block session trues;
   refresh_counts session
 
 (* Exclude future instances that repeat the current valuation of the given
@@ -187,7 +426,7 @@ let block_on session rels =
     List.concat_map (Translate.soft_vars_of session.translation) rels
   in
   let trues = List.filter (Separ_sat.Solver.value session.solver) soft in
-  Separ_sat.Models.block_superset session.solver ~trues;
+  add_block session trues;
   refresh_counts session
 
 (* One-shot solve. *)

@@ -12,10 +12,34 @@ type t = {
   encoder : Circuit.encoder;
   universe : Universe.t;
   n : int;
-  rel_matrices : Matrix.t Relation.Map.t;
+  mutable rel_matrices : Matrix.t Relation.Map.t;
   (* per relation: the (tuple, solver var) pairs that are free choices *)
-  rel_vars : (Tuple_set.tuple * int) list Relation.Map.t;
+  mutable rel_vars : (Tuple_set.tuple * int) list Relation.Map.t;
+  (* expression -> matrix memoization, keyed on the structural identity
+     of (environment, expression); see [expr] below *)
+  expr_cache : (env * Ast.expr, Matrix.t) Hashtbl.t;
+  mutable tc_hits : int;
+  mutable tc_misses : int;
 }
+
+(* Allocate the matrix and free-choice variables of one relation: cells
+   in the lower bound are constant-true, remaining upper-bound cells get
+   fresh solver variables in tuple order. *)
+let alloc_relation circuit solver ~n bounds rel =
+  let lower, upper = Bounds.get bounds rel in
+  let m = Matrix.create ~n ~arity:(Relation.arity rel) in
+  let vars = ref [] in
+  Tuple_set.iter
+    (fun tup ->
+      if Tuple_set.mem tup lower then
+        Matrix.set circuit m tup (Circuit.tt circuit)
+      else begin
+        let v = Separ_sat.Solver.new_var solver in
+        vars := (tup, v) :: !vars;
+        Matrix.set circuit m tup (Circuit.lit circuit v)
+      end)
+    upper;
+  (m, List.rev !vars)
 
 let create bounds solver =
   let circuit = Circuit.create () in
@@ -25,21 +49,9 @@ let create bounds solver =
   let rel_vars = ref Relation.Map.empty in
   List.iter
     (fun rel ->
-      let lower, upper = Bounds.get bounds rel in
-      let m = Matrix.create ~n ~arity:(Relation.arity rel) in
-      let vars = ref [] in
-      Tuple_set.iter
-        (fun tup ->
-          if Tuple_set.mem tup lower then
-            Matrix.set circuit m tup (Circuit.tt circuit)
-          else begin
-            let v = Separ_sat.Solver.new_var solver in
-            vars := (tup, v) :: !vars;
-            Matrix.set circuit m tup (Circuit.lit circuit v)
-          end)
-        upper;
+      let m, vars = alloc_relation circuit solver ~n bounds rel in
       rel_matrices := Relation.Map.add rel m !rel_matrices;
-      rel_vars := Relation.Map.add rel (List.rev !vars) !rel_vars)
+      rel_vars := Relation.Map.add rel vars !rel_vars)
     (Bounds.relations bounds);
   {
     circuit;
@@ -49,9 +61,48 @@ let create bounds solver =
     n;
     rel_matrices = !rel_matrices;
     rel_vars = !rel_vars;
+    expr_cache = Hashtbl.create 256;
+    tc_hits = 0;
+    tc_misses = 0;
   }
 
+(* Extend an existing translation with a relation bounded after [create]
+   (the incremental path adds per-signature witness relations to a shared
+   base translation this way).  Allocates exactly what [create] would
+   have: same matrix cells, fresh variables in the same tuple order. *)
+let add_relation t bounds rel =
+  if Relation.Map.mem rel t.rel_matrices then
+    invalid_arg ("Translate.add_relation: duplicate " ^ Relation.name rel);
+  let m, vars = alloc_relation t.circuit t.solver ~n:t.n bounds rel in
+  t.rel_matrices <- Relation.Map.add rel m t.rel_matrices;
+  t.rel_vars <- Relation.Map.add rel vars t.rel_vars
+
+(* (hits, misses) of the expression->matrix cache since creation. *)
+let cache_counts t = (t.tc_hits, t.tc_misses)
+
 let rec expr t (env : env) (e : Ast.expr) : Matrix.t =
+  (* Matrices are immutable once built (operations always allocate), and
+     hash-consing makes re-translation of equal expressions yield the
+     same gates — so memoizing on the structural identity of the
+     (environment, expression) pair changes nothing but the cost.
+     Quantifiers extend [env], so only the bindings in scope distinguish
+     otherwise-equal subterms. *)
+  match e with
+  | Ast.Rel _ | Ast.Var _ | Ast.Univ | Ast.None_e | Ast.Iden ->
+      expr_uncached t env e (* leaves: a lookup is cheaper than a hash *)
+  | _ -> (
+      let k = (env, e) in
+      match Hashtbl.find_opt t.expr_cache k with
+      | Some m ->
+          t.tc_hits <- t.tc_hits + 1;
+          m
+      | None ->
+          t.tc_misses <- t.tc_misses + 1;
+          let m = expr_uncached t env e in
+          Hashtbl.add t.expr_cache k m;
+          m)
+
+and expr_uncached t (env : env) (e : Ast.expr) : Matrix.t =
   let c = t.circuit in
   match e with
   | Ast.Rel r -> (
@@ -146,6 +197,10 @@ let rec formula t (env : env) (f : Ast.formula) : Circuit.gate =
    trace circuit construction and Tseitin encoding separately. *)
 let gate_of_formula t f = formula t [] f
 let assert_gate t g = Circuit.assert_gate t.encoder g
+
+(* Assert a gate that holds only while the [guard] literal is assumed;
+   see {!Circuit.assert_gate_under}. *)
+let assert_gate_under t ~guard g = Circuit.assert_gate_under t.encoder ~guard g
 
 (* Assert a formula as a problem constraint. *)
 let assert_formula t f = assert_gate t (gate_of_formula t f)

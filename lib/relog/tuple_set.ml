@@ -43,9 +43,49 @@ let mem tup t =
 let subset a b =
   a.arity = b.arity && Array.for_all (fun t -> mem t b) a.tuples
 
+(* Both operands are already sorted and deduplicated, so the union is a
+   single linear merge; duplicates across the inputs advance both
+   cursors.  Either input is returned unchanged when it subsumes the
+   result, sparing the allocation on the common [x U empty] case. *)
 let union a b =
   if a.arity <> b.arity then invalid_arg "Tuple_set.union: arity mismatch";
-  of_list a.arity (to_list a @ to_list b)
+  let na = Array.length a.tuples and nb = Array.length b.tuples in
+  if na = 0 then b
+  else if nb = 0 then a
+  else begin
+    let out = Array.make (na + nb) a.tuples.(0) in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < na && !j < nb do
+      let c = compare_tuple a.tuples.(!i) b.tuples.(!j) in
+      if c < 0 then begin
+        out.(!k) <- a.tuples.(!i);
+        incr i
+      end
+      else if c > 0 then begin
+        out.(!k) <- b.tuples.(!j);
+        incr j
+      end
+      else begin
+        out.(!k) <- a.tuples.(!i);
+        incr i;
+        incr j
+      end;
+      incr k
+    done;
+    while !i < na do
+      out.(!k) <- a.tuples.(!i);
+      incr i;
+      incr k
+    done;
+    while !j < nb do
+      out.(!k) <- b.tuples.(!j);
+      incr j;
+      incr k
+    done;
+    if !k = na then a
+    else if !k = nb then b
+    else { arity = a.arity; tuples = Array.sub out 0 !k }
+  end
 
 let inter a b =
   if a.arity <> b.arity then invalid_arg "Tuple_set.inter: arity mismatch";

@@ -90,6 +90,45 @@ let of_solver_stats (s : Separ_sat.Solver.stats_record) =
       ("activation_vars_retired", Json.Int s.s_act_retired);
     ]
 
+(* What one signature's session cost on top of the state its solver
+   already held — per-signature rows plus the aggregated sharing
+   counters of the incremental (shared-encoding) ASE path. *)
+let of_sig_delta (d : Ase.sig_delta) =
+  Json.Obj
+    [
+      ("kind", Json.Str d.Ase.sd_kind);
+      ("vars", Json.Int d.Ase.sd_vars);
+      ("clauses", Json.Int d.Ase.sd_clauses);
+      ("gates", Json.Int d.Ase.sd_gates);
+      ("translate_cache_hits", Json.Int d.Ase.sd_cache_hits);
+      ("translate_cache_misses", Json.Int d.Ase.sd_cache_misses);
+      ("hashcons_hits", Json.Int d.Ase.sd_hc_hits);
+      ("hashcons_misses", Json.Int d.Ase.sd_hc_misses);
+      ("reused_clauses", Json.Int d.Ase.sd_reused_clauses);
+      ("reused_learnts", Json.Int d.Ase.sd_reused_learnts);
+      ("construction_ms", Json.Float d.Ase.sd_construction_ms);
+      ("solving_ms", Json.Float d.Ase.sd_solving_ms);
+    ]
+
+let of_incremental (report : Ase.report) =
+  let sum f =
+    List.fold_left (fun acc d -> acc + f d) 0 report.Ase.r_sig_deltas
+  in
+  Json.Obj
+    [
+      ("enabled", Json.Bool report.Ase.r_incremental);
+      ( "translate_cache_hits",
+        Json.Int (sum (fun d -> d.Ase.sd_cache_hits)) );
+      ( "translate_cache_misses",
+        Json.Int (sum (fun d -> d.Ase.sd_cache_misses)) );
+      ("hashcons_hits", Json.Int (sum (fun d -> d.Ase.sd_hc_hits)));
+      ("hashcons_misses", Json.Int (sum (fun d -> d.Ase.sd_hc_misses)));
+      ("reused_clauses", Json.Int (sum (fun d -> d.Ase.sd_reused_clauses)));
+      ("reused_learnts", Json.Int (sum (fun d -> d.Ase.sd_reused_learnts)));
+      ( "per_signature",
+        Json.List (List.map of_sig_delta report.Ase.r_sig_deltas) );
+    ]
+
 let of_stats (s : Bundle.stats) =
   Json.Obj
     [
@@ -115,6 +154,7 @@ let of_analysis ?telemetry ~(report : Ase.report) ~(policies : Policy.t list) ()
              ("solving", Json.Float report.Ase.r_solving_ms);
            ] );
        ("solver", of_solver_stats report.Ase.r_solver);
+       ("incremental", of_incremental report);
        ( "vulnerabilities",
          Json.List (List.map of_vulnerability report.Ase.r_vulnerabilities) );
        ( "degraded",

@@ -38,6 +38,7 @@ type t = {
   mutable model_valid : bool;              (* last operation was a Sat solve *)
   mutable act_live : int;                  (* live activation var, 0 = none *)
   mutable n_act_retired : int;             (* retired activation vars *)
+  mutable conflict_core : int array;       (* failed assumptions, internal lits *)
   mutable n_conflicts : int;
   mutable n_decisions : int;
   mutable n_propagations : int;
@@ -73,6 +74,7 @@ let create () =
     model_valid = false;
     act_live = 0;
     n_act_retired = 0;
+    conflict_core = [||];
     n_conflicts = 0;
     n_decisions = 0;
     n_propagations = 0;
@@ -367,6 +369,37 @@ let analyze t confl =
   done;
   (Array.init (Vec.size keep) (Vec.get keep), !blevel)
 
+(* Final-conflict analysis over assumptions (MiniSat's analyzeFinal).
+   Given literals false under the current assignment, walk the trail from
+   the top down to the first decision, expanding reasons; reason-less
+   trail literals above level 0 are assumption decisions (search only
+   calls this while the trail holds assumption levels exclusively), and
+   the set of those reached is the subset of failed assumptions — an
+   unsat core over the assumption set.  Returns internal literals. *)
+let analyze_final_from t false_lits =
+  if decision_level t = 0 then []
+  else begin
+    let marked = Vec.create 0 in
+    let mark q =
+      let v = Lit.var q in
+      if (not t.seen.(v)) && t.level.(v) > 0 then begin
+        t.seen.(v) <- true;
+        Vec.push marked v
+      end
+    in
+    List.iter mark false_lits;
+    let out = ref [] in
+    for i = Vec.size t.trail - 1 downto Vec.get t.trail_lim 0 do
+      let l = Vec.get t.trail i in
+      if t.seen.(Lit.var l) then
+        match t.reason.(Lit.var l) with
+        | None -> out := l :: !out (* an assumption decision *)
+        | Some c -> Array.iter mark c.lits
+    done;
+    Vec.iter (fun v -> t.seen.(v) <- false) marked;
+    !out
+  end
+
 (* Add a clause given in internal literal encoding.  Performs top-level
    simplification: removes duplicate/false literals, detects tautologies. *)
 let add_clause_internal t lits =
@@ -502,7 +535,16 @@ let search t assumptions ~conflict_cap ~deadline =
           && Unix.gettimeofday () > deadline
         then raise Budget_exc;
         decr conflicts_budget;
-        if decision_level t = 0 then raise Unsat_exc;
+        if decision_level t = 0 then begin
+          (* Conflict with no decisions: the clauses alone are unsat, so
+             no assumption is to blame — and the solver is unsat forever.
+             Marking [ok] here matters: [propagate] drains its queue on
+             conflict, so the falsified clause would never be revisited
+             and a later solve could wrongly answer Sat. *)
+          t.conflict_core <- [||];
+          t.ok <- false;
+          raise Unsat_exc
+        end;
         (* A conflict at or below the assumption prefix means the
            assumptions themselves are inconsistent with the clauses. *)
         let learnt, blevel = analyze t confl in
@@ -518,7 +560,12 @@ let search t assumptions ~conflict_cap ~deadline =
         if blevel < n_assumed then begin
           (* The learnt clause is asserting below an assumption level:
              check whether it contradicts the assumptions. *)
-          if value_lit t learnt.(0) = LFalse then raise Unsat_exc;
+          if value_lit t learnt.(0) = LFalse then begin
+            t.conflict_core <-
+              Array.of_list
+                (analyze_final_from t (Array.to_list learnt));
+            raise Unsat_exc
+          end;
           if value_lit t learnt.(0) = LUndef then enqueue t learnt.(0) c
         end
         else enqueue t learnt.(0) c;
@@ -555,7 +602,12 @@ let search t assumptions ~conflict_cap ~deadline =
                          to keep the prefix aligned *)
                       Vec.push t.trail_lim (Vec.size t.trail);
                       assume (i + 1) rest
-                  | LFalse -> raise Unsat_exc
+                  | LFalse ->
+                      (* Assumption [a] already false: the failed set is
+                         [a] plus whatever forced its negation. *)
+                      t.conflict_core <-
+                        Array.of_list (a :: analyze_final_from t [ a ]);
+                      raise Unsat_exc
                   | LUndef ->
                       Vec.push t.trail_lim (Vec.size t.trail);
                       enqueue t a None;
@@ -601,6 +653,7 @@ let m_conflicts_per_solve =
 
 let solve ?(assumptions = []) ?(budget = no_budget) t =
   t.model_valid <- false;
+  t.conflict_core <- [||];
   if not t.ok then begin
     (* trivially unsat at clause-add time: the search never runs, but the
        call still counts as a solve *)
@@ -627,6 +680,15 @@ let solve ?(assumptions = []) ?(budget = no_budget) t =
   else begin
     if t.learnt_limit = 0 then
       t.learnt_limit <- max 100 (Vec.size t.clauses / 3);
+    List.iter
+      (fun i ->
+        let v = abs i in
+        if v = 0 then invalid_arg "Solver.solve: zero assumption literal";
+        while v > t.nvars do
+          ignore (new_var t)
+        done)
+      assumptions;
+    let ext_assumptions = assumptions in
     let assumptions = List.map Lit.of_int assumptions in
     cancel_until t 0;
     let conflicts0 = t.n_conflicts
@@ -669,7 +731,20 @@ let solve ?(assumptions = []) ?(budget = no_budget) t =
       | Unknown -> Unknown (* search never returns this; for exhaustiveness *)
       | exception Unsat_exc ->
           cancel_until t 0;
-          if decision_level t = 0 && propagate t <> None then t.ok <- false;
+          (* Normalize the failed-assumption core: restrict the caller's
+             assumption list (preserving its order, without duplicates) to
+             the literals blamed by the final-conflict analysis. *)
+          let core = Array.to_list t.conflict_core in
+          let rec restrict kept = function
+            | [] -> List.rev kept
+            | a :: rest ->
+                if List.mem a kept || not (List.mem (Lit.of_int a) core)
+                then restrict kept rest
+                else restrict (a :: kept) rest
+          in
+          t.conflict_core <-
+            Array.of_list
+              (List.map Lit.of_int (restrict [] ext_assumptions));
           Unsat
       | exception Budget_exc ->
           (* Budget exhausted mid-search: drop the partial assignment but
@@ -698,6 +773,14 @@ let model t =
   if not t.model_valid then
     invalid_arg "Solver.model: no model (last operation was not a Sat solve)";
   Array.init t.nvars (fun i -> value t (i + 1))
+
+(* The failed-assumption set of the most recent [solve]: the subset of
+   that call's assumption literals (in the order given, deduplicated)
+   whose conjunction the solver refuted.  Empty unless the call returned
+   [Unsat] under assumptions; empty on an [Unsat] caused by the clauses
+   alone. *)
+let failed_assumptions t =
+  List.map Lit.to_int (Array.to_list t.conflict_core)
 
 type stats_record = {
   s_vars : int;

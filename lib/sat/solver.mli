@@ -54,6 +54,15 @@ val value : t -> int -> bool
     unless the last operation was a {!solve} that returned {!Sat}. *)
 val model : t -> bool array
 
+(** The failed-assumption set of the most recent {!solve}: the subset of
+    that call's assumption literals (in the order given, deduplicated)
+    whose conjunction the solver refuted — an unsat core over the
+    assumptions.  Empty unless the call returned {!Unsat} under
+    assumptions, and empty when the clauses are unsatisfiable on their
+    own (no assumption is to blame).  The set is not guaranteed minimal,
+    but assuming it again yields {!Unsat} again. *)
+val failed_assumptions : t -> int list
+
 (** The session's activation variable for assumption-guarded temporary
     clauses, allocating one if none is live.  Used by [Models.minimize];
     at most one activation variable is live at a time. *)

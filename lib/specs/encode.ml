@@ -106,6 +106,9 @@ type env = {
   r_mal_comp : Relation.t;      (* singleton *)
   r_mal_intent : Relation.t;    (* empty or singleton, per config *)
   r_mal_filter : Relation.t;    (* empty or singleton, per config *)
+  (* upper bound of each witness domain, closed over the bundle's atom
+     sets so witness relations can be bounded after the fact *)
+  witness_upper : witness_domain -> Tuple_set.t;
   r_witnesses : (string * Relation.t) list;
   facts : Ast.formula list;
 }
@@ -113,6 +116,11 @@ type env = {
 (* --- helpers over app models ------------------------------------------- *)
 
 let uniq xs = List.sort_uniq compare xs
+
+(* The resource vocabulary (sources and sinks), deduplicated once: it is
+   consulted several times per encode (vocabulary, atoms, constant
+   singletons, the resource->permission map). *)
+let all_resources = uniq (Resource.sources @ Resource.sinks)
 
 let intent_of_bundle b =
   List.map (fun (_, _, i) -> i) (Bundle.all_intents b)
@@ -147,15 +155,21 @@ let vocabulary bundle =
       (fun app -> app.App_model.am_declared_permissions)
       (Bundle.apps bundle)
     @ List.concat_map (fun c -> c.App_model.cm_required_permissions) comps
-    @ List.filter_map Resource.permission (Resource.sources @ Resource.sinks)
+    @ List.filter_map Resource.permission all_resources
   in
   (uniq actions, uniq categories, uniq dtypes, uniq dschemes, uniq dhosts,
    uniq perms)
 
 (* --- environment construction ------------------------------------------ *)
 
-let build ?(config = { with_mal_intent = true; with_mal_filter = true })
-    ?(witnesses = []) (bundle : Bundle.t) : env =
+(* The bundle-common encoding: everything except the per-signature
+   witness relations (and their facts).  [encode_signature] layers those
+   on; [build] composes the two for the one-shot path.  Splitting here
+   is what lets the incremental ASE path encode the bundle once per
+   worker and attach each signature as a delta. *)
+let encode_bundle
+    ?(config = { with_mal_intent = true; with_mal_filter = true })
+    (bundle : Bundle.t) : env =
   let apps = Bundle.apps bundle in
   let comps = Bundle.all_components bundle in
   (* Component atoms: cm_name, disambiguated by package when needed. *)
@@ -202,7 +216,7 @@ let build ?(config = { with_mal_intent = true; with_mal_filter = true })
           c.App_model.cm_paths)
       comps
   in
-  let resource_atoms = List.map atom_resource (uniq (Resource.sources @ Resource.sinks)) in
+  let resource_atoms = List.map atom_resource all_resources in
   let kind_atoms =
     List.map kind_atom
       [ Component.Activity; Component.Service; Component.Receiver;
@@ -500,7 +514,7 @@ let build ?(config = { with_mal_intent = true; with_mal_filter = true })
         let rl = mk ("KRes_" ^ Resource.to_string r) 1 in
         Bounds.bound_exact bounds rl (ts1 [ atom_resource r ]);
         (r, rl))
-      (uniq (Resource.sources @ Resource.sinks))
+      all_resources
   in
 
   (* filter fields; the malicious filter's fields are free *)
@@ -567,7 +581,7 @@ let build ?(config = { with_mal_intent = true; with_mal_filter = true })
             | Some p when List.mem p perms ->
                 Some (atom_resource r, atom_perm p)
             | _ -> None)
-          (uniq (Resource.sources @ Resource.sinks))));
+          all_resources));
 
   (* the malicious capability *)
   let r_mal_comp = mk "MalComponent" 1 in
@@ -579,21 +593,13 @@ let build ?(config = { with_mal_intent = true; with_mal_filter = true })
   Bounds.bound_exact bounds r_mal_filter
     (ts1 (if config.with_mal_filter then [ mal_filter_atom ] else []));
 
-  (* witness relations: free singletons over their domain *)
-  let domain_upper = function
+  (* witness-domain upper bounds, for [encode_signature] *)
+  let witness_upper = function
     | Wcomponent -> ts1 (List.map fst comp_atoms)
     | Wintent -> ts1 intent_atoms
     | Wpath -> ts1 path_atoms
     | Wresource -> ts1 resource_atoms
     | Wpermission -> ts1 (List.map atom_perm perms)
-  in
-  let r_witnesses =
-    List.map
-      (fun (name, dom) ->
-        let r = mk ("W_" ^ name) 1 in
-        Bounds.bound bounds r ~lower:(Tuple_set.empty 1) ~upper:(domain_upper dom);
-        (name, r))
-      witnesses
   in
 
   (* well-formedness facts constraining the free (malicious) relations *)
@@ -613,7 +619,6 @@ let build ?(config = { with_mal_intent = true; with_mal_filter = true })
     let mf = rel r_mal_filter in
     add (some (mf |. rel r_if_actions))
   end;
-  List.iter (fun (_, r) -> add (one (Rel r))) r_witnesses;
 
   {
     universe;
@@ -668,9 +673,39 @@ let build ?(config = { with_mal_intent = true; with_mal_filter = true })
     r_mal_comp;
     r_mal_intent;
     r_mal_filter;
-    r_witnesses;
+    witness_upper;
+    r_witnesses = [];
     facts = List.rev !facts;
   }
+
+(* The "one" facts pinning each declared witness to a single tuple. *)
+let witness_facts env =
+  List.map (fun (_, r) -> Ast.Dsl.one (Ast.Rel r)) env.r_witnesses
+
+(* Layer one signature's witness relations on a bundle encoding: each is
+   bounded as a free singleton over its domain (in declaration order,
+   after every bundle relation), and the pinning facts are appended.
+   The bounds object is shared and mutated — on the incremental path,
+   successive signatures keep extending the same base bounds, and each
+   decodes only its own witnesses. *)
+let encode_signature (env : env) witnesses : env =
+  let r_witnesses =
+    List.map
+      (fun (name, dom) ->
+        let r = Relation.make ("W_" ^ name) 1 in
+        Bounds.bound env.bounds r ~lower:(Tuple_set.empty 1)
+          ~upper:(env.witness_upper dom);
+        (name, r))
+      witnesses
+  in
+  let env = { env with r_witnesses } in
+  { env with facts = env.facts @ witness_facts env }
+
+(* One-shot construction, as before the bundle/signature split: the
+   composition produces exactly the formulas and bounds the fused
+   builder did (witness relations created last, facts appended last). *)
+let build ?config ?(witnesses = []) (bundle : Bundle.t) : env =
+  encode_signature (encode_bundle ?config bundle) witnesses
 
 let witness env name =
   match List.assoc_opt name env.r_witnesses with

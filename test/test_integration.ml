@@ -287,6 +287,45 @@ let test_parallel_matches_sequential () =
       check "no degradation" true (report.Ase.r_degraded = []))
     [ 2; 4 ]
 
+let test_incremental_matches_scratch () =
+  (* The incremental (shared-encoding) path must produce byte-identical
+     reports — not just the same scenario keys — to the from-scratch
+     path once performance fields are stripped, at any pool width. *)
+  let bundle = Bundle.of_models (List.map Extract.extract (demo_apks ())) in
+  let render report =
+    Separ_report.Report.to_string ~report:(Ase.strip_performance report)
+      ~policies:[] ()
+  in
+  let scratch = Ase.analyze ~incremental:false bundle in
+  check "scratch finds vulnerabilities" true
+    (scratch.Ase.r_vulnerabilities <> []);
+  check "scratch path reuses nothing" true
+    (List.for_all
+       (fun d -> d.Ase.sd_reused_clauses = 0 && d.Ase.sd_reused_learnts = 0)
+       scratch.Ase.r_sig_deltas);
+  let baseline = render scratch in
+  List.iter
+    (fun jobs ->
+      let inc = Ase.analyze ~jobs bundle in
+      check "incremental flag reported" true inc.Ase.r_incremental;
+      (* The first signature on each fresh base starts from that base's
+         clause count (possibly 0 when the base compiles to bounds and
+         units only); later attaches on the same base must see the
+         accumulated shared clauses, so the sum is positive. *)
+      let total f = List.fold_left (fun acc d -> acc + f d) 0 in
+      check
+        (Printf.sprintf "signatures ride on shared clauses at -j %d" jobs)
+        true
+        (total (fun d -> d.Ase.sd_reused_clauses) inc.Ase.r_sig_deltas > 0);
+      check
+        (Printf.sprintf "translation cache is hit at -j %d" jobs)
+        true
+        (total (fun d -> d.Ase.sd_cache_hits) inc.Ase.r_sig_deltas > 0);
+      Alcotest.(check string)
+        (Printf.sprintf "byte-identical stripped report at -j %d" jobs)
+        baseline (render inc))
+    [ 1; 2 ]
+
 let test_budget_degrades_gracefully () =
   let bundle = Bundle.of_models (List.map Extract.extract (demo_apks ())) in
   let baseline = Ase.analyze bundle in
@@ -384,6 +423,8 @@ let extension_tests =
       test_two_hop_leak_at_runtime;
     Alcotest.test_case "parallel analyze matches sequential" `Quick
       test_parallel_matches_sequential;
+    Alcotest.test_case "incremental matches from-scratch byte-for-byte" `Quick
+      test_incremental_matches_scratch;
     Alcotest.test_case "budget degrades gracefully" `Quick
       test_budget_degrades_gracefully;
     Alcotest.test_case "worker crash degrades its signature" `Quick

@@ -272,7 +272,12 @@ let test_pipeline_spans_consistent () =
         (Separ.vulnerabilities analysis <> []);
       check "ame spans" true (Trace.count "ame.extract" = 2);
       check "translate spans" true (Trace.count "relog.translate" > 0);
-      check_int "bounds under every translate" (Trace.count "relog.translate")
+      (* incremental ASE: shared bases are translated once, signatures
+         then attach delta sessions — each of either emits one bounds
+         span *)
+      check "attach spans" true (Trace.count "relog.attach" > 0);
+      check_int "bounds under every translate and attach"
+        (Trace.count "relog.translate" + Trace.count "relog.attach")
         (Trace.count "relog.bounds");
       check "sat.solve spans" true (Trace.count "sat.solve" > 0);
       check "policy.derive span" true (Trace.count "policy.derive" = 1);

@@ -21,6 +21,32 @@ let test_ts_ops () =
   check "subset" true (Tuple_set.subset (ts 1 [ [ 1 ] ]) a);
   check "not subset" false (Tuple_set.subset b a)
 
+let test_ts_union_merge () =
+  (* The linear-merge union must preserve of_list's semantics exactly:
+     sorted lexicographic tuple order, duplicates across (and within)
+     the operands collapsed, arity mismatches rejected. *)
+  let a = ts 2 [ [ 0; 1 ]; [ 2; 0 ]; [ 0; 0 ] ] in
+  let b = ts 2 [ [ 0; 1 ]; [ 1; 9 ]; [ 2; 0 ]; [ 0; 2 ] ] in
+  let u = Tuple_set.union a b in
+  let expected =
+    [ [| 0; 0 |]; [| 0; 1 |]; [| 0; 2 |]; [| 1; 9 |]; [| 2; 0 |] ]
+  in
+  check "merged, deduplicated, in sorted order" true
+    (Tuple_set.to_list u = expected);
+  check "agrees with of_list on the concatenation" true
+    (Tuple_set.equal u
+       (Tuple_set.of_list 2 (Tuple_set.to_list a @ Tuple_set.to_list b)));
+  check "commutes" true (Tuple_set.equal u (Tuple_set.union b a));
+  check "union with empty is identity" true
+    (Tuple_set.equal a (Tuple_set.union a (Tuple_set.empty 2))
+    && Tuple_set.equal a (Tuple_set.union (Tuple_set.empty 2) a));
+  check "idempotent" true (Tuple_set.equal a (Tuple_set.union a a));
+  check "arity mismatch rejected" true
+    (try
+       ignore (Tuple_set.union a (ts 1 [ [ 0 ] ]));
+       false
+     with Invalid_argument _ -> true)
+
 let test_ts_join () =
   let r = ts 2 [ [ 0; 1 ]; [ 1; 2 ] ] in
   let x = ts 1 [ [ 0 ] ] in
@@ -277,8 +303,10 @@ let test_stats_populated () =
 
 let test_stats_refresh () =
   (* Regression: n_vars/n_clauses used to be frozen at prepare time;
-     enumeration adds blocking clauses and minimization adds activation
-     variables, and stats must report the live formula. *)
+     enumeration adds blocking clauses and stats must report the live
+     formula.  (Variable counts no longer grow here: the canonical
+     lexicographic minimization works purely through assumptions,
+     allocating no activation variables.) *)
   let problem, _ = paper_problem no_extra in
   let session = Solve.prepare problem in
   let st0 = Solve.stats session in
@@ -291,8 +319,8 @@ let test_stats_refresh () =
   let st1 = Solve.stats session in
   check "clause count grew past the prepare-time snapshot" true
     (st1.Solve.n_clauses > st0.Solve.n_clauses);
-  check "variable count grew (activation vars)" true
-    (st1.Solve.n_vars > st0.Solve.n_vars)
+  check "variable count did not shrink" true
+    (st1.Solve.n_vars >= st0.Solve.n_vars)
 
 let test_enumerate_truncated () =
   (* the paper example has exactly 4 minimal instances *)
@@ -340,6 +368,8 @@ let test_universe () =
 let tests =
   [
     Alcotest.test_case "tuple-set ops" `Quick test_ts_ops;
+    Alcotest.test_case "tuple-set union merge semantics" `Quick
+      test_ts_union_merge;
     Alcotest.test_case "tuple-set join" `Quick test_ts_join;
     Alcotest.test_case "tuple-set product/transpose" `Quick
       test_ts_product_transpose;

@@ -373,6 +373,192 @@ let test_minimize_budget_fallback () =
   let minimal = Models.minimize s ~soft in
   check_int "true minimum found without budget" 2 (List.length minimal)
 
+(* --- failed assumptions (assumption-level unsat cores) -------------------- *)
+
+let test_failed_assumptions_basic () =
+  (* joint-unsat assumption pair: the core names a subset of the
+     assumptions sufficient for unsatisfiability *)
+  let s = Solver.create () in
+  Solver.add_clause s [ -1; -2 ];
+  check "unsat under 3,1,2" true
+    (Solver.solve ~assumptions:[ 3; 1; 2 ] s = Solver.Unsat);
+  let core = Solver.failed_assumptions s in
+  check "core nonempty" true (core <> []);
+  check "core is a subset of the assumptions" true
+    (List.for_all (fun a -> List.mem a [ 3; 1; 2 ]) core);
+  check "core excludes the irrelevant assumption" true
+    (not (List.mem 3 core));
+  (* the core alone re-derives unsat on a fresh solver *)
+  let s2 = Solver.create () in
+  Solver.add_clause s2 [ -1; -2 ];
+  check "core re-derives unsat on a fresh solver" true
+    (Solver.solve ~assumptions:core s2 = Solver.Unsat);
+  (* the solver survives assumption-unsat and agrees with a fresh one *)
+  check "reusable: sat without assumptions" true (Solver.solve s = Solver.Sat);
+  check "reusable: sat under one assumption" true
+    (Solver.solve ~assumptions:[ 1 ] s = Solver.Sat);
+  check "model respects the clause" false (Solver.value s 2)
+
+let test_failed_assumptions_edge_cases () =
+  (* clauses alone unsat: the assumptions are blameless, core is empty *)
+  let s = Solver.create () in
+  Solver.add_clause s [ 1 ];
+  Solver.add_clause s [ -1 ];
+  check "clause-level unsat" true
+    (Solver.solve ~assumptions:[ 5 ] s = Solver.Unsat);
+  check_int "clause-level unsat has empty core" 0
+    (List.length (Solver.failed_assumptions s));
+  (* assuming against a unit clause: singleton core *)
+  let s = Solver.create () in
+  Solver.add_clause s [ 7 ];
+  check "unsat assuming -7" true
+    (Solver.solve ~assumptions:[ -7 ] s = Solver.Unsat);
+  check "core is the contradicted assumption" true
+    (Solver.failed_assumptions s = [ -7 ]);
+  (* directly contradictory assumptions, no clauses at all *)
+  let s = Solver.create () in
+  check "x and -x unsat" true
+    (Solver.solve ~assumptions:[ 2; -2 ] s = Solver.Unsat);
+  check "contradictory pair is the core" true
+    (List.sort compare (Solver.failed_assumptions s) = [ -2; 2 ]);
+  (* Sat and Unknown leave no core behind *)
+  let s = Solver.create () in
+  Solver.add_clause s [ 1; 2 ];
+  check "sat" true (Solver.solve ~assumptions:[ 1 ] s = Solver.Sat);
+  check_int "sat leaves no core" 0 (List.length (Solver.failed_assumptions s));
+  let s = Solver.create () in
+  List.iter (Solver.add_clause s) (pigeonhole_clauses 8);
+  let zero = { Solver.b_max_conflicts = Some 0; b_max_time_ms = None } in
+  check "unknown under zero budget" true
+    (Solver.solve ~assumptions:[ 1 ] ~budget:zero s = Solver.Unknown);
+  check_int "unknown leaves no core" 0
+    (List.length (Solver.failed_assumptions s))
+
+let test_failed_assumptions_random () =
+  (* On random CNF under random assumptions: a Sat model honours every
+     assumption; an Unsat core is a subset of the assumptions that is
+     jointly unsat with the clauses (checked by the DPLL reference); and
+     the solver stays usable afterwards, agreeing with the reference. *)
+  let rand = Random.State.make [| 91 |] in
+  for _ = 1 to 120 do
+    let nv = 4 + Random.State.int rand 5 in
+    let nc = 2 + Random.State.int rand (3 * nv) in
+    let clauses =
+      List.filter
+        (( <> ) [])
+        (List.init nc (fun _ ->
+             List.init
+               (1 + Random.State.int rand 3)
+               (fun _ ->
+                 let v = 1 + Random.State.int rand nv in
+                 if Random.State.bool rand then v else -v)))
+    in
+    let assumptions =
+      List.init
+        (1 + Random.State.int rand 3)
+        (fun _ ->
+          let v = 1 + Random.State.int rand nv in
+          if Random.State.bool rand then v else -v)
+    in
+    let s = Solver.create () in
+    List.iter (Solver.add_clause s) clauses;
+    (match Solver.solve ~assumptions s with
+    | Solver.Sat ->
+        check "model honours every assumption" true
+          (List.for_all
+             (fun a -> Solver.value s (abs a) = (a > 0))
+             assumptions)
+    | Solver.Unsat ->
+        let core = Solver.failed_assumptions s in
+        check "core subset of assumptions" true
+          (List.for_all (fun a -> List.mem a assumptions) core);
+        check "clauses + core jointly unsat (reference)" false
+          (Reference.satisfiable (clauses @ List.map (fun a -> [ a ]) core))
+    | Solver.Unknown -> Alcotest.fail "unbudgeted solve returned unknown");
+    check "solver reusable, agrees with reference" true
+      (Solver.solve s = Solver.Sat = Reference.satisfiable clauses)
+  done
+
+(* --- canonical lexicographic minimization ---------------------------------- *)
+
+let test_minimize_lex_canonical () =
+  (* the lexicographically-least model is a function of the constraints
+     only: clause order and prior solver history must not change it —
+     the property the incremental ASE path's byte-identity rests on *)
+  let clauses = [ [ 1; 2; 3 ]; [ -1; 4 ]; [ 2; 5 ]; [ -3; -5 ] ] in
+  let soft = [ 1; 2; 3; 4; 5 ] in
+  let run order history =
+    let s = Solver.create () in
+    List.iter (Solver.add_clause s) order;
+    if history then ignore (Solver.solve ~assumptions:[ 3 ] s);
+    check "sat" true (Solver.solve s = Solver.Sat);
+    Models.minimize_lex s ~soft
+  in
+  let reference = run clauses false in
+  check "clause order irrelevant" true
+    (run (List.rev clauses) false = reference);
+  check "solver history irrelevant" true (run clauses true = reference)
+
+let test_minimize_lex_is_lex_least () =
+  (* brute-force oracle: of all assignments to the soft variables, in
+     false<true lexicographic order, the first one consistent with the
+     clauses is exactly what minimize_lex must return *)
+  let rand = Random.State.make [| 77 |] in
+  for _ = 1 to 60 do
+    let nv = 4 + Random.State.int rand 3 in
+    let nc = 2 + Random.State.int rand (2 * nv) in
+    let clauses =
+      List.filter
+        (( <> ) [])
+        (List.init nc (fun _ ->
+             List.init
+               (1 + Random.State.int rand 3)
+               (fun _ ->
+                 let v = 1 + Random.State.int rand nv in
+                 if Random.State.bool rand then v else -v)))
+    in
+    let s = Solver.create () in
+    List.iter (Solver.add_clause s) clauses;
+    if Solver.solve s = Solver.Sat then begin
+      let soft = List.init nv (fun i -> i + 1) in
+      let got = Models.minimize_lex s ~soft in
+      (* enumerate assignments with soft var 1 as the most significant
+         bit, so ascending integers are ascending lex order *)
+      let expected = ref None in
+      (try
+         for a = 0 to (1 lsl nv) - 1 do
+           let units =
+             List.init nv (fun i ->
+                 let v = i + 1 in
+                 if a land (1 lsl (nv - 1 - i)) <> 0 then [ v ] else [ -v ])
+           in
+           if Reference.satisfiable (clauses @ units) then begin
+             expected :=
+               Some (List.filter_map (function [ v ] when v > 0 -> Some v | _ -> None) units);
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      match !expected with
+      | None -> Alcotest.fail "reference found no model of a sat instance"
+      | Some exp -> Alcotest.(check (list int)) "lex-least model" exp got
+    end
+  done
+
+let test_minimize_lex_extra () =
+  (* [extra] assumptions scope the minimization without joining the
+     formula: guarded and unguarded minimizations answer differently,
+     and the guarded pass leaves no residue *)
+  let s = Solver.create () in
+  Solver.add_clause s [ -10; 1 ]; (* guard 10 forces 1 *)
+  Solver.add_clause s [ 1; 2 ];
+  check "sat under guard" true (Solver.solve ~assumptions:[ 10 ] s = Solver.Sat);
+  let under = Models.minimize_lex ~extra:[ 10 ] s ~soft:[ 1; 2 ] in
+  Alcotest.(check (list int)) "guarded: 1 forced, 2 dropped" [ 1 ] under;
+  check "resat" true (Solver.solve s = Solver.Sat);
+  let free = Models.minimize_lex s ~soft:[ 1; 2 ] in
+  Alcotest.(check (list int)) "unguarded: prefers -1, keeps 2" [ 2 ] free
+
 let test_dimacs_roundtrip () =
   let p = Dimacs.{ n_vars = 4; clauses = [ [ 1; -2 ]; [ 3; 4 ]; [ -1 ] ] } in
   let p' = Dimacs.parse_string (Dimacs.to_string p) in
@@ -466,6 +652,18 @@ let tests =
       test_budget_conflicts_unknown;
     Alcotest.test_case "budget exhausted on entry" `Quick
       test_budget_exhausted_on_entry;
+    Alcotest.test_case "failed assumptions basics" `Quick
+      test_failed_assumptions_basic;
+    Alcotest.test_case "failed assumptions edge cases" `Quick
+      test_failed_assumptions_edge_cases;
+    Alcotest.test_case "failed assumptions random vs reference" `Slow
+      test_failed_assumptions_random;
+    Alcotest.test_case "minimize_lex canonical" `Quick
+      test_minimize_lex_canonical;
+    Alcotest.test_case "minimize_lex lexicographically least" `Slow
+      test_minimize_lex_is_lex_least;
+    Alcotest.test_case "minimize_lex extra assumptions" `Quick
+      test_minimize_lex_extra;
     Alcotest.test_case "minimize budget fallback" `Quick
       test_minimize_budget_fallback;
     Alcotest.test_case "dimacs round trip" `Quick test_dimacs_roundtrip;
