@@ -14,6 +14,8 @@
      scenario          §V/§VI    the running example's exploit + policy
      parallel          ASE at -j 1/2/4 over Table I (BENCH_parallel.json)
      incremental       shared-base vs from-scratch ASE (BENCH_incremental.json)
+     cache             persistent cross-run cache: cold vs warm vs one-app-changed
+                       (BENCH_cache.json)
      ablation-minimal  minimal vs arbitrary scenarios
      ablation-context  k = 1 vs k = 0 context sensitivity
      ablation-pruning  entry-point reachability pruning on vs off
@@ -1208,6 +1210,209 @@ let run_incremental_smoke () =
       List.iter (fun f -> Printf.printf "incremental smoke FAILURE: %s\n" f) fs;
       exit 1
 
+(* --- persistent cache (BENCH_cache.json) ----------------------------------- *)
+
+(* A probe app whose two variants differ only in one sensitive
+   source-to-sink path inside its (filterless) service — the "one app
+   changed" edit of the cross-run scenario.  The edit is invisible to
+   path-blind signatures (intent_hijack keeps its cached verdict) but
+   must invalidate every path-sensitive one. *)
+let cache_probe_app ~extra_path () =
+  let module B = Builder in
+  let body =
+    B.meth ~name:"onStartCommand" ~params:1 (fun b ->
+        if extra_path then
+          let v = B.get_location b in
+          B.write_log b ~payload:v)
+  in
+  Apk.make
+    ~manifest:
+      (Manifest.make ~package:"com.cache.probe"
+         ~uses_permissions:[ Permission.access_fine_location ]
+         ~components:[ Component.make ~name:"Probe" ~kind:Component.Service () ]
+         ())
+    ~classes:[ B.cls ~name:"Probe" [ body ] ]
+
+type cache_bench = {
+  cb_warm_identical : bool;
+  cb_changed_identical : bool;
+  cb_warm_extractions : int;
+  cb_warm_solves : int;
+  cb_warm_hits : int;
+  cb_changed_extractions : int;
+  cb_changed_hits : int;
+  cb_changed_misses : int;
+  cb_cold_ms : float;
+  cb_warm_ms : float;
+  cb_changed_ms : float;
+}
+
+(* The Table I workload (each bundle augmented with the probe app)
+   analyzed three times through one on-disk cache: cold (empty cache),
+   warm (nothing changed), and with the probe's path edited (one app
+   changed).  A from-scratch pass over the edited workload is the
+   correctness reference.  Measurements -> BENCH_cache.json. *)
+let run_cache_bench ~mode () =
+  header "Persistent cache: cold vs warm vs one-app-changed (Table I workload)";
+  let cases =
+    let all = Separ_suites.Table1.all_cases () in
+    if mode = "smoke" then List.filteri (fun i _ -> i < 6) all else all
+  in
+  let workload ~extra_path =
+    List.map
+      (fun (c : Separ_suites.Case.t) ->
+        c.Separ_suites.Case.apks @ [ cache_probe_app ~extra_path () ])
+      cases
+  in
+  let dir = Filename.temp_file "separ_cache_bench" "" in
+  Sys.remove dir;
+  Metrics.enable ();
+  (* One pass over every bundle through one cache handle: the stripped
+     reports, the wall time, and what actually ran. *)
+  let pass ?cache apk_lists =
+    Metrics.reset ();
+    let reports, wall_ms =
+      Trace.timed "bench.cache_pass" (fun () ->
+          List.map
+            (fun apks ->
+              let bundle =
+                Bundle.of_models
+                  (List.map (Extract.extract_cached ?cache) apks)
+              in
+              Ase.analyze ?cache bundle)
+            apk_lists)
+    in
+    let count name = Metrics.counter_value (Metrics.counter name) in
+    ( List.map stripped_report_string reports,
+      wall_ms,
+      count "ame.apps_extracted",
+      count "sat.solves" )
+  in
+  let stat cache name =
+    match List.assoc_opt name (Cache.stats cache) with Some n -> n | None -> 0
+  in
+  let cold_cache = Cache.open_ ~dir () in
+  let cold_reports, cold_ms, cold_extracted, cold_solves =
+    pass ~cache:cold_cache (workload ~extra_path:false)
+  in
+  let warm_cache = Cache.open_ ~dir () in
+  let warm_reports, warm_ms, warm_extracted, warm_solves =
+    pass ~cache:warm_cache (workload ~extra_path:false)
+  in
+  let changed_cache = Cache.open_ ~dir () in
+  let changed_reports, changed_ms, changed_extracted, changed_solves =
+    pass ~cache:changed_cache (workload ~extra_path:true)
+  in
+  (* reference: the edited workload from scratch, no cache *)
+  let scratch_reports, _, _, _ = pass (workload ~extra_path:true) in
+  let result =
+    {
+      cb_warm_identical = cold_reports = warm_reports;
+      cb_changed_identical = changed_reports = scratch_reports;
+      cb_warm_extractions = warm_extracted;
+      cb_warm_solves = warm_solves;
+      cb_warm_hits = stat warm_cache "ase.hits";
+      cb_changed_extractions = changed_extracted;
+      cb_changed_hits = stat changed_cache "ase.hits";
+      cb_changed_misses = stat changed_cache "ase.misses";
+      cb_cold_ms = cold_ms;
+      cb_warm_ms = warm_ms;
+      cb_changed_ms = changed_ms;
+    }
+  in
+  let phase_json ms extracted solves cache =
+    Json.Obj
+      ([
+         ("wall_ms", Json.Float ms);
+         ("ame_extractions", Json.Int extracted);
+         ("sat_solves", Json.Int solves);
+       ]
+      @ List.map (fun (k, v) -> ("cache." ^ k, Json.Int v)) (Cache.stats cache))
+  in
+  let speedup over = if over > 0.0 then cold_ms /. over else 0.0 in
+  let json =
+    Json.Obj
+      [
+        ("mode", Json.Str mode);
+        ("cases", Json.Int (List.length cases));
+        ("signatures", Json.Int (List.length (Signatures.all ())));
+        ("cold", phase_json cold_ms cold_extracted cold_solves cold_cache);
+        ("warm", phase_json warm_ms warm_extracted warm_solves warm_cache);
+        ( "one_app_changed",
+          phase_json changed_ms changed_extracted changed_solves changed_cache
+        );
+        ("warm_identical_stripped_reports", Json.Bool result.cb_warm_identical);
+        ( "changed_identical_stripped_reports",
+          Json.Bool result.cb_changed_identical );
+        ("warm_speedup", Json.Float (speedup warm_ms));
+        ("changed_speedup", Json.Float (speedup changed_ms));
+      ]
+  in
+  let oc = open_out "BENCH_cache.json" in
+  output_string oc (Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf
+    "cold:    %7.1f ms  (%d extractions, %d solves)\n\
+     warm:    %7.1f ms  (%d extractions, %d solves, %.1fx)\n\
+     changed: %7.1f ms  (%d extractions, %d solves, %.1fx)\n"
+    cold_ms cold_extracted cold_solves warm_ms warm_extracted warm_solves
+    (speedup warm_ms) changed_ms changed_extracted changed_solves
+    (speedup changed_ms);
+  Printf.printf
+    "changed run: %d ASE verdicts from cache, %d re-solved\n"
+    result.cb_changed_hits result.cb_changed_misses;
+  Printf.printf
+    "stripped reports identical (warm %b, changed %b) -> BENCH_cache.json\n%!"
+    result.cb_warm_identical result.cb_changed_identical;
+  result
+
+(* Tier-1 gate for `dune runtest`: a warm re-run must do zero AME
+   extractions and zero SAT solves yet reproduce the cold stripped
+   reports byte-for-byte; editing one app must re-extract exactly that
+   app and re-solve only the signatures whose delta footprint sees the
+   edit (some hits AND some misses), again with a byte-identical
+   from-scratch reference. *)
+let run_cache_smoke () =
+  header "Cache smoke: warm identity + one-app-changed selectivity (tier-1 gate)";
+  let failures = ref [] in
+  let expect cond msg = if not cond then failures := msg :: !failures in
+  let r = run_cache_bench ~mode:"smoke" () in
+  expect r.cb_warm_identical "warm stripped reports differ from cold";
+  expect
+    (r.cb_warm_extractions = 0)
+    (Printf.sprintf "warm run extracted %d apps (expected 0)"
+       r.cb_warm_extractions);
+  expect
+    (r.cb_warm_solves = 0)
+    (Printf.sprintf "warm run ran %d SAT solves (expected 0)" r.cb_warm_solves);
+  expect (r.cb_warm_hits > 0) "warm run recorded no ASE cache hits";
+  expect
+    (r.cb_changed_extractions = 1)
+    (Printf.sprintf "one-app-changed run extracted %d apps (expected 1)"
+       r.cb_changed_extractions);
+  expect
+    (r.cb_changed_hits > 0)
+    "one-app-changed run kept no cached verdicts (expected path-blind hits)";
+  expect
+    (r.cb_changed_misses > 0)
+    "one-app-changed run re-solved nothing (expected path-sensitive misses)";
+  expect r.cb_changed_identical
+    "one-app-changed stripped reports differ from the from-scratch reference";
+  expect
+    (r.cb_warm_ms < r.cb_cold_ms)
+    (Printf.sprintf "warm run not faster than cold (%.1f >= %.1f ms)"
+       r.cb_warm_ms r.cb_cold_ms);
+  expect
+    (r.cb_changed_ms < r.cb_cold_ms)
+    (Printf.sprintf "one-app-changed run not faster than cold (%.1f >= %.1f ms)"
+       r.cb_changed_ms r.cb_cold_ms);
+  match !failures with
+  | [] -> Printf.printf "cache smoke: all gates passed\n%!"
+  | fs ->
+      List.iter (fun f -> Printf.printf "cache smoke FAILURE: %s\n" f) fs;
+      exit 1
+
 (* --- Bechamel kernels ---------------------------------------------------------- *)
 
 let run_kernels () =
@@ -1293,10 +1498,12 @@ let () =
   if has "--telemetry-smoke" then run_telemetry_smoke ();
   if has "--parallel-smoke" then run_parallel_smoke ();
   if has "--incremental-smoke" then run_incremental_smoke ();
+  if has "--cache-smoke" then run_cache_smoke ();
   if all || has "table1" then run_table1 ();
   if all || has "parallel" then ignore (run_parallel_bench ~mode:"full" ());
   if all || has "incremental" then
     ignore (run_incremental_bench ~mode:"full" ());
+  if all || has "cache" then ignore (run_cache_bench ~mode:"full" ());
   if all || has "flowbench" then run_flowbench ();
   if all || has "scenario" then run_scenario ();
   if all || has "fig5" then run_fig5 ~apps:(opt "--apps" 4000) ();

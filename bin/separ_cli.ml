@@ -20,6 +20,30 @@ module Metrics = Separ_obs.Metrics
 
 let load_apks paths = List.map Separ_dalvik.Apk_text.load paths
 
+(* Validating argument converters: [-j 0] or a negative solve budget
+   used to be accepted silently and produce undefined downstream
+   behaviour; now they fail at parse time with a clear message. *)
+let int_at_least ~min ~what =
+  let parse s =
+    match Arg.conv_parser Arg.int s with
+    | Ok n when n >= min -> Ok n
+    | Ok n ->
+        Error
+          (`Msg (Printf.sprintf "%s must be >= %d (got %d)" what min n))
+    | Error _ as e -> e
+  in
+  Arg.conv ~docv:"N" (parse, Arg.conv_printer Arg.int)
+
+let nonneg_float ~what =
+  let parse s =
+    match Arg.conv_parser Arg.float s with
+    | Ok f when f >= 0.0 -> Ok f
+    | Ok f ->
+        Error (`Msg (Printf.sprintf "%s must be >= 0 (got %g)" what f))
+    | Error _ as e -> e
+  in
+  Arg.conv ~docv:"MS" (parse, Arg.conv_printer Arg.float)
+
 (* Shared [--trace FILE] / [--metrics] flags.  Either one switches the
    telemetry layer on (spans are what give [--metrics] its per-phase
    durations); with both off the instrumented hot paths cost one branch
@@ -81,33 +105,72 @@ let analyze_cmd =
   in
   let jobs =
     Arg.(
-      value & opt int 1
+      value
+      & opt (int_at_least ~min:1 ~what:"--jobs") 1
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:
-            "Analyze signatures in $(docv) parallel worker processes. \
-             Results are merged in signature order, so output is identical \
-             across $(docv); a crashed worker degrades its signature \
-             instead of failing the run.")
+            "Analyze signatures in $(docv) parallel worker processes \
+             ($(docv) >= 1). Results are merged in signature order, so \
+             output is identical across $(docv); a crashed worker degrades \
+             its signature instead of failing the run.")
   in
   let budget_conflicts =
     Arg.(
       value
-      & opt (some int) None
+      & opt (some (int_at_least ~min:0 ~what:"--solve-budget-conflicts")) None
       & info [ "solve-budget-conflicts" ] ~docv:"N"
           ~doc:
-            "Cap each signature's solver session at $(docv) conflicts; on \
-             exhaustion the signature is reported as degraded \
-             (budget_exhausted) with the scenarios found so far.")
+            "Cap each signature's solver session at $(docv) conflicts \
+             ($(docv) >= 0); on exhaustion the signature is reported as \
+             degraded (budget_exhausted) with the scenarios found so far.")
   in
   let budget_time =
     Arg.(
       value
-      & opt (some float) None
+      & opt (some (nonneg_float ~what:"--time-budget-ms")) None
       & info [ "time-budget-ms" ] ~docv:"MS"
           ~doc:
             "Cap each signature's solver session at $(docv) milliseconds of \
-             wall-clock time; on exhaustion the signature is reported as \
-             degraded (budget_exhausted).")
+             wall-clock time ($(docv) >= 0); on exhaustion the signature is \
+             reported as degraded (budget_exhausted).")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~env:(Cmd.Env.info "SEPAR_CACHE_DIR")
+          ~doc:
+            "Persist analysis results under $(docv): per-app extraction \
+             models and per-signature verdicts are stored content-addressed, \
+             so re-analyzing an unchanged bundle re-runs no extraction and \
+             no solving, and a one-app change re-analyzes only what the \
+             change touches.  Corrupt entries degrade to recomputation.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Ignore $(b,--cache) (and $(b,SEPAR_CACHE_DIR)): run fully cold \
+             without reading or writing the store.")
+  in
+  let cache_max_mb =
+    Arg.(
+      value
+      & opt (some (int_at_least ~min:1 ~what:"--cache-max-mb")) None
+      & info [ "cache-max-mb" ] ~docv:"MB"
+          ~doc:
+            "Cap the cache directory at $(docv) MiB; least-recently-used \
+             entries are evicted after each write.")
+  in
+  let cache_stats =
+    Arg.(
+      value & flag
+      & info [ "cache-stats" ]
+          ~doc:
+            "Print persistent-cache counters (per-tier hits/misses, stores, \
+             evictions, corrupt entries) to stderr.")
   in
   let incremental =
     Arg.(
@@ -145,8 +208,8 @@ let analyze_cmd =
                 counters (translate-cache and hash-cons hits, reused \
                 clauses, per-signature deltas) to stderr")
   in
-  let run paths out limit jobs budget_conflicts budget_time incremental format
-      stats trace metrics =
+  let run paths out limit jobs budget_conflicts budget_time cache_dir no_cache
+      cache_max_mb cache_stats incremental format stats trace metrics =
     telemetry_setup ~trace ~metrics;
     let budget =
       match (budget_conflicts, budget_time) with
@@ -158,10 +221,29 @@ let analyze_cmd =
               b_max_time_ms = budget_time;
             }
     in
+    let cache =
+      match cache_dir with
+      | Some dir when not no_cache ->
+          Some
+            (Separ.Cache.open_ ~dir
+               ?max_bytes:
+                 (Option.map (fun mb -> mb * 1024 * 1024) cache_max_mb)
+               ())
+      | _ -> None
+    in
     let apks = load_apks paths in
     let analysis =
-      Separ.analyze ~limit_per_sig:limit ~jobs ?budget ~incremental apks
+      Separ.analyze ~limit_per_sig:limit ~jobs ?budget ~incremental ?cache apks
     in
+    if cache_stats then begin
+      match cache with
+      | None -> Fmt.epr "cache: disabled@."
+      | Some store ->
+          Fmt.epr "cache (%s): %a@." (Separ.Cache.dir store)
+            Fmt.(
+              list ~sep:(any " ") (fun ppf (k, v) -> pf ppf "%s=%d" k v))
+            (Separ.Cache.stats store)
+    end;
     (match format with
     | `Text ->
         Fmt.pr "%a@." Separ.pp_analysis analysis;
@@ -224,7 +306,8 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Analyze a bundle and synthesize policies")
     Term.(
       const run $ paths $ out $ limit $ jobs $ budget_conflicts $ budget_time
-      $ incremental $ format $ stats $ trace_arg $ metrics_arg)
+      $ cache_dir $ no_cache $ cache_max_mb $ cache_stats $ incremental
+      $ format $ stats $ trace_arg $ metrics_arg)
 
 let extract_cmd =
   let path =

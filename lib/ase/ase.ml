@@ -91,6 +91,9 @@ type report = {
   (* CDCL counters aggregated over all signatures' solver sessions *)
   r_incremental : bool; (* whether the shared-solver path was used *)
   r_sig_deltas : sig_delta list; (* per signature, in signature order *)
+  r_cache : (string * int) list;
+  (* persistent-cache counters (hits/misses per tier, stores, evictions,
+     corrupt), sorted by name; [] when no cache was used *)
 }
 
 (* The device components implicated in a scenario: component witnesses,
@@ -215,6 +218,11 @@ let run_shard ?(limit = Solve.default_enum_limit) ?budget bundle
   let bases : (Encode.config, Encode.env * Solve.base) Hashtbl.t =
     Hashtbl.create 4
   in
+  (* Config creation order: totals below fold over this list, not over
+     [Hashtbl.iter], whose order is unspecified — summing floats in
+     hash order would make shard timings (and anything derived from
+     them) differ run to run. *)
+  let base_order : (Encode.env * Solve.base) list ref = ref [] in
   let get_base config =
     match Hashtbl.find_opt bases config with
     | Some eb -> eb
@@ -229,6 +237,7 @@ let run_shard ?(limit = Solve.default_enum_limit) ?budget bundle
               { bounds = env.Encode.bounds; constraints = env.Encode.facts }
         in
         Hashtbl.add bases config (env, base);
+        base_order := !base_order @ [ (env, base) ];
         (env, base)
   in
   let items =
@@ -260,23 +269,23 @@ let run_shard ?(limit = Solve.default_enum_limit) ?budget bundle
                  activation literal permanently satisfies whatever this
                  signature managed to assert, so the shard's remaining
                  signatures see an intact base. *)
-              Hashtbl.iter
-                (fun _ (_, b) ->
+              List.iter
+                (fun (_, b) ->
                   Separ_sat.Solver.retire_activation (Solve.base_solver b))
-                bases;
+                !base_order;
               Crashed (Printexc.to_string e)))
       sigs
   in
   let sh_vars = ref 0 and sh_clauses = ref 0 and sh_base_ms = ref 0.0 in
   let sh_solver = ref Separ_sat.Solver.empty_stats in
-  Hashtbl.iter
-    (fun _ (_, b) ->
+  List.iter
+    (fun (_, b) ->
       let s = Solve.base_solver b in
       sh_vars := !sh_vars + Separ_sat.Solver.n_vars s;
       sh_clauses := !sh_clauses + Separ_sat.Solver.n_clauses s;
       sh_solver := Separ_sat.Solver.sum_stats !sh_solver (Solve.base_stats b);
       sh_base_ms := !sh_base_ms +. Solve.base_translation_ms b)
-    bases;
+    !base_order;
   {
     sh_items = items;
     sh_vars = !sh_vars;
@@ -308,6 +317,84 @@ let partition_contiguous k xs =
   in
   go 0 xs []
 
+(* --- persistent verdict cache -------------------------------------------- *)
+
+module Store = Separ_cache.Store
+
+(* Bump when the cached-verdict layout or the enumeration semantics
+   change; old entries then key under a stale version and miss. *)
+let ase_cache_version = "ase-v1"
+let ase_cache_tier = "ase"
+
+(* What a cache hit restores: the signature's scenarios and whether the
+   enumeration was cut off at the limit.  Only [Complete] outcomes are
+   ever stored — a budget-exhausted run depends on solver state and
+   wall-clock, so replaying it from cache would not be deterministic. *)
+type cached_verdict = {
+  cv_scenarios : Scenario.t list;
+  cv_truncated : bool;
+}
+
+let zero_solve_stats =
+  Solve.
+    {
+      translation_ms = 0.0;
+      solving_ms = 0.0;
+      n_vars = 0;
+      n_clauses = 0;
+      n_gates = 0;
+      delta_vars = 0;
+      delta_clauses = 0;
+      delta_gates = 0;
+      cache_hits = 0;
+      cache_misses = 0;
+      hc_hits = 0;
+      hc_misses = 0;
+      reused_clauses = 0;
+      reused_learnts = 0;
+      solver = Separ_sat.Solver.empty_stats;
+    }
+
+(* The per-(bundle, signature) cache key: the encoded problem projected
+   onto the signature's relation support ({!Encode.problem_fingerprint}),
+   plus everything else that can change the verdict — encode + verdict
+   versions, encoding config, signature name, enumeration limit.  The
+   bundle is expected to have passive targets already resolved. *)
+let fingerprint_on ~limit base_env (sig_ : Signatures.t) =
+  let env = Encode.encode_signature base_env sig_.Signatures.witnesses in
+  let constraints = env.Encode.facts @ [ sig_.Signatures.formula env ] in
+  Printf.sprintf "%s;%s;limit=%d;sig=%s;%s" ase_cache_version
+    (Encode.config_fingerprint sig_.Signatures.config)
+    limit sig_.Signatures.name
+    (Encode.problem_fingerprint env constraints)
+
+(* One fingerprint per signature, sharing one bundle encoding per
+   distinct config (fingerprinting costs encode time, never solve
+   time). *)
+let fingerprints ~limit bundle (signatures : Signatures.t list) =
+  let envs : (Encode.config, Encode.env) Hashtbl.t = Hashtbl.create 4 in
+  let base_env config =
+    match Hashtbl.find_opt envs config with
+    | Some env -> env
+    | None ->
+        let env = Encode.encode_bundle ~config bundle in
+        Hashtbl.add envs config env;
+        env
+  in
+  List.map
+    (fun (sig_ : Signatures.t) ->
+      fingerprint_on ~limit (base_env sig_.Signatures.config) sig_)
+    signatures
+
+(* Standalone key computation, mirroring what [analyze ?cache] uses
+   (passive targets resolved first) — for tests and tooling that reason
+   about invalidation. *)
+let signature_fingerprint ?(limit = Solve.default_enum_limit) bundle sig_ =
+  let bundle = Bundle.update_passive_targets bundle in
+  match fingerprints ~limit bundle [ sig_ ] with
+  | [ fp ] -> fp
+  | _ -> assert false
+
 let delta_of name (st : Solve.stats) =
   {
     sd_kind = name;
@@ -326,15 +413,43 @@ let delta_of name (st : Solve.stats) =
 
 let analyze ?(signatures = Signatures.all ())
     ?(limit_per_sig = Solve.default_enum_limit) ?(jobs = 1) ?budget
-    ?(incremental = true) (bundle : Bundle.t) : report =
+    ?(incremental = true) ?cache (bundle : Bundle.t) : report =
   Trace.with_span "ase.analyze"
     ~attrs:
-      [ Trace.attr_int "jobs" jobs; Trace.attr_bool "incremental" incremental ]
+      [
+        Trace.attr_int "jobs" jobs;
+        Trace.attr_bool "incremental" incremental;
+        Trace.attr_bool "cache" (Option.is_some cache);
+      ]
     (fun () ->
   (* Resolve passive-intent targets across the bundle first (Algorithm 1). *)
   let bundle =
     Trace.with_span "ase.resolve_targets" (fun () ->
         Bundle.update_passive_targets bundle)
+  in
+  (* Persistent-cache pre-pass: fingerprint every signature's encoded
+     problem (encode work only — no solving), look each up, and keep
+     only the misses for the solving pipeline below.  Hits replay the
+     stored scenarios with zeroed per-signature stats. *)
+  let fps =
+    match cache with
+    | None -> None
+    | Some _ ->
+        Some
+          (Trace.with_span "ase.cache_fingerprint" (fun () ->
+               fingerprints ~limit:limit_per_sig bundle signatures))
+  in
+  let cached : cached_verdict option list =
+    match (cache, fps) with
+    | Some store, Some fps ->
+        List.map (fun fp -> Store.find store ~tier:ase_cache_tier ~key:fp) fps
+    | _ -> List.map (fun _ -> None) signatures
+  in
+  let to_run =
+    List.concat
+      (List.map2
+         (fun sig_ c -> match c with None -> [ sig_ ] | Some _ -> [])
+         signatures cached)
   in
   (* Two dispatch shapes, one merge.  Incremental: one pool task per
      contiguous shard of signatures, sharing per-config solvers within
@@ -345,9 +460,9 @@ let analyze ?(signatures = Signatures.all ())
      paths, because minimization is canonical.  [shared_totals] carries
      solver-level aggregates the incremental path must take from the
      shards (per-signature sums would double-count the shared base). *)
-  let items, shared_totals =
+  let computed_items, shared_totals =
     if incremental then begin
-      let shards = partition_contiguous jobs signatures in
+      let shards = partition_contiguous jobs to_run in
       let shard_results =
         Pool.run ~jobs
           (List.map
@@ -385,7 +500,7 @@ let analyze ?(signatures = Signatures.all ())
           (List.map
              (fun sig_ () ->
                run_signature ~limit:limit_per_sig ?budget bundle sig_)
-             signatures)
+             to_run)
       in
       ( List.map
           (function
@@ -393,6 +508,50 @@ let analyze ?(signatures = Signatures.all ())
             | Pool.Done sr -> Computed sr)
           results,
         None )
+  in
+  (* Store the freshly computed verdicts (complete outcomes only — a
+     budget-exhausted or crashed signature must be re-attempted next
+     run), then splice hits and computed results back into signature
+     order. *)
+  (match (cache, fps) with
+  | Some store, Some fps ->
+      let miss_fps =
+        List.concat
+          (List.map2
+             (fun fp c -> match c with None -> [ fp ] | Some _ -> [])
+             fps cached)
+      in
+      List.iter2
+        (fun fp item ->
+          match item with
+          | Computed sr when sr.sr_outcome = Complete ->
+              Store.store store ~tier:ase_cache_tier ~key:fp
+                {
+                  cv_scenarios = sr.sr_scenarios;
+                  cv_truncated = sr.sr_truncated;
+                }
+          | Computed _ | Crashed _ -> ())
+        miss_fps computed_items
+  | _ -> ());
+  let items =
+    let rec merge cached computed =
+      match cached with
+      | [] -> []
+      | Some cv :: rest ->
+          Computed
+            {
+              sr_scenarios = cv.cv_scenarios;
+              sr_truncated = cv.cv_truncated;
+              sr_outcome = Complete;
+              sr_stats = zero_solve_stats;
+            }
+          :: merge rest computed
+      | None :: rest -> (
+          match computed with
+          | item :: more -> item :: merge rest more
+          | [] -> assert false)
+    in
+    merge cached computed_items
   in
   let construction = ref 0.0 and solving = ref 0.0 in
   let vars = ref 0 and clauses = ref 0 in
@@ -461,6 +620,7 @@ let analyze ?(signatures = Signatures.all ())
     r_solver;
     r_incremental = incremental;
     r_sig_deltas = List.rev !deltas;
+    r_cache = (match cache with Some s -> Store.stats s | None -> []);
   })
 
 (* Forget everything about *how* the analysis ran, keeping only what it
@@ -478,6 +638,7 @@ let strip_performance r =
     r_solver = Separ_sat.Solver.empty_stats;
     r_incremental = false;
     r_sig_deltas = [];
+    r_cache = [];
   }
 
 (* Apps having at least one vulnerability of the given kind. *)

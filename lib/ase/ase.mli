@@ -74,6 +74,10 @@ type report = {
           per-signature sums (which would double-count the base). *)
   r_incremental : bool;  (** whether the shared-solver path was used *)
   r_sig_deltas : sig_delta list;  (** per signature, in signature order *)
+  r_cache : (string * int) list;
+      (** persistent-cache counters (per-tier hits/misses, stores,
+          evictions, corrupt entries), sorted by name; [[]] when no
+          cache was used *)
 }
 
 (** The device components implicated in a scenario. *)
@@ -110,8 +114,21 @@ val analyze :
   ?jobs:int ->
   ?budget:Separ_sat.Solver.budget ->
   ?incremental:bool ->
+  ?cache:Separ_cache.Store.t ->
   Bundle.t ->
   report
+
+(** The ASE tier name in a {!Separ_cache.Store.t} ("ase"). *)
+val ase_cache_tier : string
+
+(** The persistent-cache key [analyze ?cache] uses for one signature
+    over one bundle: a digest of the encoded problem projected onto the
+    signature's relation support, plus the encode/verdict versions,
+    encoding config, signature name and enumeration [limit].  Two
+    bundles that agree on the signature's support relations share the
+    key — so a change touching only relations a signature never reads
+    leaves its verdict cached. *)
+val signature_fingerprint : ?limit:int -> Bundle.t -> Signatures.t -> string
 
 (** Zero out every field describing {e how} the analysis ran (timings,
     solver sizes and counters, per-signature deltas, the incremental

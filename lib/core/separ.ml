@@ -43,6 +43,9 @@ module Scenario = Separ_specs.Scenario
 module Signatures = Separ_specs.Signatures
 module Ase = Separ_ase.Ase
 
+(* Persistent analysis cache *)
+module Cache = Separ_cache.Store
+
 (* Policies and enforcement *)
 module Policy = Separ_policy.Policy
 module Derive = Separ_policy.Derive
@@ -60,11 +63,12 @@ type analysis = {
   policies : Policy.t list;
 }
 
-let analyze_models ?signatures ?jobs ?budget ?incremental ~limit_per_sig
-    models : analysis =
+let analyze_models ?signatures ?jobs ?budget ?incremental ?cache
+    ~limit_per_sig models : analysis =
   let bundle = Bundle.of_models models in
   let report =
-    Ase.analyze ?signatures ~limit_per_sig ?jobs ?budget ?incremental bundle
+    Ase.analyze ?signatures ~limit_per_sig ?jobs ?budget ?incremental ?cache
+      bundle
   in
   let scenarios =
     List.map (fun v -> v.Ase.v_scenario) report.Ase.r_vulnerabilities
@@ -78,12 +82,15 @@ let analyze_models ?signatures ?jobs ?budget ?incremental ~limit_per_sig
    [jobs] widens ASE's worker pool; [budget] bounds each signature's
    solver session (exhausted signatures degrade, see Ase.degraded);
    [incremental] (default true) shares the bundle encoding and solver
-   state across signatures (see Ase.analyze). *)
+   state across signatures (see Ase.analyze); [cache] makes both AME
+   extraction and ASE verdicts read-through a persistent store, so
+   re-analyzing an unchanged (or barely changed) bundle skips the
+   corresponding extraction and solving. *)
 let analyze ?(k1 = true) ?signatures
     ?(limit_per_sig = Separ_relog.Solve.default_enum_limit) ?jobs ?budget
-    ?incremental (apks : Apk.t list) : analysis =
-  analyze_models ?signatures ?jobs ?budget ?incremental ~limit_per_sig
-    (List.map (Extract.extract ~k1) apks)
+    ?incremental ?cache (apks : Apk.t list) : analysis =
+  analyze_models ?signatures ?jobs ?budget ?incremental ?cache ~limit_per_sig
+    (List.map (Extract.extract_cached ?cache ~k1) apks)
 
 (* Incremental re-analysis, the paper's Marshmallow scenario: when apps
    change (an update, or the user revoking a permission), only the
@@ -91,15 +98,16 @@ let analyze ?(k1 = true) ?signatures
    only the synthesis step re-runs over the updated bundle. *)
 let reanalyze ?(k1 = true) ?signatures
     ?(limit_per_sig = Separ_relog.Solve.default_enum_limit) ?jobs ?budget
-    ?incremental (previous : analysis) ~(changed : Apk.t list) : analysis =
+    ?incremental ?cache (previous : analysis) ~(changed : Apk.t list) :
+    analysis =
   let changed_pkgs = List.map Apk.package changed in
   let kept =
     List.filter
       (fun m -> not (List.mem m.App_model.am_package changed_pkgs))
       (Bundle.apps previous.bundle)
   in
-  analyze_models ?signatures ?jobs ?budget ?incremental ~limit_per_sig
-    (kept @ List.map (Extract.extract ~k1) changed)
+  analyze_models ?signatures ?jobs ?budget ?incremental ?cache ~limit_per_sig
+    (kept @ List.map (Extract.extract_cached ?cache ~k1) changed)
 
 let vulnerabilities analysis = analysis.report.Ase.r_vulnerabilities
 let policies analysis = analysis.policies

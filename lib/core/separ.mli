@@ -38,6 +38,10 @@ module Scenario = Separ_specs.Scenario
 module Signatures = Separ_specs.Signatures
 module Ase = Separ_ase.Ase
 
+(** {1 Persistent analysis cache} *)
+
+module Cache = Separ_cache.Store
+
 (** {1 Policies and enforcement} *)
 
 module Policy = Separ_policy.Policy
@@ -71,7 +75,10 @@ type analysis = {
     to {!Ase.degraded} entries in the report instead of failing the
     analysis; [incremental] (default [true]) shares the bundle encoding
     and solver state across signatures (see {!Ase.analyze}) — results
-    are identical either way, only the cost differs. *)
+    are identical either way, only the cost differs; [cache] makes AME
+    extraction and ASE verdicts read-through a persistent
+    {!Cache.t}, so re-analyzing an unchanged (or barely changed)
+    bundle skips the corresponding extraction and solving. *)
 val analyze :
   ?k1:bool ->
   ?signatures:Signatures.t list ->
@@ -79,6 +86,7 @@ val analyze :
   ?jobs:int ->
   ?budget:Separ_sat.Solver.budget ->
   ?incremental:bool ->
+  ?cache:Cache.t ->
   Apk.t list ->
   analysis
 
@@ -92,6 +100,7 @@ val reanalyze :
   ?jobs:int ->
   ?budget:Separ_sat.Solver.budget ->
   ?incremental:bool ->
+  ?cache:Cache.t ->
   analysis ->
   changed:Apk.t list ->
   analysis

@@ -28,6 +28,26 @@ type 'r result = Done of 'r | Failed of string
 type 'r payload =
   ('r, string) Stdlib.result * Trace.span list * Metrics.snapshot
 
+(* Wire protocol tag, written by the child ahead of the marshalled
+   payload and checked by the parent before unmarshalling.  Marshal
+   itself carries no protocol identity: feeding it bytes produced by a
+   stale or mismatched worker binary deserializes garbage (or worse) —
+   with the tag, the mismatch surfaces as an honest [Failed].  Bump the
+   version whenever the payload layout changes. *)
+let protocol_tag = "SEPARP1\n"
+
+(* Validate a raw worker payload's leading tag; [Ok offset] is where the
+   marshalled bytes start, [Error] the [Failed] message to report. *)
+let check_protocol raw =
+  let tag_len = String.length protocol_tag in
+  if String.length raw < tag_len then Error "worker sent truncated payload"
+  else if String.sub raw 0 tag_len <> protocol_tag then
+    Error
+      (Printf.sprintf "worker protocol mismatch (expected %S, got %S)"
+         (String.trim protocol_tag)
+         (String.trim (String.sub raw 0 tag_len)))
+  else Ok tag_len
+
 let run_task task =
   match task () with
   | v -> Ok v
@@ -52,6 +72,7 @@ let child_main task w =
   let status =
     match
       let oc = Unix.out_channel_of_descr w in
+      output_string oc protocol_tag;
       Marshal.to_channel oc payload [];
       flush oc
     with
@@ -121,17 +142,19 @@ let run_forked ~jobs tasks =
     let status = waitpid_retry wk.wk_pid in
     (match status with
     | Unix.WEXITED 0 -> (
-        match
-          (Marshal.from_string (Buffer.contents wk.wk_buf) 0 : _ payload)
-        with
-        | Ok v, spans, msnap ->
-            results.(wk.wk_index) <- Done v;
-            telemetry.(wk.wk_index) <- Some (wk.wk_pid, spans, msnap)
-        | Error msg, spans, msnap ->
-            results.(wk.wk_index) <- Failed msg;
-            telemetry.(wk.wk_index) <- Some (wk.wk_pid, spans, msnap)
-        | exception _ ->
-            results.(wk.wk_index) <- Failed "worker sent corrupt payload")
+        let raw = Buffer.contents wk.wk_buf in
+        match check_protocol raw with
+        | Error msg -> results.(wk.wk_index) <- Failed msg
+        | Ok offset -> (
+            match (Marshal.from_string raw offset : _ payload) with
+            | Ok v, spans, msnap ->
+                results.(wk.wk_index) <- Done v;
+                telemetry.(wk.wk_index) <- Some (wk.wk_pid, spans, msnap)
+            | Error msg, spans, msnap ->
+                results.(wk.wk_index) <- Failed msg;
+                telemetry.(wk.wk_index) <- Some (wk.wk_pid, spans, msnap)
+            | exception _ ->
+                results.(wk.wk_index) <- Failed "worker sent corrupt payload"))
     | status -> results.(wk.wk_index) <- Failed (status_string status));
     launch ()
   in

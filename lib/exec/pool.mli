@@ -31,3 +31,18 @@ val run : ?jobs:int -> (unit -> 'r) list -> 'r result list
 
 (** [map ~jobs f xs] is [run ~jobs (List.map (fun x () -> f x) xs)]. *)
 val map : ?jobs:int -> ('a -> 'r) -> 'a list -> 'r result list
+
+(** {1 Wire protocol}
+
+    Each worker prefixes its marshalled payload with a magic/version
+    tag; the parent refuses to unmarshal bytes that don't carry the
+    expected tag (a stale or mismatched worker binary would otherwise
+    deserialize garbage), surfacing the mismatch as [Failed]. *)
+
+(** The tag current workers write ("SEPARP" + protocol version). *)
+val protocol_tag : string
+
+(** [check_protocol raw] validates a raw payload's leading tag:
+    [Ok offset] is where the marshalled bytes start, [Error msg] the
+    [Failed] message reported for a truncated or mismatched payload. *)
+val check_protocol : string -> (int, string) Stdlib.result

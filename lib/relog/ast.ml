@@ -95,6 +95,96 @@ let rec pp_formula ppf = function
   | Exists (v, dom, f) ->
       Fmt.pf ppf "(some %s: %a | %a)" v pp_expr dom pp_formula f
 
+(* Canonical, alpha-invariant rendering.  [Dsl.fresh] draws quantifier
+   variable names from a process-global counter, so the same formula
+   built twice (or in two processes) prints differently under
+   [pp_formula].  Cache fingerprints need a stable text, so bound
+   variables are renamed to their binding depth ("v0", "v1", ...) and
+   relations print as name/arity (ids are process-global too). *)
+
+let canonical_formula_string formula =
+  let buf = Buffer.create 256 in
+  let add = Buffer.add_string buf in
+  let rec expr env = function
+    | Rel r -> add (Printf.sprintf "%s/%d" (Relation.name r) (Relation.arity r))
+    | Var v -> (
+        match List.assoc_opt v env with
+        | Some canon -> add canon
+        | None -> add v)
+    | Univ -> add "univ"
+    | None_e -> add "none"
+    | Iden -> add "iden"
+    | Join (a, b) -> binop env "." a b
+    | Product (a, b) -> binop env "->" a b
+    | Union (a, b) -> binop env "+" a b
+    | Inter (a, b) -> binop env "&" a b
+    | Diff (a, b) -> binop env "-" a b
+    | Transpose a -> add "~"; paren env a
+    | Closure a -> add "^"; paren env a
+    | RClosure a -> add "*"; paren env a
+  and binop env op a b = add "("; expr env a; add op; expr env b; add ")"
+  and paren env a = add "("; expr env a; add ")" in
+  let rec go env depth = function
+    | True_f -> add "true"
+    | False_f -> add "false"
+    | Subset (a, b) -> add "(in "; expr env a; add " "; expr env b; add ")"
+    | Eq (a, b) -> add "(= "; expr env a; add " "; expr env b; add ")"
+    | Mult (m, a) ->
+        add
+          (match m with
+          | Mno -> "(no "
+          | Msome -> "(some "
+          | Mlone -> "(lone "
+          | Mone -> "(one ");
+        expr env a;
+        add ")"
+    | Not_f f -> add "(! "; go env depth f; add ")"
+    | And_f (a, b) -> fbin env depth "&&" a b
+    | Or_f (a, b) -> fbin env depth "||" a b
+    | Implies (a, b) -> fbin env depth "=>" a b
+    | Iff (a, b) -> fbin env depth "<=>" a b
+    | All (v, dom, f) -> quant env depth "all" v dom f
+    | Exists (v, dom, f) -> quant env depth "some" v dom f
+  and fbin env depth op a b =
+    add "("; add op; add " "; go env depth a; add " "; go env depth b; add ")"
+  and quant env depth q v dom f =
+    let canon = Printf.sprintf "v%d" depth in
+    add "("; add q; add " "; add canon; add ": ";
+    expr env dom;
+    add " | ";
+    go ((v, canon) :: env) (depth + 1) f;
+    add ")"
+  in
+  go [] 0 formula;
+  Buffer.contents buf
+
+(* Relations mentioned by a formula, including those inside quantifier
+   domains; [`Univ] is reported separately so callers that slice state
+   by relation support can fall back to "everything" when the formula
+   touches the whole universe. *)
+let support formula =
+  let rels = ref [] in
+  let univ = ref false in
+  let rec expr = function
+    | Rel r -> if not (List.memq r !rels) then rels := r :: !rels
+    | Var _ | None_e -> ()
+    | Univ | Iden -> univ := true
+    | Join (a, b) | Product (a, b) | Union (a, b) | Inter (a, b) | Diff (a, b)
+      ->
+        expr a; expr b
+    | Transpose a | Closure a | RClosure a -> expr a
+  in
+  let rec go = function
+    | True_f | False_f -> ()
+    | Subset (a, b) | Eq (a, b) -> expr a; expr b
+    | Mult (_, a) -> expr a
+    | Not_f f -> go f
+    | And_f (a, b) | Or_f (a, b) | Implies (a, b) | Iff (a, b) -> go a; go b
+    | All (_, dom, f) | Exists (_, dom, f) -> expr dom; go f
+  in
+  go formula;
+  (List.rev !rels, !univ)
+
 (* A readable embedded DSL for writing specifications.  Quantifiers use
    higher-order abstract syntax with generated variable names. *)
 module Dsl = struct

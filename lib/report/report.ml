@@ -129,6 +129,14 @@ let of_incremental (report : Ase.report) =
         Json.List (List.map of_sig_delta report.Ase.r_sig_deltas) );
     ]
 
+(* Persistent-cache counters (per-tier hits/misses, stores, evictions,
+   corrupt entries).  [Ase.r_cache] is already sorted by name — JSON key
+   order here is deterministic by construction. *)
+let of_cache (report : Ase.report) =
+  Json.Obj
+    (("enabled", Json.Bool (report.Ase.r_cache <> []))
+    :: List.map (fun (k, v) -> (k, Json.Int v)) report.Ase.r_cache)
+
 let of_stats (s : Bundle.stats) =
   Json.Obj
     [
@@ -155,6 +163,7 @@ let of_analysis ?telemetry ~(report : Ase.report) ~(policies : Policy.t list) ()
            ] );
        ("solver", of_solver_stats report.Ase.r_solver);
        ("incremental", of_incremental report);
+       ("cache", of_cache report);
        ( "vulnerabilities",
          Json.List (List.map of_vulnerability report.Ase.r_vulnerabilities) );
        ( "degraded",

@@ -800,3 +800,79 @@ let sender_has_required_perms env i c =
 
 let delivered env i c =
   resolves env i c &&: sender_has_required_perms env i c
+
+(* --- cache fingerprints -------------------------------------------------- *)
+
+(* Bump whenever the encoding changes in any way that can alter the
+   relational problem for the same bundle: relation vocabulary, bound
+   construction, well-formedness facts, helper predicates.  Every cached
+   ASE verdict keyed under an older version silently becomes a miss. *)
+let version = "encode-v1"
+
+let config_fingerprint (c : config) =
+  Printf.sprintf "mal_intent=%b,mal_filter=%b" c.with_mal_intent
+    c.with_mal_filter
+
+(* Fingerprint of the encoded problem *restricted to the support* of the
+   given constraints: the relations their formulas mention (plus, defensively,
+   every relation if any formula touches [univ]/[iden]).  The bundle enters
+   the problem exclusively through bounds — [encode_bundle]'s facts only
+   constrain the adversary relations — so two bundles whose bounds agree on
+   a signature's support relations pose that signature the *same* problem,
+   even if they differ elsewhere (e.g. an app gained a sensitive path a
+   path-blind signature never looks at).  That slice is what makes
+   one-app-changed re-analysis re-solve only the signatures whose support
+   the change touches.
+
+   Determinism: relations are rendered name/arity sorted by name, tuples
+   via universe atom *names* (atom indices and relation ids are
+   process-global), and formulas via the alpha-invariant
+   {!Ast.canonical_formula_string}.  Atom names capture cross-relation
+   atom identity, so the rendering is faithful to the semantics. *)
+let problem_fingerprint (env : env) (constraints : Ast.formula list) : string =
+  let supports = List.map Ast.support constraints in
+  let touches_univ = List.exists snd supports in
+  let support =
+    if touches_univ then Bounds.relations env.bounds
+    else
+      List.fold_left
+        (fun acc (rels, _) ->
+          List.fold_left
+            (fun acc r -> if List.memq r acc then acc else r :: acc)
+            acc rels)
+        [] supports
+  in
+  let support =
+    List.sort
+      (fun a b ->
+        compare
+          (Relation.name a, Relation.arity a)
+          (Relation.name b, Relation.arity b))
+      support
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf version;
+  Buffer.add_char buf '\n';
+  let render_tuples ts =
+    let tuples =
+      List.map
+        (fun tup ->
+          String.concat ","
+            (List.map (Universe.name env.universe) (Array.to_list tup)))
+        (Tuple_set.to_list ts)
+    in
+    String.concat ";" (List.sort compare tuples)
+  in
+  List.iter
+    (fun r ->
+      let lower, upper = Bounds.get env.bounds r in
+      Buffer.add_string buf
+        (Printf.sprintf "%s/%d[%s][%s]\n" (Relation.name r) (Relation.arity r)
+           (render_tuples lower) (render_tuples upper)))
+    support;
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (Ast.canonical_formula_string f);
+      Buffer.add_char buf '\n')
+    constraints;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -1,0 +1,303 @@
+(* The persistent content-addressed cache: store roundtrips, corruption
+   tolerance (truncated / garbled / wrong-digest entries degrade to
+   recorded misses), LRU eviction under a size cap, read-through AME
+   extraction, per-signature ASE fingerprints (stability and delta
+   selectivity), warm re-analysis, and the worker wire protocol. *)
+
+open Separ
+module Store = Separ_cache.Store
+module Pool = Separ_exec.Pool
+module Metrics = Separ_obs.Metrics
+module B = Builder
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+(* A fresh, empty directory for one store. *)
+let fresh_dir () =
+  let d = Filename.temp_file "separ_cache" "" in
+  Sys.remove d;
+  d
+
+(* Where [Store] keeps the entry for [key] — tests corrupt it in place. *)
+let entry_file dir tier key =
+  Filename.concat (Filename.concat dir tier) (Digest.to_hex (Digest.string key))
+
+let slurp path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let spit path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* --- store basics --------------------------------------------------------- *)
+
+let test_roundtrip () =
+  let t = Store.open_ ~dir:(fresh_dir ()) () in
+  check "initial lookup misses" true
+    ((Store.find t ~tier:"ame" ~key:"k" : int list option) = None);
+  Store.store t ~tier:"ame" ~key:"k" [ 1; 2; 3 ];
+  (match (Store.find t ~tier:"ame" ~key:"k" : int list option) with
+  | Some v -> Alcotest.(check (list int)) "value roundtrips" [ 1; 2; 3 ] v
+  | None -> Alcotest.fail "expected a hit after store");
+  let stats = Store.stats t in
+  check_int "one hit" 1 (List.assoc "ame.hits" stats);
+  check_int "one miss" 1 (List.assoc "ame.misses" stats);
+  check_int "one store" 1 (List.assoc "stores" stats);
+  check_int "no corruption" 0 (List.assoc "corrupt" stats);
+  check_int "one entry on disk" 1 (Store.entry_count t ~tier:"ame")
+
+(* Distinct keys and tiers do not collide. *)
+let test_key_and_tier_separation () =
+  let t = Store.open_ ~dir:(fresh_dir ()) () in
+  Store.store t ~tier:"ame" ~key:"k" "ame-value";
+  Store.store t ~tier:"ase" ~key:"k" "ase-value";
+  check "same key, different tiers" true
+    ((Store.find t ~tier:"ame" ~key:"k" : string option) = Some "ame-value"
+    && (Store.find t ~tier:"ase" ~key:"k" : string option) = Some "ase-value");
+  check "unknown key misses" true
+    ((Store.find t ~tier:"ame" ~key:"other" : string option) = None)
+
+(* --- corruption tolerance ------------------------------------------------- *)
+
+(* Corrupt one stored entry with [mangle], then check the lookup degrades
+   to a recorded miss, the bad file is deleted, and a re-store recovers. *)
+let corruption_case mangle =
+  let dir = fresh_dir () in
+  let t = Store.open_ ~dir () in
+  Store.store t ~tier:"ase" ~key:"sig" "verdict";
+  let path = entry_file dir "ase" "sig" in
+  spit path (mangle (slurp path));
+  check "corrupt entry is a miss" true
+    ((Store.find t ~tier:"ase" ~key:"sig" : string option) = None);
+  let stats = Store.stats t in
+  check_int "corruption recorded" 1 (List.assoc "corrupt" stats);
+  check_int "miss recorded" 1 (List.assoc "ase.misses" stats);
+  check "bad entry deleted" false (Sys.file_exists path);
+  (* the caller recomputes and rewrites; the store recovers in place *)
+  Store.store t ~tier:"ase" ~key:"sig" "verdict";
+  check "re-store recovers" true
+    ((Store.find t ~tier:"ase" ~key:"sig" : string option) = Some "verdict")
+
+let test_truncated_entry () =
+  (* cut mid-payload and mid-header *)
+  corruption_case (fun raw -> String.sub raw 0 (String.length raw - 3));
+  corruption_case (fun raw -> String.sub raw 0 4)
+
+let test_wrong_digest_entry () =
+  corruption_case (fun raw ->
+      let b = Bytes.of_string raw in
+      let last = Bytes.length b - 1 in
+      Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0xff));
+      Bytes.to_string b)
+
+let test_wrong_magic_entry () =
+  corruption_case (fun raw -> "NOTMAGIC" ^ String.sub raw 8 (String.length raw - 8))
+
+(* A writer that died mid-write leaves a temporary file behind; it must
+   not shadow the real entry, be served, or break later writes. *)
+let test_stale_tmp_file_harmless () =
+  let dir = fresh_dir () in
+  let t = Store.open_ ~dir () in
+  Store.store t ~tier:"ame" ~key:"k" "good";
+  let tdir = Filename.concat dir "ame" in
+  spit (Filename.concat tdir ".tmp.deadbeef.999") "partial garbage";
+  check "real entry still served" true
+    ((Store.find t ~tier:"ame" ~key:"k" : string option) = Some "good");
+  check_int "tmp file not counted as an entry" 1 (Store.entry_count t ~tier:"ame");
+  (* overwriting the same key (the concurrent-writer race resolved by
+     atomic rename) just replaces the entry *)
+  Store.store t ~tier:"ame" ~key:"k" "newer";
+  check "last writer wins" true
+    ((Store.find t ~tier:"ame" ~key:"k" : string option) = Some "newer")
+
+(* --- eviction ------------------------------------------------------------- *)
+
+let test_eviction_under_tiny_cap () =
+  let cap = 400 in
+  let t = Store.open_ ~dir:(fresh_dir ()) ~max_bytes:cap () in
+  let big = String.make 200 'x' in
+  List.iter (fun k -> Store.store t ~tier:"ame" ~key:k big) [ "a"; "b"; "c" ];
+  let stats = Store.stats t in
+  check "evictions recorded" true (List.assoc "evictions" stats > 0);
+  check "size back under cap" true (Store.size_bytes t <= cap);
+  check "some entries evicted" true (Store.entry_count t ~tier:"ame" < 3);
+  (* an evicted key degrades to a recorded miss and can be recomputed *)
+  let missing =
+    List.filter
+      (fun k -> (Store.find t ~tier:"ame" ~key:k : string option) = None)
+      [ "a"; "b"; "c" ]
+  in
+  check "an evicted key misses" true (missing <> []);
+  check "miss recorded for evicted keys" true
+    (List.assoc "ame.misses" (Store.stats t) >= List.length missing);
+  Store.store t ~tier:"ame" ~key:(List.hd missing) big;
+  check "rewrite keeps the cap" true (Store.size_bytes t <= cap)
+
+(* --- AME read-through ----------------------------------------------------- *)
+
+let test_extract_cached () =
+  Metrics.enable ();
+  Metrics.reset ();
+  let t = Store.open_ ~dir:(fresh_dir ()) () in
+  let apk = Demo.navigation_app () in
+  let extracted () = Metrics.counter_value (Metrics.counter "ame.apps_extracted") in
+  let cold = Extract.extract_cached ~cache:t apk in
+  check_int "cold run extracts" 1 (extracted ());
+  let warm = Extract.extract_cached ~cache:t apk in
+  check_int "warm run does not extract" 1 (extracted ());
+  check "cached model equals extracted model" true
+    ({ warm with App_model.am_extraction_ms = 0. }
+    = { cold with App_model.am_extraction_ms = 0. });
+  (* a different APK is a different key *)
+  ignore (Extract.extract_cached ~cache:t (Demo.messenger_app ()));
+  check_int "second app extracts" 2 (extracted ());
+  let stats = Store.stats t in
+  check_int "one AME hit" 1 (List.assoc "ame.hits" stats);
+  check_int "two AME misses" 2 (List.assoc "ame.misses" stats);
+  Metrics.reset ();
+  Metrics.disable ()
+
+(* --- ASE fingerprints ----------------------------------------------------- *)
+
+(* A one-component app whose two variants differ only in a sensitive
+   source-to-sink path (no intents, no filters): the delta is invisible
+   to path-blind signatures. *)
+let probe_app ~extra_path () =
+  let body =
+    B.meth ~name:"onStartCommand" ~params:1 (fun b ->
+        if extra_path then
+          let v = B.get_location b in
+          B.write_log b ~payload:v)
+  in
+  Apk.make
+    ~manifest:
+      (Manifest.make ~package:"com.cache.probe"
+         ~uses_permissions:[ Permission.access_fine_location ]
+         ~components:[ Component.make ~name:"Probe" ~kind:Component.Service () ]
+         ())
+    ~classes:[ B.cls ~name:"Probe" [ body ] ]
+
+let bundle_with ~extra_path () =
+  Bundle.of_models
+    (List.map Extract.extract
+       [ Demo.navigation_app (); Demo.messenger_app (); probe_app ~extra_path () ])
+
+let signature_named name =
+  List.find (fun (s : Signatures.t) -> s.Signatures.name = name) (Signatures.all ())
+
+(* Fingerprints must survive re-encoding from scratch: the encoder's
+   fresh-variable counter is process-global, so this is what catches a
+   non-alpha-invariant rendering. *)
+let test_fingerprint_stability () =
+  let b1 = bundle_with ~extra_path:false () in
+  let b2 = bundle_with ~extra_path:false () in
+  List.iter
+    (fun (s : Signatures.t) ->
+      check (s.Signatures.name ^ " fingerprint stable across re-encoding") true
+        (Ase.signature_fingerprint b1 s = Ase.signature_fingerprint b2 s))
+    (Signatures.all ())
+
+let test_fingerprint_selectivity () =
+  let b0 = bundle_with ~extra_path:false () in
+  let b1 = bundle_with ~extra_path:true () in
+  let fp name b = Ase.signature_fingerprint b (signature_named name) in
+  (* intent_hijack's formula never touches the path relations *)
+  check "path-only change invisible to intent_hijack" true
+    (fp "intent_hijack" b0 = fp "intent_hijack" b1);
+  (* the path-sensitive signatures must see it *)
+  List.iter
+    (fun name ->
+      check (name ^ " sees the new path") false (fp name b0 = fp name b1))
+    [ "information_leakage"; "service_launch" ];
+  (* different enumeration limits never share verdicts *)
+  check "limit is part of the key" false
+    (Ase.signature_fingerprint ~limit:1 b0 (signature_named "intent_hijack")
+    = Ase.signature_fingerprint ~limit:2 b0 (signature_named "intent_hijack"))
+
+(* --- warm re-analysis ----------------------------------------------------- *)
+
+let stripped report =
+  Separ_report.Report.to_string ~report:(Ase.strip_performance report)
+    ~policies:[] ()
+
+let test_analyze_warm_rerun () =
+  Metrics.enable ();
+  Metrics.reset ();
+  let t = Store.open_ ~dir:(fresh_dir ()) () in
+  let bundle =
+    Bundle.of_models
+      (List.map Extract.extract [ Demo.navigation_app (); Demo.messenger_app () ])
+  in
+  let nsigs = List.length (Signatures.all ()) in
+  let cold = Ase.analyze ~cache:t bundle in
+  check_int "cold run misses every signature" nsigs
+    (List.assoc "ase.misses" (Store.stats t));
+  check_int "cold run stores every verdict" nsigs
+    (List.assoc "stores" (Store.stats t));
+  Metrics.reset ();
+  let warm = Ase.analyze ~cache:t bundle in
+  check_int "warm run hits every signature" nsigs
+    (List.assoc "ase.hits" (Store.stats t));
+  check_int "warm run runs zero SAT solves" 0
+    (Metrics.counter_value (Metrics.counter "sat.solves"));
+  check "stripped reports byte-identical cold vs warm" true
+    (stripped cold = stripped warm);
+  check "cache section reported" true (warm.Ase.r_cache <> []);
+  check "cache section stripped from canonical report" true
+    ((Ase.strip_performance warm).Ase.r_cache = []);
+  Metrics.reset ();
+  Metrics.disable ()
+
+(* --- worker wire protocol ------------------------------------------------- *)
+
+let test_check_protocol () =
+  (match Pool.check_protocol (Pool.protocol_tag ^ "marshalled bytes") with
+  | Ok off ->
+      check_int "payload starts after the tag"
+        (String.length Pool.protocol_tag)
+        off
+  | Error msg -> Alcotest.fail ("tagged payload rejected: " ^ msg));
+  (match Pool.check_protocol "SEP" with
+  | Error msg -> check "short payload reported" true (contains ~affix:"truncated" msg)
+  | Ok _ -> Alcotest.fail "truncated payload accepted");
+  match Pool.check_protocol "SEPARP0\nstale worker bytes" with
+  | Error msg ->
+      check "version mismatch reported" true (contains ~affix:"mismatch" msg);
+      check "observed tag quoted" true (contains ~affix:"SEPARP0" msg)
+  | Ok _ -> Alcotest.fail "mismatched tag accepted"
+
+let tests =
+  [
+    Alcotest.test_case "store roundtrip and stats" `Quick test_roundtrip;
+    Alcotest.test_case "keys and tiers are separate" `Quick
+      test_key_and_tier_separation;
+    Alcotest.test_case "truncated entry degrades to miss" `Quick
+      test_truncated_entry;
+    Alcotest.test_case "wrong-digest entry degrades to miss" `Quick
+      test_wrong_digest_entry;
+    Alcotest.test_case "wrong-magic entry degrades to miss" `Quick
+      test_wrong_magic_entry;
+    Alcotest.test_case "stale tmp file is harmless" `Quick
+      test_stale_tmp_file_harmless;
+    Alcotest.test_case "eviction under a tiny cap" `Quick
+      test_eviction_under_tiny_cap;
+    Alcotest.test_case "extract_cached read-through" `Quick test_extract_cached;
+    Alcotest.test_case "signature fingerprints stable" `Quick
+      test_fingerprint_stability;
+    Alcotest.test_case "signature fingerprints selective" `Quick
+      test_fingerprint_selectivity;
+    Alcotest.test_case "warm re-analysis: zero solves, identical report" `Quick
+      test_analyze_warm_rerun;
+    Alcotest.test_case "worker wire protocol validation" `Quick
+      test_check_protocol;
+  ]

@@ -18,5 +18,6 @@ let () =
       ("errors", Test_errors.tests);
       ("properties", Test_properties.tests);
       ("report", Test_report.tests);
+      ("cache", Test_cache.tests);
       ("obs", Test_obs.tests);
     ]
