@@ -873,12 +873,28 @@ let scenario_keys (report : Ase.report) =
     (fun v -> (v.Ase.v_kind, v.Ase.v_scenario.Scenario.sc_description))
     report.Ase.r_vulnerabilities
 
+module Pool = Separ_exec.Pool
+
+(* What the parallel bench measured, for the smoke gate. *)
+type parallel_bench = {
+  pb_identical : bool;
+  pb_degradations : Ase.degraded list;
+  pb_cores : int;
+  pb_speedup_at_2 : float;
+  pb_pool : (int * Pool.run_stats) list; (* per width, the pool's own view *)
+}
+
 (* The Table I workload (one bundle per DroidBench/ICC-Bench case) run
-   through ASE at increasing worker-pool widths.  Checks that every
-   width produces the identical scenario sets, and measures the 1-vs-N
-   wall-clock speedup -> BENCH_parallel.json. *)
+   through ASE at increasing worker-pool widths, sharded across
+   *bundles* first (Ase.analyze_many): one persistent fork set serves
+   all the cases per width, with bundles batched over the wire.  Checks
+   that every width produces the identical scenario sets, that forks
+   scale with the pool width (not the task count), and measures the
+   1-vs-N wall-clock speedup -> BENCH_parallel.json. *)
 let run_parallel_bench ~mode () =
-  header "Parallel signature synthesis: ASE at -j 1/2/4 (Table I workload)";
+  header
+    "Parallel synthesis: ASE at -j 1/2/4, bundle-axis sharding (Table I \
+     workload)";
   let cases =
     let all = Separ_suites.Table1.all_cases () in
     if mode = "smoke" then List.filteri (fun i _ -> i < 6) all else all
@@ -895,31 +911,34 @@ let run_parallel_bench ~mode () =
   let runs =
     List.map
       (fun jobs ->
-        let keys, ms =
+        let reports, ms =
           Trace.timed "bench.parallel"
             ~attrs:[ Trace.attr_int "jobs" jobs ]
             (fun () ->
-              List.map
-                (fun (name, bundle) ->
-                  let report = Ase.analyze ~jobs bundle in
-                  (name, scenario_keys report, report.Ase.r_degraded))
-                bundles)
+              Ase.analyze_many ~jobs ~shard_bundles:true
+                (List.map snd bundles))
         in
-        (jobs, keys, ms))
+        let keys =
+          List.map2
+            (fun (name, _) report ->
+              (name, scenario_keys report, report.Ase.r_degraded))
+            bundles reports
+        in
+        (jobs, keys, ms, Pool.last_run_stats ()))
       widths
   in
-  let _, base_keys, base_ms = List.hd runs in
+  let _, base_keys, base_ms, _ = List.hd runs in
   let identical =
-    List.for_all (fun (_, keys, _) -> keys = base_keys) (List.tl runs)
+    List.for_all (fun (_, keys, _, _) -> keys = base_keys) (List.tl runs)
   in
   let degradations =
-    List.concat_map (fun (_, keys, _) ->
+    List.concat_map (fun (_, keys, _, _) ->
         List.concat_map (fun (_, _, d) -> d) keys)
       runs
   in
   let speedup_at jobs =
-    match List.find_opt (fun (j, _, _) -> j = jobs) runs with
-    | Some (_, _, ms) when ms > 0.0 -> base_ms /. ms
+    match List.find_opt (fun (j, _, _, _) -> j = jobs) runs with
+    | Some (_, _, ms, _) when ms > 0.0 -> base_ms /. ms
     | _ -> 0.0
   in
   (* On a single-core host every extra worker can only time-slice, so
@@ -935,7 +954,7 @@ let run_parallel_bench ~mode () =
         ( "runs",
           Json.List
             (List.map
-               (fun (jobs, keys, ms) ->
+               (fun (jobs, keys, ms, (pool : Pool.run_stats)) ->
                  Json.Obj
                    [
                      ("jobs", Json.Int jobs);
@@ -945,6 +964,10 @@ let run_parallel_bench ~mode () =
                          (List.fold_left
                             (fun acc (_, ks, _) -> acc + List.length ks)
                             0 keys) );
+                     ("forks", Json.Int pool.Pool.rs_forks);
+                     ("respawns", Json.Int pool.Pool.rs_respawns);
+                     ("batches", Json.Int pool.Pool.rs_batches);
+                     ("batch_size", Json.Int pool.Pool.rs_batch);
                    ])
                runs) );
         ("identical_scenario_sets", Json.Bool identical);
@@ -958,9 +981,12 @@ let run_parallel_bench ~mode () =
   output_string oc "\n";
   close_out oc;
   List.iter
-    (fun (jobs, _, ms) ->
-      Printf.printf "-j %d: %7.1f ms (speedup %.2fx)\n" jobs ms
-        (if ms > 0.0 then base_ms /. ms else 0.0))
+    (fun (jobs, _, ms, (pool : Pool.run_stats)) ->
+      Printf.printf
+        "-j %d: %7.1f ms (speedup %.2fx, %d forks, %d batches of <= %d)\n"
+        jobs ms
+        (if ms > 0.0 then base_ms /. ms else 0.0)
+        pool.Pool.rs_forks pool.Pool.rs_batches pool.Pool.rs_batch)
     runs;
   Printf.printf "scenario sets identical across -j: %b -> BENCH_parallel.json\n"
     identical;
@@ -968,20 +994,63 @@ let run_parallel_bench ~mode () =
     Printf.printf
       "(single-core host: workers time-slice one CPU, speedup <= 1 expected)\n";
   Printf.printf "%!";
-  (identical, degradations)
+  {
+    pb_identical = identical;
+    pb_degradations = degradations;
+    pb_cores = cores;
+    pb_speedup_at_2 = speedup_at 2;
+    pb_pool =
+      List.map (fun (jobs, _, _, pool) -> (jobs, pool)) runs;
+  }
 
 (* Tier-1 gate for `dune runtest`: a small Table I slice plus the demo
-   bundle at -j 1 and -j 2 must produce byte-identical scenario sets,
-   and a zero conflict budget must degrade every searching signature
-   (terminating, no scenarios) rather than hang or crash. *)
+   bundle at -j 1 and -j 2 must produce byte-identical scenario sets, a
+   zero conflict budget must degrade every searching signature
+   (terminating, no scenarios) rather than hang or crash, forks must
+   scale with the pool width (not the task count), and — on hosts with
+   at least two cores — -j 2 must not be slower than -j 1.  On a
+   single-core host the speedup gate prints an explicit SKIPPED line
+   instead of silently passing. *)
 let run_parallel_smoke () =
   header "Parallel smoke: -j determinism + budget degradation (tier-1 gate)";
   let failures = ref [] in
   let expect cond msg = if not cond then failures := msg :: !failures in
-  let identical, degradations = run_parallel_bench ~mode:"smoke" () in
-  expect identical "scenario sets differ across -j widths";
-  expect (degradations = [])
+  let pb = run_parallel_bench ~mode:"smoke" () in
+  expect pb.pb_identical "scenario sets differ across -j widths";
+  expect (pb.pb_degradations = [])
     "un-budgeted parallel run reported degraded signatures";
+  (* Forks must track the pool, not the workload: at every width the
+     persistent pool forks min(jobs, batches) children, reuses them
+     across batches, and never needs a respawn in a crash-free run. *)
+  List.iter
+    (fun (jobs, (pool : Pool.run_stats)) ->
+      if jobs > 1 then begin
+        expect
+          (pool.Pool.rs_forks = min jobs pool.Pool.rs_batches)
+          (Printf.sprintf
+             "-j %d forked %d workers for %d batches (want min(jobs, \
+              batches) = %d)"
+             jobs pool.Pool.rs_forks pool.Pool.rs_batches
+             (min jobs pool.Pool.rs_batches));
+        expect
+          (pool.Pool.rs_respawns = 0)
+          (Printf.sprintf "-j %d respawned %d workers in a crash-free run"
+             jobs pool.Pool.rs_respawns)
+      end)
+    pb.pb_pool;
+  (* The regression this gate exists to catch: parallel slower than
+     sequential.  Only meaningful when the host can actually run two
+     workers at once, so single-core hosts skip it — loudly. *)
+  if pb.pb_cores >= 2 then
+    expect
+      (pb.pb_speedup_at_2 >= 1.0)
+      (Printf.sprintf
+         "-j 2 is slower than -j 1 (speedup %.2fx) on a %d-core host"
+         pb.pb_speedup_at_2 pb.pb_cores)
+  else
+    Printf.printf
+      "parallel smoke: speedup gate SKIPPED (single-core host, cpu_cores=%d)\n"
+      pb.pb_cores;
   let demo_bundle =
     Bundle.of_models
       (List.map Extract.extract

@@ -87,9 +87,39 @@ let telemetry_finish ?(to_stderr = true) ~trace ~metrics () =
     Metrics.print ()
   end
 
+(* A positional path may be one APK text file or a directory holding a
+   whole bundle of them; directories make [analyze] a multi-bundle run
+   (one independent analysis per directory) that [--shard-bundles] can
+   spread across the worker pool. *)
+let bundle_of_dir dir =
+  let entries =
+    match Sys.readdir dir with
+    | entries ->
+        Array.sort compare entries;
+        Array.to_list entries
+    | exception Sys_error msg -> failwith ("cannot read " ^ dir ^ ": " ^ msg)
+  in
+  let apks =
+    List.filter_map
+      (fun name ->
+        if Filename.check_suffix name ".apk.txt" then
+          Some (Filename.concat dir name)
+        else None)
+      entries
+  in
+  if apks = [] then failwith ("no .apk.txt files in " ^ dir);
+  load_apks apks
+
 let analyze_cmd =
   let paths =
-    Arg.(non_empty & pos_all file [] & info [] ~docv:"APK" ~doc:"APK text files")
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"APK"
+          ~doc:
+            "APK text files forming one bundle, or directories of \
+             $(b,.apk.txt) files forming one bundle each (don't mix the \
+             two)")
   in
   let out =
     Arg.(
@@ -109,10 +139,33 @@ let analyze_cmd =
       & opt (int_at_least ~min:1 ~what:"--jobs") 1
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:
-            "Analyze signatures in $(docv) parallel worker processes \
-             ($(docv) >= 1). Results are merged in signature order, so \
-             output is identical across $(docv); a crashed worker degrades \
-             its signature instead of failing the run.")
+            "Run the analysis in $(docv) persistent worker processes \
+             ($(docv) >= 1): the pool forks once and streams task batches \
+             to the workers.  With multiple bundles the work is sharded \
+             across bundles first (see $(b,--shard-bundles)), then across \
+             signatures.  Results are merged in order, so output is \
+             identical across $(docv); a crashed worker degrades only its \
+             in-flight tasks instead of failing the run.")
+  in
+  let shard_bundles =
+    Arg.(
+      value
+      & vflag true
+          [
+            ( true,
+              info [ "shard-bundles" ]
+                ~doc:
+                  "With multiple bundle directories and $(b,-j) > 1, \
+                   distribute whole bundles across the worker pool (the \
+                   default): each bundle is one coarse task, so fork and \
+                   transport costs amortize and incremental ASE still \
+                   shares one base encoding per bundle." );
+            ( false,
+              info [ "no-shard-bundles" ]
+                ~doc:
+                  "Analyze bundles sequentially, parallelizing only \
+                   across signatures within each bundle." );
+          ])
   in
   let budget_conflicts =
     Arg.(
@@ -208,8 +261,9 @@ let analyze_cmd =
                 counters (translate-cache and hash-cons hits, reused \
                 clauses, per-signature deltas) to stderr")
   in
-  let run paths out limit jobs budget_conflicts budget_time cache_dir no_cache
-      cache_max_mb cache_stats incremental format stats trace metrics =
+  let run paths out limit jobs shard_bundles budget_conflicts budget_time
+      cache_dir no_cache cache_max_mb cache_stats incremental format stats
+      trace metrics =
     telemetry_setup ~trace ~metrics;
     let budget =
       match (budget_conflicts, budget_time) with
@@ -231,9 +285,31 @@ let analyze_cmd =
                ())
       | _ -> None
     in
-    let apks = load_apks paths in
-    let analysis =
-      Separ.analyze ~limit_per_sig:limit ~jobs ?budget ~incremental ?cache apks
+    let dirs, files = List.partition Sys.is_directory paths in
+    if dirs <> [] && files <> [] then begin
+      Fmt.epr
+        "separ analyze: mixing bundle directories and loose APK files is \
+         ambiguous; pass either files (one bundle) or directories (one \
+         bundle each)@.";
+      exit 2
+    end;
+    (* [analyses]: one per bundle, labelled by its directory in
+       multi-bundle mode. *)
+    let analyses =
+      match dirs with
+      | [] ->
+          [
+            ( None,
+              Separ.analyze ~limit_per_sig:limit ~jobs ?budget ~incremental
+                ?cache (load_apks files) );
+          ]
+      | dirs ->
+          let bundles = List.map bundle_of_dir dirs in
+          List.map2
+            (fun dir analysis -> (Some dir, analysis))
+            dirs
+            (Separ.analyze_bundles ~limit_per_sig:limit ~jobs ?budget
+               ~incremental ?cache ~shard_bundles bundles)
     in
     if cache_stats then begin
       match cache with
@@ -246,19 +322,34 @@ let analyze_cmd =
     end;
     (match format with
     | `Text ->
-        Fmt.pr "%a@." Separ.pp_analysis analysis;
+        List.iter
+          (fun (label, analysis) ->
+            (match label with
+            | Some dir -> Fmt.pr "=== bundle %s ===@." dir
+            | None -> ());
+            Fmt.pr "%a@." Separ.pp_analysis analysis)
+          analyses;
         telemetry_finish ~trace ~metrics ()
     | `Json ->
         let telemetry =
           if metrics then Some (Separ_report.Telemetry.telemetry_json ())
           else None
         in
-        print_endline
-          (Separ_report.Report.to_string ?telemetry
-             ~report:analysis.Separ.report
-             ~policies:analysis.Separ.policies ());
+        (* One JSON report per line: a single object for one bundle, and
+           newline-delimited JSON in multi-bundle mode. *)
+        List.iter
+          (fun (_, analysis) ->
+            print_endline
+              (Separ_report.Report.to_string ?telemetry
+                 ~report:analysis.Separ.report
+                 ~policies:analysis.Separ.policies ()))
+          analyses;
         telemetry_finish ~to_stderr:false ~trace ~metrics ());
+    List.iter (fun (label, analysis) ->
     if stats then begin
+      (match label with
+      | Some dir -> Fmt.epr "--- bundle %s ---@." dir
+      | None -> ());
       let s = analysis.Separ.report.Separ_ase.Ase.r_solver in
       let open Separ_sat.Solver in
       Fmt.epr
@@ -290,24 +381,26 @@ let analyze_cmd =
             d.sd_kind d.sd_vars d.sd_clauses d.sd_gates d.sd_construction_ms
             d.sd_solving_ms)
         deltas
-    end;
+    end)
+    analyses;
     match out with
     | Some path ->
+        let policies =
+          List.concat_map (fun (_, a) -> a.Separ.policies) analyses
+        in
         let oc = open_out path in
-        output_string oc (Separ.Policy.to_string analysis.Separ.policies);
+        output_string oc (Separ.Policy.to_string policies);
         output_string oc "\n";
         close_out oc;
-        Fmt.pr "wrote %d policies to %s@."
-          (List.length analysis.Separ.policies)
-          path
+        Fmt.pr "wrote %d policies to %s@." (List.length policies) path
     | None -> ()
   in
   Cmd.v
-    (Cmd.info "analyze" ~doc:"Analyze a bundle and synthesize policies")
+    (Cmd.info "analyze" ~doc:"Analyze one or more bundles and synthesize policies")
     Term.(
-      const run $ paths $ out $ limit $ jobs $ budget_conflicts $ budget_time
-      $ cache_dir $ no_cache $ cache_max_mb $ cache_stats $ incremental
-      $ format $ stats $ trace_arg $ metrics_arg)
+      const run $ paths $ out $ limit $ jobs $ shard_bundles
+      $ budget_conflicts $ budget_time $ cache_dir $ no_cache $ cache_max_mb
+      $ cache_stats $ incremental $ format $ stats $ trace_arg $ metrics_arg)
 
 let extract_cmd =
   let path =

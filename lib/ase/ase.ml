@@ -623,6 +623,76 @@ let analyze ?(signatures = Signatures.all ())
     r_cache = (match cache with Some s -> Store.stats s | None -> []);
   })
 
+(* --- bundle-axis sharding -------------------------------------------------- *)
+
+(* The report for a bundle whose entire worker died: nothing was found,
+   every signature is degraded, and the gap is recorded per signature
+   exactly as a single-bundle run with an all-crashed pool would. *)
+let crashed_bundle_report ~signatures ~incremental bundle msg =
+  {
+    r_stats = Bundle.stats bundle;
+    r_vulnerabilities = [];
+    r_degraded =
+      List.map
+        (fun (sig_ : Signatures.t) ->
+          {
+            d_kind = sig_.Signatures.name;
+            d_reason = "worker_crashed: " ^ msg;
+          })
+        signatures;
+    r_truncated = [];
+    r_construction_ms = 0.0;
+    r_solving_ms = 0.0;
+    r_vars = 0;
+    r_clauses = 0;
+    r_solver = Separ_sat.Solver.empty_stats;
+    r_incremental = incremental;
+    r_sig_deltas = [];
+    r_cache = [];
+  }
+
+(* Analyze several independent bundles, sharding across *bundles* first
+   and signatures second: with [shard_bundles] (the default) and
+   [jobs > 1], each bundle becomes one pool task — one fork set serves
+   all of them, batched — and any parallelism left over
+   ([jobs / #bundles], at least 1) runs *inside* each worker as the
+   usual signature sharding.  Incremental ASE thus still shares one
+   base encoding per config within every bundle, while a multi-bundle
+   (store-scale) run saturates cores on the bundle axis, where the
+   tasks are big enough to pay for transport.
+
+   Results come back in bundle order and each bundle's report is
+   byte-identical (stripped) to a [-j 1] run of that bundle: the pool
+   merge is deterministic and minimization canonical.  A worker dying
+   takes down only the bundles of its in-flight batch, each of which
+   degrades to a report with every signature marked [worker_crashed]. *)
+let analyze_many ?(signatures = Signatures.all ())
+    ?(limit_per_sig = Solve.default_enum_limit) ?(jobs = 1) ?budget
+    ?(incremental = true) ?cache ?(shard_bundles = true)
+    (bundles : Bundle.t list) : report list =
+  let analyze_one ~jobs bundle =
+    analyze ~signatures ~limit_per_sig ~jobs ?budget ~incremental ?cache
+      bundle
+  in
+  let n_bundles = List.length bundles in
+  if (not shard_bundles) || jobs <= 1 || n_bundles <= 1 then
+    List.map (analyze_one ~jobs) bundles
+  else begin
+    let inner_jobs = max 1 (jobs / n_bundles) in
+    let results =
+      Pool.run ~jobs
+        (List.map (fun bundle () -> analyze_one ~jobs:inner_jobs bundle)
+           bundles)
+    in
+    List.map2
+      (fun bundle result ->
+        match result with
+        | Pool.Done report -> report
+        | Pool.Failed msg ->
+            crashed_bundle_report ~signatures ~incremental bundle msg)
+      bundles results
+  end
+
 (* Forget everything about *how* the analysis ran, keeping only what it
    found.  Reports from the incremental and from-scratch paths (at any
    [-j]) must agree after stripping — the test suite and the bench

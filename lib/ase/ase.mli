@@ -118,6 +118,30 @@ val analyze :
   Bundle.t ->
   report
 
+(** Analyze several independent bundles on one worker pool, sharding
+    across {e bundles} first and signatures second.  With
+    [shard_bundles] (the default) and [jobs > 1], each bundle becomes
+    one pool task — one fork set, persistent across batched tasks,
+    serves the whole run — and leftover parallelism
+    ([jobs / #bundles], at least 1) becomes signature sharding inside
+    each worker, so incremental ASE still shares one base encoding per
+    config within every bundle.  Reports come back in bundle order and
+    are byte-identical (stripped) to per-bundle [-j 1] runs; a worker
+    death degrades only its in-flight bundles, each to a report with
+    every signature marked [worker_crashed].  With
+    [~shard_bundles:false] bundles are analyzed sequentially, each with
+    signature-axis sharding at [jobs]. *)
+val analyze_many :
+  ?signatures:Signatures.t list ->
+  ?limit_per_sig:int ->
+  ?jobs:int ->
+  ?budget:Separ_sat.Solver.budget ->
+  ?incremental:bool ->
+  ?cache:Separ_cache.Store.t ->
+  ?shard_bundles:bool ->
+  Bundle.t list ->
+  report list
+
 (** The ASE tier name in a {!Separ_cache.Store.t} ("ase"). *)
 val ase_cache_tier : string
 

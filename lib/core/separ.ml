@@ -92,6 +92,38 @@ let analyze ?(k1 = true) ?signatures
   analyze_models ?signatures ?jobs ?budget ?incremental ?cache ~limit_per_sig
     (List.map (Extract.extract_cached ?cache ~k1) apks)
 
+(* Analyze several independent bundles in one go, sharding across
+   bundles first (see Ase.analyze_many): one persistent worker pool
+   serves every bundle, so a store-scale run at [jobs > 1] pays fork
+   startup once — not once per bundle — and each bundle still gets the
+   shared-encoding incremental path internally.  Returns one analysis
+   per bundle, in order. *)
+let analyze_bundles ?(k1 = true) ?signatures
+    ?(limit_per_sig = Separ_relog.Solve.default_enum_limit) ?jobs ?budget
+    ?incremental ?cache ?shard_bundles (bundles : Apk.t list list) :
+    analysis list =
+  let bundles =
+    List.map
+      (fun apks ->
+        Bundle.of_models
+          (List.map (Extract.extract_cached ?cache ~k1) apks))
+      bundles
+  in
+  let reports =
+    Ase.analyze_many ?signatures ~limit_per_sig ?jobs ?budget ?incremental
+      ?cache ?shard_bundles bundles
+  in
+  List.map2
+    (fun bundle report ->
+      let scenarios =
+        List.map (fun v -> v.Ase.v_scenario) report.Ase.r_vulnerabilities
+      in
+      let policies =
+        Derive.of_report (Bundle.update_passive_targets bundle) scenarios
+      in
+      { bundle; report; policies })
+    bundles reports
+
 (* Incremental re-analysis, the paper's Marshmallow scenario: when apps
    change (an update, or the user revoking a permission), only the
    changed apps are re-extracted; the other app models are reused and

@@ -90,6 +90,26 @@ val analyze :
   Apk.t list ->
   analysis
 
+(** Analyze several independent bundles in one go, sharding across
+    bundles first (see {!Ase.analyze_many}): one persistent worker pool
+    serves every bundle, so a store-scale run at [jobs > 1] pays fork
+    startup once — not once per bundle — while each bundle still shares
+    its encoding internally ([incremental]).  [shard_bundles] (default
+    [true]) enables the bundle axis; with it off, bundles are analyzed
+    sequentially with signature-axis sharding at [jobs].  Returns one
+    {!analysis} per bundle, in order. *)
+val analyze_bundles :
+  ?k1:bool ->
+  ?signatures:Signatures.t list ->
+  ?limit_per_sig:int ->
+  ?jobs:int ->
+  ?budget:Separ_sat.Solver.budget ->
+  ?incremental:bool ->
+  ?cache:Cache.t ->
+  ?shard_bundles:bool ->
+  Apk.t list list ->
+  analysis list
+
 (** Incremental re-analysis, the paper's Marshmallow scenario: only the
     [changed] apps (matched by package) are re-extracted; the remaining
     app models are reused and only the synthesis step re-runs. *)

@@ -1,45 +1,68 @@
-(* Fork-based worker pool.
+(* Persistent fork-based worker pool.
 
-   Concurrency without threads: each task forks a child process, runs
-   the thunk there, and writes [Marshal]-ed results back through a pipe.
-   The parent multiplexes over the read ends with [select], reading
-   incrementally (a result larger than the pipe buffer would deadlock a
-   parent that waited for child exit before reading), and reaps each
-   child after its pipe reaches EOF.
+   Concurrency without threads: [run ~jobs tasks] forks at most [jobs]
+   children *once per run* and streams batches of task indices to them
+   over pipes.  A worker loops — read a framed batch, run its tasks,
+   write back one framed reply carrying the outcomes plus the batch's
+   telemetry — until its task pipe reaches EOF, so N tasks cost
+   min(jobs, batches) forks, not N: fork + pipe setup is paid once per
+   worker, and small (~ms-scale) tasks amortize the Marshal round-trip
+   across a whole batch.  Tasks are closures, which never cross the
+   process boundary: each child inherits the full task array at fork
+   time and the wire carries only indices one way and marshalled
+   results the other.
 
-   Crash isolation is the point: a child that raises reports the
-   exception as a [Failed] payload; a child that dies without reporting
-   (segfault, [_exit], kill) is detected by its exit status and turned
-   into [Failed] too.  The parent never throws because of a task.
+   Wire protocol, both directions: the [protocol_tag] magic/version
+   ("SEPARP1\n") followed by one [Marshal] value — [int list] (batch
+   indices) parent→worker, ['r payload] (outcomes + telemetry)
+   worker→parent.  The parent validates the tag before unmarshalling;
+   a stale or garbage-spewing worker surfaces as [Failed], never as a
+   deserialization of garbage.
 
-   Telemetry: children inherit the parent's trace/metrics state at fork
-   time, so each child resets both and records only its own activity;
-   the payload carries the child's finished span roots and a metrics
-   snapshot, which the parent grafts/merges back — pid-tagged — in task
-   order (deterministic merged telemetry regardless of completion
-   order). *)
+   Crash isolation is the point: a task that raises reports its
+   exception inside the batch reply; a worker that dies outright
+   (segfault, [_exit], kill) fails *only its in-flight batch* — the
+   parent maps those tasks to [Failed], reaps the corpse, and forks a
+   replacement to drain the remaining batches.  EPIPE/ECONNRESET on the
+   pool's own pipes (SIGPIPE is ignored for the duration of the run)
+   are treated as worker death, not parent crashes.
+
+   File-descriptor hygiene: pipes are opened [~cloexec:true] (so an
+   exec'ing grandchild drops them), and — because cloexec is invisible
+   to plain forks — every child explicitly closes the parent-side ends
+   of all sibling pipes it inherited.  Without this, a sibling's
+   inherited write end would keep a dead worker's result pipe from ever
+   reaching EOF.
+
+   Telemetry: workers reset trace/metrics state per batch and ship the
+   batch's span roots and metric snapshot in the reply; the parent
+   grafts/merges them back — pid-tagged — in *batch* order.  Batches
+   are precomputed contiguous chunks, so their composition (and hence
+   the merged telemetry) is deterministic regardless of which worker
+   ran which batch. *)
 
 module Trace = Separ_obs.Trace
 module Metrics = Separ_obs.Metrics
 
 type 'r result = Done of 'r | Failed of string
 
-(* What a child ships back: the task's outcome plus its telemetry. *)
+(* What a worker ships back per batch: each task's outcome (keyed by
+   task index) plus the telemetry recorded while running the batch. *)
 type 'r payload =
-  ('r, string) Stdlib.result * Trace.span list * Metrics.snapshot
+  (int * ('r, string) Stdlib.result) list * Trace.span list * Metrics.snapshot
 
-(* Wire protocol tag, written by the child ahead of the marshalled
-   payload and checked by the parent before unmarshalling.  Marshal
-   itself carries no protocol identity: feeding it bytes produced by a
-   stale or mismatched worker binary deserializes garbage (or worse) —
-   with the tag, the mismatch surfaces as an honest [Failed].  Bump the
-   version whenever the payload layout changes. *)
+(* Wire protocol tag, written ahead of every marshalled message in both
+   directions and checked before unmarshalling.  Marshal itself carries
+   no protocol identity: feeding it bytes produced by a stale or
+   mismatched worker binary deserializes garbage (or worse) — with the
+   tag, the mismatch surfaces as an honest [Failed].  Bump the version
+   whenever the message layout changes. *)
 let protocol_tag = "SEPARP1\n"
+let tag_len = String.length protocol_tag
 
 (* Validate a raw worker payload's leading tag; [Ok offset] is where the
    marshalled bytes start, [Error] the [Failed] message to report. *)
 let check_protocol raw =
-  let tag_len = String.length protocol_tag in
   if String.length raw < tag_len then Error "worker sent truncated payload"
   else if String.sub raw 0 tag_len <> protocol_tag then
     Error
@@ -47,6 +70,31 @@ let check_protocol raw =
          (String.trim protocol_tag)
          (String.trim (String.sub raw 0 tag_len)))
   else Ok tag_len
+
+(* Introspection: what the last [run] actually did, for benches and
+   tests asserting that forks scale with the pool, not the task count. *)
+type run_stats = {
+  rs_jobs : int; (* pool width the run was allowed *)
+  rs_forks : int; (* processes forked, including respawns *)
+  rs_respawns : int; (* replacement workers forked after a death *)
+  rs_batches : int; (* task batches sent over the wire *)
+  rs_batch : int; (* batch size used (tasks per message) *)
+}
+
+let inline_stats =
+  { rs_jobs = 1; rs_forks = 0; rs_respawns = 0; rs_batches = 0; rs_batch = 1 }
+
+let last_stats = ref inline_stats
+let last_run_stats () = !last_stats
+let c_forks = Metrics.counter "pool.forks"
+let c_respawns = Metrics.counter "pool.respawns"
+let c_batches = Metrics.counter "pool.batches"
+
+(* Auto batch size: enough tasks per message that ms-scale tasks
+   amortize the framing + Marshal round-trip, yet at least 4 batches
+   per worker so a crash loses little and the tail of the run stays
+   balanced; capped so one message never hoards a huge slice. *)
+let default_batch ~jobs n = max 1 (min 16 (n / (max 1 jobs * 4)))
 
 let run_task task =
   match task () with
@@ -61,31 +109,46 @@ let run_inline tasks =
       match run_task task with Ok v -> Done v | Error msg -> Failed msg)
     tasks
 
-(* --- forked path ---------------------------------------------------------- *)
+(* --- worker side ---------------------------------------------------------- *)
 
-let child_main task w =
-  (* Only this child's own activity should ship back. *)
-  Trace.reset ();
-  Metrics.reset ();
-  let outcome = run_task task in
-  let payload : _ payload = (outcome, Trace.roots (), Metrics.snapshot ()) in
-  let status =
-    match
-      let oc = Unix.out_channel_of_descr w in
-      output_string oc protocol_tag;
-      Marshal.to_channel oc payload [];
-      flush oc
-    with
-    | () -> 0
-    | exception _ -> 2 (* unmarshalable result / broken pipe *)
+(* Serve batches until the task pipe reaches EOF (the parent's shutdown
+   signal).  Exit statuses: 0 clean, 2 reply write failed or a batch
+   blew up outside task containment, 3 protocol mismatch on the task
+   pipe. *)
+let worker_main tasks task_r result_w =
+  let ic = Unix.in_channel_of_descr task_r in
+  let oc = Unix.out_channel_of_descr result_w in
+  let tag = Bytes.create tag_len in
+  let rec serve () =
+    match really_input ic tag 0 tag_len with
+    | exception End_of_file -> 0
+    | () ->
+        if Bytes.to_string tag <> protocol_tag then 3
+        else begin
+          let indices : int list = Marshal.from_channel ic in
+          (* Only this batch's own activity should ship back. *)
+          Trace.reset ();
+          Metrics.reset ();
+          let outcomes = List.map (fun i -> (i, run_task tasks.(i))) indices in
+          let payload : _ payload =
+            (outcomes, Trace.roots (), Metrics.snapshot ())
+          in
+          output_string oc protocol_tag;
+          Marshal.to_channel oc payload [];
+          flush oc;
+          serve ()
+        end
   in
+  let status = match serve () with status -> status | exception _ -> 2 in
   (* [_exit], not [exit]: skip at_exit and inherited buffered output —
      a child must not replay the parent's pending stdout. *)
   Unix._exit status
 
+(* --- parent side ---------------------------------------------------------- *)
+
 let status_string = function
   | Unix.WEXITED code ->
-      Printf.sprintf "worker exited with status %d before reporting" code
+      Printf.sprintf "worker exited with status %d mid-batch" code
   | Unix.WSIGNALED sg -> Printf.sprintf "worker killed by signal %d" sg
   | Unix.WSTOPPED sg -> Printf.sprintf "worker stopped by signal %d" sg
 
@@ -99,84 +162,258 @@ let rec select_retry fds =
   | ready, _, _ -> ready
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> select_retry fds
 
-let spawn task =
-  let r, w = Unix.pipe ~cloexec:false () in
-  (* Flush before forking or the child inherits (and could replay)
-     pending buffered output. *)
-  flush stdout;
-  flush stderr;
-  match Unix.fork () with
-  | 0 ->
-      Unix.close r;
-      child_main task w
-  | pid ->
-      Unix.close w;
-      (pid, r)
+let rec write_retry fd bytes off len =
+  if len > 0 then
+    match Unix.write fd bytes off len with
+    | k -> write_retry fd bytes (off + k) (len - k)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        write_retry fd bytes off len
 
 type worker = {
   wk_pid : int;
-  wk_index : int;
-  wk_buf : Buffer.t; (* marshalled payload, accumulated incrementally *)
+  wk_task_w : Unix.file_descr; (* parent -> worker: framed index batches *)
+  wk_res_r : Unix.file_descr; (* worker -> parent: framed replies *)
+  wk_buf : Buffer.t; (* reply bytes, accumulated incrementally *)
+  mutable wk_inflight : int list; (* indices of the batch on the wire *)
+  mutable wk_batch_id : int; (* for batch-ordered telemetry merge *)
+  mutable wk_closed : bool; (* task pipe closed (shutdown sent) *)
 }
 
-let run_forked ~jobs tasks =
-  let tasks = Array.of_list tasks in
+let run_forked ~jobs ~batch tasks_list =
+  let tasks = Array.of_list tasks_list in
   let n = Array.length tasks in
   let results = Array.make n (Failed "not run") in
-  let telemetry = Array.make n None in
+  (* Contiguous batches, precomputed up front: their composition does
+     not depend on scheduling, only their worker assignment does — so
+     results and batch-ordered telemetry are deterministic. *)
+  let batches =
+    let rec go i acc =
+      if i >= n then List.rev acc
+      else
+        let len = min batch (n - i) in
+        go (i + len) (List.init len (fun k -> i + k) :: acc)
+    in
+    Array.of_list (go 0 [])
+  in
+  let n_batches = Array.length batches in
+  let telemetry = Array.make n_batches None in
+  let next_batch = ref 0 in
+  let forks = ref 0 and respawns = ref 0 in
+  (* Every parent-side pipe end currently open, so each fork can close
+     the sibling fds it inherited (cloexec only helps across exec). *)
+  let parent_fds : Unix.file_descr list ref = ref [] in
+  let close_parent_fd fd =
+    parent_fds := List.filter (fun f -> f <> fd) !parent_fds;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
   (* read-fd -> worker, for the live children *)
   let live : (Unix.file_descr, worker) Hashtbl.t = Hashtbl.create jobs in
-  let next = ref 0 in
-  let launch () =
-    if !next < n then begin
-      let idx = !next in
-      incr next;
-      let pid, r = spawn tasks.(idx) in
-      Hashtbl.replace live r
-        { wk_pid = pid; wk_index = idx; wk_buf = Buffer.create 4096 }
+  let spawn () =
+    let task_r, task_w = Unix.pipe ~cloexec:true () in
+    let res_r, res_w = Unix.pipe ~cloexec:true () in
+    (* Flush before forking or the child inherits (and could replay)
+       pending buffered output. *)
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        (* Drop every inherited parent-side end: a sibling's write fd
+           surviving in this process would hold that sibling's pipes
+           open past its death. *)
+        List.iter
+          (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+          !parent_fds;
+        Unix.close task_w;
+        Unix.close res_r;
+        worker_main tasks task_r res_w
+    | pid ->
+        Unix.close task_r;
+        Unix.close res_w;
+        parent_fds := task_w :: res_r :: !parent_fds;
+        incr forks;
+        Metrics.incr c_forks;
+        let wk =
+          {
+            wk_pid = pid;
+            wk_task_w = task_w;
+            wk_res_r = res_r;
+            wk_buf = Buffer.create 4096;
+            wk_inflight = [];
+            wk_batch_id = -1;
+            wk_closed = false;
+          }
+        in
+        Hashtbl.replace live res_r wk;
+        wk
+  in
+  let shutdown wk =
+    (* EOF on the task pipe is the worker's signal to exit cleanly. *)
+    if not wk.wk_closed then begin
+      wk.wk_closed <- true;
+      close_parent_fd wk.wk_task_w
     end
   in
-  let finish fd wk =
-    Unix.close fd;
-    Hashtbl.remove live fd;
+  (* Remove a worker and reap it; [failed_inflight] are the task
+     indices its death takes down. *)
+  let reap wk ~failed_inflight =
+    Hashtbl.remove live wk.wk_res_r;
+    close_parent_fd wk.wk_res_r;
+    shutdown wk;
     let status = waitpid_retry wk.wk_pid in
-    (match status with
-    | Unix.WEXITED 0 -> (
-        let raw = Buffer.contents wk.wk_buf in
-        match check_protocol raw with
-        | Error msg -> results.(wk.wk_index) <- Failed msg
-        | Ok offset -> (
-            match (Marshal.from_string raw offset : _ payload) with
-            | Ok v, spans, msnap ->
-                results.(wk.wk_index) <- Done v;
-                telemetry.(wk.wk_index) <- Some (wk.wk_pid, spans, msnap)
-            | Error msg, spans, msnap ->
-                results.(wk.wk_index) <- Failed msg;
-                telemetry.(wk.wk_index) <- Some (wk.wk_pid, spans, msnap)
-            | exception _ ->
-                results.(wk.wk_index) <- Failed "worker sent corrupt payload"))
-    | status -> results.(wk.wk_index) <- Failed (status_string status));
-    launch ()
+    (match failed_inflight with
+    | [] -> ()
+    | idxs ->
+        let msg = status_string status in
+        List.iter (fun i -> results.(i) <- Failed msg) idxs);
+    status
   in
-  let chunk = Bytes.create 65536 in
-  for _ = 1 to min jobs n do
-    launch ()
-  done;
-  while Hashtbl.length live > 0 do
-    let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) live [] in
-    let ready = select_retry fds in
-    List.iter
-      (fun fd ->
-        match Hashtbl.find_opt live fd with
-        | None -> ()
-        | Some wk -> (
-            match Unix.read fd chunk 0 (Bytes.length chunk) with
-            | 0 -> finish fd wk
-            | k -> Buffer.add_subbytes wk.wk_buf chunk 0 k
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
-      ready
-  done;
-  (* Merge worker telemetry in task order so the combined trace and
+  let try_send wk indices =
+    let body = Marshal.to_bytes (indices : int list) [] in
+    let msg = Bytes.cat (Bytes.of_string protocol_tag) body in
+    match write_retry wk.wk_task_w msg 0 (Bytes.length msg) with
+    | () -> true
+    | exception Unix.Unix_error _ ->
+        (* EPIPE and friends: the worker died before taking delivery.
+           SIGPIPE is ignored for the whole run, so this is an error
+           return, not a fatal signal. *)
+        false
+  in
+  (* Hand the next batch to an idle worker, or shut it down when the
+     queue is drained.  A worker found dead at send time never received
+     the batch, so the batch goes to a replacement instead of failing —
+     bounded retries in case forked children keep dying instantly. *)
+  let rec assign ?(attempts = 0) wk =
+    if !next_batch >= n_batches then shutdown wk
+    else begin
+      let bid = !next_batch in
+      if try_send wk batches.(bid) then begin
+        incr next_batch;
+        wk.wk_inflight <- batches.(bid);
+        wk.wk_batch_id <- bid;
+        Metrics.incr c_batches
+      end
+      else begin
+        ignore (reap wk ~failed_inflight:[]);
+        if attempts >= 2 then begin
+          List.iter
+            (fun i ->
+              results.(i) <- Failed "worker died before receiving batch")
+            batches.(bid);
+          incr next_batch;
+          if !next_batch < n_batches then begin
+            incr respawns;
+            Metrics.incr c_respawns;
+            assign (spawn ())
+          end
+        end
+        else begin
+          incr respawns;
+          Metrics.incr c_respawns;
+          assign ~attempts:(attempts + 1) (spawn ())
+        end
+      end
+    end
+  in
+  (* A worker died (EOF or read error on its reply pipe).  Its in-flight
+     batch — and only that batch — becomes [Failed]; a replacement is
+     forked if batches remain. *)
+  let on_death wk =
+    let inflight = wk.wk_inflight in
+    ignore (reap wk ~failed_inflight:inflight);
+    if inflight <> [] && !next_batch < n_batches then begin
+      incr respawns;
+      Metrics.incr c_respawns;
+      assign (spawn ())
+    end
+  in
+  (* A worker speaking the wrong protocol (stale binary, corrupt bytes)
+     is killed rather than trusted further. *)
+  let kill_protocol wk msg =
+    let inflight = wk.wk_inflight in
+    Hashtbl.remove live wk.wk_res_r;
+    close_parent_fd wk.wk_res_r;
+    shutdown wk;
+    (try Unix.kill wk.wk_pid Sys.sigkill with Unix.Unix_error _ -> ());
+    ignore (waitpid_retry wk.wk_pid);
+    List.iter (fun i -> results.(i) <- Failed msg) inflight;
+    if !next_batch < n_batches then begin
+      incr respawns;
+      Metrics.incr c_respawns;
+      assign (spawn ())
+    end
+  in
+  (* Try to complete one reply from the worker's buffer.  The exchange
+     is strictly ping-pong (one reply per batch, next batch only after
+     the reply), so the buffer holds at most one message. *)
+  let drain wk =
+    let raw = Buffer.contents wk.wk_buf in
+    let len = String.length raw in
+    if len >= tag_len then begin
+      match check_protocol raw with
+      | Error msg -> kill_protocol wk msg
+      | Ok off ->
+          if len >= off + Marshal.header_size then begin
+            let header = Bytes.of_string (String.sub raw off Marshal.header_size) in
+            let total = off + Marshal.total_size header 0 in
+            if len >= total then begin
+              match (Marshal.from_string raw off : _ payload) with
+              | outcomes, spans, msnap ->
+                  List.iter
+                    (fun (i, outcome) ->
+                      results.(i) <-
+                        (match outcome with
+                        | Ok v -> Done v
+                        | Error msg -> Failed msg))
+                    outcomes;
+                  telemetry.(wk.wk_batch_id) <- Some (wk.wk_pid, spans, msnap);
+                  wk.wk_inflight <- [];
+                  Buffer.clear wk.wk_buf;
+                  if len > total then
+                    Buffer.add_string wk.wk_buf
+                      (String.sub raw total (len - total));
+                  assign wk
+              | exception _ -> kill_protocol wk "worker sent corrupt payload"
+            end
+          end
+    end
+  in
+  (* SIGPIPE off for the duration: a worker dying between select and a
+     parent write must surface as EPIPE (handled above), not kill the
+     whole analysis. *)
+  let prev_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      match prev_sigpipe with
+      | Some h -> ( try Sys.set_signal Sys.sigpipe h with _ -> ())
+      | None -> ())
+    (fun () ->
+      for _ = 1 to min jobs n_batches do
+        assign (spawn ())
+      done;
+      let chunk = Bytes.create 65536 in
+      while Hashtbl.length live > 0 do
+        let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) live [] in
+        let ready = select_retry fds in
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt live fd with
+            | None -> ()
+            | Some wk -> (
+                match Unix.read fd chunk 0 (Bytes.length chunk) with
+                | 0 -> on_death wk
+                | k ->
+                    Buffer.add_subbytes wk.wk_buf chunk 0 k;
+                    drain wk
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                | exception Unix.Unix_error (_, _, _) ->
+                    (* ECONNRESET/EIO from a dying worker: same as EOF *)
+                    on_death wk))
+          ready
+      done);
+  (* Merge worker telemetry in batch order so the combined trace and
      metric totals are deterministic. *)
   Array.iter
     (function
@@ -185,10 +422,28 @@ let run_forked ~jobs tasks =
           Trace.graft ~attrs:[ Trace.attr_int "pid" pid ] spans;
           Metrics.merge msnap)
     telemetry;
+  last_stats :=
+    {
+      rs_jobs = jobs;
+      rs_forks = !forks;
+      rs_respawns = !respawns;
+      rs_batches = n_batches;
+      rs_batch = batch;
+    };
   Array.to_list results
 
-let run ?(jobs = 1) tasks =
-  if jobs <= 1 || List.length tasks <= 1 then run_inline tasks
-  else run_forked ~jobs tasks
+let run ?(jobs = 1) ?batch tasks =
+  let n = List.length tasks in
+  if jobs <= 1 || n <= 1 then begin
+    last_stats := inline_stats;
+    run_inline tasks
+  end
+  else
+    let batch =
+      match batch with
+      | Some b -> max 1 b
+      | None -> default_batch ~jobs n
+    in
+    run_forked ~jobs ~batch tasks
 
-let map ?jobs f xs = run ?jobs (List.map (fun x () -> f x) xs)
+let map ?jobs ?batch f xs = run ?jobs ?batch (List.map (fun x () -> f x) xs)

@@ -1,16 +1,23 @@
-(** A fork-based worker pool with crash isolation.
+(** A persistent fork-based worker pool with crash isolation.
 
-    Tasks run in forked child processes (at most [jobs] concurrently);
-    each child ships its result — plus its telemetry — back to the
-    parent over a pipe via [Marshal].  A task that raises, or whose
-    worker process dies outright (segfault, [exit], OOM-kill), yields
-    [Failed] instead of taking the whole run down, so one pathological
-    signature cannot abort an analysis.
+    [run ~jobs tasks] forks at most [jobs] worker processes {e once}
+    and streams batches of tasks to them over pipes: each worker loops
+    — receive a framed batch, run it, reply with the outcomes plus its
+    telemetry — until the pool closes its task pipe.  N tasks therefore
+    cost [min jobs batches] forks, not N, and ms-scale tasks amortize
+    the per-message Marshal round-trip across a whole batch.
+
+    A task that raises reports [Failed] with the exception text; a
+    worker process that dies outright (segfault, [exit], OOM-kill)
+    fails only the batch it was running — the parent reaps it, maps the
+    in-flight tasks to [Failed], and forks a replacement to drain the
+    remaining batches — so one pathological signature cannot abort an
+    analysis.
 
     Results are returned in task order regardless of completion order,
     and worker telemetry (trace spans, metric counters) is merged back
-    into the parent in that same order, so a run at [-j N] is
-    deterministic given deterministic tasks.
+    in deterministic batch order, so a run at [-j N] is deterministic
+    given deterministic tasks.
 
     With [jobs <= 1] (or a single task) everything runs inline in the
     parent — same result type, no forking — which keeps [-j 1] exactly
@@ -20,22 +27,48 @@
     failed (the exception it raised, or the worker's exit status). *)
 type 'r result = Done of 'r | Failed of string
 
-(** [run ~jobs tasks] executes every task and returns one result per
-    task, in order.  [jobs] defaults to [1] (inline).
+(** [run ~jobs ?batch tasks] executes every task and returns one result
+    per task, in order.  [jobs] defaults to [1] (inline).  [batch] is
+    the number of tasks per wire message; it defaults to
+    {!default_batch}, which targets several batches per worker so a
+    crash loses little and the tail of the run stays balanced.
 
     Forked tasks must return marshal-safe values: no closures, no
     custom blocks.  Mutations a forked task makes to parent state are
     invisible to the parent (separate address spaces) — tasks
     communicate through their return value only. *)
-val run : ?jobs:int -> (unit -> 'r) list -> 'r result list
+val run : ?jobs:int -> ?batch:int -> (unit -> 'r) list -> 'r result list
 
 (** [map ~jobs f xs] is [run ~jobs (List.map (fun x () -> f x) xs)]. *)
-val map : ?jobs:int -> ('a -> 'r) -> 'a list -> 'r result list
+val map : ?jobs:int -> ?batch:int -> ('a -> 'r) -> 'a list -> 'r result list
+
+(** The auto batch size for [n] tasks at pool width [jobs]: roughly
+    [n / (jobs * 4)] clamped to [1, 16]. *)
+val default_batch : jobs:int -> int -> int
+
+(** {1 Introspection}
+
+    What the last {!run} in this process actually did.  Benches and
+    tests use this to assert that fork count scales with the pool
+    width, not the task count, and that crash recovery respawned. *)
+
+type run_stats = {
+  rs_jobs : int;  (** pool width the run was allowed *)
+  rs_forks : int;  (** processes forked, including respawns *)
+  rs_respawns : int;  (** replacement workers forked after a death *)
+  rs_batches : int;  (** task batches sent over the wire *)
+  rs_batch : int;  (** batch size used (tasks per message) *)
+}
+
+(** Stats of the most recent {!run} ([rs_forks = 0] for an inline
+    run). *)
+val last_run_stats : unit -> run_stats
 
 (** {1 Wire protocol}
 
-    Each worker prefixes its marshalled payload with a magic/version
-    tag; the parent refuses to unmarshal bytes that don't carry the
+    Every message in both directions — parent→worker batches and
+    worker→parent replies — is prefixed with a magic/version tag; the
+    receiving side refuses to unmarshal bytes that don't carry the
     expected tag (a stale or mismatched worker binary would otherwise
     deserialize garbage), surfacing the mismatch as [Failed]. *)
 

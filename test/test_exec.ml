@@ -70,6 +70,66 @@ let test_crash_isolation () =
       check "exit status reported" true (contains ~affix:"status 7" msg)
   | _ -> Alcotest.fail "expected crash isolated to its own task"
 
+(* The pool is persistent: many more tasks than workers must be served
+   by the same forked children, reused across batches — not one fork per
+   task. *)
+let test_persistent_worker_reuse () =
+  let parent = Unix.getpid () in
+  let results =
+    Pool.map ~jobs:3 ~batch:1 (fun _ -> Unix.getpid ()) (List.init 12 Fun.id)
+  in
+  let pids = done_values results in
+  check_int "all tasks ran" 12 (List.length pids);
+  List.iter
+    (fun pid -> check "task ran in a worker, not the parent" true (pid <> parent))
+    pids;
+  let distinct = List.sort_uniq compare pids in
+  check "at most 3 distinct worker pids for 12 tasks" true
+    (List.length distinct <= 3);
+  let stats = Pool.last_run_stats () in
+  check_int "forks = pool width, not task count" 3 stats.Pool.rs_forks;
+  check_int "one batch per task at batch:1" 12 stats.Pool.rs_batches;
+  check_int "no respawns in a crash-free run" 0 stats.Pool.rs_respawns
+
+(* A worker dying mid-batch fails every task of that batch — and only
+   that batch; completed and not-yet-assigned batches are unaffected. *)
+let test_midbatch_crash_isolation () =
+  let tasks =
+    List.init 6 (fun i () -> if i = 2 then Unix._exit 9 else i * 10)
+  in
+  let results = Pool.run ~jobs:2 ~batch:2 tasks in
+  (match results with
+  | [ Pool.Done 0; Pool.Done 10; Pool.Failed m2; Pool.Failed m3;
+      Pool.Done 40; Pool.Done 50 ] ->
+      check "in-flight batch reported mid-batch death" true
+        (contains ~affix:"mid-batch" m2);
+      check "whole in-flight batch failed with the same cause" true
+        (contains ~affix:"mid-batch" m3)
+  | _ -> Alcotest.fail "expected exactly the crashed batch (tasks 2-3) failed")
+
+(* After a crash the pool respawns a replacement worker: the remaining
+   batch still runs, in a freshly forked process.  The first worker is
+   parked on a slow task so the crash is detected while work remains
+   undispatched, forcing the respawn path.  (jobs:1 would run inline —
+   the crash must happen in a forked pool.) *)
+let test_respawn_after_crash () =
+  let tasks =
+    [
+      (fun () ->
+        Unix.sleepf 0.3;
+        Unix.getpid ());
+      (fun () -> Unix._exit 5);
+      (fun () -> Unix.getpid ());
+    ]
+  in
+  (match Pool.run ~jobs:2 ~batch:1 tasks with
+  | [ Pool.Done p1; Pool.Failed _; Pool.Done p2 ] ->
+      check "replacement is a fresh process" true (p1 <> p2)
+  | _ -> Alcotest.fail "expected Done/Failed/Done around the crash");
+  let stats = Pool.last_run_stats () in
+  check_int "one respawn recorded" 1 stats.Pool.rs_respawns;
+  check_int "two initial forks + one respawn" 3 stats.Pool.rs_forks
+
 (* Worker-side metrics ship back and merge additively into the parent
    registry. *)
 let test_worker_metrics_merged () =
@@ -113,6 +173,11 @@ let tests =
     Alcotest.test_case "map preserves task order" `Quick test_map_order;
     Alcotest.test_case "exception isolation" `Quick test_exception_isolation;
     Alcotest.test_case "worker crash isolation" `Quick test_crash_isolation;
+    Alcotest.test_case "persistent workers reused across batches" `Quick
+      test_persistent_worker_reuse;
+    Alcotest.test_case "mid-batch crash fails only in-flight batch" `Quick
+      test_midbatch_crash_isolation;
+    Alcotest.test_case "respawn after crash" `Quick test_respawn_after_crash;
     Alcotest.test_case "worker metrics merged" `Quick
       test_worker_metrics_merged;
     Alcotest.test_case "worker spans grafted with pid" `Quick

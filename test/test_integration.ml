@@ -387,6 +387,51 @@ let test_worker_crash_degrades () =
     "healthy signatures unaffected by the crash"
     (scenario_keys healthy) (scenario_keys report)
 
+let test_bundle_sharding_matches_sequential () =
+  (* Sharding across bundles (one pool task per bundle, persistent
+     workers) must be invisible in the results: stripped reports
+     byte-identical to per-bundle -j 1 runs, in bundle order. *)
+  let bundles =
+    [
+      Bundle.of_models (List.map Extract.extract (demo_apks ()));
+      Bundle.of_models
+        (List.map Extract.extract
+           [
+             Demo.navigation_app ();
+             Demo.messenger_app ();
+             Demo.relay_malware ();
+           ]);
+      Bundle.of_models [ Extract.extract (forwarding_chain_apk ()) ];
+    ]
+  in
+  let render report =
+    Separ_report.Report.to_string ~report:(Ase.strip_performance report)
+      ~policies:[] ()
+  in
+  let baseline = List.map (fun b -> render (Ase.analyze ~jobs:1 b)) bundles in
+  check "baseline bundles find vulnerabilities" true
+    (List.exists (fun s -> s <> "") baseline);
+  List.iter
+    (fun jobs ->
+      let sharded =
+        Ase.analyze_many ~jobs ~shard_bundles:true bundles
+      in
+      check_int
+        (Printf.sprintf "one report per bundle at -j %d" jobs)
+        (List.length bundles) (List.length sharded);
+      List.iteri
+        (fun i report ->
+          check
+            (Printf.sprintf "bundle %d not degraded at -j %d" i jobs)
+            true
+            (report.Ase.r_degraded = []);
+          Alcotest.(check string)
+            (Printf.sprintf
+               "bundle %d stripped report byte-identical at -j %d" i jobs)
+            (List.nth baseline i) (render report))
+        sharded)
+    [ 2; 4 ]
+
 let test_truncation_reported () =
   let bundle = Bundle.of_models (List.map Extract.extract (demo_apks ())) in
   let full = Ase.analyze bundle in
@@ -429,6 +474,8 @@ let extension_tests =
       test_budget_degrades_gracefully;
     Alcotest.test_case "worker crash degrades its signature" `Quick
       test_worker_crash_degrades;
+    Alcotest.test_case "bundle sharding matches sequential" `Quick
+      test_bundle_sharding_matches_sequential;
     Alcotest.test_case "truncation reported" `Quick test_truncation_reported;
   ]
 
