@@ -25,12 +25,37 @@ open Separ
 module Generator = Separ_workload.Generator
 module Trace = Separ_obs.Trace
 module Metrics = Separ_obs.Metrics
+module Log = Separ_obs.Log
 module Telemetry = Separ_report.Telemetry
+module Json = Separ_report.Json
+module Provenance = Separ_report.Provenance
+module History = Separ_report.History
 
 let header title =
   Printf.printf "\n==================================================\n";
   Printf.printf "%s\n" title;
   Printf.printf "==================================================\n%!"
+
+(* --- bench trajectory ------------------------------------------------------- *)
+
+let history_path = "BENCH_HISTORY.ndjson"
+
+(* Collected once per process, so every history line of one bench run
+   carries the same commit/host/timestamp stamp. *)
+let provenance = lazy (Provenance.json (Provenance.collect ()))
+
+(* Append one (section, mode) trajectory point to BENCH_HISTORY.ndjson.
+   The BENCH_*.json snapshots are overwritten on every run; the history
+   file only grows, and `separ benchdiff` gates on it. *)
+let record_history ?(mode = "full") ?(extra = []) ~section wall_ms =
+  History.append ~path:history_path
+    {
+      History.e_section = section;
+      e_mode = mode;
+      e_wall_ms = wall_ms;
+      e_provenance = Lazy.force provenance;
+      e_extra = extra;
+    }
 
 (* Descriptive statistics come from the shared implementation so every
    table reports the same (nearest-rank) percentile estimator.  The
@@ -50,7 +75,10 @@ let run_table1 () =
   in
   print_string (Separ_suites.Table1.render rows);
   Printf.printf "\n(paper: DidFail 55/37/44, AmanDroid 86/48/63, SEPAR 100/97/98)\n";
-  Printf.printf "elapsed: %.1fs\n%!" (elapsed_ms /. 1000.0)
+  Printf.printf "elapsed: %.1fs\n%!" (elapsed_ms /. 1000.0);
+  record_history ~section:"table1"
+    ~extra:[ ("cases", Json.Int (List.length rows)) ]
+    elapsed_ms
 
 (* --- shared corpus ------------------------------------------------------------ *)
 
@@ -116,7 +144,10 @@ let run_rq2 ~bundles:n_bundles () =
       ("Information leakage", 128);
       ("Privilege escalation", 36);
     ];
-  Printf.printf "elapsed: %.1fs\n%!" (total_ms /. 1000.0)
+  Printf.printf "elapsed: %.1fs\n%!" (total_ms /. 1000.0);
+  record_history ~section:"rq2"
+    ~extra:[ ("bundles", Json.Int (List.length chosen)) ]
+    total_ms
 
 (* --- Figure 5 ------------------------------------------------------------------ *)
 
@@ -175,7 +206,10 @@ let run_fig5 ~apps:n_apps () =
     "\ntotal: %.1fs for %d apps (linear in total size); %.1f%% of apps \
      under 2 minutes (paper: 95%%)\n%!"
     total_s (List.length samples)
-    (100.0 *. float_of_int under_2min /. float_of_int (List.length samples))
+    (100.0 *. float_of_int under_2min /. float_of_int (List.length samples));
+  record_history ~section:"fig5"
+    ~extra:[ ("apps", Json.Int (List.length samples)) ]
+    total_ms
 
 (* --- Table II ------------------------------------------------------------------- *)
 
@@ -580,8 +614,6 @@ let run_ablation_incremental () =
 
 (* --- solver benchmark (BENCH_solver.json) --------------------------------------- *)
 
-module Json = Separ_report.Json
-
 (* Pigeonhole principle: [p] pigeons in [h] holes — unsat when p > h.  A
    classic conflict-heavy instance that exercises clause learning, learnt
    minimization and database reduction. *)
@@ -664,6 +696,7 @@ let run_solver_bench ~mode () =
     Json.Obj
       [
         ("mode", Json.Str mode);
+        ("provenance", Lazy.force provenance);
         ("elapsed_s", Json.Float elapsed);
         ("telemetry", Telemetry.telemetry_json ());
         ( "workload",
@@ -714,6 +747,13 @@ let run_solver_bench ~mode () =
     (total (fun s -> s.S.s_learnts_deleted))
     (total (fun s -> s.S.s_lits_minimized))
     (total (fun s -> s.S.s_act_retired));
+  record_history ~mode ~section:"solver"
+    ~extra:
+      [
+        ("conflicts", Json.Int (total (fun s -> s.S.s_conflicts)));
+        ("propagations", Json.Int (total (fun s -> s.S.s_propagations)));
+      ]
+    elapsed_ms;
   (report, php_result, php_stats, scenarios, enum_stats)
 
 (* Fast correctness/perf gate for `dune runtest`: fails (exit 1) when the
@@ -949,6 +989,7 @@ let run_parallel_bench ~mode () =
     Json.Obj
       [
         ("mode", Json.Str mode);
+        ("provenance", Lazy.force provenance);
         ("cpu_cores", Json.Int cores);
         ("cases", Json.Int (List.length bundles));
         ( "runs",
@@ -994,6 +1035,16 @@ let run_parallel_bench ~mode () =
     Printf.printf
       "(single-core host: workers time-slice one CPU, speedup <= 1 expected)\n";
   Printf.printf "%!";
+  (* The trajectory headline is the -j 1 wall time: speedups divide it
+     away, so a sequential regression would otherwise hide. *)
+  record_history ~mode ~section:"parallel"
+    ~extra:
+      [
+        ("cpu_cores", Json.Int cores);
+        ("speedup_at_2", Json.Float (speedup_at 2));
+        ("speedup_at_4", Json.Float (speedup_at 4));
+      ]
+    base_ms;
   {
     pb_identical = identical;
     pb_degradations = degradations;
@@ -1206,6 +1257,7 @@ let run_incremental_bench ~mode () =
     Json.Obj
       [
         ("mode", Json.Str mode);
+        ("provenance", Lazy.force provenance);
         ("cpu_cores", Json.Int cores);
         ("cases", Json.Int (List.length bundles));
         ( "runs",
@@ -1250,6 +1302,12 @@ let run_incremental_bench ~mode () =
     "stripped reports identical across paths and -j: %b -> \
      BENCH_incremental.json\n%!"
     identical;
+  (match runs with
+  | (_, _, inc1_ms, _, scr1_ms) :: _ ->
+      record_history ~mode ~section:"incremental"
+        ~extra:[ ("scratch_wall_ms", Json.Float scr1_ms) ]
+        inc1_ms
+  | [] -> ());
   (identical, inc_tail, scr_tail, cache_hits, reused_clauses)
 
 (* Tier-1 gate for `dune runtest`: on a Table I slice the incremental
@@ -1403,6 +1461,7 @@ let run_cache_bench ~mode () =
     Json.Obj
       [
         ("mode", Json.Str mode);
+        ("provenance", Lazy.force provenance);
         ("cases", Json.Int (List.length cases));
         ("signatures", Json.Int (List.length (Signatures.all ())));
         ("cold", phase_json cold_ms cold_extracted cold_solves cold_cache);
@@ -1434,6 +1493,12 @@ let run_cache_bench ~mode () =
   Printf.printf
     "stripped reports identical (warm %b, changed %b) -> BENCH_cache.json\n%!"
     result.cb_warm_identical result.cb_changed_identical;
+  record_history ~mode ~section:"cache"
+    ~extra:
+      [
+        ("warm_ms", Json.Float warm_ms); ("changed_ms", Json.Float changed_ms);
+      ]
+    cold_ms;
   result
 
 (* Tier-1 gate for `dune runtest`: a warm re-run must do zero AME
@@ -1480,6 +1545,261 @@ let run_cache_smoke () =
   | [] -> Printf.printf "cache smoke: all gates passed\n%!"
   | fs ->
       List.iter (fun f -> Printf.printf "cache smoke FAILURE: %s\n" f) fs;
+      exit 1
+
+(* --- observability smoke (tier-1 gate) ------------------------------------- *)
+
+(* Runs the demo bundle at -j 2 with the whole observability stack on —
+   NDJSON log sink at debug level, GC profiling, metrics — and fails
+   (exit 1) when the log stream stops being valid NDJSON, worker events
+   stop arriving pid-tagged through the pool, per-pid timestamps go
+   non-monotone (replay order broke), the rate limiter stops counting
+   drops, the OpenMetrics export stops validating, GC deltas vanish
+   from the translate/solve spans, or the span ring stops bounding
+   retention.  All observability state is restored on the way out. *)
+let run_obs_smoke () =
+  header
+    "Observability smoke: NDJSON log + OpenMetrics + GC profile (tier-1 gate)";
+  let failures = ref [] in
+  let expect cond msg = if not cond then failures := msg :: !failures in
+  let log_path = Filename.temp_file "separ_obs_smoke" ".ndjson" in
+  Trace.enable ();
+  Metrics.enable ();
+  Trace.set_profile_gc true;
+  Trace.reset ();
+  Metrics.reset ();
+  Log.to_file log_path;
+  Log.set_level Log.Debug;
+  Log.reset ();
+  let models =
+    List.map Extract.extract [ Demo.navigation_app (); Demo.messenger_app () ]
+  in
+  let report = Ase.analyze ~jobs:2 (Bundle.of_models models) in
+  expect
+    (report.Ase.r_vulnerabilities <> [])
+    "demo bundle produced no scenarios";
+  (* The rate limiter: flood one event name past the per-window limit
+     and check the overflow was counted, not written. *)
+  for i = 1 to Log.default_rate_limit + 50 do
+    Log.debug "obs.smoke_flood" ~fields:[ ("i", Trace.Int i) ]
+  done;
+  let _, suppressed = Log.stats () in
+  expect (suppressed >= 50)
+    (Printf.sprintf "rate limiter suppressed %d flood events (expected >= 50)"
+       suppressed);
+  Log.close ();
+  (* Every line of the sink must be one well-formed envelope; worker
+     events must be there under their own pids, in emission order. *)
+  let lines =
+    let ic = open_in log_path in
+    let acc = ref [] in
+    (try
+       while true do
+         let l = String.trim (input_line ic) in
+         if l <> "" then acc := l :: !acc
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !acc
+  in
+  expect (lines <> []) "log sink captured no events";
+  let parent = Unix.getpid () in
+  let worker_pids : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let last_ts : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | exception Json.Parse_error msg ->
+          expect false
+            (Printf.sprintf "log line is not valid JSON (%s): %s" msg line)
+      | j -> (
+          let ts = Option.bind (Json.member "ts_us" j) Json.to_float in
+          let level = Option.bind (Json.member "level" j) Json.to_str in
+          let event = Option.bind (Json.member "event" j) Json.to_str in
+          let pid = Option.bind (Json.member "pid" j) Json.to_float in
+          expect (ts <> None) "log event without numeric ts_us";
+          expect
+            (match level with
+            | Some ("debug" | "info" | "warn" | "error") -> true
+            | _ -> false)
+            "log event with missing or unknown level";
+          expect (event <> None) "log event without event name";
+          match (pid, ts) with
+          | Some p, Some t ->
+              let p = int_of_float p in
+              if p <> parent && event = Some "ase.signature" then
+                Hashtbl.replace worker_pids p ();
+              let prev =
+                Option.value ~default:neg_infinity (Hashtbl.find_opt last_ts p)
+              in
+              expect (t >= prev)
+                (Printf.sprintf "per-pid timestamps not monotone (pid %d)" p);
+              Hashtbl.replace last_ts p t
+          | _ -> expect false "log event without pid"))
+    lines;
+  expect
+    (Hashtbl.length worker_pids >= 1)
+    "no pid-tagged worker ase.signature events reached the parent sink";
+  (* GC profiling: the translate and solve phases allocate, so their
+     spans must carry non-zero minor-heap deltas, and the top-level
+     folds must have moved the gc.* counters. *)
+  let gc_minor name =
+    Trace.fold_spans
+      (fun acc sp ->
+        if sp.Trace.sp_name = name then
+          match List.assoc_opt "gc.minor_words" sp.Trace.sp_attrs with
+          | Some (Trace.Float f) -> Float.max acc f
+          | _ -> acc
+        else acc)
+      0.0
+  in
+  expect
+    (gc_minor "relog.translate" > 0.0)
+    "relog.translate spans carry no gc.minor_words delta";
+  expect (gc_minor "sat.solve" > 0.0)
+    "sat.solve spans carry no gc.minor_words delta";
+  expect
+    (Metrics.counter_value (Metrics.counter "gc.minor_words") > 0)
+    "gc.minor_words counter never moved with --profile-gc semantics on";
+  (* The OpenMetrics export must satisfy its own well-formedness
+     checker (TYPE'd families, cumulative ascending buckets, +Inf =
+     _count, trailing # EOF). *)
+  (match Telemetry.openmetrics_check (Telemetry.openmetrics_string ()) with
+  | Ok () -> ()
+  | Error msg -> expect false ("OpenMetrics export fails validation: " ^ msg));
+  (* The span ring stays bounded and keeps the newest roots. *)
+  let cap_before = Trace.root_cap () in
+  Trace.set_root_cap 2;
+  List.iter
+    (fun name -> Trace.with_span name (fun () -> ()))
+    [ "obs.ring_a"; "obs.ring_b"; "obs.ring_c" ];
+  expect
+    (List.length (Trace.roots ()) = 2)
+    "span ring retains more roots than its cap";
+  expect (Trace.dropped_roots () > 0) "span ring dropped roots went uncounted";
+  (match List.rev (Trace.roots ()) with
+  | newest :: _ ->
+      expect
+        (newest.Trace.sp_name = "obs.ring_c")
+        "span ring did not keep the newest root"
+  | [] -> ());
+  Trace.set_root_cap cap_before;
+  (* restore pristine observability state for whatever runs next *)
+  Log.set_level Log.Info;
+  Log.set_rate_limit Log.default_rate_limit;
+  Log.reset ();
+  Trace.set_profile_gc false;
+  Trace.disable ();
+  Metrics.disable ();
+  Trace.reset ();
+  Metrics.reset ();
+  (try Sys.remove log_path with Sys_error _ -> ());
+  match !failures with
+  | [] ->
+      Printf.printf "obs smoke: %d log lines, all gates passed\n%!"
+        (List.length lines)
+  | fs ->
+      List.iter (fun f -> Printf.printf "obs smoke FAILURE: %s\n" f) fs;
+      exit 1
+
+(* --- benchdiff smoke (tier-1 gate) ------------------------------------------ *)
+
+(* Exercises the trajectory regression gate against synthetic history
+   files, so the gate is deterministic under `dune runtest`: a missing
+   history skips, a single entry has no baseline, a stable trend
+   passes, an inflated latest run is flagged, smoke- and full-mode
+   entries never cross-compare, malformed lines are counted but not
+   fatal. *)
+let run_benchdiff_smoke () =
+  header "Benchdiff smoke: bench-trajectory regression gate (tier-1 gate)";
+  let failures = ref [] in
+  let expect cond msg = if not cond then failures := msg :: !failures in
+  let tmp = Filename.temp_file "separ_benchdiff" ".ndjson" in
+  Sys.remove tmp;
+  (* missing history: `separ benchdiff` skips (exit 0) rather than fail *)
+  let entries, malformed = History.load ~path:tmp in
+  expect
+    (entries = [] && malformed = 0)
+    "missing history file did not load as empty";
+  expect (History.diff entries = []) "missing history produced section diffs";
+  Printf.printf
+    "benchdiff smoke: no-baseline case SKIPPED by the gate (exit 0), as \
+     specified\n";
+  let entry ?(mode = "full") wall_ms =
+    {
+      History.e_section = "solver";
+      e_mode = mode;
+      e_wall_ms = wall_ms;
+      e_provenance = Json.Null;
+      e_extra = [];
+    }
+  in
+  (* one entry: nothing to compare against *)
+  History.append ~path:tmp (entry 100.0);
+  (match History.diff (fst (History.load ~path:tmp)) with
+  | [ d ] ->
+      expect
+        (d.History.sd_status = History.No_baseline)
+        "single entry did not report No_baseline"
+  | ds ->
+      expect false
+        (Printf.sprintf "expected 1 section diff, got %d" (List.length ds)));
+  (* stable trend: identical runs must pass *)
+  History.append ~path:tmp (entry 102.0);
+  History.append ~path:tmp (entry 98.0);
+  History.append ~path:tmp (entry 100.0);
+  (match History.diff (fst (History.load ~path:tmp)) with
+  | [ d ] ->
+      expect (d.History.sd_status = History.Ok)
+        "stable trend flagged as regression";
+      expect (d.History.sd_samples = 3)
+        (Printf.sprintf "baseline over %d samples (expected 3)"
+           d.History.sd_samples)
+  | ds ->
+      expect false
+        (Printf.sprintf "expected 1 section diff, got %d" (List.length ds)));
+  (* a smoke-mode run must not borrow the full-mode baseline *)
+  History.append ~path:tmp (entry ~mode:"smoke" 5.0);
+  (match
+     List.find_opt
+       (fun d -> d.History.sd_mode = "smoke")
+       (History.diff (fst (History.load ~path:tmp)))
+   with
+  | Some d ->
+      expect
+        (d.History.sd_status = History.No_baseline)
+        "smoke run compared against the full-mode baseline"
+  | None -> expect false "smoke-mode entry produced no section diff");
+  (* an inflated latest run must be flagged *)
+  History.append ~path:tmp (entry 160.0);
+  let regressed, _ = History.load ~path:tmp in
+  (match
+     List.find_opt (fun d -> d.History.sd_mode = "full") (History.diff regressed)
+   with
+  | Some d ->
+      expect
+        (d.History.sd_status = History.Regression)
+        (Printf.sprintf "+60%% latest run not flagged (delta %.1f%%)"
+           d.History.sd_delta_pct);
+      expect
+        (d.History.sd_delta_pct > History.default_threshold_pct)
+        "regression delta did not exceed the default threshold"
+  | None -> expect false "full-mode entries produced no section diff");
+  (* malformed lines: skipped and counted, never fatal *)
+  let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 tmp in
+  output_string oc "{this is not json\n";
+  close_out oc;
+  let after, malformed = History.load ~path:tmp in
+  expect (malformed = 1)
+    (Printf.sprintf "%d malformed lines counted (expected 1)" malformed);
+  expect
+    (List.length after = List.length regressed)
+    "a malformed line changed the parsed entry count";
+  Sys.remove tmp;
+  match !failures with
+  | [] -> Printf.printf "benchdiff smoke: all gates passed\n%!"
+  | fs ->
+      List.iter (fun f -> Printf.printf "benchdiff smoke FAILURE: %s\n" f) fs;
       exit 1
 
 (* --- Bechamel kernels ---------------------------------------------------------- *)
@@ -1568,6 +1888,8 @@ let () =
   if has "--parallel-smoke" then run_parallel_smoke ();
   if has "--incremental-smoke" then run_incremental_smoke ();
   if has "--cache-smoke" then run_cache_smoke ();
+  if has "--obs-smoke" then run_obs_smoke ();
+  if has "--benchdiff-smoke" then run_benchdiff_smoke ();
   if all || has "table1" then run_table1 ();
   if all || has "parallel" then ignore (run_parallel_bench ~mode:"full" ());
   if all || has "incremental" then

@@ -17,6 +17,7 @@
 open Cmdliner
 module Trace = Separ_obs.Trace
 module Metrics = Separ_obs.Metrics
+module Log = Separ_obs.Log
 
 let load_apks paths = List.map Separ_dalvik.Apk_text.load paths
 
@@ -65,27 +66,89 @@ let metrics_arg =
           "Collect pipeline metrics and per-phase durations; they are \
            merged into JSON output and printed to stderr for text output")
 
-let telemetry_setup ~trace ~metrics =
-  if trace <> None || metrics then begin
+(* Structured observability flags, shared by [analyze] and [enforce]:
+   [--log FILE] streams leveled NDJSON events (one JSON object per
+   line; /dev/stderr works), [--metrics-out FILE] dumps the metric
+   registry as OpenMetrics text at exit, [--profile-gc] adds GC deltas
+   to every span.  All of them imply switching the relevant telemetry
+   layer on; with everything off the instrumented hot paths stay one
+   branch each. *)
+let log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:
+          "Append structured NDJSON log events to $(docv) (use \
+           $(b,/dev/stderr) to stream them to the terminal)")
+
+let log_level_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("debug", Log.Debug); ("info", Log.Info); ("warn", Log.Warn);
+             ("error", Log.Error);
+           ])
+        Log.Info
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Minimum level written to $(b,--log): $(b,debug), $(b,info), \
+           $(b,warn) or $(b,error)")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the metric registry to $(docv) in OpenMetrics/Prometheus \
+           text format at exit (implies metric collection)")
+
+let profile_gc_arg =
+  Arg.(
+    value & flag
+    & info [ "profile-gc" ]
+        ~doc:
+          "Capture GC deltas (minor/major words allocated, collections, \
+           heap size) for every traced span, as $(b,gc.*) span attributes \
+           and metrics (implies tracing and metric collection)")
+
+let telemetry_setup ~trace ~metrics ~log ~log_level ~metrics_out ~profile_gc =
+  if trace <> None || metrics || metrics_out <> None || profile_gc then begin
     Trace.enable ();
     Metrics.enable ()
-  end
+  end;
+  if profile_gc then Trace.set_profile_gc true;
+  match log with
+  | Some path ->
+      Log.to_file path;
+      Log.set_level log_level
+  | None -> ()
 
 (* Flush collected telemetry at the end of a command: the trace file if
-   requested, and (for non-JSON consumers) human-readable summaries on
-   stderr. *)
-let telemetry_finish ?(to_stderr = true) ~trace ~metrics () =
+   requested, the OpenMetrics dump, and (for non-JSON consumers)
+   human-readable summaries on stderr. *)
+let telemetry_finish ?(to_stderr = true) ~trace ~metrics ?(metrics_out = None)
+    () =
   (match trace with
   | Some path ->
       Separ_report.Telemetry.write_trace path;
       Fmt.epr "wrote trace to %s@." path
+  | None -> ());
+  (match metrics_out with
+  | Some path ->
+      Separ_report.Telemetry.write_openmetrics path;
+      Fmt.epr "wrote OpenMetrics text to %s@." path
   | None -> ());
   if metrics && to_stderr then begin
     Fmt.epr "--- span tree ---@.";
     Trace.print_summary ();
     Fmt.epr "--- metrics ---@.";
     Metrics.print ()
-  end
+  end;
+  Log.close ()
 
 (* A positional path may be one APK text file or a directory holding a
    whole bundle of them; directories make [analyze] a multi-bundle run
@@ -263,8 +326,8 @@ let analyze_cmd =
   in
   let run paths out limit jobs shard_bundles budget_conflicts budget_time
       cache_dir no_cache cache_max_mb cache_stats incremental format stats
-      trace metrics =
-    telemetry_setup ~trace ~metrics;
+      trace metrics log log_level metrics_out profile_gc =
+    telemetry_setup ~trace ~metrics ~log ~log_level ~metrics_out ~profile_gc;
     let budget =
       match (budget_conflicts, budget_time) with
       | None, None -> None
@@ -329,7 +392,7 @@ let analyze_cmd =
             | None -> ());
             Fmt.pr "%a@." Separ.pp_analysis analysis)
           analyses;
-        telemetry_finish ~trace ~metrics ()
+        telemetry_finish ~trace ~metrics ~metrics_out ()
     | `Json ->
         let telemetry =
           if metrics then Some (Separ_report.Telemetry.telemetry_json ())
@@ -344,7 +407,7 @@ let analyze_cmd =
                  ~report:analysis.Separ.report
                  ~policies:analysis.Separ.policies ()))
           analyses;
-        telemetry_finish ~to_stderr:false ~trace ~metrics ());
+        telemetry_finish ~to_stderr:false ~trace ~metrics ~metrics_out ());
     List.iter (fun (label, analysis) ->
     if stats then begin
       (match label with
@@ -400,7 +463,8 @@ let analyze_cmd =
     Term.(
       const run $ paths $ out $ limit $ jobs $ shard_bundles
       $ budget_conflicts $ budget_time $ cache_dir $ no_cache $ cache_max_mb
-      $ cache_stats $ incremental $ format $ stats $ trace_arg $ metrics_arg)
+      $ cache_stats $ incremental $ format $ stats $ trace_arg $ metrics_arg
+      $ log_arg $ log_level_arg $ metrics_out_arg $ profile_gc_arg)
 
 let extract_cmd =
   let path =
@@ -497,8 +561,9 @@ let enforce_cmd =
       value & flag
       & info [ "approve" ] ~doc:"Approve user prompts (default: refuse)")
   in
-  let run paths policies_file start consent trace metrics =
-    telemetry_setup ~trace ~metrics;
+  let run paths policies_file start consent trace metrics log log_level
+      metrics_out profile_gc =
+    telemetry_setup ~trace ~metrics ~log ~log_level ~metrics_out ~profile_gc;
     let apks = load_apks paths in
     let policies =
       let ic = open_in policies_file in
@@ -525,14 +590,102 @@ let enforce_cmd =
     List.iter
       (fun e -> Fmt.pr "%a@." Separ.Effect.pp e)
       (Separ.Device.effects device);
-    telemetry_finish ~trace ~metrics ()
+    telemetry_finish ~trace ~metrics ~metrics_out ()
   in
   Cmd.v
     (Cmd.info "enforce"
        ~doc:"Run a component on a simulated device under a policy store")
     Term.(
       const run $ paths $ policies_file $ start $ consent $ trace_arg
-      $ metrics_arg)
+      $ metrics_arg $ log_arg $ log_level_arg $ metrics_out_arg
+      $ profile_gc_arg)
+
+(* The bench-trajectory regression gate over BENCH_HISTORY.ndjson (see
+   [Separ_report.History]): per (section, mode) group, compare the
+   latest recorded wall time against the median of up to K prior runs;
+   exceed the threshold and the command exits non-zero.  Sections
+   without prior runs are reported as SKIPPED, and a missing history
+   file is itself a SKIPPED success — the gate must be safe to wire
+   into CI before any history exists. *)
+let benchdiff_cmd =
+  let module History = Separ_report.History in
+  let history_path =
+    Arg.(
+      value
+      & opt string "BENCH_HISTORY.ndjson"
+      & info [ "history" ] ~docv:"FILE"
+          ~doc:"Bench-trajectory NDJSON file to diff")
+  in
+  let baseline_k =
+    Arg.(
+      value
+      & opt (int_at_least ~min:1 ~what:"--baseline-k") History.default_k
+      & info [ "baseline-k" ] ~docv:"K"
+          ~doc:"Baseline = median of up to $(docv) prior runs per section")
+  in
+  let threshold =
+    Arg.(
+      value
+      & opt (nonneg_float ~what:"--threshold") History.default_threshold_pct
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:"Fail when latest wall time exceeds the baseline by more \
+                than $(docv) percent")
+  in
+  let run history_path baseline_k threshold =
+    let entries, malformed = History.load ~path:history_path in
+    if malformed > 0 then
+      Fmt.epr "benchdiff: skipped %d malformed history line%s@." malformed
+        (if malformed = 1 then "" else "s");
+    match entries with
+    | [] ->
+        Fmt.pr "benchdiff: SKIPPED (no history at %s)@." history_path;
+        exit 0
+    | _ ->
+        let diffs = History.diff ~k:baseline_k ~threshold_pct:threshold entries in
+        Fmt.pr "benchdiff: %s (%d entries, baseline = median of <= %d prior \
+                runs, threshold %g%%)@."
+          history_path (List.length entries) baseline_k threshold;
+        List.iter
+          (fun (d : History.section_diff) ->
+            match d.History.sd_status with
+            | History.No_baseline ->
+                Fmt.pr "  SKIPPED     %-16s %-6s %10.1f ms (no baseline yet)@."
+                  d.History.sd_section d.History.sd_mode d.History.sd_latest_ms
+            | History.Ok ->
+                Fmt.pr
+                  "  OK          %-16s %-6s %10.1f ms vs %10.1f ms (%+.1f%%, \
+                   %d prior run%s)@."
+                  d.History.sd_section d.History.sd_mode d.History.sd_latest_ms
+                  d.History.sd_baseline_ms d.History.sd_delta_pct
+                  d.History.sd_samples
+                  (if d.History.sd_samples = 1 then "" else "s")
+            | History.Regression ->
+                Fmt.pr
+                  "  REGRESSION  %-16s %-6s %10.1f ms vs %10.1f ms (%+.1f%%, \
+                   %d prior run%s)@."
+                  d.History.sd_section d.History.sd_mode d.History.sd_latest_ms
+                  d.History.sd_baseline_ms d.History.sd_delta_pct
+                  d.History.sd_samples
+                  (if d.History.sd_samples = 1 then "" else "s"))
+          diffs;
+        let regressions =
+          List.filter
+            (fun d -> d.History.sd_status = History.Regression)
+            diffs
+        in
+        if regressions <> [] then begin
+          Fmt.epr "benchdiff: %d section%s regressed@."
+            (List.length regressions)
+            (if List.length regressions = 1 then "" else "s");
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "benchdiff"
+       ~doc:
+         "Compare the latest bench run against the recorded trajectory and \
+          fail on wall-time regressions")
+    Term.(const run $ history_path $ baseline_k $ threshold)
 
 let generate_cmd =
   let n =
@@ -569,5 +722,5 @@ let () =
        (Cmd.group info
           [
             analyze_cmd; extract_cmd; spec_cmd; table1_cmd; demo_cmd;
-            enforce_cmd; generate_cmd;
+            enforce_cmd; generate_cmd; benchdiff_cmd;
           ]))

@@ -136,6 +136,7 @@ let extract_component ?(k1 = true) ?(all_methods = false) (apk : Apk.t)
 
 module Trace = Separ_obs.Trace
 module Metrics = Separ_obs.Metrics
+module Log = Separ_obs.Log
 
 let c_apps = Metrics.counter "ame.apps_extracted"
 let c_components = Metrics.counter "ame.components_extracted"
@@ -193,6 +194,13 @@ let extract ?(k1 = true) ?(all_methods = false) (apk : Apk.t) : App_model.t =
         })
   in
   Metrics.observe h_extract_ms extraction_ms;
+  Log.info "ame.extract"
+    ~fields:
+      [
+        ("package", Trace.Str model.App_model.am_package);
+        ("components", Trace.Int (List.length model.App_model.am_components));
+        ("extraction_ms", Trace.Float extraction_ms);
+      ];
   { model with App_model.am_extraction_ms = extraction_ms }
 
 (* Bump whenever extraction semantics change: static-analysis precision,

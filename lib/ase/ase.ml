@@ -27,6 +27,7 @@ open Separ_ame
 open Separ_specs
 module Trace = Separ_obs.Trace
 module Metrics = Separ_obs.Metrics
+module Log = Separ_obs.Log
 module Pool = Separ_exec.Pool
 
 let c_scenarios = Metrics.counter "ase.scenarios"
@@ -49,6 +50,10 @@ type degraded = {
 }
 
 type sig_outcome = Complete | Budget_exhausted
+
+let outcome_name = function
+  | Complete -> "complete"
+  | Budget_exhausted -> "budget_exhausted"
 
 (* Everything one signature's run produces; returned by value so the
    worker pool can marshal it across the process boundary. *)
@@ -150,6 +155,17 @@ let enumerate_signature ~limit (sig_ : Signatures.t) (env : Encode.env)
       | Some (Ok sc) -> go (sc :: acc) (k + 1)
   in
   let scenarios, truncated, outcome = go [] 0 in
+  (* Emitted here so both the from-scratch and the incremental path get
+     one event per signature — inside the [ase.signature] span (and, at
+     [-j N], inside the worker, so the event ships back pid-tagged). *)
+  Log.info "ase.signature"
+    ~fields:
+      [
+        ("signature", Trace.Str sig_.Signatures.name);
+        ("scenarios", Trace.Int (List.length scenarios));
+        ("truncated", Trace.Bool truncated);
+        ("outcome", Trace.Str (outcome_name outcome));
+      ];
   Trace.add_attr "scenarios" (Trace.Int (List.length scenarios));
   if truncated then Trace.add_attr "truncated" (Trace.Bool true);
   if outcome = Budget_exhausted then
@@ -422,6 +438,14 @@ let analyze ?(signatures = Signatures.all ())
         Trace.attr_bool "cache" (Option.is_some cache);
       ]
     (fun () ->
+  Log.info "ase.analyze"
+    ~fields:
+      [
+        ("signatures", Trace.Int (List.length signatures));
+        ("jobs", Trace.Int jobs);
+        ("incremental", Trace.Bool incremental);
+        ("cache", Trace.Bool (Option.is_some cache));
+      ];
   (* Resolve passive-intent targets across the bundle first (Algorithm 1). *)
   let bundle =
     Trace.with_span "ase.resolve_targets" (fun () ->
@@ -567,6 +591,12 @@ let analyze ?(signatures = Signatures.all ())
            match item with
            | Crashed msg ->
                Metrics.incr c_degraded;
+               Log.warn "ase.degraded"
+                 ~fields:
+                   [
+                     ("signature", Trace.Str name);
+                     ("reason", Trace.Str ("worker_crashed: " ^ msg));
+                   ];
                degraded :=
                  { d_kind = name; d_reason = "worker_crashed: " ^ msg }
                  :: !degraded;
@@ -582,6 +612,12 @@ let analyze ?(signatures = Signatures.all ())
                deltas := delta_of name stats :: !deltas;
                if sr.sr_outcome = Budget_exhausted then begin
                  Metrics.incr c_degraded;
+                 Log.warn "ase.degraded"
+                   ~fields:
+                     [
+                       ("signature", Trace.Str name);
+                       ("reason", Trace.Str "budget_exhausted");
+                     ];
                  degraded :=
                    { d_kind = name; d_reason = "budget_exhausted" }
                    :: !degraded

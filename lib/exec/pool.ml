@@ -13,7 +13,7 @@
    results the other.
 
    Wire protocol, both directions: the [protocol_tag] magic/version
-   ("SEPARP1\n") followed by one [Marshal] value — [int list] (batch
+   ("SEPARP2\n") followed by one [Marshal] value — [int list] (batch
    indices) parent→worker, ['r payload] (outcomes + telemetry)
    worker→parent.  The parent validates the tag before unmarshalling;
    a stale or garbage-spewing worker surfaces as [Failed], never as a
@@ -34,30 +34,39 @@
    inherited write end would keep a dead worker's result pipe from ever
    reaching EOF.
 
-   Telemetry: workers reset trace/metrics state per batch and ship the
-   batch's span roots and metric snapshot in the reply; the parent
-   grafts/merges them back — pid-tagged — in *batch* order.  Batches
-   are precomputed contiguous chunks, so their composition (and hence
-   the merged telemetry) is deterministic regardless of which worker
-   ran which batch. *)
+   Telemetry: workers reset trace/metrics/log state per batch and ship
+   the batch's span roots, metric snapshot and buffered log events in
+   the reply; the parent grafts/merges/replays them back — pid-tagged —
+   in *batch* order.  Workers never write to the log sink fd they
+   inherit (concurrent children interleaving partial lines would
+   corrupt the NDJSON stream); they buffer via [Log.capture_begin] and
+   the parent replays through its own sink.  Batches are precomputed
+   contiguous chunks, so their composition (and hence the merged
+   telemetry) is deterministic regardless of which worker ran which
+   batch. *)
 
 module Trace = Separ_obs.Trace
 module Metrics = Separ_obs.Metrics
+module Log = Separ_obs.Log
 
 type 'r result = Done of 'r | Failed of string
 
 (* What a worker ships back per batch: each task's outcome (keyed by
    task index) plus the telemetry recorded while running the batch. *)
 type 'r payload =
-  (int * ('r, string) Stdlib.result) list * Trace.span list * Metrics.snapshot
+  (int * ('r, string) Stdlib.result) list
+  * Trace.span list
+  * Metrics.snapshot
+  * Log.event list
 
 (* Wire protocol tag, written ahead of every marshalled message in both
    directions and checked before unmarshalling.  Marshal itself carries
    no protocol identity: feeding it bytes produced by a stale or
    mismatched worker binary deserializes garbage (or worse) — with the
    tag, the mismatch surfaces as an honest [Failed].  Bump the version
-   whenever the message layout changes. *)
-let protocol_tag = "SEPARP1\n"
+   whenever the message layout changes (SEPARP2: log events joined the
+   reply payload). *)
+let protocol_tag = "SEPARP2\n"
 let tag_len = String.length protocol_tag
 
 (* Validate a raw worker payload's leading tag; [Ok offset] is where the
@@ -126,12 +135,14 @@ let worker_main tasks task_r result_w =
         if Bytes.to_string tag <> protocol_tag then 3
         else begin
           let indices : int list = Marshal.from_channel ic in
-          (* Only this batch's own activity should ship back. *)
+          (* Only this batch's own activity should ship back; capture
+             mode also keeps this child off the parent's log sink. *)
           Trace.reset ();
           Metrics.reset ();
+          Log.capture_begin ();
           let outcomes = List.map (fun i -> (i, run_task tasks.(i))) indices in
           let payload : _ payload =
-            (outcomes, Trace.roots (), Metrics.snapshot ())
+            (outcomes, Trace.roots (), Metrics.snapshot (), Log.capture_take ())
           in
           output_string oc protocol_tag;
           Marshal.to_channel oc payload [];
@@ -357,7 +368,7 @@ let run_forked ~jobs ~batch tasks_list =
             let total = off + Marshal.total_size header 0 in
             if len >= total then begin
               match (Marshal.from_string raw off : _ payload) with
-              | outcomes, spans, msnap ->
+              | outcomes, spans, msnap, events ->
                   List.iter
                     (fun (i, outcome) ->
                       results.(i) <-
@@ -365,7 +376,8 @@ let run_forked ~jobs ~batch tasks_list =
                         | Ok v -> Done v
                         | Error msg -> Failed msg))
                     outcomes;
-                  telemetry.(wk.wk_batch_id) <- Some (wk.wk_pid, spans, msnap);
+                  telemetry.(wk.wk_batch_id) <-
+                    Some (wk.wk_pid, spans, msnap, events);
                   wk.wk_inflight <- [];
                   Buffer.clear wk.wk_buf;
                   if len > total then
@@ -413,14 +425,23 @@ let run_forked ~jobs ~batch tasks_list =
                     on_death wk))
           ready
       done);
-  (* Merge worker telemetry in batch order so the combined trace and
-     metric totals are deterministic. *)
+  (* Merge worker telemetry in batch order so the combined trace,
+     metric totals and replayed log stream are deterministic. *)
   Array.iter
     (function
       | None -> ()
-      | Some (pid, spans, msnap) ->
+      | Some (pid, spans, msnap, events) ->
           Trace.graft ~attrs:[ Trace.attr_int "pid" pid ] spans;
-          Metrics.merge msnap)
+          List.iter
+            (fun name ->
+              Log.warn "metrics.merge_mismatch"
+                ~fields:
+                  [
+                    ("metric", Trace.Str name);
+                    ("worker_pid", Trace.Int pid);
+                  ])
+            (Metrics.merge msnap);
+          Log.replay events)
     telemetry;
   last_stats :=
     {

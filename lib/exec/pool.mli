@@ -15,9 +15,9 @@
     analysis.
 
     Results are returned in task order regardless of completion order,
-    and worker telemetry (trace spans, metric counters) is merged back
-    in deterministic batch order, so a run at [-j N] is deterministic
-    given deterministic tasks.
+    and worker telemetry (trace spans, metric counters, buffered log
+    events) is merged back in deterministic batch order, so a run at
+    [-j N] is deterministic given deterministic tasks.
 
     With [jobs <= 1] (or a single task) everything runs inline in the
     parent — same result type, no forking — which keeps [-j 1] exactly

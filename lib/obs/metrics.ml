@@ -150,25 +150,41 @@ let snapshot () =
    worker never touched (zero counters/counts, 0.0 gauges) are skipped
    so an idle worker neither clobbers parent gauges nor registers noise.
    Unknown names are registered on the fly, so parent and worker need
-   not share instrumentation. *)
+   not share instrumentation.
+
+   A histogram whose bucket boundaries differ from the registered ones
+   cannot be merged meaningfully (adding per-bucket counts across
+   different boundaries is nonsense), so it is skipped and its name
+   returned; the caller decides how to surface that (the worker pool
+   emits a warn log event).  This module cannot log itself — [Log] sits
+   above it in the dependency order. *)
 let merge snap =
-  if !enabled then
-    List.iter
-      (function
-        | Snap_counter (_, 0) | Snap_gauge (_, 0.0) -> ()
-        | Snap_histogram (_, _, _, _, 0) -> ()
-        | Snap_counter (name, v) -> add (counter name) v
-        | Snap_gauge (name, v) -> set (gauge name) v
+  if not !enabled then []
+  else
+    List.fold_left
+      (fun mismatched entry ->
+        match entry with
+        | Snap_counter (_, 0) | Snap_gauge (_, 0.0) -> mismatched
+        | Snap_histogram (_, _, _, _, 0) -> mismatched
+        | Snap_counter (name, v) ->
+            add (counter name) v;
+            mismatched
+        | Snap_gauge (name, v) ->
+            set (gauge name) v;
+            mismatched
         | Snap_histogram (name, bounds, counts, sum, count) ->
             let h = histogram ~buckets:bounds name in
-            if Array.length h.h_counts = Array.length counts then begin
+            if h.h_bounds = bounds && Array.length h.h_counts = Array.length counts
+            then begin
               Array.iteri
                 (fun i c -> h.h_counts.(i) <- h.h_counts.(i) + c)
                 counts;
               h.h_sum <- h.h_sum +. sum;
-              h.h_count <- h.h_count + count
-            end)
-      snap
+              h.h_count <- h.h_count + count;
+              mismatched
+            end
+            else mismatched @ [ name ])
+      [] snap
 
 (* Zero every registered metric.  Registrations (and the handles already
    held by instrumented modules) stay valid. *)

@@ -1,0 +1,163 @@
+(* The bench-trajectory store and regression gate.
+
+   Every benchmark section appends one NDJSON line per run to
+   BENCH_HISTORY.ndjson — section name, run mode ("full" or "smoke", so
+   a 2-iteration smoke run never compares against a full run), headline
+   wall time, provenance, and optional extra fields — instead of only
+   overwriting the BENCH_*.json snapshot.  [diff] is the [separ
+   benchdiff] gate over that file: per (section, mode) group, the
+   latest entry is compared against the median of up to [k] prior
+   entries; exceeding the threshold is a regression.
+
+   The median (not the previous single run) is the baseline so one
+   noisy historical run cannot mask — or fake — a regression; the
+   threshold defaults to 25% because the store mixes runs from
+   different hosts (the provenance says which) and wall clocks on
+   shared CI machines jitter well above lab-grade noise. *)
+
+type entry = {
+  e_section : string;
+  e_mode : string; (* "full" | "smoke" — never cross-compared *)
+  e_wall_ms : float;
+  e_provenance : Json.t;
+  e_extra : (string * Json.t) list; (* section-specific detail fields *)
+}
+
+let to_json e =
+  Json.Obj
+    ([
+       ("section", Json.Str e.e_section);
+       ("mode", Json.Str e.e_mode);
+       ("wall_ms", Json.Float e.e_wall_ms);
+       ("provenance", e.e_provenance);
+     ]
+    @ if e.e_extra = [] then [] else [ ("extra", Json.Obj e.e_extra) ])
+
+let of_json j =
+  match (Json.member "section" j, Json.member "wall_ms" j) with
+  | Some (Json.Str section), Some wall ->
+      let wall_ms =
+        match wall with
+        | Json.Float f -> f
+        | Json.Int i -> float_of_int i
+        | _ -> nan
+      in
+      if Float.is_nan wall_ms then None
+      else
+        Some
+          {
+            e_section = section;
+            e_mode =
+              (match Json.member "mode" j with
+              | Some (Json.Str m) -> m
+              | _ -> "full");
+            e_wall_ms = wall_ms;
+            e_provenance =
+              (match Json.member "provenance" j with
+              | Some p -> p
+              | None -> Json.Null);
+            e_extra =
+              (match Json.member "extra" j with
+              | Some (Json.Obj fields) -> fields
+              | _ -> []);
+          }
+  | _ -> None
+
+let append ~path e =
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path in
+  output_string oc (Json.to_string ~indent:false (to_json e));
+  output_char oc '\n';
+  close_out oc
+
+(* Entries in file order, plus the number of malformed lines skipped
+   (a history file survives partial writes and format drift; it should
+   degrade to fewer baseline samples, not refuse to load). *)
+let load ~path =
+  if not (Sys.file_exists path) then ([], 0)
+  else begin
+    let ic = open_in path in
+    let entries = ref [] and malformed = ref 0 in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" then
+           match Json.parse line with
+           | j -> (
+               match of_json j with
+               | Some e -> entries := e :: !entries
+               | None -> incr malformed)
+           | exception Json.Parse_error _ -> incr malformed
+       done
+     with End_of_file -> ());
+    close_in ic;
+    (List.rev !entries, !malformed)
+  end
+
+(* --- the regression gate --------------------------------------------------- *)
+
+let default_k = 5
+let default_threshold_pct = 25.0
+
+type status = Ok | Regression | No_baseline
+
+type section_diff = {
+  sd_section : string;
+  sd_mode : string;
+  sd_latest_ms : float;
+  sd_baseline_ms : float; (* 0.0 under [No_baseline] *)
+  sd_samples : int; (* prior runs the baseline is the median of *)
+  sd_delta_pct : float; (* (latest - baseline) / baseline * 100 *)
+  sd_status : status;
+}
+
+(* Last [n] elements of [xs], in order. *)
+let last_n n xs =
+  let len = List.length xs in
+  if len <= n then xs else List.filteri (fun i _ -> i >= len - n) xs
+
+let diff ?(k = default_k) ?(threshold_pct = default_threshold_pct) entries =
+  let keys =
+    List.fold_left
+      (fun acc e ->
+        let key = (e.e_section, e.e_mode) in
+        if List.mem key acc then acc else acc @ [ key ])
+      [] entries
+  in
+  List.map
+    (fun (section, mode) ->
+      let es =
+        List.filter (fun e -> e.e_section = section && e.e_mode = mode) entries
+      in
+      let latest = List.nth es (List.length es - 1) in
+      let prior = List.filteri (fun i _ -> i < List.length es - 1) es in
+      match last_n k prior with
+      | [] ->
+          {
+            sd_section = section;
+            sd_mode = mode;
+            sd_latest_ms = latest.e_wall_ms;
+            sd_baseline_ms = 0.0;
+            sd_samples = 0;
+            sd_delta_pct = 0.0;
+            sd_status = No_baseline;
+          }
+      | pool ->
+          let baseline =
+            Stats.percentile 0.5 (List.map (fun e -> e.e_wall_ms) pool)
+          in
+          let delta_pct =
+            if baseline > 0.0 then
+              (latest.e_wall_ms -. baseline) /. baseline *. 100.0
+            else 0.0
+          in
+          {
+            sd_section = section;
+            sd_mode = mode;
+            sd_latest_ms = latest.e_wall_ms;
+            sd_baseline_ms = baseline;
+            sd_samples = List.length pool;
+            sd_delta_pct = delta_pct;
+            sd_status =
+              (if delta_pct > threshold_pct then Regression else Ok);
+          })
+    keys

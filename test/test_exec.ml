@@ -1,9 +1,12 @@
 (* The fork-based worker pool: result ordering, exception and crash
-   isolation, and worker-telemetry merge. *)
+   isolation, and worker-telemetry merge (spans, metrics, log
+   events). *)
 
 module Pool = Separ_exec.Pool
 module Trace = Separ_obs.Trace
 module Metrics = Separ_obs.Metrics
+module Log = Separ_obs.Log
+module Json = Separ_report.Json
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -168,6 +171,127 @@ let test_worker_spans_grafted () =
   Trace.reset ();
   Trace.disable ()
 
+let read_lines path =
+  let ic = open_in path in
+  let acc = ref [] in
+  (try
+     while true do
+       let l = String.trim (input_line ic) in
+       if l <> "" then acc := l :: !acc
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !acc
+
+(* Worker-side log events buffer per batch (workers must not write to
+   the inherited sink fd), ship back in the reply payload, and replay
+   through the parent's sink carrying the worker's own pid. *)
+let test_worker_logs_shipped () =
+  let path = Filename.temp_file "separ_test_pool_log" ".ndjson" in
+  Log.to_file path;
+  Log.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Log.close ();
+      Log.reset ();
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let results =
+        Pool.map ~jobs:2
+          (fun n ->
+            Log.info "test.pool_log" ~fields:[ ("n", Trace.Int n) ];
+            n)
+          [ 1; 2; 3; 4 ]
+      in
+      check_int "all done" 4 (List.length (done_values results));
+      Log.close ();
+      let parent = Unix.getpid () in
+      let pids =
+        List.filter_map
+          (fun l ->
+            let j = Json.parse l in
+            if
+              Option.bind (Json.member "event" j) Json.to_str
+              = Some "test.pool_log"
+            then Json.member "pid" j
+            else None)
+          (read_lines path)
+      in
+      check_int "all four worker events replayed" 4 (List.length pids);
+      List.iter
+        (fun pid ->
+          check "event is pid-tagged with a worker, not the parent" true
+            (pid <> Json.Int parent))
+        pids)
+
+(* Observability survives a worker dying mid-batch: events and GC
+   metrics from every surviving batch still arrive (through the
+   respawned replacement included); only the crashed batch's telemetry
+   is lost. *)
+let test_obs_survives_midbatch_crash () =
+  let path = Filename.temp_file "separ_test_crash_log" ".ndjson" in
+  Trace.enable ();
+  Metrics.enable ();
+  Trace.set_profile_gc true;
+  Trace.reset ();
+  Metrics.reset ();
+  Log.to_file path;
+  Log.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Log.close ();
+      Log.reset ();
+      Trace.set_profile_gc false;
+      Trace.disable ();
+      Metrics.disable ();
+      Trace.reset ();
+      Metrics.reset ();
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let tasks =
+        List.init 5 (fun i () ->
+            if i = 1 then Unix._exit 11
+            else begin
+              Log.info "test.crash_log" ~fields:[ ("i", Trace.Int i) ];
+              Trace.with_span "test.crash_span" (fun () ->
+                  ignore
+                    (Sys.opaque_identity (List.init 5_000 (fun j -> j * i))));
+              i
+            end)
+      in
+      let results = Pool.run ~jobs:2 ~batch:1 tasks in
+      let failed, completed =
+        List.partition (function Pool.Failed _ -> true | _ -> false) results
+      in
+      check_int "exactly the crashed batch failed" 1 (List.length failed);
+      check_int "the other batches completed" 4 (List.length completed);
+      check "a replacement worker was respawned" true
+        ((Pool.last_run_stats ()).Pool.rs_respawns >= 1);
+      Log.close ();
+      let parent = Unix.getpid () in
+      let pids =
+        List.filter_map
+          (fun l ->
+            let j = Json.parse l in
+            if
+              Option.bind (Json.member "event" j) Json.to_str
+              = Some "test.crash_log"
+            then
+              match Json.member "pid" j with
+              | Some (Json.Int p) -> Some p
+              | _ -> None
+            else None)
+          (read_lines path)
+      in
+      check_int "surviving batches' events all replayed" 4 (List.length pids);
+      List.iter
+        (fun p -> check "every event came from a worker" true (p <> parent))
+        pids;
+      check "worker GC deltas merged into the parent counters" true
+        (Metrics.counter_value (Metrics.counter "gc.minor_words") > 0);
+      check_int "surviving worker spans grafted despite the crash" 4
+        (Trace.count "test.crash_span"))
+
 let tests =
   [
     Alcotest.test_case "map preserves task order" `Quick test_map_order;
@@ -182,4 +306,8 @@ let tests =
       test_worker_metrics_merged;
     Alcotest.test_case "worker spans grafted with pid" `Quick
       test_worker_spans_grafted;
+    Alcotest.test_case "worker log events shipped pid-tagged" `Quick
+      test_worker_logs_shipped;
+    Alcotest.test_case "logs and GC metrics survive mid-batch crash" `Quick
+      test_obs_survives_midbatch_crash;
   ]

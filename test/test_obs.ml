@@ -1,10 +1,13 @@
 (* Tests for the separ_obs telemetry kernel: deterministic-clock span
    nesting and ordering, counter/gauge/histogram semantics, the
-   disabled-mode no-op path, and validity of the exported Chrome
-   trace-event JSON under the minimal reader. *)
+   disabled-mode no-op path, the structured NDJSON event log (envelope,
+   level threshold, rate limiting), the bounded span ring, GC-profiled
+   spans, and validity of the exported Chrome-trace and OpenMetrics
+   text under the minimal readers. *)
 
 module Trace = Separ_obs.Trace
 module Metrics = Separ_obs.Metrics
+module Log = Separ_obs.Log
 module Json = Separ_report.Json
 module Telemetry = Separ_report.Telemetry
 
@@ -288,6 +291,274 @@ let test_pipeline_spans_consistent () =
       check "sat.solves counter bridged" true
         (Metrics.counter_value (Metrics.counter "sat.solves") > 0))
 
+(* --- structured log --------------------------------------------------------- *)
+
+let read_lines path =
+  let ic = open_in path in
+  let acc = ref [] in
+  (try
+     while true do
+       let l = String.trim (input_line ic) in
+       if l <> "" then acc := l :: !acc
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !acc
+
+(* Run [f] with a temp-file log sink installed, restoring the pristine
+   no-sink state (default level, default rate limit) afterwards. *)
+let with_log_sink f =
+  let path = Filename.temp_file "separ_test_log" ".ndjson" in
+  Log.to_file path;
+  Log.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Log.close ();
+      Log.set_level Log.Info;
+      Log.set_rate_limit Log.default_rate_limit;
+      Log.reset ();
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_log_ndjson_envelope () =
+  with_deterministic_telemetry (fun tick ->
+      with_log_sink (fun path ->
+          Log.set_level Log.Debug;
+          tick 0.001;
+          Trace.with_span "phase" (fun () ->
+              Log.info "test.event"
+                ~fields:
+                  [
+                    ("answer", Trace.Int 42);
+                    ("ratio", Trace.Float 2.5);
+                    ("who", Trace.Str "a\"b\nc");
+                    ("ok", Trace.Bool true);
+                  ]);
+          Log.debug "test.low";
+          Log.close ();
+          match read_lines path with
+          | [ l1; l2 ] ->
+              let j = Json.parse l1 in
+              check "ts_us is the injected clock" true
+                (Option.bind (Json.member "ts_us" j) Json.to_float
+                = Some 1000.0);
+              check "level rendered" true
+                (Option.bind (Json.member "level" j) Json.to_str
+                = Some "info");
+              check "event name rendered" true
+                (Option.bind (Json.member "event" j) Json.to_str
+                = Some "test.event");
+              check "pid is this process" true
+                (Json.member "pid" j = Some (Json.Int (Unix.getpid ())));
+              check "span id of the open span attached" true
+                (match Json.member "span" j with
+                | Some (Json.Int _) -> true
+                | _ -> false);
+              check "int field" true
+                (Json.member "answer" j = Some (Json.Int 42));
+              check "float field" true
+                (Option.bind (Json.member "ratio" j) Json.to_float
+                = Some 2.5);
+              check "string field survives escaping" true
+                (Json.member "who" j = Some (Json.Str "a\"b\nc"));
+              check "bool field" true
+                (Json.member "ok" j = Some (Json.Bool true));
+              let j2 = Json.parse l2 in
+              check "debug admitted at debug threshold" true
+                (Option.bind (Json.member "level" j2) Json.to_str
+                = Some "debug");
+              check "no span key outside any span" true
+                (Json.member "span" j2 = None)
+          | ls -> Alcotest.failf "expected 2 log lines, got %d" (List.length ls)))
+
+let test_log_level_threshold () =
+  with_deterministic_telemetry (fun _tick ->
+      with_log_sink (fun path ->
+          Log.set_level Log.Warn;
+          Log.debug "test.d";
+          Log.info "test.i";
+          Log.warn "test.w";
+          Log.error "test.e";
+          Log.close ();
+          let events =
+            List.map
+              (fun l ->
+                Option.bind (Json.member "event" (Json.parse l)) Json.to_str)
+              (read_lines path)
+          in
+          check "only warn and error pass the threshold" true
+            (events = [ Some "test.w"; Some "test.e" ])))
+
+let test_log_rate_limit () =
+  with_deterministic_telemetry (fun tick ->
+      with_log_sink (fun path ->
+          Log.set_rate_limit ~window_s:1.0 3;
+          for _ = 1 to 5 do
+            Log.info "test.hot"
+          done;
+          let _, suppressed = Log.stats () in
+          check_int "overflow counted, not written" 2 suppressed;
+          (* the suppressed count rides out on the next admitted event
+             of the same name, in the next window *)
+          tick 2.0;
+          Log.info "test.hot";
+          Log.close ();
+          let lines = read_lines path in
+          check_int "3 admitted + 1 next-window line" 4 (List.length lines);
+          check "suppressed count rides out" true
+            (Json.member "suppressed" (Json.parse (List.nth lines 3))
+            = Some (Json.Int 2))))
+
+(* --- snapshot merge --------------------------------------------------------- *)
+
+let test_metrics_merge_mismatch () =
+  with_deterministic_telemetry (fun _tick ->
+      let h = Metrics.histogram ~buckets:[| 1.0; 2.0 |] "test.merge_bounds" in
+      Metrics.observe h 0.5;
+      let snap_ok =
+        [
+          Metrics.Snap_histogram
+            ("test.merge_bounds", [| 1.0; 2.0 |], [| 1; 0; 0 |], 0.7, 1);
+        ]
+      in
+      check "matching bounds merge clean" true (Metrics.merge snap_ok = []);
+      check_int "counts merged additively" 2 (Metrics.histogram_count h);
+      let snap_bad =
+        [
+          Metrics.Snap_histogram
+            ("test.merge_bounds", [| 1.0; 3.0 |], [| 1; 0; 0 |], 0.7, 1);
+        ]
+      in
+      check "mismatched bounds reported by name" true
+        (Metrics.merge snap_bad = [ "test.merge_bounds" ]);
+      check_int "mismatched snapshot left out of the registry" 2
+        (Metrics.histogram_count h);
+      check "unknown names register fresh and merge clean" true
+        (Metrics.merge [ Metrics.Snap_counter ("test.merge_fresh", 3) ] = []);
+      check_int "fresh counter carries the merged value" 3
+        (Metrics.counter_value (Metrics.counter "test.merge_fresh")))
+
+(* --- bounded span ring ------------------------------------------------------- *)
+
+let test_trace_ring_bounded () =
+  with_deterministic_telemetry (fun tick ->
+      let cap0 = Trace.root_cap () in
+      Fun.protect
+        ~finally:(fun () -> Trace.set_root_cap cap0)
+        (fun () ->
+          Trace.set_root_cap 3;
+          check_int "no drops yet" 0 (Trace.dropped_roots ());
+          List.iter
+            (fun name -> Trace.with_span name (fun () -> tick 0.001))
+            [ "r1"; "r2"; "r3"; "r4"; "r5" ];
+          let names = List.map (fun s -> s.Trace.sp_name) (Trace.roots ()) in
+          check "newest three retained, oldest first" true
+            (names = [ "r3"; "r4"; "r5" ]);
+          check_int "overwritten roots counted" 2 (Trace.dropped_roots ());
+          (* shrinking keeps the newest and counts the evictions *)
+          Trace.set_root_cap 1;
+          let names = List.map (fun s -> s.Trace.sp_name) (Trace.roots ()) in
+          check "newest survives a shrink" true (names = [ "r5" ]);
+          check_int "evictions counted as dropped" 4 (Trace.dropped_roots ());
+          Trace.reset ();
+          check_int "reset empties the ring" 0 (List.length (Trace.roots ()));
+          check_int "reset zeroes the dropped counter" 0
+            (Trace.dropped_roots ())))
+
+(* --- GC-profiled spans ------------------------------------------------------- *)
+
+let test_gc_profiling_spans () =
+  with_deterministic_telemetry (fun _tick ->
+      Trace.set_profile_gc true;
+      Fun.protect
+        ~finally:(fun () -> Trace.set_profile_gc false)
+        (fun () ->
+          Trace.with_span "gc.outer" (fun () ->
+              Trace.with_span "gc.inner" (fun () ->
+                  ignore
+                    (Sys.opaque_identity
+                       (List.init 10_000 (fun i -> string_of_int i)))));
+          match Trace.roots () with
+          | [ outer ] ->
+              let minor sp =
+                match List.assoc_opt "gc.minor_words" sp.Trace.sp_attrs with
+                | Some (Trace.Float f) -> f
+                | _ ->
+                    Alcotest.failf "%s has no gc.minor_words attr"
+                      sp.Trace.sp_name
+              in
+              let inner =
+                match outer.Trace.sp_children with
+                | [ i ] -> i
+                | kids ->
+                    Alcotest.failf "expected one child, got %d"
+                      (List.length kids)
+              in
+              check "inner span shows its allocations" true
+                (minor inner > 0.0);
+              check "parent delta includes the child's" true
+                (minor outer >= minor inner);
+              (* metrics fold only from the top-level span — folding
+                 every span would double-count the nested deltas *)
+              check "counter folded exactly once, from the root" true
+                (Metrics.counter_value (Metrics.counter "gc.minor_words")
+                = int_of_float (minor outer))
+          | roots ->
+              Alcotest.failf "expected 1 root, got %d" (List.length roots)))
+
+(* --- OpenMetrics export ------------------------------------------------------ *)
+
+let test_openmetrics_roundtrip () =
+  with_deterministic_telemetry (fun _tick ->
+      Metrics.add (Metrics.counter "test.om_counter") 4;
+      Metrics.set (Metrics.gauge "test.om_gauge") 2.5;
+      let h = Metrics.histogram ~buckets:[| 1.0; 5.0; 10.0 |] "test.om_hist" in
+      List.iter (Metrics.observe h) [ 0.5; 1.0; 3.0; 7.0; 100.0 ];
+      let text = Telemetry.openmetrics_string () in
+      (match Telemetry.openmetrics_check text with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "openmetrics_check rejected: %s" msg);
+      let lines = String.split_on_char '\n' text in
+      let value_of prefix =
+        List.find_map
+          (fun l ->
+            let n = String.length prefix in
+            if String.length l > n && String.sub l 0 n = prefix then
+              Some (String.trim (String.sub l n (String.length l - n)))
+            else None)
+          lines
+      in
+      check "counter rendered with _total" true
+        (value_of "separ_test_om_counter_total " = Some "4");
+      check "gauge rendered plain" true
+        (value_of "separ_test_om_gauge " = Some "2.5");
+      (* the registry stores per-bucket counts; the exporter must fold
+         them into OpenMetrics' cumulative le series *)
+      check "le 1.0 cumulative" true
+        (value_of "separ_test_om_hist_bucket{le=\"1.0\"} " = Some "2");
+      check "le 5.0 cumulative" true
+        (value_of "separ_test_om_hist_bucket{le=\"5.0\"} " = Some "3");
+      check "le 10.0 cumulative" true
+        (value_of "separ_test_om_hist_bucket{le=\"10.0\"} " = Some "4");
+      check "+Inf bucket equals _count" true
+        (value_of "separ_test_om_hist_bucket{le=\"+Inf\"} " = Some "5");
+      check "sum rendered" true
+        (value_of "separ_test_om_hist_sum " = Some "111.5");
+      check "count rendered" true
+        (value_of "separ_test_om_hist_count " = Some "5");
+      (* round-trip: the cumulative series the text shows is exactly the
+         running sum of Metrics.histogram_buckets *)
+      let cumulative =
+        List.rev
+          (snd
+             (List.fold_left
+                (fun (acc, out) (_, n) -> (acc + n, (acc + n) :: out))
+                (0, [])
+                (Metrics.histogram_buckets h)))
+      in
+      check "text agrees with the registry's bucket counts" true
+        (cumulative = [ 2; 3; 4; 5 ]))
+
 let tests =
   [
     Alcotest.test_case "span nesting (deterministic clock)" `Quick
@@ -309,4 +580,14 @@ let tests =
     Alcotest.test_case "metrics export" `Quick test_metrics_export;
     Alcotest.test_case "pipeline spans consistent with report" `Quick
       test_pipeline_spans_consistent;
+    Alcotest.test_case "log NDJSON envelope" `Quick test_log_ndjson_envelope;
+    Alcotest.test_case "log level threshold" `Quick test_log_level_threshold;
+    Alcotest.test_case "log rate limiting" `Quick test_log_rate_limit;
+    Alcotest.test_case "metrics merge reports bucket mismatches" `Quick
+      test_metrics_merge_mismatch;
+    Alcotest.test_case "span ring stays bounded" `Quick
+      test_trace_ring_bounded;
+    Alcotest.test_case "GC-profiled spans" `Quick test_gc_profiling_spans;
+    Alcotest.test_case "OpenMetrics round-trip" `Quick
+      test_openmetrics_roundtrip;
   ]
