@@ -727,31 +727,58 @@ let run_solver_bench ~mode () =
             ] );
       ]
   in
-  let oc = open_out "BENCH_solver.json" in
-  output_string oc (Json.to_string json);
-  output_string oc "\n";
-  close_out oc;
   if not was_tracing then Trace.disable ();
   if not was_metrics then Metrics.disable ();
   let total f =
     f report.Ase.r_solver + f php_stats + f enum_stats
   in
+  (* Kernel throughput: conflicts/s measures learning+backtracking speed,
+     propagations/s the watcher hot path — the two rates the flat-arena
+     kernel is tuned for, tracked in the history for trend diffing. *)
+  let conflicts_per_sec =
+    if elapsed > 0.0 then float_of_int (total (fun s -> s.S.s_conflicts)) /. elapsed
+    else 0.0
+  in
+  let props_per_sec =
+    if elapsed > 0.0 then
+      float_of_int (total (fun s -> s.S.s_propagations)) /. elapsed
+    else 0.0
+  in
+  let json =
+    match json with
+    | Json.Obj fields ->
+        Json.Obj
+          (fields
+          @ [
+              ("conflicts_per_sec", Json.Float conflicts_per_sec);
+              ("propagations_per_sec", Json.Float props_per_sec);
+            ])
+    | j -> j
+  in
+  let oc = open_out "BENCH_solver.json" in
+  output_string oc (Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
   Printf.printf
     "solver kernels (%.1fs): %d conflicts, %d propagations, %d learnt-db \
      reductions (%d clauses deleted), %d literals minimized, activation \
-     vars retired %d -> BENCH_solver.json\n%!"
+     vars retired %d\n  throughput: %.0f conflicts/s, %.0f propagations/s \
+     -> BENCH_solver.json\n%!"
     elapsed
     (total (fun s -> s.S.s_conflicts))
     (total (fun s -> s.S.s_propagations))
     (total (fun s -> s.S.s_db_reductions))
     (total (fun s -> s.S.s_learnts_deleted))
     (total (fun s -> s.S.s_lits_minimized))
-    (total (fun s -> s.S.s_act_retired));
+    (total (fun s -> s.S.s_act_retired))
+    conflicts_per_sec props_per_sec;
   record_history ~mode ~section:"solver"
     ~extra:
       [
         ("conflicts", Json.Int (total (fun s -> s.S.s_conflicts)));
         ("propagations", Json.Int (total (fun s -> s.S.s_propagations)));
+        ("conflicts_per_sec", Json.Float conflicts_per_sec);
+        ("propagations_per_sec", Json.Float props_per_sec);
       ]
     elapsed_ms;
   (report, php_result, php_stats, scenarios, enum_stats)
@@ -791,6 +818,67 @@ let run_smoke () =
   | fs ->
       List.iter (fun f -> Printf.printf "smoke FAILURE: %s\n" f) fs;
       exit 1
+
+(* A report with its performance fields zeroed, serialized: the
+   comparable "what was found" view.  Runs that differ only in solver
+   internals (incremental vs from-scratch, preprocessing on vs off)
+   must agree on this byte-for-byte. *)
+let stripped_report_string report =
+  Separ_report.Report.to_string
+    ~report:(Ase.strip_performance report)
+    ~policies:[] ()
+
+(* --- solver parity smoke (tier-1 gate) ------------------------------------ *)
+
+(* The SatELite-style preprocessing pass runs at the translate -> CNF
+   handoff of every from-scratch session.  This gate proves it is
+   observation-free on the paper workload: a Table I slice analyzed at
+   -j 1 with the pass disabled and enabled must produce byte-identical
+   stripped reports (same vulnerabilities, same scenarios, same order).
+   A divergence here means variable elimination touched something the
+   decode/minimization layer depends on — precisely the bug class the
+   frozen-variable discipline exists to prevent. *)
+let run_solver_parity_smoke () =
+  header "Solver parity smoke: preprocessing on/off identity (tier-1 gate)";
+  let cases =
+    let all = Separ_suites.Table1.all_cases () in
+    List.filteri (fun i _ -> i < 6) all
+  in
+  let bundles =
+    List.map
+      (fun (c : Separ_suites.Case.t) ->
+        ( c.Separ_suites.Case.name,
+          Bundle.of_models
+            (List.map Extract.extract c.Separ_suites.Case.apks) ))
+      cases
+  in
+  let analyze_all () =
+    List.map
+      (fun (_, bundle) ->
+        stripped_report_string (Ase.analyze ~jobs:1 ~incremental:false bundle))
+      bundles
+  in
+  let with_preprocessing b f =
+    Separ_relog.Solve.set_preprocessing b;
+    Fun.protect ~finally:(fun () -> Separ_relog.Solve.set_preprocessing true) f
+  in
+  let raw = with_preprocessing false analyze_all in
+  let pre = with_preprocessing true analyze_all in
+  let mismatches =
+    List.filteri (fun i r -> r <> List.nth pre i) raw |> List.length
+  in
+  Printf.printf
+    "preprocessed vs raw stripped reports on %d Table I bundles: %s\n%!"
+    (List.length bundles)
+    (if mismatches = 0 then "byte-identical" else "DIFFER");
+  if mismatches <> 0 then begin
+    Printf.printf
+      "solver parity smoke FAILURE: %d of %d bundles differ between \
+       preprocessing on and off\n%!"
+      mismatches (List.length bundles);
+    exit 1
+  end;
+  Printf.printf "solver parity smoke: all gates passed\n%!"
 
 (* --- telemetry smoke (tier-1 gate) ---------------------------------------- *)
 
@@ -1140,14 +1228,6 @@ let run_parallel_smoke () =
       exit 1
 
 (* --- incremental ASE (BENCH_incremental.json) ------------------------------ *)
-
-(* A report with its performance fields zeroed, serialized: the
-   comparable "what was found" view.  Incremental and from-scratch runs
-   must agree on this byte-for-byte. *)
-let stripped_report_string report =
-  Separ_report.Report.to_string
-    ~report:(Ase.strip_performance report)
-    ~policies:[] ()
 
 (* The Table I workload through ASE twice per pool width: once with the
    shared-base incremental path, once from scratch.  Gates that both
@@ -1884,6 +1964,7 @@ let () =
     Metrics.enable ()
   end;
   if has "--smoke" then run_smoke ();
+  if has "--solver-smoke" then run_solver_parity_smoke ();
   if has "--telemetry-smoke" then run_telemetry_smoke ();
   if has "--parallel-smoke" then run_parallel_smoke ();
   if has "--incremental-smoke" then run_incremental_smoke ();

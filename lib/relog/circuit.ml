@@ -146,16 +146,16 @@ let rec encode enc g =
         | And (a, b) ->
             let la = encode enc a and lb = encode enc b in
             let v = Separ_sat.Solver.new_var enc.solver in
-            Separ_sat.Solver.add_clause enc.solver [ -v; la ];
-            Separ_sat.Solver.add_clause enc.solver [ -v; lb ];
-            Separ_sat.Solver.add_clause enc.solver [ v; -la; -lb ];
+            Separ_sat.Solver.add_clause_arr enc.solver [| -v; la |];
+            Separ_sat.Solver.add_clause_arr enc.solver [| -v; lb |];
+            Separ_sat.Solver.add_clause_arr enc.solver [| v; -la; -lb |];
             v
         | Or (a, b) ->
             let la = encode enc a and lb = encode enc b in
             let v = Separ_sat.Solver.new_var enc.solver in
-            Separ_sat.Solver.add_clause enc.solver [ -v; la; lb ];
-            Separ_sat.Solver.add_clause enc.solver [ v; -la ];
-            Separ_sat.Solver.add_clause enc.solver [ v; -lb ];
+            Separ_sat.Solver.add_clause_arr enc.solver [| -v; la; lb |];
+            Separ_sat.Solver.add_clause_arr enc.solver [| v; -la |];
+            Separ_sat.Solver.add_clause_arr enc.solver [| v; -lb |];
             v
       in
       Hashtbl.add enc.cache g.id l;

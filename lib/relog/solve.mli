@@ -57,6 +57,15 @@ val default_enum_limit : int
     exhausted {!next} answers {!Unknown}. *)
 val prepare : ?budget:Separ_sat.Solver.budget -> problem -> session
 
+(** Toggle the SatELite-style preprocessing pass {!prepare} runs at the
+    translate → CNF handoff (default: on).  Soft variables are frozen,
+    so instances are identical either way; the toggle exists for parity
+    gates and benchmarks of the raw kernel.  {!prepare_base}/{!attach}
+    sessions never preprocess: their Tseitin definitions are shared
+    across attaches, and a later delta may name a variable the pass
+    would have eliminated. *)
+val set_preprocessing : bool -> unit
+
 (** What remains of the session budget right now (fields of an
     unbudgeted session stay [None]).  On a shared base solver the meter
     starts at {!attach} time: earlier sessions' work is not charged. *)

@@ -110,27 +110,43 @@ type section_diff = {
   sd_status : status;
 }
 
-(* Last [n] elements of [xs], in order. *)
-let last_n n xs =
-  let len = List.length xs in
-  if len <= n then xs else List.filteri (fun i _ -> i >= len - n) xs
+(* First [n] elements of [xs], in order. *)
+let first_n n xs =
+  let rec go i = function
+    | x :: rest when i < n -> x :: go (i + 1) rest
+    | _ -> []
+  in
+  go 0 xs
+
+(* One pass over the history: group entries by (section, mode) into a
+   hash table of newest-first lists, keeping the keys in first-seen
+   order.  The file grows by one line per section per run forever, so
+   this must stay linear — the obvious List.mem / per-key re-filter
+   formulation is O(n²) and was measurably slow on a few thousand
+   lines. *)
+let group_entries entries =
+  let groups = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      let key = (e.e_section, e.e_mode) in
+      match Hashtbl.find_opt groups key with
+      | Some es -> Hashtbl.replace groups key (e :: es)
+      | None ->
+          Hashtbl.add groups key [ e ];
+          order := key :: !order)
+    entries;
+  List.rev_map (fun key -> (key, Hashtbl.find groups key)) !order
 
 let diff ?(k = default_k) ?(threshold_pct = default_threshold_pct) entries =
-  let keys =
-    List.fold_left
-      (fun acc e ->
-        let key = (e.e_section, e.e_mode) in
-        if List.mem key acc then acc else acc @ [ key ])
-      [] entries
-  in
   List.map
-    (fun (section, mode) ->
-      let es =
-        List.filter (fun e -> e.e_section = section && e.e_mode = mode) entries
-      in
-      let latest = List.nth es (List.length es - 1) in
-      let prior = List.filteri (fun i _ -> i < List.length es - 1) es in
-      match last_n k prior with
+    (fun ((section, mode), newest_first) ->
+      (* [newest_first] is non-empty by construction: head is the latest
+         entry, the next [k] are the baseline pool (the k most recent
+         prior runs; the median does not care that they arrive newest
+         first). *)
+      let latest = List.hd newest_first in
+      match first_n k (List.tl newest_first) with
       | [] ->
           {
             sd_section = section;
@@ -160,4 +176,4 @@ let diff ?(k = default_k) ?(threshold_pct = default_threshold_pct) entries =
             sd_status =
               (if delta_pct > threshold_pct then Regression else Ok);
           })
-    keys
+    (group_entries entries)

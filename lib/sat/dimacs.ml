@@ -26,6 +26,7 @@ let parse_string s =
   let declared_clauses = ref None in
   let clauses = ref [] in
   let current = ref [] in
+  let finished = ref false in
   let handle_tokens toks =
     List.iter
       (fun tok ->
@@ -42,8 +43,13 @@ let parse_string s =
   List.iter
     (fun line ->
       let line = String.trim line in
-      if line = "" then ()
+      if !finished || line = "" then ()
       else if line.[0] = 'c' then ()
+      else if line.[0] = '%' then
+        (* SATLIB-format trailer: a "%" line marks end-of-input (the
+           conventional "0" line after it must not become an empty
+           clause). *)
+        finished := true
       else if line.[0] = 'p' then begin
         match split_ws line with
         | [ "p"; "cnf"; nv; nc ] ->

@@ -1,0 +1,409 @@
+(* SatELite-style CNF preprocessing: subsumption, self-subsuming
+   resolution (strengthening), and bounded variable elimination, run
+   once at the translate -> CNF handoff before search starts.
+
+   Works on plain clause lists in the *internal* literal encoding of
+   [Lit] (lit = var lsl 1 lor sign-bit), independent of the solver so
+   it can be tested in isolation and so [Solver.preprocess] stays a
+   thin gather / run / rebuild wrapper.
+
+   Soundness contract: variables in [frozen] are never eliminated and
+   never touched by resolution, so any literal the caller intends to
+   use later — assumptions, activation literals, soft/model variables
+   read by the relog decode layer — keeps its meaning.  Eliminated
+   variables are returned with the clauses they were resolved out of
+   ([r_stack], in elimination order); the solver replays that stack in
+   reverse to extend any model of the simplified CNF to a model of the
+   original one. *)
+
+type stats = {
+  mutable sp_subsumed : int;
+  mutable sp_strengthened : int;
+  mutable sp_eliminated : int;
+  mutable sp_resolvents : int;
+  mutable sp_units : int;
+}
+
+type result = {
+  r_clauses : int array list; (* surviving clauses, incl. derived units *)
+  r_stack : (int * int array list) list; (* (var, clauses), elim order *)
+  r_eliminated : bool array; (* per internal var *)
+  r_unsat : bool;
+  r_stats : stats;
+}
+
+(* Resolution-environment caps: a variable is only eliminated when both
+   occurrence lists are small and doing so does not grow the CNF.  The
+   classic SatELite bounds; generous enough to fire on Tseitin
+   definitions (x <-> gate), which is where almost all the payoff is. *)
+let max_occ = 10
+let max_resolvent_len = 40
+
+let lit_sig l = 1 lsl (l mod 63)
+
+type db = {
+  n_vars : int;
+  frozen : bool array;
+  mutable clauses : int array option array; (* None = removed *)
+  mutable n_clauses : int;
+  sigs : int Vec.t; (* signature per clause id; stale once removed *)
+  occ : int Vec.t array; (* per lit: clause ids, may contain stale ids *)
+  assign : int array; (* per var: 0 undef / 1 true / 2 false *)
+  eliminated : bool array;
+  touched : int Vec.t; (* clause ids queued for the subsumption sweep *)
+  mutable enqueued : bool array; (* per clause id: already on [touched]? *)
+  units : int Vec.t; (* literal queue for unit propagation *)
+  mutable stack : (int * int array list) list; (* reversed elim order *)
+  mutable unsat : bool;
+  st : stats;
+}
+
+let value d l =
+  match d.assign.(Lit.var l) with
+  | 0 -> 0
+  | 1 -> if Lit.sign l then 1 else -1
+  | _ -> if Lit.sign l then -1 else 1
+
+let clause_sig lits = Array.fold_left (fun s l -> s lor lit_sig l) 0 lits
+
+let ensure_slot d id =
+  if id >= Array.length d.clauses then begin
+    let cap = max (id + 1) (2 * Array.length d.clauses) in
+    let cs = Array.make cap None in
+    Array.blit d.clauses 0 cs 0 (Array.length d.clauses);
+    d.clauses <- cs;
+    let enq = Array.make cap false in
+    Array.blit d.enqueued 0 enq 0 (Array.length d.enqueued);
+    d.enqueued <- enq
+  end
+
+let touch d id =
+  if not d.enqueued.(id) then begin
+    d.enqueued.(id) <- true;
+    Vec.push d.touched id
+  end
+
+(* Normalize a literal list under the current assignment: returns
+   [None] if the clause is satisfied or tautological, otherwise the
+   sorted de-duplicated array of unassigned literals. *)
+let normalize d lits =
+  let lits = List.sort_uniq compare lits in
+  let rec go acc = function
+    | [] -> Some (Array.of_list (List.rev acc))
+    | l :: rest ->
+        if List.mem (Lit.negate l) rest then None (* tautology *)
+        else begin
+          match value d l with
+          | 1 -> None
+          | -1 -> go acc rest
+          | _ -> go (l :: acc) rest
+        end
+  in
+  go [] lits
+
+let enqueue_unit d l =
+  match value d l with
+  | 1 -> ()
+  | -1 -> d.unsat <- true
+  | _ ->
+      d.assign.(Lit.var l) <- (if Lit.sign l then 1 else 2);
+      d.st.sp_units <- d.st.sp_units + 1;
+      Vec.push d.units l
+
+let add_clause d lits =
+  match lits with
+  | [||] -> d.unsat <- true
+  | [| l |] -> enqueue_unit d l
+  | _ ->
+      let id = d.n_clauses in
+      d.n_clauses <- id + 1;
+      ensure_slot d id;
+      d.clauses.(id) <- Some lits;
+      Vec.push d.sigs (clause_sig lits);
+      Array.iter (fun l -> Vec.push d.occ.(l) id) lits;
+      touch d id
+
+let remove_clause d id =
+  d.clauses.(id) <- None (* occ entries go stale; filtered at use *)
+
+(* Live occurrences of [l], compacting the stale ids out of the list. *)
+let occs d l =
+  let v = d.occ.(l) in
+  let out = ref [] in
+  let j = ref 0 in
+  for i = 0 to Vec.size v - 1 do
+    let id = Vec.get v i in
+    match d.clauses.(id) with
+    | Some c when Array.exists (fun x -> x = l) c ->
+        Vec.set v !j id;
+        incr j;
+        out := (id, c) :: !out
+    | _ -> ()
+  done;
+  Vec.shrink v !j;
+  List.rev !out
+
+(* Unit propagation over the occurrence lists: satisfied clauses are
+   removed, falsified literals stripped. *)
+let propagate_units d =
+  while (not d.unsat) && Vec.size d.units > 0 do
+    let l = Vec.pop d.units in
+    List.iter (fun (id, _) -> remove_clause d id) (occs d l);
+    List.iter
+      (fun (id, c) ->
+        remove_clause d id;
+        match normalize d (Array.to_list c) with
+        | None -> ()
+        | Some c' -> add_clause d c')
+      (occs d (Lit.negate l))
+  done
+
+(* c subset-of d?  Assumes both sorted. *)
+let subset small big =
+  let ns = Array.length small and nb = Array.length big in
+  let rec go i j =
+    if i >= ns then true
+    else if j >= nb then false
+    else if small.(i) = big.(j) then go (i + 1) (j + 1)
+    else if small.(i) > big.(j) then go i (j + 1)
+    else false
+  in
+  ns <= nb && go 0 0
+
+(* subset test for c with literal [flip] considered negated. *)
+let subset_except small flip big =
+  Array.for_all
+    (fun l ->
+      if l = flip then Array.exists (fun x -> x = Lit.negate l) big
+      else Array.exists (fun x -> x = l) big)
+    small
+
+(* One subsumption / self-subsuming-resolution sweep over the queue of
+   touched clauses.  Strengthened clauses are re-queued, so the sweep
+   runs to fixpoint. *)
+let subsumption_sweep d =
+  while (not d.unsat) && Vec.size d.touched > 0 do
+    let id = Vec.pop d.touched in
+    d.enqueued.(id) <- false;
+    match d.clauses.(id) with
+    | None -> ()
+    | Some c ->
+        let csig = Vec.get d.sigs id in
+        (* pick the literal with the fewest occurrences to scan *)
+        let best = ref c.(0) in
+        Array.iter
+          (fun l ->
+            if Vec.size d.occ.(l) < Vec.size d.occ.(!best) then best := l)
+          c;
+        (* backward subsumption: c subsumes longer (or equal) clauses *)
+        List.iter
+          (fun (id', c') ->
+            if
+              id' <> id
+              && Array.length c' >= Array.length c
+              && csig land lnot (Vec.get d.sigs id') = 0
+              && subset c c'
+            then begin
+              remove_clause d id';
+              d.st.sp_subsumed <- d.st.sp_subsumed + 1
+            end)
+          (occs d !best);
+        (* self-subsuming resolution: if (c \ {l}) ∪ {¬l} ⊆ c' then ¬l
+           can be stripped from c'. *)
+        Array.iter
+          (fun l ->
+            let csig' = csig lxor lit_sig l lor lit_sig (Lit.negate l) in
+            List.iter
+              (fun (id', c') ->
+                if
+                  id' <> id
+                  && d.clauses.(id') <> None (* not removed this sweep *)
+                  && d.clauses.(id) <> None (* c itself still live *)
+                  && Array.length c' >= Array.length c
+                  && csig' land lnot (Vec.get d.sigs id') = 0
+                  && subset_except c l c'
+                then begin
+                  remove_clause d id';
+                  d.st.sp_strengthened <- d.st.sp_strengthened + 1;
+                  let c'' =
+                    Array.to_list c'
+                    |> List.filter (fun x -> x <> Lit.negate l)
+                  in
+                  match normalize d c'' with
+                  | None -> ()
+                  | Some c'' -> add_clause d c''
+                end)
+              (occs d (Lit.negate l)))
+          c
+  done;
+  propagate_units d
+
+(* Non-tautological resolvent of [cp] (contains pl) and [cn] (contains
+   ¬pl) on variable of [pl]; [None] if tautological. *)
+let resolvent d pl cp cn =
+  let nl = Lit.negate pl in
+  let lits =
+    List.filter (fun l -> l <> pl) (Array.to_list cp)
+    @ List.filter (fun l -> l <> nl) (Array.to_list cn)
+  in
+  let lits = List.sort_uniq compare lits in
+  if List.exists (fun l -> List.mem (Lit.negate l) lits) lits then None
+  else
+    match normalize d lits with
+    | None -> None
+    | Some c -> Some c
+
+(* Bounded variable elimination pass; returns true if any variable was
+   eliminated. *)
+let bve_pass d =
+  let changed = ref false in
+  for v = 0 to d.n_vars - 1 do
+    if
+      (not d.unsat) && (not d.frozen.(v)) && (not d.eliminated.(v))
+      && d.assign.(v) = 0
+    then begin
+      let pl = Lit.of_var v ~sign:true and nl = Lit.of_var v ~sign:false in
+      let pos = occs d pl and neg = occs d nl in
+      let np = List.length pos and nn = List.length neg in
+      if np > 0 && nn > 0 && np <= max_occ && nn <= max_occ then begin
+        (* count resolvents first; eliminate only if CNF shrinks *)
+        let resolvents = ref [] and count = ref 0 and ok = ref true in
+        List.iter
+          (fun (_, cp) ->
+            List.iter
+              (fun (_, cn) ->
+                if !ok then
+                  match resolvent d pl cp cn with
+                  | None -> ()
+                  | Some r ->
+                      if Array.length r > max_resolvent_len then ok := false
+                      else begin
+                        incr count;
+                        if !count > np + nn then ok := false
+                        else resolvents := r :: !resolvents
+                      end)
+              neg)
+          pos;
+        if !ok then begin
+          let saved =
+            List.map snd pos @ List.map snd neg
+          in
+          List.iter (fun (id, _) -> remove_clause d id) pos;
+          List.iter (fun (id, _) -> remove_clause d id) neg;
+          d.eliminated.(v) <- true;
+          d.stack <- (v, saved) :: d.stack;
+          d.st.sp_eliminated <- d.st.sp_eliminated + 1;
+          List.iter
+            (fun r ->
+              d.st.sp_resolvents <- d.st.sp_resolvents + 1;
+              add_clause d r)
+            !resolvents;
+          changed := true
+        end
+      end
+      (* pure-literal case (np = 0 or nn = 0, some occurrences): also a
+         valid elimination — all clauses containing the pure literal are
+         satisfiable by choosing it; reconstruction picks the value. *)
+      else if (np = 0) <> (nn = 0) && np + nn <= max_occ then begin
+        let side = if np > 0 then pos else neg in
+        let saved = List.map snd side in
+        List.iter (fun (id, _) -> remove_clause d id) side;
+        d.eliminated.(v) <- true;
+        d.stack <- (v, saved) :: d.stack;
+        d.st.sp_eliminated <- d.st.sp_eliminated + 1;
+        changed := true
+      end
+    end
+  done;
+  propagate_units d;
+  !changed
+
+let max_rounds = 5
+
+let run ~frozen ~n_vars clauses =
+  let st =
+    {
+      sp_subsumed = 0;
+      sp_strengthened = 0;
+      sp_eliminated = 0;
+      sp_resolvents = 0;
+      sp_units = 0;
+    }
+  in
+  let d =
+    {
+      n_vars;
+      frozen;
+      clauses = Array.make 64 None;
+      n_clauses = 0;
+      sigs = Vec.create 0;
+      occ = Array.init (2 * max 1 n_vars) (fun _ -> Vec.create 0);
+      assign = Array.make (max 1 n_vars) 0;
+      eliminated = Array.make (max 1 n_vars) false;
+      touched = Vec.create 0;
+      enqueued = Array.make 64 false;
+      units = Vec.create 0;
+      stack = [];
+      unsat = false;
+      st;
+    }
+  in
+  List.iter
+    (fun c ->
+      if not d.unsat then
+        match normalize d (Array.to_list c) with
+        | None -> ()
+        | Some c' -> add_clause d c')
+    clauses;
+  propagate_units d;
+  let rounds = ref 0 and continue_ = ref true in
+  while (not d.unsat) && !continue_ && !rounds < max_rounds do
+    incr rounds;
+    subsumption_sweep d;
+    continue_ := bve_pass d
+  done;
+  if not d.unsat then subsumption_sweep d;
+  let surviving = ref [] in
+  if not d.unsat then begin
+    for id = d.n_clauses - 1 downto 0 do
+      match d.clauses.(id) with
+      | Some c -> surviving := c :: !surviving
+      | None -> ()
+    done;
+    (* re-emit level-0 facts as unit clauses *)
+    for v = 0 to n_vars - 1 do
+      match d.assign.(v) with
+      | 1 -> surviving := [| Lit.of_var v ~sign:true |] :: !surviving
+      | 2 -> surviving := [| Lit.of_var v ~sign:false |] :: !surviving
+      | _ -> ()
+    done
+  end;
+  {
+    r_clauses = !surviving;
+    r_stack = List.rev d.stack;
+    r_eliminated = d.eliminated;
+    r_unsat = d.unsat;
+    r_stats = st;
+  }
+
+(* Model reconstruction: given truth values for surviving vars (as a
+   function), extend over the elimination stack.  [stack_newest_first]
+   must be reversed elimination order (latest elimination first) so
+   each variable's saved clauses only mention already-decided vars.
+   Calls [set v b] for each eliminated var. *)
+let reconstruct ~stack_newest_first ~lit_true ~set =
+  List.iter
+    (fun (v, saved) ->
+      let pl = Lit.of_var v ~sign:true in
+      (* v must be true iff some saved clause containing v positively
+         has all its *other* literals false. *)
+      let needs_true =
+        List.exists
+          (fun c ->
+            Array.exists (fun l -> l = pl) c
+            && not
+                 (Array.exists (fun l -> l <> pl && lit_true l) c))
+          saved
+      in
+      set v needs_true)
+    stack_newest_first

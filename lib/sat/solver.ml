@@ -1,31 +1,64 @@
-(* A CDCL SAT solver: two-watched-literal propagation, first-UIP conflict
-   analysis with clause learning and learnt-clause minimization, VSIDS-style
-   variable activities with a binary heap, clause activities with periodic
-   learnt-database reduction, phase saving, and Luby-sequence restarts.
-   Incremental use is supported through solve-time assumptions; clauses may
-   be added between calls.
+(* A CDCL SAT solver: two-watched-literal propagation over a flat clause
+   arena, first-UIP conflict analysis with clause learning and
+   learnt-clause minimization, VSIDS-style variable activities with a
+   binary heap, clause activities with periodic learnt-database
+   reduction, phase saving, and Luby-sequence restarts.  Incremental use
+   is supported through solve-time assumptions; clauses may be added
+   between calls.
+
+   Representation: clause literals live in one packed int array
+   ({!Arena}); a clause is an integer offset ("cref").  Watcher lists
+   are flat int vectors packing [(cref lsl 31) lor blocker], where the
+   blocker is some literal of the clause whose truth lets propagation
+   skip the clause without touching the arena.  Binary clauses never
+   enter the arena: each literal carries a dedicated list of
+   [(other lsl 1) lor learnt] entries and is propagated inline.
+   Learnt-clause deletion is lazy (a header mark, filtered out of watch
+   lists on sight); the arena is compacted once a quarter of it is dead.
+
+   An optional preprocessing pass ({!preprocess}) runs SatELite-style
+   subsumption / strengthening / bounded variable elimination over the
+   problem clauses; eliminated variables are reconstructed from the
+   elimination stack whenever a model is read, so {!value}/{!model} are
+   oblivious to it.  Frozen variables (assumptions, activation literals,
+   anything the caller will name later) are never eliminated.
 
    The external interface uses DIMACS conventions: variables are positive
    integers obtained from [new_var], a literal is [+v] or [-v]. *)
 
-type clause = {
-  mutable lits : int array; (* internal literal encoding, see {!Lit} *)
-  learnt : bool;
-  mutable activity : float; (* clause activity; learnt clauses only *)
-}
-
 type lbool = LTrue | LFalse | LUndef
 
+(* Reason tags, per assigned variable: [-1] none (decision / assumption /
+   level-0 fact), even [c lsl 1] a long-clause antecedent at cref [c],
+   odd [(u lsl 1) lor 1] a binary antecedent whose other literal is [u]. *)
+let no_reason = -1
+
+let reason_of_cref c = c lsl 1
+let reason_of_bin other = (other lsl 1) lor 1
+
+(* Packed watcher for long clauses: [(cref lsl 31) lor blocker].
+   Propagation unpacks inline with [lsr 31] / [land 0x7FFFFFFF]. *)
+let watcher cref blocker = (cref lsl 31) lor blocker
+
 type t = {
-  mutable clauses : clause Vec.t;          (* problem clauses *)
-  mutable learnts : clause Vec.t;          (* learnt clauses *)
-  mutable watches : clause Vec.t array;    (* watch list per literal *)
+  mutable arena : Arena.t;                 (* all long-clause literals *)
+  clauses : int Vec.t;                     (* problem clause crefs *)
+  learnts : int Vec.t;                     (* learnt clause crefs (len >= 3) *)
+  mutable watches : int Vec.t array;       (* long-clause watchers per literal *)
+  mutable bin_watches : int Vec.t array;   (* binary-clause lists per literal *)
+  mutable n_bin_problem : int;             (* binary problem clauses *)
+  mutable n_bin_learnt : int;              (* binary learnt clauses *)
+  mutable cla_act : float array;           (* learnt-clause activities, by slot *)
+  mutable cla_act_n : int;                 (* live activity slots *)
   mutable assigns : lbool array;           (* per var *)
   mutable polarity : bool array;           (* saved phase per var *)
   mutable level : int array;               (* decision level per var *)
-  mutable reason : clause option array;    (* antecedent per var *)
+  mutable reason : int array;              (* antecedent tag per var *)
   mutable activity : float array;          (* VSIDS activity per var *)
   mutable seen : bool array;               (* scratch for analyze *)
+  mutable eliminated : bool array;         (* vars removed by preprocessing *)
+  mutable recon : bool array;              (* reconstructed values for them *)
+  mutable elim_stack : (int * int array list) list; (* newest first *)
   trail : int Vec.t;                       (* assigned literals, in order *)
   trail_lim : int Vec.t;                   (* decision-level boundaries *)
   mutable qhead : int;                     (* propagation queue head *)
@@ -39,6 +72,7 @@ type t = {
   mutable act_live : int;                  (* live activation var, 0 = none *)
   mutable n_act_retired : int;             (* retired activation vars *)
   mutable conflict_core : int array;       (* failed assumptions, internal lits *)
+  mutable deadline : float;                (* absolute wall clock; infinity = none *)
   mutable n_conflicts : int;
   mutable n_decisions : int;
   mutable n_propagations : int;
@@ -47,21 +81,31 @@ type t = {
   mutable n_learnts_deleted : int;         (* clauses dropped by reduce_db *)
   mutable n_lits_minimized : int;          (* literals removed by ccmin *)
   mutable peak_learnts : int;              (* high-water mark of the db *)
+  mutable n_elim_vars : int;               (* vars eliminated by preprocessing *)
+  mutable n_subsumed : int;                (* clauses removed by subsumption *)
+  mutable n_strengthened : int;            (* clauses shrunk by self-subsumption *)
 }
-
-let dummy_clause = { lits = [||]; learnt = false; activity = 0.0 }
 
 let create () =
   {
-    clauses = Vec.create dummy_clause;
-    learnts = Vec.create dummy_clause;
+    arena = Arena.create ();
+    clauses = Vec.create 0;
+    learnts = Vec.create 0;
     watches = [||];
+    bin_watches = [||];
+    n_bin_problem = 0;
+    n_bin_learnt = 0;
+    cla_act = [||];
+    cla_act_n = 0;
     assigns = [||];
     polarity = [||];
     level = [||];
     reason = [||];
     activity = [||];
     seen = [||];
+    eliminated = [||];
+    recon = [||];
+    elim_stack = [];
     trail = Vec.create 0;
     trail_lim = Vec.create 0;
     qhead = 0;
@@ -75,6 +119,7 @@ let create () =
     act_live = 0;
     n_act_retired = 0;
     conflict_core = [||];
+    deadline = infinity;
     n_conflicts = 0;
     n_decisions = 0;
     n_propagations = 0;
@@ -83,10 +128,14 @@ let create () =
     n_learnts_deleted = 0;
     n_lits_minimized = 0;
     peak_learnts = 0;
+    n_elim_vars = 0;
+    n_subsumed = 0;
+    n_strengthened = 0;
   }
 
 let n_vars t = t.nvars
-let n_clauses t = Vec.size t.clauses
+let n_clauses t = Vec.size t.clauses + t.n_bin_problem
+let n_learnt_clauses t = Vec.size t.learnts + t.n_bin_learnt
 let n_conflicts t = t.n_conflicts
 
 let grow_arrays t n =
@@ -101,14 +150,17 @@ let grow_arrays t n =
     t.assigns <- extend t.assigns LUndef;
     t.polarity <- extend t.polarity false;
     t.level <- extend t.level (-1);
-    t.reason <- extend t.reason None;
+    t.reason <- extend t.reason no_reason;
     t.activity <- extend t.activity 0.0;
     t.seen <- extend t.seen false;
-    let w = Array.init (2 * cap) (fun i ->
-        if i < Array.length t.watches then t.watches.(i)
-        else Vec.create dummy_clause)
+    t.eliminated <- extend t.eliminated false;
+    t.recon <- extend t.recon false;
+    let extend_watch w =
+      Array.init (2 * cap) (fun i ->
+          if i < Array.length w then w.(i) else Vec.create ~capacity:4 0)
     in
-    t.watches <- w
+    t.watches <- extend_watch t.watches;
+    t.bin_watches <- extend_watch t.bin_watches
   end
 
 (* Allocates a fresh variable and returns its external (1-based) index. *)
@@ -140,16 +192,19 @@ let var_bump t v =
 
 let var_decay t = t.var_inc <- t.var_inc /. 0.95
 
-let cla_bump t (c : clause) =
-  c.activity <- c.activity +. t.cla_inc;
-  if c.activity > 1e20 then begin
-    Vec.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) t.learnts;
+let cla_bump t c =
+  let s = Arena.act_slot t.arena c in
+  t.cla_act.(s) <- t.cla_act.(s) +. t.cla_inc;
+  if t.cla_act.(s) > 1e20 then begin
+    for i = 0 to t.cla_act_n - 1 do
+      t.cla_act.(i) <- t.cla_act.(i) *. 1e-20
+    done;
     t.cla_inc <- t.cla_inc *. 1e-20
   end
 
 let cla_decay t = t.cla_inc <- t.cla_inc /. 0.999
 
-(* Enqueue literal [l] as true, with optional antecedent. *)
+(* Enqueue literal [l] as true, with its antecedent tag. *)
 let enqueue t l reason =
   let v = Lit.var l in
   assert (t.assigns.(v) = LUndef);
@@ -166,7 +221,7 @@ let cancel_until t lvl =
       let l = Vec.get t.trail i in
       let v = Lit.var l in
       t.assigns.(v) <- LUndef;
-      t.reason.(v) <- None;
+      t.reason.(v) <- no_reason;
       if not (Heap.mem t.heap v) then Heap.insert t.heap v t.activity.(v)
     done;
     Vec.shrink t.trail bound;
@@ -174,115 +229,237 @@ let cancel_until t lvl =
     t.qhead <- Vec.size t.trail
   end
 
-(* Attach a clause (>= 2 literals) to the watch lists of its first two. *)
+(* Attach a long clause (>= 3 literals) to the watch lists of its first
+   two literals; the initial blocker is the other watched literal. *)
 let attach t c =
-  Vec.push t.watches.(Lit.negate c.lits.(0)) c;
-  Vec.push t.watches.(Lit.negate c.lits.(1)) c
+  let l0 = Arena.lit t.arena c 0 and l1 = Arena.lit t.arena c 1 in
+  Vec.push t.watches.(Lit.negate l0) (watcher c l1);
+  Vec.push t.watches.(Lit.negate l1) (watcher c l0)
 
-(* Remove a clause from the watch lists of its two watched literals. *)
-let detach t c =
-  let remove_from l =
-    let ws = t.watches.(Lit.negate l) in
-    let rec find i =
-      if i < Vec.size ws then
-        if Vec.get ws i == c then Vec.swap_remove ws i else find (i + 1)
-    in
-    find 0
-  in
-  remove_from c.lits.(0);
-  remove_from c.lits.(1)
+(* Record a binary clause [(a, b)] inline in the binary watch lists: the
+   entry under literal [l] describes the clause [(negate l, other)]. *)
+let add_binary t ~learnt a b =
+  let tag = if learnt then 1 else 0 in
+  Vec.push t.bin_watches.(Lit.negate a) ((b lsl 1) lor tag);
+  Vec.push t.bin_watches.(Lit.negate b) ((a lsl 1) lor tag);
+  if learnt then t.n_bin_learnt <- t.n_bin_learnt + 1
+  else t.n_bin_problem <- t.n_bin_problem + 1
 
 (* A clause is locked while it is the antecedent of its asserting literal
    (position 0 holds the implied literal for as long as it is assigned:
    propagation only ever swaps the newly-false literal into position 1). *)
-let locked t c =
-  Array.length c.lits > 0
-  &&
-  match t.reason.(Lit.var c.lits.(0)) with
-  | Some c' -> c' == c
-  | None -> false
+let locked t c = t.reason.(Lit.var (Arena.lit t.arena c 0)) = reason_of_cref c
 
-(* Record a freshly learnt clause (>= 2 literals) in the database. *)
+let ensure_act_slot t =
+  if t.cla_act_n >= Array.length t.cla_act then begin
+    let cap = max 16 (2 * Array.length t.cla_act) in
+    let a = Array.make cap 0.0 in
+    Array.blit t.cla_act 0 a 0 t.cla_act_n;
+    t.cla_act <- a
+  end;
+  let s = t.cla_act_n in
+  t.cla_act_n <- s + 1;
+  t.cla_act.(s) <- 0.0;
+  s
+
+(* Record a freshly learnt clause (>= 2 literals) in the database and
+   return the reason tag for its asserting literal [lits.(0)]. *)
 let new_learnt t lits =
-  let c = { lits; learnt = true; activity = 0.0 } in
-  cla_bump t c;
-  Vec.push t.learnts c;
-  if Vec.size t.learnts > t.peak_learnts then
-    t.peak_learnts <- Vec.size t.learnts;
-  attach t c;
-  c
+  let r =
+    if Array.length lits = 2 then begin
+      add_binary t ~learnt:true lits.(0) lits.(1);
+      reason_of_bin lits.(1)
+    end
+    else begin
+      let c = Arena.alloc t.arena ~learnt:true ~act:(ensure_act_slot t) lits in
+      Vec.push t.learnts c;
+      attach t c;
+      cla_bump t c;
+      reason_of_cref c
+    end
+  in
+  if n_learnt_clauses t > t.peak_learnts then
+    t.peak_learnts <- n_learnt_clauses t;
+  r
+
+(* Rebuild the long-clause watch lists from scratch (after arena
+   compaction; only sound while the propagation queue is empty, since
+   watches reset to the first two literals of each clause). *)
+let rebuild_watches t =
+  for l = 0 to (2 * t.nvars) - 1 do
+    Vec.clear t.watches.(l)
+  done;
+  Vec.iter (fun c -> attach t c) t.clauses;
+  Vec.iter (fun c -> attach t c) t.learnts
+
+(* Copy live clauses into a fresh arena and rewrite every cref: the
+   clause vectors, and the long-clause reasons of trail literals (locked
+   clauses are live by definition, so their forwarding address exists). *)
+let compact_arena t =
+  let src = t.arena in
+  let dst =
+    Arena.create ~capacity:(src.Arena.size - src.Arena.wasted + 16) ()
+  in
+  let remap vec =
+    for i = 0 to Vec.size vec - 1 do
+      Vec.set vec i (Arena.move ~src ~dst (Vec.get vec i))
+    done
+  in
+  remap t.clauses;
+  remap t.learnts;
+  Vec.iter
+    (fun l ->
+      let v = Lit.var l in
+      let r = t.reason.(v) in
+      if r >= 0 && r land 1 = 0 then
+        t.reason.(v) <- reason_of_cref (Arena.forward src (r asr 1)))
+    t.trail;
+  t.arena <- dst;
+  rebuild_watches t
 
 (* Delete the colder half of the learnt database, ordered by clause
-   activity.  Locked clauses (current antecedents) and binary learnts are
-   never deleted: locked clauses back live trail literals, and binaries
-   are cheap to keep and expensive to re-learn. *)
+   activity.  Locked clauses (current antecedents) are never deleted,
+   and binary learnts live outside the database entirely (cheap to keep,
+   expensive to re-learn).  Deletion is a header mark; watch lists are
+   purged lazily by propagation, and the arena is compacted once a
+   quarter of its words are dead. *)
 let reduce_db t =
   t.n_reduce_db <- t.n_reduce_db + 1;
   let n = Vec.size t.learnts in
   let arr = Array.init n (Vec.get t.learnts) in
   Array.sort
-    (fun (a : clause) (b : clause) -> compare a.activity b.activity)
+    (fun a b ->
+      compare
+        t.cla_act.(Arena.act_slot t.arena a)
+        t.cla_act.(Arena.act_slot t.arena b))
     arr;
   Vec.clear t.learnts;
   Array.iteri
     (fun i c ->
-      if Array.length c.lits <= 2 || locked t c || i >= n / 2 then
-        Vec.push t.learnts c
+      if locked t c || i >= n / 2 then Vec.push t.learnts c
       else begin
-        detach t c;
+        Arena.delete t.arena c;
         t.n_learnts_deleted <- t.n_learnts_deleted + 1
       end)
-    arr
+    arr;
+  (* Re-pack activity slots so the slot array tracks the live set. *)
+  let m = Vec.size t.learnts in
+  let acts = Array.make (max 1 m) 0.0 in
+  for i = 0 to m - 1 do
+    let c = Vec.get t.learnts i in
+    acts.(i) <- t.cla_act.(Arena.act_slot t.arena c);
+    Arena.set_act_slot t.arena c i
+  done;
+  Array.blit acts 0 t.cla_act 0 m;
+  t.cla_act_n <- m;
+  if Arena.fragmentation t.arena > 0.25 then compact_arena t
 
-exception Conflict of clause
+(* The outcome of a propagation round. *)
+type confl = CNone | CRef of int | CBin of int * int
 
-(* Unit propagation.  Returns the conflicting clause, if any. *)
+exception Budget_exc
+
+(* Unit propagation.  Long clauses behind their blocker literals first
+   (matching the old kernel's attach-order scan, which the learnt-clause
+   trajectory is tuned against), then binary clauses as a flat scan with
+   no arena access.  The wall-clock deadline is polled every 256
+   propagated literals (only when one is set) so heavy conflict-free
+   propagation cannot overrun a time budget unobserved.
+
+   This is the solver's hottest loop: it reads vectors through their
+   fields directly (skipping the [Vec.get] bounds asserts) and values
+   literals inline.  [lit_val] returns 1 true / -1 false / 0 undef. *)
 let propagate t =
-  try
-    while t.qhead < Vec.size t.trail do
-      let l = Vec.get t.trail t.qhead in
-      t.qhead <- t.qhead + 1;
-      t.n_propagations <- t.n_propagations + 1;
-      let ws = t.watches.(l) in
-      let i = ref 0 in
-      while !i < Vec.size ws do
-        let c = Vec.get ws !i in
-        let lits = c.lits in
-        (* Ensure the false literal is at position 1. *)
-        let nl = Lit.negate l in
-        if lits.(0) = nl then begin
-          lits.(0) <- lits.(1);
-          lits.(1) <- nl
-        end;
-        if value_lit t lits.(0) = LTrue then incr i
-        else begin
-          (* Look for a new literal to watch. *)
-          let n = Array.length lits in
-          let rec find k =
-            if k >= n then -1
-            else if value_lit t lits.(k) <> LFalse then k
-            else find (k + 1)
-          in
-          let k = find 2 in
-          if k >= 0 then begin
-            lits.(1) <- lits.(k);
-            lits.(k) <- nl;
-            Vec.push t.watches.(Lit.negate lits.(1)) c;
-            Vec.swap_remove ws !i
-          end
-          else if value_lit t lits.(0) = LFalse then begin
-            t.qhead <- Vec.size t.trail;
-            raise (Conflict c)
-          end
-          else begin
-            enqueue t lits.(0) (Some c);
-            incr i
-          end
-        end
-      done
-    done;
-    None
-  with Conflict c -> Some c
+  let result = ref CNone in
+  let assigns = t.assigns in
+  let lit_val l =
+    match Array.unsafe_get assigns (l lsr 1) with
+    | LUndef -> 0
+    | LTrue -> if l land 1 = 0 then 1 else -1
+    | LFalse -> if l land 1 = 0 then -1 else 1
+  in
+  (try
+     while t.qhead < t.trail.Vec.size do
+       let l = Array.unsafe_get t.trail.Vec.data t.qhead in
+       t.qhead <- t.qhead + 1;
+       t.n_propagations <- t.n_propagations + 1;
+       if
+         t.deadline < infinity
+         && t.n_propagations land 255 = 0
+         && Unix.gettimeofday () > t.deadline
+       then raise Budget_exc;
+       let nl = Lit.negate l in
+       (* Long clauses. *)
+       let ws = Array.unsafe_get t.watches l in
+       let data = t.arena.Arena.data in
+       let i = ref 0 in
+       while !i < ws.Vec.size do
+         let w = Array.unsafe_get ws.Vec.data !i in
+         if lit_val (w land 0x7FFFFFFF) = 1 then incr i
+         else begin
+           let c = w lsr 31 in
+           let hd = Array.unsafe_get data c in
+           if hd land 2 <> 0 then
+             (* deleted by reduce_db: lazily drop the watcher *)
+             Vec.swap_remove ws !i
+           else begin
+             let base = c + 2 in
+             (* Ensure the false literal is at position 1. *)
+             if Array.unsafe_get data base = nl then begin
+               Array.unsafe_set data base (Array.unsafe_get data (base + 1));
+               Array.unsafe_set data (base + 1) nl
+             end;
+             let first = Array.unsafe_get data base in
+             if first <> w land 0x7FFFFFFF && lit_val first = 1 then begin
+               (* satisfied: remember the satisfying literal as blocker *)
+               Array.unsafe_set ws.Vec.data !i (watcher c first);
+               incr i
+             end
+             else begin
+               (* Look for a new literal to watch. *)
+               let len = hd lsr 2 in
+               let k = ref 2 in
+               while
+                 !k < len && lit_val (Array.unsafe_get data (base + !k)) = -1
+               do
+                 incr k
+               done;
+               if !k < len then begin
+                 let nk = Array.unsafe_get data (base + !k) in
+                 Array.unsafe_set data (base + 1) nk;
+                 Array.unsafe_set data (base + !k) nl;
+                 Vec.push t.watches.(Lit.negate nk) (watcher c first);
+                 Vec.swap_remove ws !i
+               end
+               else if lit_val first = -1 then begin
+                 t.qhead <- t.trail.Vec.size;
+                 result := CRef c;
+                 raise Exit
+               end
+               else begin
+                 enqueue t first (reason_of_cref c);
+                 incr i
+               end
+             end
+           end
+         end
+       done;
+       (* Binary clauses (negate l, other): inline propagation. *)
+       let bw = Array.unsafe_get t.bin_watches l in
+       let bd = bw.Vec.data in
+       for bi = 0 to bw.Vec.size - 1 do
+         let other = Array.unsafe_get bd bi lsr 1 in
+         match lit_val other with
+         | 1 -> ()
+         | 0 -> enqueue t other (reason_of_bin nl)
+         | _ ->
+             t.qhead <- t.trail.Vec.size;
+             result := CBin (other, nl);
+             raise Exit
+       done
+     done
+   with Exit -> ());
+  !result
 
 (* First-UIP conflict analysis.  Returns the learnt clause (with the
    asserting literal first) and the backtrack level.  Before the clause is
@@ -294,25 +471,26 @@ let analyze t confl =
   Vec.push learnt 0 (* placeholder for asserting literal *);
   let path = ref 0 in
   let p = ref (-1) in
-  let confl = ref (Some confl) in
+  let visit q =
+    let v = Lit.var q in
+    if (not t.seen.(v)) && t.level.(v) > 0 then begin
+      t.seen.(v) <- true;
+      var_bump t v;
+      if t.level.(v) >= decision_level t then incr path
+      else Vec.push learnt q
+    end
+  in
+  (match confl with
+  | CBin (l0, l1) ->
+      visit l0;
+      visit l1
+  | CRef c ->
+      if Arena.is_learnt t.arena c then cla_bump t c;
+      Arena.iter_lits visit t.arena c
+  | CNone -> assert false);
   let idx = ref (Vec.size t.trail - 1) in
-  let continue = ref true in
-  while !continue do
-    let c =
-      match !confl with Some c -> c | None -> assert false
-    in
-    if c.learnt then cla_bump t c;
-    let start = if !p = -1 then 0 else 1 in
-    for j = start to Array.length c.lits - 1 do
-      let q = c.lits.(j) in
-      let v = Lit.var q in
-      if (not t.seen.(v)) && t.level.(v) > 0 then begin
-        t.seen.(v) <- true;
-        var_bump t v;
-        if t.level.(v) >= decision_level t then incr path
-        else Vec.push learnt q
-      end
-    done;
+  let continue_ = ref true in
+  while !continue_ do
     (* Select next literal on the trail to expand. *)
     let rec next i =
       if t.seen.(Lit.var (Vec.get t.trail i)) then i else next (i - 1)
@@ -322,24 +500,40 @@ let analyze t confl =
     decr idx;
     p := lt;
     t.seen.(Lit.var lt) <- false;
-    confl := t.reason.(Lit.var lt);
     decr path;
-    if !path <= 0 then continue := false
+    if !path <= 0 then continue_ := false
+    else begin
+      let r = t.reason.(Lit.var lt) in
+      assert (r >= 0);
+      if r land 1 = 1 then visit (r asr 1)
+      else begin
+        let c = r asr 1 in
+        if Arena.is_learnt t.arena c then cla_bump t c;
+        let len = Arena.len t.arena c in
+        for j = 1 to len - 1 do
+          visit (Arena.lit t.arena c j)
+        done
+      end
+    end
   done;
   Vec.set learnt 0 (Lit.negate !p);
   (* Self-subsumption pass: at this point [seen] holds exactly the vars of
      learnt.(1..); a literal is redundant iff every other literal of its
      antecedent is already in the clause or false at level 0. *)
+  let covered q = t.seen.(Lit.var q) || t.level.(Lit.var q) = 0 in
   let redundant q =
-    match t.reason.(Lit.var q) with
-    | None -> false
-    | Some c ->
-        let ok = ref true in
-        for k = 1 to Array.length c.lits - 1 do
-          let v = Lit.var c.lits.(k) in
-          if (not t.seen.(v)) && t.level.(v) > 0 then ok := false
-        done;
-        !ok
+    let r = t.reason.(Lit.var q) in
+    if r < 0 then false
+    else if r land 1 = 1 then covered (r asr 1)
+    else begin
+      let c = r asr 1 in
+      let len = Arena.len t.arena c in
+      let ok = ref true in
+      for k = 1 to len - 1 do
+        if not (covered (Arena.lit t.arena c k)) then ok := false
+      done;
+      !ok
+    end
   in
   let keep = Vec.create 0 in
   Vec.push keep (Vec.get learnt 0);
@@ -391,10 +585,12 @@ let analyze_final_from t false_lits =
     let out = ref [] in
     for i = Vec.size t.trail - 1 downto Vec.get t.trail_lim 0 do
       let l = Vec.get t.trail i in
-      if t.seen.(Lit.var l) then
-        match t.reason.(Lit.var l) with
-        | None -> out := l :: !out (* an assumption decision *)
-        | Some c -> Array.iter mark c.lits
+      if t.seen.(Lit.var l) then begin
+        let r = t.reason.(Lit.var l) in
+        if r < 0 then out := l :: !out (* an assumption decision *)
+        else if r land 1 = 1 then mark (r asr 1)
+        else Arena.iter_lits mark t.arena (r asr 1)
+      end
     done;
     Vec.iter (fun v -> t.seen.(v) <- false) marked;
     !out
@@ -402,58 +598,88 @@ let analyze_final_from t false_lits =
 
 (* Add a clause given in internal literal encoding.  Performs top-level
    simplification: removes duplicate/false literals, detects tautologies. *)
-let add_clause_internal t lits =
+let add_clause_internal t (a : int array) =
   if t.ok then begin
-    let lits = List.sort_uniq compare lits in
-    let tautology =
-      List.exists (fun l -> List.mem (Lit.negate l) lits) lits
-    in
-    if not tautology then begin
-      (* Drop literals already false at level 0; detect satisfied clause. *)
-      let lits =
-        List.filter
-          (fun l ->
-            not (value_lit t l = LFalse && t.level.(Lit.var l) = 0))
-          lits
-      in
-      let satisfied =
-        List.exists
-          (fun l -> value_lit t l = LTrue && t.level.(Lit.var l) = 0)
-          lits
-      in
-      if not satisfied then
-        match lits with
-        | [] -> t.ok <- false
-        | [ l ] ->
-            if value_lit t l = LFalse then t.ok <- false
-            else if value_lit t l = LUndef then begin
-              assert (decision_level t = 0);
-              enqueue t l None;
-              if propagate t <> None then t.ok <- false
-            end
-        | _ ->
-            let c = { lits = Array.of_list lits; learnt = false; activity = 0.0 } in
-            Vec.push t.clauses c;
-            attach t c
-    end
+    let n = Array.length a in
+    (* In-place insertion sort: problem clauses are short (the translate
+       layer emits 2-3 literal Tseitin definitions by the thousand), so
+       this beats a polymorphic sort and allocates nothing. *)
+    for i = 1 to n - 1 do
+      let x = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && a.(!j) > x do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- x
+    done;
+    (* One pass over the sorted literals: drop duplicates (adjacent),
+       detect tautologies ([l] and [negate l] differ only in bit 0, so
+       they are adjacent too), drop literals false at level 0 and detect
+       clauses already satisfied there.  Survivors are compacted into the
+       prefix [a.(0 .. !w - 1)]. *)
+    let w = ref 0 and prev = ref (-1) in
+    let taut = ref false and satisfied = ref false in
+    let i = ref 0 in
+    while (not !taut) && (not !satisfied) && !i < n do
+      let l = a.(!i) in
+      if l <> !prev then begin
+        if l lxor !prev = 1 then taut := true
+        else begin
+          (match value_lit t l with
+          | LTrue when t.level.(Lit.var l) = 0 -> satisfied := true
+          | LFalse when t.level.(Lit.var l) = 0 -> ()
+          | _ ->
+              a.(!w) <- l;
+              incr w);
+          prev := l
+        end
+      end;
+      incr i
+    done;
+    if not (!taut || !satisfied) then
+      match !w with
+      | 0 -> t.ok <- false
+      | 1 ->
+          let l = a.(0) in
+          if value_lit t l = LFalse then t.ok <- false
+          else if value_lit t l = LUndef then begin
+            assert (decision_level t = 0);
+            enqueue t l no_reason;
+            if propagate t <> CNone then t.ok <- false
+          end
+      | 2 -> add_binary t ~learnt:false a.(0) a.(1)
+      | w ->
+          let lits = if w = n then a else Array.sub a 0 w in
+          let c = Arena.alloc t.arena ~learnt:false ~act:0 lits in
+          Vec.push t.clauses c;
+          attach t c
   end
 
 (* Public clause interface: DIMACS-style signed integers.  Adding a clause
    invalidates the current model: the solver backtracks to the root level
    so the clause can be simplified against level-0 facts only.  Model
-   values must be read before clauses are added. *)
-let add_clause t lits =
+   values must be read before clauses are added.  [add_clause_arr] takes
+   ownership of its argument (converted to the internal encoding and
+   sorted in place) — it exists for the Tseitin emitter, which adds
+   thousands of 2-3 literal definitions on the translate hot path. *)
+let add_clause_arr t a =
   t.model_valid <- false;
   cancel_until t 0;
-  List.iter
-    (fun i ->
-      let v = abs i in
-      if v = 0 then invalid_arg "Solver.add_clause: zero literal";
-      while v > t.nvars do
-        ignore (new_var t)
-      done)
-    lits;
-  add_clause_internal t (List.map Lit.of_int lits)
+  for i = 0 to Array.length a - 1 do
+    let s = a.(i) in
+    let v = abs s in
+    if v = 0 then invalid_arg "Solver.add_clause: zero literal";
+    while v > t.nvars do
+      ignore (new_var t)
+    done;
+    if t.eliminated.(v - 1) then
+      invalid_arg "Solver.add_clause: variable eliminated by preprocessing";
+    a.(i) <- Lit.of_int s
+  done;
+  add_clause_internal t a
+
+let add_clause t lits = add_clause_arr t (Array.of_list lits)
 
 (* Activation-literal support for assumption-guarded temporary clauses
    (used by {!Models.minimize}).  At most one activation variable is live;
@@ -473,6 +699,103 @@ let retire_activation t =
 
 let activation_counts t =
   ((if t.act_live = 0 then 0 else 1), t.n_act_retired)
+
+(* --- preprocessing ------------------------------------------------------- *)
+
+(* SatELite-style preprocessing over the problem clauses: subsumption,
+   self-subsuming resolution and bounded variable elimination, then a
+   rebuild of the kernel state around the surviving CNF.  [frozen] lists
+   external variables that must keep their meaning (anything the caller
+   will later assume, read, or add clauses over).  The live activation
+   variable and all level-0 facts are frozen implicitly.  Learnt clauses
+   are dropped (this runs at the translate -> CNF handoff, before any
+   search has learnt anything worth keeping).  Eliminated variables are
+   reconstructed transparently by {!value}/{!model}. *)
+let preprocess ?(frozen = []) t =
+  t.model_valid <- false;
+  cancel_until t 0;
+  if t.ok && propagate t <> CNone then t.ok <- false;
+  if t.ok && t.nvars > 0 then begin
+    let frozen_arr = Array.make t.nvars false in
+    List.iter
+      (fun v ->
+        if v >= 1 && v <= t.nvars then frozen_arr.(v - 1) <- true)
+      frozen;
+    if t.act_live <> 0 then frozen_arr.(t.act_live - 1) <- true;
+    (* Gather the problem CNF: level-0 facts as units, binaries (each
+       stored twice, gathered once), and live long clauses. *)
+    let cls = ref [] in
+    Vec.iter (fun l -> cls := [| l |] :: !cls) t.trail;
+    for l = 0 to (2 * t.nvars) - 1 do
+      let bw = t.bin_watches.(l) in
+      for i = 0 to Vec.size bw - 1 do
+        let e = Vec.get bw i in
+        if e land 1 = 0 then begin
+          let this = Lit.negate l and other = e lsr 1 in
+          if this < other then cls := [| this; other |] :: !cls
+        end
+      done
+    done;
+    Vec.iter
+      (fun c ->
+        if not (Arena.is_deleted t.arena c) then
+          cls := Arena.lits_array t.arena c :: !cls)
+      t.clauses;
+    let res = Simplify.run ~frozen:frozen_arr ~n_vars:t.nvars !cls in
+    t.n_elim_vars <- t.n_elim_vars + res.Simplify.r_stats.Simplify.sp_eliminated;
+    t.n_subsumed <- t.n_subsumed + res.Simplify.r_stats.Simplify.sp_subsumed;
+    t.n_strengthened <-
+      t.n_strengthened + res.Simplify.r_stats.Simplify.sp_strengthened;
+    if res.Simplify.r_unsat then t.ok <- false
+    else begin
+      (* Rebuild the kernel around the simplified CNF.  Level-0 trail
+         literals stay assigned, but their antecedents pointed into the
+         old arena: clear them (facts need no reason). *)
+      Vec.iter
+        (fun l -> t.reason.(Lit.var l) <- no_reason)
+        t.trail;
+      t.arena <- Arena.create ();
+      Vec.clear t.clauses;
+      Vec.clear t.learnts;
+      t.n_bin_problem <- 0;
+      t.n_bin_learnt <- 0;
+      t.cla_act_n <- 0;
+      for l = 0 to (2 * t.nvars) - 1 do
+        Vec.clear t.watches.(l);
+        Vec.clear t.bin_watches.(l)
+      done;
+      for v = 0 to t.nvars - 1 do
+        if res.Simplify.r_eliminated.(v) then t.eliminated.(v) <- true
+      done;
+      t.elim_stack <- List.rev_append res.Simplify.r_stack t.elim_stack;
+      (* [add_clause_internal] sorts and compacts its argument in place;
+         the result clauses may be aliased by the reconstruction stack,
+         so hand it a copy. *)
+      List.iter
+        (fun c -> add_clause_internal t (Array.copy c))
+        res.Simplify.r_clauses
+    end
+  end
+
+let simp_stats t = (t.n_elim_vars, t.n_subsumed, t.n_strengthened)
+
+(* Extend the current (surviving-variable) assignment over the
+   elimination stack, newest elimination first: each variable's saved
+   clauses mention only never-eliminated or later-eliminated variables,
+   so every literal consulted is already decided. *)
+let reconstruct t =
+  if t.elim_stack <> [] then begin
+    let lit_true l =
+      let v = Lit.var l in
+      let b =
+        if t.eliminated.(v) then t.recon.(v)
+        else match t.assigns.(v) with LTrue -> true | _ -> false
+      in
+      if Lit.sign l then b else not b
+    in
+    Simplify.reconstruct ~stack_newest_first:t.elim_stack ~lit_true
+      ~set:(fun v b -> t.recon.(v) <- b)
+  end
 
 (* Luby restart sequence, following the classical MiniSat formulation. *)
 let luby y x =
@@ -494,7 +817,7 @@ let pick_branch_var t =
     if Heap.is_empty t.heap then -1
     else
       let v = Heap.remove_max t.heap in
-      if t.assigns.(v) = LUndef then v else go ()
+      if t.assigns.(v) = LUndef && not t.eliminated.(v) then v else go ()
   in
   go ()
 
@@ -512,27 +835,29 @@ type budget = {
 let no_budget = { b_max_conflicts = None; b_max_time_ms = None }
 
 exception Unsat_exc
-exception Budget_exc
 
 let set_learnt_limit t n = t.learnt_limit <- max 1 n
 
 (* The CDCL search loop.  [assumptions] are internal literals decided first,
    in order; a conflict forcing their negation yields Unsat.  [conflict_cap]
-   is an absolute bound on [t.n_conflicts] and [deadline] an absolute
-   wall-clock time; crossing either raises [Budget_exc].  The deadline is
-   only polled every 64 conflicts to keep the syscall off the hot path. *)
-let search t assumptions ~conflict_cap ~deadline =
+   is an absolute bound on [t.n_conflicts]; [t.deadline] an absolute
+   wall-clock time.  Crossing either raises [Budget_exc].  The deadline is
+   polled every 64 conflicts, every 16 decisions, and (inside [propagate])
+   every 256 propagated literals — the decision and propagation polls keep
+   a conflict-free but propagation-heavy search from overrunning its time
+   budget, while staying off the per-watcher hot path. *)
+let search t assumptions ~conflict_cap =
   let conflicts_budget = ref 100 in
   let restart_count = ref 0 in
   let rec loop () =
     match propagate t with
-    | Some confl ->
+    | (CRef _ | CBin _) as confl ->
         t.n_conflicts <- t.n_conflicts + 1;
         if t.n_conflicts >= conflict_cap then raise Budget_exc;
         if
-          deadline < infinity
+          t.deadline < infinity
           && t.n_conflicts land 63 = 0
-          && Unix.gettimeofday () > deadline
+          && Unix.gettimeofday () > t.deadline
         then raise Budget_exc;
         decr conflicts_budget;
         if decision_level t = 0 then begin
@@ -553,9 +878,8 @@ let search t assumptions ~conflict_cap ~deadline =
           min (decision_level t) (List.length assumptions)
         in
         cancel_until t blevel;
-        let c =
-          if Array.length learnt = 1 then None
-          else Some (new_learnt t learnt)
+        let r =
+          if Array.length learnt = 1 then no_reason else new_learnt t learnt
         in
         if blevel < n_assumed then begin
           (* The learnt clause is asserting below an assumption level:
@@ -566,13 +890,13 @@ let search t assumptions ~conflict_cap ~deadline =
                 (analyze_final_from t (Array.to_list learnt));
             raise Unsat_exc
           end;
-          if value_lit t learnt.(0) = LUndef then enqueue t learnt.(0) c
+          if value_lit t learnt.(0) = LUndef then enqueue t learnt.(0) r
         end
-        else enqueue t learnt.(0) c;
+        else enqueue t learnt.(0) r;
         var_decay t;
         cla_decay t;
         loop ()
-    | None ->
+    | CNone ->
         if !conflicts_budget <= 0 then begin
           (* Restart: keep assumptions, drop other decisions. *)
           t.n_restarts <- t.n_restarts + 1;
@@ -610,7 +934,7 @@ let search t assumptions ~conflict_cap ~deadline =
                       raise Unsat_exc
                   | LUndef ->
                       Vec.push t.trail_lim (Vec.size t.trail);
-                      enqueue t a None;
+                      enqueue t a no_reason;
                       Some ()
                 end
           in
@@ -621,8 +945,13 @@ let search t assumptions ~conflict_cap ~deadline =
               if v < 0 then Sat
               else begin
                 t.n_decisions <- t.n_decisions + 1;
+                if
+                  t.deadline < infinity
+                  && t.n_decisions land 15 = 0
+                  && Unix.gettimeofday () > t.deadline
+                then raise Budget_exc;
                 Vec.push t.trail_lim (Vec.size t.trail);
-                enqueue t (Lit.of_var v ~sign:t.polarity.(v)) None;
+                enqueue t (Lit.of_var v ~sign:t.polarity.(v)) no_reason;
                 loop ()
               end
         end
@@ -679,14 +1008,18 @@ let solve ?(assumptions = []) ?(budget = no_budget) t =
   end
   else begin
     if t.learnt_limit = 0 then
-      t.learnt_limit <- max 100 (Vec.size t.clauses / 3);
+      t.learnt_limit <- max 100 (n_clauses t / 3);
     List.iter
       (fun i ->
         let v = abs i in
         if v = 0 then invalid_arg "Solver.solve: zero assumption literal";
         while v > t.nvars do
           ignore (new_var t)
-        done)
+        done;
+        if t.eliminated.(v - 1) then
+          invalid_arg
+            "Solver.solve: assumption on variable eliminated by preprocessing \
+             (freeze it)")
       assumptions;
     let ext_assumptions = assumptions in
     let assumptions = List.map Lit.of_int assumptions in
@@ -717,15 +1050,15 @@ let solve ?(assumptions = []) ?(budget = no_budget) t =
       | Some c -> t.n_conflicts + c
       | None -> max_int
     in
-    let deadline =
-      match budget.b_max_time_ms with
+    t.deadline <-
+      (match budget.b_max_time_ms with
       | Some ms -> Unix.gettimeofday () +. (ms /. 1000.0)
-      | None -> infinity
-    in
+      | None -> infinity);
     let result =
-      match search t assumptions ~conflict_cap ~deadline with
+      match search t assumptions ~conflict_cap with
       | Sat ->
           t.model_valid <- true;
+          reconstruct t;
           Sat
       | Unsat -> Unsat
       | Unknown -> Unknown (* search never returns this; for exhaustiveness *)
@@ -753,21 +1086,25 @@ let solve ?(assumptions = []) ?(budget = no_budget) t =
           if Metrics.is_enabled () then Metrics.incr m_unknowns;
           Unknown
     in
+    t.deadline <- infinity;
     publish ();
     result
   end
 
 (* Model access: valid only while the last operation was a [solve] that
    returned [Sat]; adding a clause (which backtracks to the root level)
-   or an Unsat solve invalidates the assignment. *)
+   or an Unsat solve invalidates the assignment.  Variables eliminated by
+   preprocessing read their reconstructed value. *)
 let value t v =
   if v < 1 || v > t.nvars then invalid_arg "Solver.value";
   if not t.model_valid then
     invalid_arg "Solver.value: no model (last operation was not a Sat solve)";
-  match t.assigns.(v - 1) with
-  | LTrue -> true
-  | LFalse -> false
-  | LUndef -> false (* unconstrained variables default to false *)
+  if t.eliminated.(v - 1) then t.recon.(v - 1)
+  else
+    match t.assigns.(v - 1) with
+    | LTrue -> true
+    | LFalse -> false
+    | LUndef -> false (* unconstrained variables default to false *)
 
 let model t =
   if not t.model_valid then
@@ -802,8 +1139,8 @@ let stats_record t =
   let live, retired = activation_counts t in
   {
     s_vars = t.nvars;
-    s_clauses = Vec.size t.clauses;
-    s_learnts = Vec.size t.learnts;
+    s_clauses = n_clauses t;
+    s_learnts = n_learnt_clauses t;
     s_peak_learnts = t.peak_learnts;
     s_conflicts = t.n_conflicts;
     s_decisions = t.n_decisions;
