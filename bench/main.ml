@@ -16,6 +16,8 @@
      incremental       shared-base vs from-scratch ASE (BENCH_incremental.json)
      cache             persistent cross-run cache: cold vs warm vs one-app-changed
                        (BENCH_cache.json)
+     enforce           compiled PDP vs linear scan at 10/100/1000 rules +
+                       device-fleet soak with hot swaps (BENCH_enforce.json)
      ablation-minimal  minimal vs arbitrary scenarios
      ablation-context  k = 1 vs k = 0 context sensitivity
      ablation-pruning  entry-point reachability pruning on vs off
@@ -1943,6 +1945,453 @@ let run_kernels () =
   (* Solver counters for the same pipeline, persisted for trend tracking. *)
   ignore (run_solver_bench ~mode:"kernels" ())
 
+(* --- compiled PDP / fleet soak (BENCH_enforce.json) ------------------------ *)
+
+(* A synthetic store of [rules] ECA policies: the four derived shapes
+   (privilege escalation, launch, hijack, leak) permuted over a
+   generated app population whose size scales with the store — the way
+   real per-component policies accumulate.  Deterministically seeded,
+   so every run at a given size sees the same store. *)
+let enforce_pop rules = max 4 (rules / 4)
+
+let enforce_store ~rules st =
+  let pop = enforce_pop rules in
+  let svc i = "Svc" ^ string_of_int i in
+  let cmp i = "Cmp" ^ string_of_int i in
+  let act i = "com.bench.ACT" ^ string_of_int i in
+  let perms = Array.of_list Permission.all in
+  let resources = Array.of_list Resource.all in
+  let pick arr = arr.(Random.State.int st (Array.length arr)) in
+  let rnd () = Random.State.int st pop in
+  List.init rules (fun i ->
+      let mk event conds action =
+        Policy.
+          {
+            p_id = Printf.sprintf "synth-%d" i;
+            p_event = event;
+            p_conditions = conds;
+            p_action = action;
+            p_reason = "synthesized";
+          }
+      in
+      match i mod 4 with
+      | 0 ->
+          mk Policy.Icc_receive
+            [
+              Policy.Receiver_is (svc (rnd ()));
+              Policy.Sender_lacks_permission (pick perms);
+            ]
+            Policy.Deny
+      | 1 ->
+          mk Policy.Icc_receive
+            [
+              Policy.Receiver_is (svc (rnd ()));
+              Policy.Sender_app_not_installed;
+            ]
+            Policy.Prompt
+      | 2 ->
+          mk Policy.Icc_send
+            [
+              Policy.Sender_is (cmp (rnd ()));
+              Policy.Implicit;
+              Policy.Action_is (act (rnd ()));
+              Policy.Receiver_not_in [ svc (rnd ()); svc (rnd ()) ];
+            ]
+            Policy.Prompt
+      | _ ->
+          mk Policy.Icc_receive
+            [
+              Policy.Extras_include (pick resources);
+              Policy.Receiver_is (svc (rnd ()));
+            ]
+            Policy.Deny)
+
+(* A random ICC event over the same population the store was drawn
+   from: some explicit, some implicit, some carrying tainted extras,
+   senders with partial permission sets. *)
+let enforce_event ~pop st =
+  let svc = "Svc" ^ string_of_int (Random.State.int st pop) in
+  let snd_c = "Cmp" ^ string_of_int (Random.State.int st pop) in
+  let resources = Array.of_list Resource.all in
+  let explicit = Random.State.bool st in
+  let action =
+    if Random.State.int st 4 = 0 then
+      Some ("com.bench.ACT" ^ string_of_int (Random.State.int st pop))
+    else None
+  in
+  let extras =
+    if Random.State.int st 4 = 0 then
+      [
+        Intent.
+          {
+            key = "k";
+            value = "v";
+            taint = [ resources.(Random.State.int st (Array.length resources)) ];
+          };
+      ]
+    else []
+  in
+  let drop = Random.State.int st 7 in
+  let perms = List.filteri (fun i _ -> (i + drop) mod 3 <> 0) Permission.all in
+  Policy.
+    {
+      ev_kind = (if Random.State.bool st then Icc_receive else Icc_send);
+      ev_sender_component = snd_c;
+      ev_sender_app = "app." ^ snd_c;
+      ev_sender_installed_at_analysis = Random.State.bool st;
+      ev_sender_permissions = perms;
+      ev_intent =
+        Intent.make
+          ?target:(if explicit then Some svc else None)
+          ?action ~extras ();
+      ev_receiver_component = svc;
+      ev_receiver_app = "app." ^ svc;
+    }
+
+let decision_fingerprint = function
+  | Policy.Allowed -> "allow"
+  | Policy.Prompted p -> "prompt:" ^ p.Policy.p_id
+  | Policy.Denied p -> "deny:" ^ p.Policy.p_id
+
+type enforce_latency = {
+  el_rules : int;
+  el_linear_ns : float;  (* uncompiled single-pass scan, per check *)
+  el_compiled_ns : float;  (* compiled decision structure, per check *)
+  el_identical : bool;  (* verdict AND deciding policy id, every event *)
+  el_stats : Compile.stats;
+}
+
+(* Per-check PDP latency vs store size, compiled vs linear, on the same
+   event set; every event double-checked for identity along the way. *)
+let enforce_latency ~mode ~rules =
+  let st = Random.State.make [| 0x5e9a; rules |] in
+  let store = enforce_store ~rules st in
+  let pop = enforce_pop rules in
+  let n_events = if mode = "smoke" then 200 else 1000 in
+  let events = Array.init n_events (fun _ -> enforce_event ~pop st) in
+  let compiled = Compile.compile store in
+  let identical =
+    Array.for_all
+      (fun ev ->
+        decision_fingerprint (Compile.decide_full compiled ev)
+        = decision_fingerprint (Policy.decide_both store ev)
+        && decision_fingerprint (Compile.decide compiled ev)
+           = decision_fingerprint (Policy.decide store ev))
+      events
+  in
+  let checks = if mode = "smoke" then 5_000 else 50_000 in
+  let time engine =
+    (* one warm-up lap, then the measured loop *)
+    for k = 0 to n_events - 1 do
+      ignore (engine events.(k))
+    done;
+    let (), ms =
+      Trace.timed "bench.enforce.pdp" (fun () ->
+          for k = 0 to checks - 1 do
+            ignore (engine events.(k mod n_events))
+          done)
+    in
+    ms *. 1e6 /. float_of_int checks
+  in
+  {
+    el_rules = rules;
+    el_linear_ns = time (Policy.decide_both store);
+    el_compiled_ns = time (Compile.decide_full compiled);
+    el_identical = identical;
+    el_stats = Compile.stats compiled;
+  }
+
+(* Nearest-bucket percentile estimate out of a metrics histogram: the
+   upper bound of the bucket the [q]-quantile falls in, saturating at
+   the last finite bound. *)
+let hist_percentile h q =
+  let total = Metrics.histogram_count h in
+  if total = 0 then 0.0
+  else begin
+    let target =
+      max 1 (int_of_float (ceil (q *. float_of_int total)))
+    in
+    let rec go acc last = function
+      | [] -> last
+      | (ub, c) :: rest ->
+          let acc = acc + c in
+          let last = if ub = infinity then last else ub in
+          if acc >= target then last else go acc last rest
+    in
+    go 0 0.0 (Metrics.histogram_buckets h)
+  end
+
+type fleet_row = {
+  fr_rules : int;
+  fr_devices : int;
+  fr_checks : int;
+  fr_wall_ms : float;
+  fr_checks_per_sec : float;
+  fr_p50_us : float;
+  fr_p99_us : float;
+  fr_swaps : int;
+  fr_swap_mean_us : float;
+  fr_serializations : int;  (* must be 0: the fleet runs in-process *)
+}
+
+(* N devices sustaining ICC traffic against one store, with hot policy
+   swaps interleaved between traffic waves. *)
+let enforce_fleet ~mode ~rules ~devices =
+  let st = Random.State.make [| 0xf1ee7; rules; devices |] in
+  let store = enforce_store ~rules st in
+  let rotated = match store with [] -> [] | p :: rest -> rest @ [ p ] in
+  let apk = rq4_apps (if mode = "smoke" then 20 else 50) in
+  let fleet =
+    List.init devices (fun _ ->
+        let d = Device.create () in
+        Device.install d apk;
+        Device.set_policies d store [ "bench.icc" ];
+        Device.set_enforcement d true;
+        d)
+  in
+  Metrics.reset ();
+  let waves = if mode = "smoke" then 2 else 4 in
+  let (), wall_ms =
+    Trace.timed "bench.enforce.fleet" (fun () ->
+        for w = 1 to waves do
+          List.iter
+            (fun d ->
+              Device.start_component d ~pkg:"bench.icc" ~component:"Caller")
+            fleet;
+          (* hot swap under sustained traffic *)
+          List.iter
+            (fun d ->
+              Device.swap_policies d (if w mod 2 = 0 then store else rotated))
+            fleet
+        done)
+  in
+  let count name = Metrics.counter_value (Metrics.counter name) in
+  let checks = count "runtime.hook_checks" in
+  let h_lat = Metrics.histogram "runtime.hook_latency_us" in
+  let h_swap = Metrics.histogram "runtime.swap_latency_us" in
+  {
+    fr_rules = rules;
+    fr_devices = devices;
+    fr_checks = checks;
+    fr_wall_ms = wall_ms;
+    fr_checks_per_sec =
+      (if wall_ms > 0.0 then float_of_int checks /. (wall_ms /. 1000.0)
+       else 0.0);
+    fr_p50_us = hist_percentile h_lat 0.50;
+    fr_p99_us = hist_percentile h_lat 0.99;
+    fr_swaps = count "runtime.policy_swaps";
+    fr_swap_mean_us = Metrics.histogram_mean h_swap;
+    fr_serializations = count "policy.serializations";
+  }
+
+(* Enforcement reports under one PDP mode, as the rendered effect lines
+   — the byte-identity unit.  The Figure 1 bundle exercises the
+   synthesized (Table I-derived) policies; the ICC benchmark app
+   exercises the prompt guard on a foreign sender. *)
+let enforce_mode_report ~policies mode =
+  let d = Device.create () in
+  List.iter (Device.install d)
+    [ Demo.navigation_app (); Demo.messenger_app (); Demo.relay_malware () ];
+  Device.install d (rq4_apps 10);
+  Device.set_policies d policies
+    [ "com.example.navigation"; "com.example.messenger" ];
+  Device.set_pdp_mode d mode;
+  Device.set_enforcement d true;
+  Device.start_component d ~pkg:"com.example.navigation"
+    ~component:"LocationFinder" ~entry:"onStartCommand";
+  Device.start_component d ~pkg:"bench.icc" ~component:"Caller";
+  String.concat "\n"
+    (List.map (fun e -> Fmt.str "%a" Effect.pp e) (Device.effects d))
+
+type enforce_bench = {
+  eb_latency : enforce_latency list;
+  eb_fleet : fleet_row list;
+  eb_compiled_ratio : float;  (* compiled ns/check at 1000 rules vs 10 *)
+  eb_linear_ratio : float;
+  eb_identity_ok : bool;
+  eb_reports_identical : bool;  (* Compiled vs Reference vs Ipc, bytes *)
+  eb_fast_path_serializations : int;
+  eb_ipc_serializations : int;
+  eb_swaps : int;
+  eb_wall_ms : float;
+}
+
+let run_enforce_bench ~mode () =
+  header
+    "Compiled PDP: per-check latency vs store size + device-fleet soak";
+  let t_start = Unix.gettimeofday () in
+  let was_enabled = Metrics.is_enabled () in
+  Metrics.enable ();
+  let sizes = [ 10; 100; 1000 ] in
+  let latency = List.map (fun rules -> enforce_latency ~mode ~rules) sizes in
+  let find_lat rules = List.find (fun l -> l.el_rules = rules) latency in
+  let l10 = find_lat 10 and l1000 = find_lat 1000 in
+  let ratio a b = if b > 0.0 then a /. b else 0.0 in
+  let combos =
+    if mode = "smoke" then [ (100, 1); (100, 8) ]
+    else
+      List.concat_map
+        (fun rules -> List.map (fun d -> (rules, d)) [ 1; 8; 64 ])
+        sizes
+  in
+  let fleet =
+    List.map (fun (rules, devices) -> enforce_fleet ~mode ~rules ~devices) combos
+  in
+  let fast_ser =
+    List.fold_left (fun acc r -> acc + r.fr_serializations) 0 fleet
+  in
+  let swaps = List.fold_left (fun acc r -> acc + r.fr_swaps) 0 fleet in
+  (* byte-identity of full enforcement reports across PDP modes, and
+     the serialization ledger: zero in-process, nonzero over IPC *)
+  (* one store for all three modes: derived policy ids come from a
+     global counter, so the store must be synthesized exactly once *)
+  let mode_policies = demo_policies () in
+  let rep_compiled = enforce_mode_report ~policies:mode_policies Device.Compiled in
+  let rep_reference =
+    enforce_mode_report ~policies:mode_policies Device.Reference
+  in
+  Metrics.reset ();
+  let rep_ipc = enforce_mode_report ~policies:mode_policies Device.Ipc in
+  let ipc_ser =
+    Metrics.counter_value (Metrics.counter "policy.serializations")
+  in
+  if not was_enabled then Metrics.disable ();
+  let result =
+    {
+      eb_latency = latency;
+      eb_fleet = fleet;
+      eb_compiled_ratio = ratio l1000.el_compiled_ns l10.el_compiled_ns;
+      eb_linear_ratio = ratio l1000.el_linear_ns l10.el_linear_ns;
+      eb_identity_ok = List.for_all (fun l -> l.el_identical) latency;
+      eb_reports_identical =
+        rep_compiled = rep_reference && rep_reference = rep_ipc;
+      eb_fast_path_serializations = fast_ser;
+      eb_ipc_serializations = ipc_ser;
+      eb_swaps = swaps;
+      eb_wall_ms = (Unix.gettimeofday () -. t_start) *. 1000.0;
+    }
+  in
+  let latency_json l =
+    Json.Obj
+      [
+        ("rules", Json.Int l.el_rules);
+        ("linear_ns_per_check", Json.Float l.el_linear_ns);
+        ("compiled_ns_per_check", Json.Float l.el_compiled_ns);
+        ("speedup", Json.Float (ratio l.el_linear_ns l.el_compiled_ns));
+        ("identical_decisions", Json.Bool l.el_identical);
+        ("index_entries", Json.Int l.el_stats.Compile.st_entries);
+        ("index_action_buckets", Json.Int l.el_stats.Compile.st_action_buckets);
+        ( "index_receiver_buckets",
+          Json.Int l.el_stats.Compile.st_receiver_buckets );
+      ]
+  in
+  let fleet_json r =
+    Json.Obj
+      [
+        ("rules", Json.Int r.fr_rules);
+        ("devices", Json.Int r.fr_devices);
+        ("hook_checks", Json.Int r.fr_checks);
+        ("wall_ms", Json.Float r.fr_wall_ms);
+        ("checks_per_sec", Json.Float r.fr_checks_per_sec);
+        ("hook_p50_us", Json.Float r.fr_p50_us);
+        ("hook_p99_us", Json.Float r.fr_p99_us);
+        ("policy_swaps", Json.Int r.fr_swaps);
+        ("swap_mean_us", Json.Float r.fr_swap_mean_us);
+        ("serializations", Json.Int r.fr_serializations);
+      ]
+  in
+  let json =
+    Json.Obj
+      [
+        ("mode", Json.Str mode);
+        ("provenance", Lazy.force provenance);
+        ("latency_vs_store_size", Json.List (List.map latency_json latency));
+        ("fleet_soak", Json.List (List.map fleet_json fleet));
+        ("compiled_1000_vs_10_ratio", Json.Float result.eb_compiled_ratio);
+        ("linear_1000_vs_10_ratio", Json.Float result.eb_linear_ratio);
+        ("identity_ok", Json.Bool result.eb_identity_ok);
+        ("reports_identical_across_modes", Json.Bool result.eb_reports_identical);
+        ( "fast_path_serializations",
+          Json.Int result.eb_fast_path_serializations );
+        ("ipc_serializations", Json.Int result.eb_ipc_serializations);
+      ]
+  in
+  let oc = open_out "BENCH_enforce.json" in
+  output_string oc (Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  List.iter
+    (fun l ->
+      Printf.printf
+        "%5d rules: linear %8.0f ns/check, compiled %8.0f ns/check (%.1fx)\n"
+        l.el_rules l.el_linear_ns l.el_compiled_ns
+        (ratio l.el_linear_ns l.el_compiled_ns))
+    latency;
+  Printf.printf
+    "store 10 -> 1000 rules: compiled per-check cost x%.2f (linear x%.2f)\n"
+    result.eb_compiled_ratio result.eb_linear_ratio;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%5d rules x %2d devices: %6d checks, %8.0f checks/s, p50 <= %.1f \
+         us, p99 <= %.1f us, %d swaps (mean %.0f us)\n"
+        r.fr_rules r.fr_devices r.fr_checks r.fr_checks_per_sec r.fr_p50_us
+        r.fr_p99_us r.fr_swaps r.fr_swap_mean_us)
+    fleet;
+  Printf.printf
+    "decisions identical: %b; reports byte-identical across modes: %b\n"
+    result.eb_identity_ok result.eb_reports_identical;
+  Printf.printf
+    "serializations: %d in-process (fast path), %d over IPC -> \
+     BENCH_enforce.json\n%!"
+    result.eb_fast_path_serializations result.eb_ipc_serializations;
+  record_history ~mode ~section:"enforce"
+    ~extra:
+      [
+        ("compiled_1000_ns", Json.Float l1000.el_compiled_ns);
+        ("compiled_ratio", Json.Float result.eb_compiled_ratio);
+      ]
+    result.eb_wall_ms;
+  result
+
+(* Tier-1 gate for `dune runtest`: the compiled PDP must agree with the
+   reference decide on verdict and deciding-policy id for every sampled
+   event at every store size; full enforcement reports must be
+   byte-identical across Compiled/Reference/Ipc modes; the in-process
+   fleet must perform zero event serializations while the IPC replay
+   performs some; hot swaps must be observed; and the compiled matcher
+   must beat the linear scan at 1000 rules. *)
+let run_enforce_smoke () =
+  header "Enforce smoke: compiled-PDP identity + zero-copy hook (tier-1 gate)";
+  let failures = ref [] in
+  let expect cond msg = if not cond then failures := msg :: !failures in
+  let r = run_enforce_bench ~mode:"smoke" () in
+  expect r.eb_identity_ok
+    "compiled PDP disagrees with reference decide (verdict or policy id)";
+  expect r.eb_reports_identical
+    "enforcement reports differ across Compiled/Reference/Ipc PDP modes";
+  expect
+    (r.eb_fast_path_serializations = 0)
+    (Printf.sprintf
+       "in-process fleet performed %d event serializations (expected 0)"
+       r.eb_fast_path_serializations);
+  expect
+    (r.eb_ipc_serializations > 0)
+    "IPC-mode replay performed no event serializations (expected > 0)";
+  expect (r.eb_swaps > 0) "fleet soak recorded no hot policy swaps";
+  (let l1000 = List.find (fun l -> l.el_rules = 1000) r.eb_latency in
+   expect
+     (l1000.el_compiled_ns < l1000.el_linear_ns)
+     (Printf.sprintf
+        "compiled PDP not faster than linear scan at 1000 rules (%.0f >= \
+         %.0f ns/check)"
+        l1000.el_compiled_ns l1000.el_linear_ns));
+  match !failures with
+  | [] -> Printf.printf "enforce smoke: all gates passed\n%!"
+  | fs ->
+      List.iter (fun f -> Printf.printf "enforce smoke FAILURE: %s\n" f) fs;
+      exit 1
+
 (* --- driver ----------------------------------------------------------------------- *)
 
 let () =
@@ -1971,11 +2420,13 @@ let () =
   if has "--cache-smoke" then run_cache_smoke ();
   if has "--obs-smoke" then run_obs_smoke ();
   if has "--benchdiff-smoke" then run_benchdiff_smoke ();
+  if has "--enforce-smoke" then run_enforce_smoke ();
   if all || has "table1" then run_table1 ();
   if all || has "parallel" then ignore (run_parallel_bench ~mode:"full" ());
   if all || has "incremental" then
     ignore (run_incremental_bench ~mode:"full" ());
   if all || has "cache" then ignore (run_cache_bench ~mode:"full" ());
+  if all || has "enforce" then ignore (run_enforce_bench ~mode:"full" ());
   if all || has "flowbench" then run_flowbench ();
   if all || has "scenario" then run_scenario ();
   if all || has "fig5" then run_fig5 ~apps:(opt "--apps" 4000) ();

@@ -561,7 +561,17 @@ let enforce_cmd =
       value & flag
       & info [ "approve" ] ~doc:"Approve user prompts (default: refuse)")
   in
-  let run paths policies_file start consent trace metrics log log_level
+  let pdp_ipc =
+    Arg.(
+      value & flag
+      & info [ "pdp-ipc" ]
+          ~doc:
+            "Consult the PDP across a simulated process boundary (event \
+             marshalled both ways per check, the paper's deployed \
+             architecture) instead of the in-process compiled decision \
+             structure.")
+  in
+  let run paths policies_file start consent pdp_ipc trace metrics log log_level
       metrics_out profile_gc =
     telemetry_setup ~trace ~metrics ~log ~log_level ~metrics_out ~profile_gc;
     let apks = load_apks paths in
@@ -576,6 +586,7 @@ let enforce_cmd =
     List.iter (Separ.Device.install device) apks;
     Separ.Device.set_policies device policies
       (List.map Separ.Apk.package apks);
+    if pdp_ipc then Separ.Device.set_pdp_mode device Separ.Device.Ipc;
     Separ.Device.set_enforcement device true;
     Separ.Device.set_consent device (fun _ _ -> consent);
     Trace.with_span "runtime.start_component"
@@ -596,8 +607,8 @@ let enforce_cmd =
     (Cmd.info "enforce"
        ~doc:"Run a component on a simulated device under a policy store")
     Term.(
-      const run $ paths $ policies_file $ start $ consent $ trace_arg
-      $ metrics_arg $ log_arg $ log_level_arg $ metrics_out_arg
+      const run $ paths $ policies_file $ start $ consent $ pdp_ipc
+      $ trace_arg $ metrics_arg $ log_arg $ log_level_arg $ metrics_out_arg
       $ profile_gc_arg)
 
 (* The bench-trajectory regression gate over BENCH_HISTORY.ndjson (see

@@ -36,6 +36,40 @@ let sources =
 
 let sinks = [ Network; Sms; Sdcard; Log; Display; Icc ]
 
+(* Every resource exactly once, in declaration order. *)
+let all =
+  [
+    Location; Imei; Phone_number; Contacts; Calendar; Sms_inbox; Call_log;
+    Camera_data; Microphone; Accounts; Browser_history; Sdcard_data;
+    Device_info; Network; Sms; Sdcard; Log; Display; Icc;
+  ]
+
+let count = List.length all
+
+(* A dense index for bitset membership tests: [0 .. count-1], in
+   declaration order.  [count] fits comfortably in an OCaml int, so a
+   set of resources is a single immediate word. *)
+let index = function
+  | Location -> 0
+  | Imei -> 1
+  | Phone_number -> 2
+  | Contacts -> 3
+  | Calendar -> 4
+  | Sms_inbox -> 5
+  | Call_log -> 6
+  | Camera_data -> 7
+  | Microphone -> 8
+  | Accounts -> 9
+  | Browser_history -> 10
+  | Sdcard_data -> 11
+  | Device_info -> 12
+  | Network -> 13
+  | Sms -> 14
+  | Sdcard -> 15
+  | Log -> 16
+  | Display -> 17
+  | Icc -> 18
+
 let is_source r = List.mem r sources
 let is_sink r = List.mem r sinks
 
@@ -61,7 +95,6 @@ let to_string = function
   | Icc -> "ICC"
 
 let of_string s =
-  let all = sources @ sinks in
   match List.find_opt (fun r -> to_string r = s) all with
   | Some r -> Some r
   | None -> None

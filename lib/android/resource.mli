@@ -29,6 +29,16 @@ val sources : t list
 (** The five destinations plus [Icc]. *)
 val sinks : t list
 
+(** Every resource exactly once, in declaration order. *)
+val all : t list
+
+(** [List.length all]. *)
+val count : int
+
+(** Dense index in [0 .. count-1] (declaration order), small enough
+    that a set of resources fits in one [int] bitset. *)
+val index : t -> int
+
 val is_source : t -> bool
 val is_sink : t -> bool
 val to_string : t -> string

@@ -45,6 +45,7 @@ module Cache = Separ_cache.Store
 (** {1 Policies and enforcement} *)
 
 module Policy = Separ_policy.Policy
+module Compile = Separ_policy.Compile
 module Derive = Separ_policy.Derive
 module Device = Separ_runtime.Device
 module Effect = Separ_runtime.Effect

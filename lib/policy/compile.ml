@@ -1,0 +1,308 @@
+(* The compiled PDP: a policy store turned once into a decision
+   structure so that a check costs what the *matched* part of the store
+   costs, not the whole store.
+
+   Index shape (per event kind):
+
+     dispatch ─ d_by_action  : action value -> shelf   (policies pinning
+              │                                         that [Action_is])
+              └ d_any_action : shelf                   (action-free)
+
+     shelf    ─ s_by_receiver  : component -> entries  (policies pinning
+              │                                         that [Receiver_is])
+              └ s_any_receiver : entries               (receiver-free)
+
+   A check consults at most four entry arrays: (event action, event
+   receiver), (event action, any receiver), (any action, event
+   receiver), (any action, any receiver).  Each entry carries the
+   residual conditions — everything the dispatch did not already
+   discharge — pre-lowered into forms a precomputed {!Policy.view}
+   answers in O(1): all [Extras_include] of a policy fold into one
+   required-bits mask, [Receiver_not_in] becomes an array membership
+   scan, permissions hit the view's hash set.
+
+   Identity preservation: [Allow] policies never decide under the
+   most-restrictive-action rule, so they are not indexed at all.  Every
+   indexed entry remembers its position in the original store
+   ([e_idx]); the decision procedure returns the matching Deny with the
+   smallest index, else the matching Prompt with the smallest index —
+   exactly the policy the reference [Policy.decide] would name, so
+   enforcement reports stay byte-identical. *)
+
+open Separ_android
+
+(* A residual condition, lowered for view evaluation. *)
+type rcond =
+  | K_receiver_is of string
+  | K_receiver_not_in of string array
+  | K_sender_is of string
+  | K_sender_not_installed
+  | K_action_is of string  (* a second, conflicting pin — never dispatched *)
+  | K_implicit
+  | K_extras_mask of int   (* all Extras_include folded: required bits *)
+  | K_sender_lacks of Permission.t
+
+type entry = {
+  e_idx : int;  (* position in the original store: first-match identity *)
+  e_policy : Policy.t;
+  e_deny : bool;
+  e_conds : rcond array;
+}
+
+type shelf = {
+  s_by_receiver : (string, entry array) Hashtbl.t;
+  s_any_receiver : entry array;
+}
+
+type dispatch = {
+  d_by_action : (string, shelf) Hashtbl.t;
+  d_any_action : shelf;
+}
+
+type t = {
+  c_send : dispatch;
+  c_receive : dispatch;
+  c_entries : int;  (* indexed (non-Allow) policies *)
+  c_total : int;    (* store size it was compiled from *)
+}
+
+type stats = {
+  st_entries : int;
+  st_total : int;
+  st_action_buckets : int;
+  st_receiver_buckets : int;
+}
+
+(* --- compilation ----------------------------------------------------------- *)
+
+let compile (policies : Policy.t list) : t =
+  (* Per kind: (action pin, receiver pin) -> entries, newest first. *)
+  let tbl_send : (string option * string option, entry list ref) Hashtbl.t =
+    Hashtbl.create 16
+  and tbl_recv : (string option * string option, entry list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let add tbl key e =
+    match Hashtbl.find_opt tbl key with
+    | Some l -> l := e :: !l
+    | None -> Hashtbl.add tbl key (ref [ e ])
+  in
+  let entries = ref 0 in
+  List.iteri
+    (fun idx (p : Policy.t) ->
+      if p.Policy.p_action <> Policy.Allow then begin
+        incr entries;
+        let action_pin = ref None and receiver_pin = ref None in
+        let mask = ref 0 in
+        let residual = ref [] in
+        List.iter
+          (fun c ->
+            match c with
+            | Policy.Action_is a when !action_pin = None -> action_pin := Some a
+            | Policy.Receiver_is r when !receiver_pin = None ->
+                receiver_pin := Some r
+            | Policy.Extras_include r ->
+                mask := !mask lor (1 lsl Resource.index r)
+            | Policy.Action_is a -> residual := K_action_is a :: !residual
+            | Policy.Receiver_is r -> residual := K_receiver_is r :: !residual
+            | Policy.Receiver_not_in cs ->
+                residual := K_receiver_not_in (Array.of_list cs) :: !residual
+            | Policy.Sender_is c -> residual := K_sender_is c :: !residual
+            | Policy.Sender_app_not_installed ->
+                residual := K_sender_not_installed :: !residual
+            | Policy.Implicit -> residual := K_implicit :: !residual
+            | Policy.Sender_lacks_permission pm ->
+                residual := K_sender_lacks pm :: !residual)
+          p.Policy.p_conditions;
+        let conds = List.rev !residual in
+        let conds =
+          if !mask <> 0 then K_extras_mask !mask :: conds else conds
+        in
+        let e =
+          {
+            e_idx = idx;
+            e_policy = p;
+            e_deny = p.Policy.p_action = Policy.Deny;
+            e_conds = Array.of_list conds;
+          }
+        in
+        let tbl =
+          if p.Policy.p_event = Policy.Icc_send then tbl_send else tbl_recv
+        in
+        add tbl (!action_pin, !receiver_pin) e
+      end)
+    policies;
+  let assemble tbl =
+    (* Intermediate shelf builders, then frozen arrays (ascending e_idx:
+       entries were prepended, so reverse). *)
+    let shelf_b () :
+        (string, entry list ref) Hashtbl.t * entry list ref =
+      (Hashtbl.create 8, ref [])
+    in
+    let wild = shelf_b () in
+    let by_action : (string, (string, entry list ref) Hashtbl.t * entry list ref)
+        Hashtbl.t =
+      Hashtbl.create 8
+    in
+    Hashtbl.iter
+      (fun (aopt, ropt) l ->
+        let (by_recv, any_recv) =
+          match aopt with
+          | None -> wild
+          | Some a -> (
+              match Hashtbl.find_opt by_action a with
+              | Some sb -> sb
+              | None ->
+                  let sb = shelf_b () in
+                  Hashtbl.add by_action a sb;
+                  sb)
+        in
+        let ascending = List.rev !l in
+        match ropt with
+        | None -> any_recv := !any_recv @ ascending
+        | Some r -> (
+            match Hashtbl.find_opt by_recv r with
+            | Some existing -> existing := !existing @ ascending
+            | None -> Hashtbl.add by_recv r (ref ascending)))
+      tbl;
+    let freeze_shelf (by_recv, any_recv) =
+      let s_by_receiver = Hashtbl.create (max 8 (Hashtbl.length by_recv)) in
+      Hashtbl.iter
+        (fun r l -> Hashtbl.replace s_by_receiver r (Array.of_list !l))
+        by_recv;
+      { s_by_receiver; s_any_receiver = Array.of_list !any_recv }
+    in
+    let d_by_action = Hashtbl.create (max 8 (Hashtbl.length by_action)) in
+    Hashtbl.iter
+      (fun a sb -> Hashtbl.replace d_by_action a (freeze_shelf sb))
+      by_action;
+    { d_by_action; d_any_action = freeze_shelf wild }
+  in
+  {
+    c_send = assemble tbl_send;
+    c_receive = assemble tbl_recv;
+    c_entries = !entries;
+    c_total = List.length policies;
+  }
+
+let stats c =
+  let shelf_receivers s = Hashtbl.length s.s_by_receiver in
+  let dispatch_stats d =
+    let actions = Hashtbl.length d.d_by_action in
+    let receivers =
+      Hashtbl.fold
+        (fun _ s acc -> acc + shelf_receivers s)
+        d.d_by_action
+        (shelf_receivers d.d_any_action)
+    in
+    (actions, receivers)
+  in
+  let sa, sr = dispatch_stats c.c_send and ra, rr = dispatch_stats c.c_receive in
+  {
+    st_entries = c.c_entries;
+    st_total = c.c_total;
+    st_action_buckets = sa + ra;
+    st_receiver_buckets = sr + rr;
+  }
+
+(* --- decision -------------------------------------------------------------- *)
+
+let holds (vw : Policy.view) = function
+  | K_receiver_is c -> String.equal vw.Policy.vw_ev.Policy.ev_receiver_component c
+  | K_receiver_not_in cs ->
+      let r = vw.Policy.vw_ev.Policy.ev_receiver_component in
+      not (Array.exists (String.equal r) cs)
+  | K_sender_is c -> String.equal vw.Policy.vw_ev.Policy.ev_sender_component c
+  | K_sender_not_installed ->
+      not vw.Policy.vw_ev.Policy.ev_sender_installed_at_analysis
+  | K_action_is a -> (
+      match vw.Policy.vw_action with
+      | Some a' -> String.equal a a'
+      | None -> false)
+  | K_implicit -> vw.Policy.vw_implicit
+  | K_extras_mask m -> vw.Policy.vw_extras_bits land m = m
+  | K_sender_lacks p -> not (Hashtbl.mem vw.Policy.vw_perms p)
+
+let entry_matches vw e = Array.for_all (holds vw) e.e_conds
+
+(* Scan the (at most four) candidate entry arrays, tracking the matching
+   Deny with the smallest store index and, failing that, the matching
+   Prompt with the smallest store index.  Each array is ascending in
+   [e_idx], so a scan can stop at the first index that can no longer
+   improve the outcome: past the best deny nothing matters (a later deny
+   loses to it, and any matched deny silences prompts); a matching deny
+   ends its own array immediately. *)
+let decide_dispatch (d : dispatch) (vw : Policy.view) : Policy.decision =
+  let receiver = vw.Policy.vw_ev.Policy.ev_receiver_component in
+  let best_deny = ref max_int and deny_p = ref None in
+  let best_prompt = ref max_int and prompt_p = ref None in
+  let scan_array arr =
+    let n = Array.length arr in
+    let i = ref 0 and stop = ref false in
+    while (not !stop) && !i < n do
+      let e = arr.(!i) in
+      if e.e_idx >= !best_deny then stop := true
+      else begin
+        if e.e_deny then begin
+          if entry_matches vw e then begin
+            best_deny := e.e_idx;
+            deny_p := Some e.e_policy;
+            stop := true
+          end
+        end
+        else if
+          !best_deny = max_int
+          && e.e_idx < !best_prompt
+          && entry_matches vw e
+        then begin
+          best_prompt := e.e_idx;
+          prompt_p := Some e.e_policy
+        end;
+        incr i
+      end
+    done
+  in
+  let scan_shelf s =
+    (match Hashtbl.find_opt s.s_by_receiver receiver with
+    | Some arr -> scan_array arr
+    | None -> ());
+    scan_array s.s_any_receiver
+  in
+  (match vw.Policy.vw_action with
+  | Some a -> (
+      match Hashtbl.find_opt d.d_by_action a with
+      | Some s -> scan_shelf s
+      | None -> ())
+  | None -> ());
+  scan_shelf d.d_any_action;
+  match !deny_p with
+  | Some p -> Policy.Denied p
+  | None -> (
+      match !prompt_p with Some p -> Policy.Prompted p | None -> Policy.Allowed)
+
+let dispatch_for c = function
+  | Policy.Icc_send -> c.c_send
+  | Policy.Icc_receive -> c.c_receive
+
+let decide_view c (vw : Policy.view) =
+  decide_dispatch (dispatch_for c vw.Policy.vw_ev.Policy.ev_kind) vw
+
+let decide c ev = decide_view c (Policy.view_of_event ev)
+
+(* Single-pass-equivalent send+receive evaluation on one view: the
+   event's own kind decides first; only if it allows do the
+   flipped-kind rules apply — same resolution order as
+   {!Policy.decide_both}. *)
+let decide_full_view c (vw : Policy.view) =
+  let primary_kind = vw.Policy.vw_ev.Policy.ev_kind in
+  match decide_dispatch (dispatch_for c primary_kind) vw with
+  | Policy.Allowed ->
+      let other =
+        match primary_kind with
+        | Policy.Icc_send -> c.c_receive
+        | Policy.Icc_receive -> c.c_send
+      in
+      decide_dispatch other vw
+  | d -> d
+
+let decide_full c ev = decide_full_view c (Policy.view_of_event ev)

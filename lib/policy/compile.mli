@@ -1,0 +1,42 @@
+(** The compiled PDP: a policy store turned once into a decision
+    structure — first-level dispatch on [(event kind, intent action)],
+    second-level dispatch on the receiver component where [Receiver_is]
+    pins one, then residual condition vectors evaluated against a
+    precomputed {!Policy.view}.  A check consults at most four entry
+    arrays instead of the whole store.
+
+    Identity preservation: the structure returns the same decision
+    constructor {e and the same deciding policy} (first match in store
+    order, Deny before Prompt) as the reference {!Policy.decide}, so
+    enforcement reports are byte-identical.  [Allow] policies never
+    decide and are not indexed. *)
+
+(** A compiled store.  Immutable once built — hot swap is "compile a new
+    one, then replace the pointer". *)
+type t
+
+val compile : Policy.t list -> t
+
+(** Index shape counters, for benchmarks and logs. *)
+type stats = {
+  st_entries : int;  (** indexed (non-Allow) policies *)
+  st_total : int;  (** store size the structure was compiled from *)
+  st_action_buckets : int;  (** action-pinned buckets across both kinds *)
+  st_receiver_buckets : int;  (** receiver-pinned buckets across all shelves *)
+}
+
+val stats : t -> stats
+
+(** Same verdict and same deciding policy as [Policy.decide] on the
+    event's own kind. *)
+val decide : t -> Policy.icc_event -> Policy.decision
+
+val decide_view : t -> Policy.view -> Policy.decision
+
+(** Same verdict and same deciding policy as {!Policy.decide_both}:
+    the event's own kind first (Deny, then Prompt); only if it allows,
+    the flipped-kind rules.  One view, no marshalling — the runtime
+    hook's fast path. *)
+val decide_full : t -> Policy.icc_event -> Policy.decision
+
+val decide_full_view : t -> Policy.view -> Policy.decision

@@ -13,6 +13,11 @@
                      p_action = Prompt }]. *)
 
 open Separ_android
+module Metrics = Separ_obs.Metrics
+
+(* Every event marshalled across the PDP process boundary, in either
+   direction.  The in-process fast path must leave this at zero. *)
+let c_serializations = Metrics.counter "policy.serializations"
 
 type event_kind = Icc_send | Icc_receive
 
@@ -48,6 +53,52 @@ type icc_event = {
   ev_receiver_app : string;
 }
 
+(* --- event views ----------------------------------------------------------- *)
+
+(* The per-check preprocessing of an event: the pieces a condition needs
+   to consult, turned into O(1)-lookup form once and then shared across
+   every policy evaluated against the event.  Without this, each
+   [Extras_include] re-walks (and re-sorts) the intent's extras and each
+   [Sender_lacks_permission] re-scans the permission list — per
+   condition, per policy, per check. *)
+type view = {
+  vw_ev : icc_event;
+  vw_action : string option;           (* ev_intent.action *)
+  vw_implicit : bool;
+  vw_extras_bits : int;                (* bitset over [Resource.index] *)
+  vw_perms : (Permission.t, unit) Hashtbl.t;  (* sender's permissions *)
+}
+
+let view_of_event (ev : icc_event) : view =
+  let bits =
+    List.fold_left
+      (fun acc (e : Intent.extra) ->
+        List.fold_left (fun acc r -> acc lor (1 lsl Resource.index r)) acc e.Intent.taint)
+      0 ev.ev_intent.Intent.extras
+  in
+  let perms = Hashtbl.create (max 4 (List.length ev.ev_sender_permissions)) in
+  List.iter (fun p -> Hashtbl.replace perms p ()) ev.ev_sender_permissions;
+  {
+    vw_ev = ev;
+    vw_action = ev.ev_intent.Intent.action;
+    vw_implicit = Intent.is_implicit ev.ev_intent;
+    vw_extras_bits = bits;
+    vw_perms = perms;
+  }
+
+(* Conditions never consult [ev_kind], so one view answers for both the
+   send- and receive-side reading of the same delivery. *)
+let condition_holds_view (vw : view) = function
+  | Receiver_is c -> vw.vw_ev.ev_receiver_component = c
+  | Receiver_not_in cs -> not (List.mem vw.vw_ev.ev_receiver_component cs)
+  | Sender_is c -> vw.vw_ev.ev_sender_component = c
+  | Sender_app_not_installed -> not vw.vw_ev.ev_sender_installed_at_analysis
+  | Action_is a -> (
+      match vw.vw_action with Some a' -> String.equal a a' | None -> false)
+  | Implicit -> vw.vw_implicit
+  | Extras_include r -> vw.vw_extras_bits land (1 lsl Resource.index r) <> 0
+  | Sender_lacks_permission p -> not (Hashtbl.mem vw.vw_perms p)
+
 let condition_holds (ev : icc_event) = function
   | Receiver_is c -> ev.ev_receiver_component = c
   | Receiver_not_in cs -> not (List.mem ev.ev_receiver_component cs)
@@ -61,19 +112,78 @@ let condition_holds (ev : icc_event) = function
 let matches (p : t) (ev : icc_event) =
   p.p_event = ev.ev_kind && List.for_all (condition_holds ev) p.p_conditions
 
+let matches_view (p : t) (vw : view) =
+  p.p_event = vw.vw_ev.ev_kind
+  && List.for_all (condition_holds_view vw) p.p_conditions
+
 (* PDP decision: the most restrictive action among matching policies
    (Deny > Prompt > Allow), with the deciding policy. *)
 type decision = Allowed | Prompted of t | Denied of t
 
+(* One pass over the store, in store order, sharing [vw] across every
+   policy: the first matching Deny wins immediately; otherwise the first
+   matching Prompt; Allow policies never decide and are skipped without
+   evaluating their conditions.  Output-identical to filtering the whole
+   store and then searching it (the original formulation). *)
+let decide_view (policies : t list) (vw : view) : decision =
+  let kind = vw.vw_ev.ev_kind in
+  let rec scan prompt = function
+    | [] -> ( match prompt with Some p -> Prompted p | None -> Allowed)
+    | p :: rest -> (
+        match p.p_action with
+        | Allow -> scan prompt rest
+        | Deny | Prompt ->
+            if
+              p.p_event = kind
+              && List.for_all (condition_holds_view vw) p.p_conditions
+            then
+              if p.p_action = Deny then Denied p
+              else scan (if prompt = None then Some p else prompt) rest
+            else scan prompt rest)
+  in
+  scan None policies
+
 let decide (policies : t list) (ev : icc_event) : decision =
-  let matching = List.filter (fun p -> matches p ev) policies in
-  let denial = List.find_opt (fun p -> p.p_action = Deny) matching in
-  match denial with
-  | Some p -> Denied p
-  | None -> (
-      match List.find_opt (fun p -> p.p_action = Prompt) matching with
-      | Some p -> Prompted p
-      | None -> Allowed)
+  decide_view policies (view_of_event ev)
+
+(* Evaluate the receive- and send-side rules in ONE pass over the store.
+   Resolution order replicates the sequential protocol (decide on the
+   event's own kind; only if Allowed, decide again with the kind
+   flipped): primary-kind Deny > primary Prompt > flipped Deny > flipped
+   Prompt.  Conditions never read [ev_kind], so each policy's condition
+   vector is evaluated at most once per check. *)
+let decide_both_view (policies : t list) (vw : view) : decision =
+  let primary = vw.vw_ev.ev_kind in
+  let rec scan p_prompt o_deny o_prompt = function
+    | [] -> (
+        match (p_prompt, o_deny, o_prompt) with
+        | Some p, _, _ -> Prompted p
+        | None, Some p, _ -> Denied p
+        | None, None, Some p -> Prompted p
+        | None, None, None -> Allowed)
+    | p :: rest -> (
+        match p.p_action with
+        | Allow -> scan p_prompt o_deny o_prompt rest
+        | Deny | Prompt ->
+            if List.for_all (condition_holds_view vw) p.p_conditions then
+              match (p.p_event = primary, p.p_action) with
+              | true, Deny -> Denied p
+              | true, _ ->
+                  scan (if p_prompt = None then Some p else p_prompt)
+                    o_deny o_prompt rest
+              | false, Deny ->
+                  scan p_prompt (if o_deny = None then Some p else o_deny)
+                    o_prompt rest
+              | false, _ ->
+                  scan p_prompt o_deny
+                    (if o_prompt = None then Some p else o_prompt)
+                    rest
+            else scan p_prompt o_deny o_prompt rest)
+  in
+  scan None None None policies
+
+let decide_both (policies : t list) (ev : icc_event) : decision =
+  decide_both_view policies (view_of_event ev)
 
 (* --- serialization ------------------------------------------------------- *)
 
@@ -190,23 +300,69 @@ let subsumes a b =
 
 (* Drop policies subsumed by another policy in the store: strictly
    dominated policies always go; of mutually subsuming (equivalent)
-   policies the first is kept. *)
+   policies the first is kept.
+
+   Candidate pruning: [subsumes a b] needs [a.p_event = b.p_event], and
+   every [Action_is x] of [a] must be implied by a condition of [b] —
+   [condition_implies] only ever derives [Action_is] from equality, so
+   [a]'s pinned action values must all appear among [b]'s.  Policies are
+   therefore bucketed by [(event, first pinned action)]; the only
+   possible dominators of [p] live in [p]'s own event's action-free
+   bucket or in the buckets of actions [p] itself pins.  That shrinks
+   the all-pairs scan to a handful of buckets per policy while deciding
+   exactly the same survivors: a policy is dropped iff some candidate
+   that is still alive (processed-and-kept, or not yet processed)
+   strictly subsumes it, or an earlier kept candidate is equivalent —
+   the same "kept or later" rule as the quadratic original. *)
 let minimize_store policies =
-  let rec go kept = function
-    | [] -> List.rev kept
-    | p :: rest ->
-        let strictly_dominated =
-          List.exists
-            (fun q -> subsumes q p && not (subsumes p q))
-            (kept @ rest)
-        in
-        let equivalent_already_kept =
-          List.exists (fun q -> subsumes q p && subsumes p q) kept
-        in
-        if strictly_dominated || equivalent_already_kept then go kept rest
-        else go (p :: kept) rest
+  let arr = Array.of_list policies in
+  let n = Array.length arr in
+  let alive = Array.make n true in
+  let actions_of p =
+    List.filter_map
+      (function Action_is a -> Some a | _ -> None)
+      p.p_conditions
   in
-  go [] policies
+  let key_of p =
+    (p.p_event, match actions_of p with [] -> None | a :: _ -> Some a)
+  in
+  let buckets : (event_kind * string option, int list ref) Hashtbl.t =
+    Hashtbl.create (max 16 n)
+  in
+  Array.iteri
+    (fun i p ->
+      let key = key_of p in
+      match Hashtbl.find_opt buckets key with
+      | Some l -> l := i :: !l
+      | None -> Hashtbl.add buckets key (ref [ i ]))
+    arr;
+  let bucket key =
+    match Hashtbl.find_opt buckets key with Some l -> !l | None -> []
+  in
+  for i = 0 to n - 1 do
+    let p = arr.(i) in
+    let candidates =
+      List.concat_map bucket
+        ((p.p_event, None)
+        :: List.map (fun a -> (p.p_event, Some a)) (actions_of p))
+    in
+    let dropped =
+      List.exists
+        (fun j ->
+          j <> i && alive.(j) && subsumes arr.(j) p && not (subsumes p arr.(j)))
+        candidates
+      || List.exists
+           (fun j ->
+             j < i && alive.(j) && subsumes arr.(j) p && subsumes p arr.(j))
+           candidates
+    in
+    if dropped then alive.(i) <- false
+  done;
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if alive.(i) then out := arr.(i) :: !out
+  done;
+  !out
 
 (* The PDP runs as an independent app (the paper's architecture), so the
    PEP's decision request crosses a process boundary.  These functions
@@ -216,6 +372,7 @@ let minimize_store policies =
    strings (which may contain commas, equals signs, colons) round-trip:
    0x1f between fields, 0x1e between list items, 0x1d inside an extra. *)
 let event_to_line (ev : icc_event) =
+  Metrics.incr c_serializations;
   String.concat "\x1f"
     [
       event_to_string ev.ev_kind;
@@ -241,6 +398,7 @@ let event_to_line (ev : icc_event) =
     ]
 
 let event_of_line line =
+  Metrics.incr c_serializations;
   let opt = function "" -> None | s -> Some s in
   let items = function "" -> [] | s -> String.split_on_char '\x1e' s in
   match String.split_on_char '\x1f' line with
@@ -277,16 +435,13 @@ let event_of_line line =
 
 (* A PDP decision as seen through the process boundary: the event is
    marshalled to the PDP app once, evaluated there against both the
-   receive-side and send-side rules, and the verdict returned. *)
+   receive-side and send-side rules in a single pass over the store, and
+   the verdict returned.  The marshalling (counted in
+   [policy.serializations]) is the point of this entry: the in-process
+   fast path calls [decide_both] directly and pays none of it. *)
 let decide_remote policies ev =
   let ev = event_of_line (event_to_line ev) in
-  match decide policies ev with
-  | Allowed ->
-      decide policies
-        { ev with ev_kind = (match ev.ev_kind with
-                             | Icc_receive -> Icc_send
-                             | Icc_send -> Icc_receive) }
-  | d -> d
+  decide_both policies ev
 
 let pp ppf p =
   Fmt.pf ppf "@[<v 2>{ event: %s,@,condition: [%a],@,action: %s }@]"

@@ -46,19 +46,48 @@ type icc_event = {
   ev_receiver_app : string;
 }
 
+(** The per-check preprocessing of an event: extras tainted resources as
+    a bitset, sender permissions as a hash set, the intent action and
+    implicitness pulled out — built once per check with
+    {!view_of_event} and shared across every policy evaluated against
+    the event.  Conditions never consult [ev_kind], so one view answers
+    for both the send- and receive-side reading of a delivery.  The
+    record is read-only ([private]): build one with {!view_of_event}. *)
+type view = private {
+  vw_ev : icc_event;
+  vw_action : string option;  (** [ev_intent.action] *)
+  vw_implicit : bool;
+  vw_extras_bits : int;  (** bitset over [Resource.index] of tainted extras *)
+  vw_perms : (Permission.t, unit) Hashtbl.t;  (** sender's permissions *)
+}
+
+val view_of_event : icc_event -> view
 val condition_holds : icc_event -> condition -> bool
+val condition_holds_view : view -> condition -> bool
 val matches : t -> icc_event -> bool
+val matches_view : t -> view -> bool
 
 (** PDP verdict: the most restrictive action among matching policies
     (Deny > Prompt > Allow), with the deciding policy. *)
 type decision = Allowed | Prompted of t | Denied of t
 
 val decide : t list -> icc_event -> decision
+val decide_view : t list -> view -> decision
 
-(** As {!decide}, but the event crosses the process boundary to the PDP
-    app (marshalled both ways), and both receive- and send-side rules are
-    evaluated in the one round trip.  This is what the runtime hooks
-    call. *)
+(** Receive- and send-side rules evaluated in one pass over the store:
+    the event's own kind decides first (Deny, then Prompt); only if it
+    allows do the flipped-kind rules apply.  Equivalent to [decide]
+    followed by [decide] on the kind-flipped event, at one scan and one
+    view.  This is what the in-process runtime hook calls — no
+    marshalling. *)
+val decide_both : t list -> icc_event -> decision
+
+val decide_both_view : t list -> view -> decision
+
+(** As {!decide_both}, but the event crosses the process boundary to the
+    PDP app (marshalled both ways, counted in the
+    [policy.serializations] metric).  The runtime's opt-in IPC mode
+    calls this. *)
 val decide_remote : t list -> icc_event -> decision
 
 (** {1 Serialization} *)

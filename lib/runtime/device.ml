@@ -16,6 +16,7 @@
 open Separ_android
 open Separ_dalvik
 module Policy = Separ_policy.Policy
+module Compile = Separ_policy.Compile
 module Metrics = Separ_obs.Metrics
 
 (* PEP telemetry: counts and per-hook PDP latency, the RQ4 breakdown.
@@ -31,10 +32,48 @@ let h_hook_latency =
     ~buckets:[| 0.5; 1.0; 2.0; 5.0; 10.0; 25.0; 50.0; 100.0; 500.0 |]
     "runtime.hook_latency_us"
 
+(* Hot policy swap telemetry: how often the store is replaced under
+   traffic, and how long the off-to-the-side recompilation takes. *)
+let c_policy_swaps = Metrics.counter "runtime.policy_swaps"
+
+let h_swap_latency =
+  Metrics.histogram
+    ~buckets:[| 10.0; 50.0; 100.0; 500.0; 1000.0; 5000.0; 25000.0; 100000.0 |]
+    "runtime.swap_latency_us"
+
+(* How the hook consults the PDP.
+   [Compiled] (default): the in-process compiled decision structure —
+   one event view, single-pass send+receive evaluation, no marshalling.
+   [Reference]: the uncompiled single-pass scan over the store, same
+   view sharing; the oracle the compiled path is tested against.
+   [Ipc]: the paper's deployed architecture — the event is marshalled
+   across the PDP process boundary and back (counted in
+   [policy.serializations]); RQ4's overhead story. *)
+type pdp_mode = Compiled | Reference | Ipc
+
+(* The PDP state the hook consults, as ONE immutable snapshot: the hook
+   reads [t.pdp] exactly once per check, so a concurrent
+   [swap_policies] — which builds a full replacement off to the side
+   and then performs a single pointer write — can never expose a
+   half-swapped store (policies from one store, compiled form or
+   analyzed set from another). *)
+type pdp = {
+  pd_policies : Policy.t list;
+  pd_compiled : Compile.t;
+  pd_analyzed : string list; (* packages covered by the last analysis *)
+}
+
+let build_pdp policies analyzed =
+  {
+    pd_policies = policies;
+    pd_compiled = Compile.compile policies;
+    pd_analyzed = analyzed;
+  }
+
 type t = {
   mutable apps : Apk.t list;
-  mutable analyzed : string list; (* packages covered by the last analysis *)
-  mutable policies : Policy.t list;
+  mutable pdp : pdp;
+  mutable pdp_mode : pdp_mode;
   mutable enforcement : bool;
   mutable consent : Policy.t -> Policy.icc_event -> bool;
   mutable effects : Effect.t list; (* newest first *)
@@ -50,8 +89,8 @@ type t = {
 let create ?(enforcement = false) () =
   {
     apps = [];
-    analyzed = [];
-    policies = [];
+    pdp = build_pdp [] [];
+    pdp_mode = Compiled;
     enforcement;
     consent = (fun _ _ -> false);
     effects = [];
@@ -71,9 +110,27 @@ let uninstall t pkg =
   t.callbacks <- List.filter (fun (p, _, _) -> p <> pkg) t.callbacks
 
 let set_policies t policies analyzed_packages =
-  t.policies <- policies;
-  t.analyzed <- analyzed_packages
+  t.pdp <- build_pdp policies analyzed_packages
 
+(* Hot swap: recompile off to the side, then replace the snapshot with
+   one pointer write.  Checks running before the write see the old
+   store in full; checks after see the new one in full. *)
+let swap_policies ?analyzed t policies =
+  let analyzed =
+    match analyzed with Some a -> a | None -> t.pdp.pd_analyzed
+  in
+  if Metrics.is_enabled () then begin
+    let t0 = Separ_obs.Trace.now_us () in
+    let next = build_pdp policies analyzed in
+    t.pdp <- next;
+    Metrics.observe h_swap_latency (Separ_obs.Trace.now_us () -. t0);
+    Metrics.incr c_policy_swaps
+  end
+  else t.pdp <- build_pdp policies analyzed
+
+let set_pdp_mode t mode = t.pdp_mode <- mode
+let pdp_mode t = t.pdp_mode
+let policies t = t.pdp.pd_policies
 let set_enforcement t on = t.enforcement <- on
 let set_consent t f = t.consent <- f
 let effects t = List.rev t.effects
@@ -463,28 +520,39 @@ and deliver_one ctx icc (o : Value.intent_obj) (rapk : Apk.t)
     in
     if not t.enforcement then proceed ()
     else begin
+      (* Read the PDP snapshot once: event construction and the decision
+         both use the same store, even if a consent callback (or any
+         re-entrant code) swaps policies mid-check. *)
+      let pdp = t.pdp in
       let ev =
         Policy.
           {
             ev_kind = Icc_receive;
             ev_sender_component = ctx.component;
             ev_sender_app = sender_app;
-            ev_sender_installed_at_analysis = List.mem sender_app t.analyzed;
+            ev_sender_installed_at_analysis =
+              List.mem sender_app pdp.pd_analyzed;
             ev_sender_permissions = sender_perms;
             ev_intent = intent;
             ev_receiver_component = rcomp.Component.name;
             ev_receiver_app = Apk.package rapk;
           }
       in
-      (* both send-side and receive-side policies are evaluated here: the
-         hook observes the full delivery *)
-      (* the PDP is an independent app: the decision request crosses a
-         process boundary (event marshalling both ways); receive- and
-         send-side rules are evaluated in the same round trip *)
+      (* Both send-side and receive-side policies are evaluated here in
+         one pass — the hook observes the full delivery.  The fast path
+         stays in-process on the compiled decision structure; the
+         opt-in [Ipc] mode marshals the event across the PDP process
+         boundary and back, preserving RQ4's measurement story. *)
+      let consult () =
+        match t.pdp_mode with
+        | Compiled -> Compile.decide_full pdp.pd_compiled ev
+        | Reference -> Policy.decide_both pdp.pd_policies ev
+        | Ipc -> Policy.decide_remote pdp.pd_policies ev
+      in
       let decision =
         if Metrics.is_enabled () then begin
           let t0 = Separ_obs.Trace.now_us () in
-          let d = Policy.decide_remote t.policies ev in
+          let d = consult () in
           Metrics.observe h_hook_latency (Separ_obs.Trace.now_us () -. t0);
           Metrics.incr c_hook_checks;
           (match d with
@@ -493,7 +561,7 @@ and deliver_one ctx icc (o : Value.intent_obj) (rapk : Apk.t)
           | Policy.Prompted _ -> Metrics.incr c_prompted);
           d
         end
-        else Policy.decide_remote t.policies ev
+        else consult ()
       in
       match decision with
       | Policy.Allowed -> proceed ()

@@ -27,8 +27,32 @@ val install : t -> Apk.t -> unit
 val uninstall : t -> string -> unit
 
 (** Load policies and record which packages the analysis covered (the
-    [Sender_app_not_installed] condition refers to this set). *)
+    [Sender_app_not_installed] condition refers to this set).  The
+    store is compiled into the PDP decision structure as part of the
+    load. *)
 val set_policies : t -> Policy.t list -> string list -> unit
+
+(** Hot policy swap: recompile off to the side, then atomically replace
+    the PDP snapshot — no device restart, and no check ever observes a
+    half-swapped store (the hook reads the snapshot once per check).
+    [?analyzed] defaults to the currently recorded analyzed set.
+    Counted in [runtime.policy_swaps]; recompile+replace time observed
+    in the [runtime.swap_latency_us] histogram. *)
+val swap_policies : ?analyzed:string list -> t -> Policy.t list -> unit
+
+(** How the PEP hook consults the PDP: [Compiled] (default) uses the
+    in-process compiled decision structure with single-pass
+    send+receive evaluation and zero marshalling; [Reference] is the
+    uncompiled single-pass scan (the testing oracle); [Ipc] marshals
+    the event across the PDP process boundary both ways (the paper's
+    deployed architecture, counted in [policy.serializations]). *)
+type pdp_mode = Compiled | Reference | Ipc
+
+val set_pdp_mode : t -> pdp_mode -> unit
+val pdp_mode : t -> pdp_mode
+
+(** The currently loaded store. *)
+val policies : t -> Policy.t list
 
 val set_enforcement : t -> bool -> unit
 

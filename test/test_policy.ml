@@ -4,6 +4,8 @@
 
 open Separ_android
 module Policy = Separ_policy.Policy
+module Compile = Separ_policy.Compile
+module Metrics = Separ_obs.Metrics
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -306,4 +308,226 @@ let minimization_tests =
     qcheck_minimize_preserves_decisions;
   ]
 
-let tests = tests @ minimization_tests
+(* --- event views, single-pass decide, compiled PDP -------------------------- *)
+
+let all_base_conditions =
+  [
+    Policy.Receiver_is "Receiver";
+    Policy.Receiver_is "Other";
+    Policy.Receiver_not_in [ "A"; "B" ];
+    Policy.Receiver_not_in [ "Receiver" ];
+    Policy.Sender_is "Sender";
+    Policy.Sender_is "Nobody";
+    Policy.Sender_app_not_installed;
+    Policy.Action_is "go";
+    Policy.Action_is "stop";
+    Policy.Implicit;
+    Policy.Extras_include Resource.Location;
+    Policy.Extras_include Resource.Imei;
+    Policy.Sender_lacks_permission Permission.send_sms;
+    Policy.Sender_lacks_permission Permission.internet;
+  ]
+
+let test_view_agrees_with_reference () =
+  let vw = Policy.view_of_event base_event in
+  List.iter
+    (fun c ->
+      check (Policy.condition_to_string c)
+        (Policy.condition_holds base_event c)
+        (Policy.condition_holds_view vw c))
+    all_base_conditions
+
+(* The old decide-then-flip protocol, as the oracle for decide_both. *)
+let sequential_both store ev =
+  match Policy.decide store ev with
+  | Policy.Allowed ->
+      Policy.decide store
+        {
+          ev with
+          Policy.ev_kind =
+            (match ev.Policy.ev_kind with
+            | Policy.Icc_receive -> Policy.Icc_send
+            | Policy.Icc_send -> Policy.Icc_receive);
+        }
+  | d -> d
+
+let fingerprint = function
+  | Policy.Allowed -> "allow"
+  | Policy.Prompted p -> "prompt:" ^ p.Policy.p_id
+  | Policy.Denied p -> "deny:" ^ p.Policy.p_id
+
+let test_decide_both_resolution_order () =
+  (* primary-kind Prompt beats flipped-kind Deny (the sequential
+     protocol never reaches the flipped scan when the primary prompts) *)
+  let recv_prompt = policy ~event:Policy.Icc_receive "rp" in
+  let send_deny = policy ~event:Policy.Icc_send ~action:Policy.Deny "sd" in
+  check "primary prompt beats flipped deny" true
+    (fingerprint (Policy.decide_both [ send_deny; recv_prompt ] base_event)
+    = "prompt:rp");
+  (* flipped-kind rules apply when the primary side allows *)
+  check "flipped deny applies when primary allows" true
+    (fingerprint (Policy.decide_both [ send_deny ] base_event) = "deny:sd");
+  check "agrees with the sequential protocol" true
+    (fingerprint (sequential_both [ send_deny; recv_prompt ] base_event)
+    = fingerprint (Policy.decide_both [ send_deny; recv_prompt ] base_event))
+
+(* Generators for the differential fuzzer: small component/action pools
+   so random stores and random events actually collide. *)
+let gen_name prefix n =
+  QCheck.Gen.map (fun i -> prefix ^ string_of_int i) (QCheck.Gen.int_range 0 (n - 1))
+
+let fuzz_cond_gen =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun r -> Policy.Receiver_is r) (gen_name "R" 4);
+      map
+        (fun rs -> Policy.Receiver_not_in rs)
+        (list_size (int_range 0 3) (gen_name "R" 4));
+      map (fun s -> Policy.Sender_is s) (gen_name "S" 4);
+      return Policy.Sender_app_not_installed;
+      map (fun a -> Policy.Action_is a) (gen_name "act" 4);
+      return Policy.Implicit;
+      map (fun r -> Policy.Extras_include r) (oneofl Resource.all);
+      map (fun p -> Policy.Sender_lacks_permission p) (oneofl Permission.all);
+    ]
+
+let fuzz_store_gen =
+  let open QCheck.Gen in
+  map
+    (fun ps ->
+      (* distinct ids so identity mismatches are visible *)
+      List.mapi (fun i p -> { p with Policy.p_id = "f" ^ string_of_int i }) ps)
+    (list_size (int_range 0 40)
+       (map
+          (fun ((send, conds), act) ->
+            policy
+              ~event:(if send then Policy.Icc_send else Policy.Icc_receive)
+              ~conds
+              ~action:
+                (match act with
+                | 0 -> Policy.Allow
+                | 1 -> Policy.Prompt
+                | _ -> Policy.Deny)
+              "x")
+          (pair
+             (pair bool (list_size (int_range 0 4) fuzz_cond_gen))
+             (int_range 0 2))))
+
+let fuzz_event_gen =
+  let open QCheck.Gen in
+  map
+    (fun (((recv, sc), (rc, installed)), ((action, implicit), (res, perms))) ->
+      Policy.
+        {
+          ev_kind = (if recv then Icc_receive else Icc_send);
+          ev_sender_component = sc;
+          ev_sender_app = "app." ^ sc;
+          ev_sender_installed_at_analysis = installed;
+          ev_sender_permissions = perms;
+          ev_intent =
+            Intent.make
+              ?target:(if implicit then None else Some rc)
+              ?action
+              ~extras:
+                (List.map
+                   (fun r -> Intent.{ key = "k"; value = "v"; taint = [ r ] })
+                   res)
+              ();
+          ev_receiver_component = rc;
+          ev_receiver_app = "app." ^ rc;
+        })
+    (pair
+       (pair (pair bool (gen_name "S" 4)) (pair (gen_name "R" 4) bool))
+       (pair
+          (pair (opt (gen_name "act" 4)) bool)
+          (pair
+             (list_size (int_range 0 2) (oneofl Resource.all))
+             (list_size (int_range 0 3) (oneofl Permission.all)))))
+
+(* The tentpole's differential fuzzer: random stores x random events,
+   compiled matcher vs reference decide — verdict AND deciding-policy
+   id, on both the single-kind and the send+receive entries. *)
+let qcheck_compiled_identical_to_reference =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"compiled PDP identical to reference decide (verdict + id)"
+       ~count:500
+       (QCheck.make
+          (QCheck.Gen.pair fuzz_store_gen
+             (QCheck.Gen.list_size (QCheck.Gen.int_range 1 5) fuzz_event_gen)))
+       (fun (store, evs) ->
+         let compiled = Compile.compile store in
+         List.for_all
+           (fun ev ->
+             fingerprint (Compile.decide compiled ev)
+             = fingerprint (Policy.decide store ev)
+             && fingerprint (Compile.decide_full compiled ev)
+                = fingerprint (Policy.decide_both store ev)
+             && fingerprint (Policy.decide_both store ev)
+                = fingerprint (sequential_both store ev))
+           evs))
+
+(* Richer randomized decide-identity for the grouped minimize_store:
+   arbitrary condition mixes, both event kinds, random probe events. *)
+let qcheck_minimize_identity_randomized =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"minimized stores decide identically on randomized events"
+       ~count:300
+       (QCheck.make
+          (QCheck.Gen.pair fuzz_store_gen
+             (QCheck.Gen.list_size (QCheck.Gen.int_range 1 6) fuzz_event_gen)))
+       (fun (store, evs) ->
+         let minimized = Policy.minimize_store store in
+         List.for_all
+           (fun ev ->
+             match (Policy.decide store ev, Policy.decide minimized ev) with
+             | Policy.Allowed, Policy.Allowed -> true
+             | Policy.Prompted _, Policy.Prompted _ -> true
+             | Policy.Denied _, Policy.Denied _ -> true
+             | _ -> false)
+           evs))
+
+let test_serialization_metric () =
+  Metrics.enable ();
+  Metrics.reset ();
+  let c = Metrics.counter "policy.serializations" in
+  let store = [ policy "p" ] in
+  ignore (Policy.decide_both store base_event);
+  ignore (Compile.decide_full (Compile.compile store) base_event);
+  check_int "in-process paths serialize nothing" 0 (Metrics.counter_value c);
+  ignore (Policy.decide_remote store base_event);
+  check_int "the IPC round trip serializes twice" 2 (Metrics.counter_value c);
+  Metrics.reset ();
+  Metrics.disable ()
+
+let test_compile_stats () =
+  let store =
+    [
+      policy ~conds:[ Policy.Receiver_is "A" ] ~action:Policy.Deny "d0";
+      policy ~conds:[ Policy.Action_is "go" ] "p1";
+      policy ~action:Policy.Allow "a2";
+      policy ~event:Policy.Icc_send ~conds:[ Policy.Receiver_is "B" ] "p3";
+    ]
+  in
+  let st = Compile.stats (Compile.compile store) in
+  check_int "allow policies are not indexed" 3 st.Compile.st_entries;
+  check_int "store size recorded" 4 st.Compile.st_total;
+  check_int "one action bucket" 1 st.Compile.st_action_buckets;
+  check_int "two receiver buckets" 2 st.Compile.st_receiver_buckets
+
+let compiled_pdp_tests =
+  [
+    Alcotest.test_case "event view agrees with reference conditions" `Quick
+      test_view_agrees_with_reference;
+    Alcotest.test_case "decide_both resolution order" `Quick
+      test_decide_both_resolution_order;
+    qcheck_compiled_identical_to_reference;
+    qcheck_minimize_identity_randomized;
+    Alcotest.test_case "serialization metric ledger" `Quick
+      test_serialization_metric;
+    Alcotest.test_case "compiled index shape" `Quick test_compile_stats;
+  ]
+
+let tests = tests @ minimization_tests @ compiled_pdp_tests

@@ -744,3 +744,131 @@ let concretize_tests =
   ]
 
 let tests = tests @ concretize_tests
+
+(* --- compiled PDP: hook modes, hot swap, zero-copy fast path -------------------- *)
+
+module Metrics = Separ_obs.Metrics
+
+let blocked_by effects =
+  List.filter_map
+    (function
+      | Effect.Delivery_blocked { policy_id; _ } -> Some policy_id | _ -> None)
+    effects
+
+(* The same traffic must produce identical enforcement effects whether
+   the hook consults the compiled matcher, the uncompiled reference
+   scan, or the marshalling IPC path. *)
+let test_pdp_modes_equivalent () =
+  let pair = sender_receiver_apks ~explicit:false ~receiver_perm:None in
+  let run mode =
+    let d = Device.create () in
+    let sender, receiver = pair in
+    Device.install d sender;
+    Device.install d receiver;
+    Device.set_policies d [ block_policy ] [ "s"; "r" ];
+    Device.set_enforcement d true;
+    Device.set_pdp_mode d mode;
+    Device.start_component d ~pkg:"s" ~component:"Snd";
+    String.concat "\n"
+      (List.map (Fmt.str "%a" Effect.pp) (Device.effects d))
+  in
+  let compiled = run Device.Compiled in
+  check "reference mode matches compiled" true
+    (String.equal compiled (run Device.Reference));
+  check "IPC mode matches compiled" true
+    (String.equal compiled (run Device.Ipc));
+  check "the decision fired" true
+    (compiled <> "" && String.length compiled > 0)
+
+(* Swap the store from inside the consent callback — i.e. while a hook
+   check is in flight.  The in-flight check must be decided entirely by
+   the pre-swap snapshot; the next send sees only the new store. *)
+let test_hot_swap_under_traffic () =
+  Metrics.enable ();
+  Metrics.reset ();
+  let prompt = { block_policy with Policy.p_action = Policy.Prompt } in
+  let swapped_deny = { block_policy with Policy.p_id = "swapped-deny" } in
+  let sender, receiver =
+    sender_receiver_apks ~explicit:false ~receiver_perm:None
+  in
+  let d = Device.create () in
+  Device.install d sender;
+  Device.install d receiver;
+  Device.set_policies d [ prompt ] [ "s"; "r" ];
+  Device.set_enforcement d true;
+  Device.set_consent d (fun _ _ ->
+      (* hot swap while this very check is being decided *)
+      Device.swap_policies d [ swapped_deny ];
+      false);
+  Device.start_component d ~pkg:"s" ~component:"Snd";
+  (* the in-flight check was decided by the pre-swap prompt policy *)
+  check "in-flight check used the pre-swap store" true
+    (blocked_by (Device.effects d) = [ "block-rcv" ]);
+  check "prompt was shown" true
+    (List.exists
+       (function Effect.Prompt_shown _ -> true | _ -> false)
+       (Device.effects d));
+  (* subsequent traffic sees only the new store: a deny, no prompt *)
+  Device.clear_effects d;
+  Device.start_component d ~pkg:"s" ~component:"Snd";
+  check "post-swap traffic hits the new store" true
+    (blocked_by (Device.effects d) = [ "swapped-deny" ]);
+  check "no prompt after swap" false
+    (List.exists
+       (function Effect.Prompt_shown _ -> true | _ -> false)
+       (Device.effects d));
+  check "swap visible through the accessor" true
+    (Device.policies d = [ swapped_deny ]);
+  (* swap telemetry: counter bumped, latency observed *)
+  check_int "one swap counted" 1
+    (Metrics.counter_value (Metrics.counter "runtime.policy_swaps"));
+  let swap_obs =
+    List.fold_left
+      (fun acc (_, n) -> acc + n)
+      0
+      (Metrics.histogram_buckets
+         (Metrics.histogram "runtime.swap_latency_us"))
+  in
+  check_int "swap latency observed" 1 swap_obs;
+  Metrics.reset ();
+  Metrics.disable ()
+
+(* The in-process hook never marshals events; only the opt-in IPC mode
+   pays serialization. *)
+let test_hook_serialization_ledger () =
+  Metrics.enable ();
+  Metrics.reset ();
+  let pair = sender_receiver_apks ~explicit:false ~receiver_perm:None in
+  let run mode =
+    let d = Device.create () in
+    let sender, receiver = pair in
+    Device.install d sender;
+    Device.install d receiver;
+    Device.set_policies d [ block_policy ] [ "s"; "r" ];
+    Device.set_enforcement d true;
+    Device.set_pdp_mode d mode;
+    Device.start_component d ~pkg:"s" ~component:"Snd"
+  in
+  let ser = Metrics.counter "policy.serializations" in
+  run Device.Compiled;
+  check_int "compiled hook marshals nothing" 0 (Metrics.counter_value ser);
+  run Device.Reference;
+  check_int "reference hook marshals nothing" 0 (Metrics.counter_value ser);
+  run Device.Ipc;
+  check "IPC hook pays marshalling" true (Metrics.counter_value ser > 0);
+  check "hook checks were counted" true
+    (Metrics.counter_value (Metrics.counter "runtime.hook_checks") > 0);
+  Metrics.reset ();
+  Metrics.disable ()
+
+let compiled_pdp_tests =
+  [
+    Alcotest.test_case "PDP modes produce identical effects" `Quick
+      test_pdp_modes_equivalent;
+    Alcotest.test_case "hot swap under traffic" `Quick
+      test_hot_swap_under_traffic;
+    Alcotest.test_case "hook serialization ledger" `Quick
+      test_hook_serialization_ledger;
+  ]
+
+let tests = tests @ compiled_pdp_tests
