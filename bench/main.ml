@@ -16,6 +16,8 @@
      incremental       shared-base vs from-scratch ASE (BENCH_incremental.json)
      cache             persistent cross-run cache: cold vs warm vs one-app-changed
                        (BENCH_cache.json)
+     serve             app-store daemon: footprint-indexed selective re-analysis
+                       of an upload stream vs full repair (BENCH_serve.json)
      enforce           compiled PDP vs linear scan at 10/100/1000 rules +
                        device-fleet soak with hot swaps (BENCH_enforce.json)
      ablation-minimal  minimal vs arbitrary scenarios
@@ -1629,6 +1631,205 @@ let run_cache_smoke () =
       List.iter (fun f -> Printf.printf "cache smoke FAILURE: %s\n" f) fs;
       exit 1
 
+(* --- serve: the app-store daemon ------------------------------------------- *)
+
+type serve_bench_result = {
+  sb_store : int;
+  sb_updates : int;
+  sb_selected : int;  (* bundles dispatched across the update stream *)
+  sb_dispatch_full : int;  (* what per-update full repair would dispatch *)
+  sb_selective : bool;  (* every update analyzed < store-size bundles *)
+  sb_identical : bool;  (* selective stripped reports = full repair *)
+  sb_warm_identical : bool;  (* warm replay through the cache agrees *)
+  sb_index_consistent : bool;  (* hot-updated index = rebuild *)
+  sb_cold_ms : float;
+  sb_update_ms : float;
+  sb_repair_ms : float;
+  sb_warm_ms : float;
+  sb_p50_ms : float;
+  sb_p99_ms : float;
+}
+
+(* A synthetic store of N generated apps streamed into the daemon, then
+   K "updates": the same packages regenerated under a different seed, so
+   each upload genuinely changes the app's body (and usually its
+   footprint).  Selective re-analysis must reproduce a brute-force full
+   repair byte for byte (stripped reports) while dispatching strictly
+   fewer scope bundles; a second daemon replaying the final store
+   through the same cache directory measures the warm path. *)
+let run_serve_bench ~mode () =
+  header "App-store daemon: footprint-indexed selective re-analysis";
+  let n, k = if mode = "smoke" then (8, 2) else (24, 6) in
+  let profile =
+    {
+      Generator.store = "serve";
+      count = n;
+      size_lo = 40;
+      size_hi = 160;
+      rate_hijack = 0.2;
+      rate_launch = 0.2;
+      rate_privesc = 0.1;
+      rate_leak = 0.2;
+    }
+  in
+  let apks gen = List.map (fun g -> g.Generator.apk) gen in
+  let initial = apks (Generator.generate ~profiles:[ profile ] ()) in
+  let regenerated = apks (Generator.generate ~seed:7 ~profiles:[ profile ] ()) in
+  let updates =
+    List.filteri (fun i _ -> i mod (max 1 (n / k)) = 0) regenerated
+    |> List.filteri (fun i _ -> i < k)
+  in
+  let dir = Filename.temp_file "separ_serve_bench" "" in
+  Sys.remove dir;
+  let stripped serve =
+    List.map
+      (fun (pkg, r) -> (pkg, stripped_report_string r))
+      (Serve.reports serve)
+  in
+  let cache = Cache.open_ ~dir () in
+  let serve = Serve.create ~cache () in
+  List.iter (fun apk -> Serve.submit serve (Serve.Upload apk)) initial;
+  let cold_verdicts, cold_ms =
+    Trace.timed "bench.serve_cold" (fun () -> Serve.drain serve)
+  in
+  List.iter (fun apk -> Serve.submit serve (Serve.Upload apk)) updates;
+  let update_verdicts, update_ms =
+    Trace.timed "bench.serve_updates" (fun () -> Serve.drain serve)
+  in
+  let selective = stripped serve in
+  let (_ : int), repair_ms =
+    Trace.timed "bench.serve_repair" (fun () -> Serve.full_repair serve)
+  in
+  let reference = stripped serve in
+  (* warm replay: a fresh daemon ingests the final store through the
+     same cache directory *)
+  let final_store =
+    List.map
+      (fun apk ->
+        match
+          List.find_opt (fun u -> Apk.package u = Apk.package apk) updates
+        with
+        | Some updated -> updated
+        | None -> apk)
+      initial
+  in
+  let serve2 = Serve.create ~cache:(Cache.open_ ~dir ()) () in
+  List.iter (fun apk -> Serve.submit serve2 (Serve.Upload apk)) final_store;
+  let (_ : Serve.verdict list), warm_ms =
+    Trace.timed "bench.serve_warm" (fun () -> Serve.drain serve2)
+  in
+  let latencies =
+    List.map
+      (fun v -> v.Serve.vd_latency_ms)
+      (cold_verdicts @ update_verdicts)
+  in
+  let result =
+    {
+      sb_store = n;
+      sb_updates = List.length updates;
+      sb_selected =
+        List.fold_left
+          (fun acc v -> acc + v.Serve.vd_analyzed)
+          0 update_verdicts;
+      sb_dispatch_full = List.length updates * n;
+      sb_selective =
+        update_verdicts <> []
+        && List.for_all
+             (fun v -> v.Serve.vd_analyzed < v.Serve.vd_store_size)
+             update_verdicts;
+      sb_identical = selective = reference;
+      sb_warm_identical = stripped serve2 = reference;
+      sb_index_consistent =
+        Footprint.equal (Serve.index serve) (Serve.rebuilt_index serve)
+        && Footprint.equal (Serve.index serve2) (Serve.rebuilt_index serve2);
+      sb_cold_ms = cold_ms;
+      sb_update_ms = update_ms;
+      sb_repair_ms = repair_ms;
+      sb_warm_ms = warm_ms;
+      sb_p50_ms = percentile 0.50 latencies;
+      sb_p99_ms = percentile 0.99 latencies;
+    }
+  in
+  let apps_per_sec =
+    if cold_ms > 0.0 then float_of_int n /. (cold_ms /. 1000.0) else 0.0
+  in
+  let json =
+    Json.Obj
+      [
+        ("mode", Json.Str mode);
+        ("provenance", Lazy.force provenance);
+        ("store_apps", Json.Int result.sb_store);
+        ("updates", Json.Int result.sb_updates);
+        ("bundles_selected", Json.Int result.sb_selected);
+        ("bundles_full_repair", Json.Int result.sb_dispatch_full);
+        ("selective", Json.Bool result.sb_selective);
+        ("identical_stripped_reports", Json.Bool result.sb_identical);
+        ("warm_identical_stripped_reports", Json.Bool result.sb_warm_identical);
+        ("index_consistent", Json.Bool result.sb_index_consistent);
+        ("cold_ms", Json.Float cold_ms);
+        ("update_stream_ms", Json.Float update_ms);
+        ("full_repair_ms", Json.Float repair_ms);
+        ("warm_ms", Json.Float warm_ms);
+        ("upload_to_verdict_p50_ms", Json.Float result.sb_p50_ms);
+        ("upload_to_verdict_p99_ms", Json.Float result.sb_p99_ms);
+        ("cold_apps_per_sec", Json.Float apps_per_sec);
+      ]
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf
+    "store:   %d apps ingested cold in %.1f ms (%.1f apps/s)\n\
+     updates: %d uploads re-analyzed %d bundles (full repair: %d) in %.1f ms\n\
+     repair:  %.1f ms   warm replay: %.1f ms\n\
+     latency: p50 %.1f ms  p99 %.1f ms (upload -> verdict)\n"
+    n cold_ms apps_per_sec result.sb_updates result.sb_selected
+    result.sb_dispatch_full update_ms repair_ms warm_ms result.sb_p50_ms
+    result.sb_p99_ms;
+  Printf.printf
+    "stripped reports identical (selective %b, warm %b), index consistent %b \
+     -> BENCH_serve.json\n%!"
+    result.sb_identical result.sb_warm_identical result.sb_index_consistent;
+  record_history ~mode ~section:"serve"
+    ~extra:
+      [
+        ("update_stream_ms", Json.Float update_ms);
+        ("full_repair_ms", Json.Float repair_ms);
+        ("p99_ms", Json.Float result.sb_p99_ms);
+      ]
+    cold_ms;
+  result
+
+(* Tier-1 gate for `dune runtest`: on a tiny store, each upload's
+   selective re-analysis must dispatch strictly fewer bundles than the
+   store holds yet leave every stripped report byte-identical to a
+   brute-force full repair, and the hot-updated footprint index must
+   equal a from-scratch rebuild. *)
+let run_serve_smoke () =
+  header "Serve smoke: selective re-analysis identity (tier-1 gate)";
+  let failures = ref [] in
+  let expect cond msg = if not cond then failures := msg :: !failures in
+  let r = run_serve_bench ~mode:"smoke" () in
+  expect r.sb_identical
+    "selective stripped reports differ from the full-repair reference";
+  expect r.sb_selective
+    "an update re-analyzed the whole store (expected a strict subset)";
+  expect
+    (r.sb_selected < r.sb_dispatch_full)
+    (Printf.sprintf
+       "update stream dispatched %d bundles, full repair would dispatch %d"
+       r.sb_selected r.sb_dispatch_full);
+  expect r.sb_warm_identical
+    "warm replay through the cache produced different stripped reports";
+  expect r.sb_index_consistent
+    "hot-updated footprint index differs from a from-scratch rebuild";
+  match !failures with
+  | [] -> Printf.printf "serve smoke: all gates passed\n%!"
+  | fs ->
+      List.iter (fun f -> Printf.printf "serve smoke FAILURE: %s\n" f) fs;
+      exit 1
+
 (* --- observability smoke (tier-1 gate) ------------------------------------- *)
 
 (* Runs the demo bundle at -j 2 with the whole observability stack on —
@@ -2418,6 +2619,7 @@ let () =
   if has "--parallel-smoke" then run_parallel_smoke ();
   if has "--incremental-smoke" then run_incremental_smoke ();
   if has "--cache-smoke" then run_cache_smoke ();
+  if has "--serve-smoke" then run_serve_smoke ();
   if has "--obs-smoke" then run_obs_smoke ();
   if has "--benchdiff-smoke" then run_benchdiff_smoke ();
   if has "--enforce-smoke" then run_enforce_smoke ();
@@ -2426,6 +2628,7 @@ let () =
   if all || has "incremental" then
     ignore (run_incremental_bench ~mode:"full" ());
   if all || has "cache" then ignore (run_cache_bench ~mode:"full" ());
+  if all || has "serve" then ignore (run_serve_bench ~mode:"full" ());
   if all || has "enforce" then ignore (run_enforce_bench ~mode:"full" ());
   if all || has "flowbench" then run_flowbench ();
   if all || has "scenario" then run_scenario ();

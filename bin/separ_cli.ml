@@ -10,6 +10,10 @@
          run the Figure-1 attack/defense demonstration
      separ generate -n 5 -d DIR
          emit synthetic store apps as .apk.txt files
+     separ serve --cache DIR
+         run the app-store analysis daemon: upload/remove events on
+         stdin (or --events FILE), footprint-indexed selective
+         re-analysis, one verdict line per event
 
    APK files use the textual container format of [Apk_text]: a manifest
    header followed by a smali-like class listing. *)
@@ -150,6 +154,64 @@ let telemetry_finish ?(to_stderr = true) ~trace ~metrics ?(metrics_out = None)
   end;
   Log.close ()
 
+(* Persistent-cache flags, shared by [analyze] and [serve]. *)
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~env:(Cmd.Env.info "SEPAR_CACHE_DIR")
+        ~doc:
+          "Persist analysis results under $(docv): per-app extraction \
+           models and per-signature verdicts are stored content-addressed, \
+           so re-analyzing an unchanged bundle re-runs no extraction and \
+           no solving, and a one-app change re-analyzes only what the \
+           change touches.  Corrupt entries degrade to recomputation.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Ignore $(b,--cache) (and $(b,SEPAR_CACHE_DIR)): run fully cold \
+           without reading or writing the store.")
+
+let cache_max_mb_arg =
+  Arg.(
+    value
+    & opt (some (int_at_least ~min:1 ~what:"--cache-max-mb")) None
+    & info [ "cache-max-mb" ] ~docv:"MB"
+        ~doc:
+          "Cap the cache directory at $(docv) MiB; least-recently-used \
+           entries are evicted after each write.")
+
+let cache_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "cache-stats" ]
+        ~doc:
+          "Print persistent-cache counters (per-tier hits/misses, stores, \
+           evictions, corrupt entries) to stderr.")
+
+let open_cache ~cache_dir ~no_cache ~cache_max_mb =
+  match cache_dir with
+  | Some dir when not no_cache ->
+      Some
+        (Separ.Cache.open_ ~dir
+           ?max_bytes:(Option.map (fun mb -> mb * 1024 * 1024) cache_max_mb)
+           ())
+  | _ -> None
+
+let print_cache_stats ~cache_stats cache =
+  if cache_stats then begin
+    match cache with
+    | None -> Fmt.epr "cache: disabled@."
+    | Some store ->
+        Fmt.epr "cache (%s): %a@." (Separ.Cache.dir store)
+          Fmt.(list ~sep:(any " ") (fun ppf (k, v) -> pf ppf "%s=%d" k v))
+          (Separ.Cache.stats store)
+  end
+
 (* A positional path may be one APK text file or a directory holding a
    whole bundle of them; directories make [analyze] a multi-bundle run
    (one independent analysis per directory) that [--shard-bundles] can
@@ -250,44 +312,6 @@ let analyze_cmd =
              wall-clock time ($(docv) >= 0); on exhaustion the signature is \
              reported as degraded (budget_exhausted).")
   in
-  let cache_dir =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "cache" ] ~docv:"DIR"
-          ~env:(Cmd.Env.info "SEPAR_CACHE_DIR")
-          ~doc:
-            "Persist analysis results under $(docv): per-app extraction \
-             models and per-signature verdicts are stored content-addressed, \
-             so re-analyzing an unchanged bundle re-runs no extraction and \
-             no solving, and a one-app change re-analyzes only what the \
-             change touches.  Corrupt entries degrade to recomputation.")
-  in
-  let no_cache =
-    Arg.(
-      value & flag
-      & info [ "no-cache" ]
-          ~doc:
-            "Ignore $(b,--cache) (and $(b,SEPAR_CACHE_DIR)): run fully cold \
-             without reading or writing the store.")
-  in
-  let cache_max_mb =
-    Arg.(
-      value
-      & opt (some (int_at_least ~min:1 ~what:"--cache-max-mb")) None
-      & info [ "cache-max-mb" ] ~docv:"MB"
-          ~doc:
-            "Cap the cache directory at $(docv) MiB; least-recently-used \
-             entries are evicted after each write.")
-  in
-  let cache_stats =
-    Arg.(
-      value & flag
-      & info [ "cache-stats" ]
-          ~doc:
-            "Print persistent-cache counters (per-tier hits/misses, stores, \
-             evictions, corrupt entries) to stderr.")
-  in
   let incremental =
     Arg.(
       value
@@ -338,16 +362,7 @@ let analyze_cmd =
               b_max_time_ms = budget_time;
             }
     in
-    let cache =
-      match cache_dir with
-      | Some dir when not no_cache ->
-          Some
-            (Separ.Cache.open_ ~dir
-               ?max_bytes:
-                 (Option.map (fun mb -> mb * 1024 * 1024) cache_max_mb)
-               ())
-      | _ -> None
-    in
+    let cache = open_cache ~cache_dir ~no_cache ~cache_max_mb in
     let dirs, files = List.partition Sys.is_directory paths in
     if dirs <> [] && files <> [] then begin
       Fmt.epr
@@ -374,15 +389,7 @@ let analyze_cmd =
             (Separ.analyze_bundles ~limit_per_sig:limit ~jobs ?budget
                ~incremental ?cache ~shard_bundles bundles)
     in
-    if cache_stats then begin
-      match cache with
-      | None -> Fmt.epr "cache: disabled@."
-      | Some store ->
-          Fmt.epr "cache (%s): %a@." (Separ.Cache.dir store)
-            Fmt.(
-              list ~sep:(any " ") (fun ppf (k, v) -> pf ppf "%s=%d" k v))
-            (Separ.Cache.stats store)
-    end;
+    print_cache_stats ~cache_stats cache;
     (match format with
     | `Text ->
         List.iter
@@ -462,9 +469,10 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Analyze one or more bundles and synthesize policies")
     Term.(
       const run $ paths $ out $ limit $ jobs $ shard_bundles
-      $ budget_conflicts $ budget_time $ cache_dir $ no_cache $ cache_max_mb
-      $ cache_stats $ incremental $ format $ stats $ trace_arg $ metrics_arg
-      $ log_arg $ log_level_arg $ metrics_out_arg $ profile_gc_arg)
+      $ budget_conflicts $ budget_time $ cache_dir_arg $ no_cache_arg
+      $ cache_max_mb_arg $ cache_stats_arg $ incremental $ format $ stats
+      $ trace_arg $ metrics_arg $ log_arg $ log_level_arg $ metrics_out_arg
+      $ profile_gc_arg)
 
 let extract_cmd =
   let path =
@@ -723,6 +731,121 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Emit synthetic store apps as APK text files")
     Term.(const run $ n $ dir)
 
+(* The app-store analysis daemon: a long-lived process holding the
+   extracted-model store and footprint index, consuming one event per
+   line and emitting one verdict line per event.  Commands:
+
+     upload PATH    load PATH (.apk.txt), re-analyze affected bundles
+     remove PKG     drop PKG, re-analyze its old partners
+     status         print store size and packages
+     repair         brute-force re-analysis of every bundle
+     quit           exit (EOF does the same)
+
+   A failing command (missing file, malformed APK) reports to stderr
+   and leaves the daemon running. *)
+let serve_cmd =
+  let events =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Read events from $(docv) (one per line; $(b,#) comments and \
+             blank lines ignored) instead of stdin")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (int_at_least ~min:1 ~what:"--jobs") 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Fan multi-bundle events out over $(docv) persistent worker \
+             processes ($(docv) >= 1)")
+  in
+  let limit =
+    Arg.(
+      value
+      & opt int Separ_relog.Solve.default_enum_limit
+      & info [ "limit" ] ~doc:"Maximum scenarios per vulnerability signature")
+  in
+  let run events jobs limit cache_dir no_cache cache_max_mb cache_stats trace
+      metrics log log_level metrics_out profile_gc =
+    telemetry_setup ~trace ~metrics ~log ~log_level ~metrics_out ~profile_gc;
+    let cache = open_cache ~cache_dir ~no_cache ~cache_max_mb in
+    let serve = Separ.Serve.create ~limit_per_sig:limit ~jobs ?cache () in
+    let ic, close_ic =
+      match events with
+      | Some path ->
+          let ic = open_in path in
+          (ic, fun () -> close_in ic)
+      | None -> (stdin, fun () -> ())
+    in
+    let print_verdicts () =
+      List.iter
+        (fun v -> Fmt.pr "%a@." Separ.Serve.pp_verdict v)
+        (Separ.Serve.drain serve)
+    in
+    let split line =
+      match String.index_opt line ' ' with
+      | None -> (line, None)
+      | Some i ->
+          ( String.sub line 0 i,
+            Some
+              (String.trim
+                 (String.sub line (i + 1) (String.length line - i - 1))) )
+    in
+    let rec loop () =
+      match input_line ic with
+      | exception End_of_file -> print_verdicts ()
+      | line -> (
+          let line = String.trim line in
+          if line = "" || line.[0] = '#' then loop ()
+          else
+            match split line with
+            | "upload", Some path ->
+                (match Separ_dalvik.Apk_text.load path with
+                | apk ->
+                    Separ.Serve.submit serve (Separ.Serve.Upload apk);
+                    print_verdicts ()
+                | exception exn ->
+                    Fmt.epr "serve: upload %s failed: %s@." path
+                      (Printexc.to_string exn));
+                loop ()
+            | "remove", Some pkg ->
+                Separ.Serve.submit serve (Separ.Serve.Remove pkg);
+                print_verdicts ();
+                loop ()
+            | "status", None ->
+                Fmt.pr "store: %d app(s)%s@."
+                  (Separ.Serve.store_size serve)
+                  (match Separ.Serve.packages serve with
+                  | [] -> ""
+                  | pkgs -> ": " ^ String.concat " " pkgs);
+                loop ()
+            | "repair", None ->
+                let n = Separ.Serve.full_repair serve in
+                Fmt.pr "repair: %d bundle(s) re-analyzed@." n;
+                loop ()
+            | "quit", None -> print_verdicts ()
+            | _ ->
+                Fmt.epr "serve: unknown command %S@." line;
+                loop ())
+    in
+    loop ();
+    close_ic ();
+    print_cache_stats ~cache_stats cache;
+    telemetry_finish ~trace ~metrics ~metrics_out ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the app-store analysis daemon: footprint-indexed selective \
+          re-analysis of upload/remove events")
+    Term.(
+      const run $ events $ jobs $ limit $ cache_dir_arg $ no_cache_arg
+      $ cache_max_mb_arg $ cache_stats_arg $ trace_arg $ metrics_arg
+      $ log_arg $ log_level_arg $ metrics_out_arg $ profile_gc_arg)
+
 let () =
   let info =
     Cmd.info "separ" ~version:"1.0.0"
@@ -733,5 +856,5 @@ let () =
        (Cmd.group info
           [
             analyze_cmd; extract_cmd; spec_cmd; table1_cmd; demo_cmd;
-            enforce_cmd; generate_cmd; benchdiff_cmd;
+            enforce_cmd; generate_cmd; serve_cmd; benchdiff_cmd;
           ]))

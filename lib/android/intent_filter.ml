@@ -38,14 +38,21 @@ let host_test (intent : Intent.t) t =
   | None -> false
 
 (* Data test, per the four cases of the framework documentation, refined
-   by the authority test when the filter constrains hosts. *)
+   by the authority test when the filter constrains hosts.  The
+   authority table is only consulted for intents that actually carry a
+   URI: a MIME-type-only intent (and the no-data case) never reaches it,
+   so a filter listing hosts must not reject such intents on the host
+   constraint alone. *)
 let data_test (intent : Intent.t) t =
+  let uri_present =
+    intent.Intent.data_scheme <> None || intent.Intent.data_host <> None
+  in
   (match (intent.Intent.data_scheme, intent.Intent.data_type) with
   | None, None -> t.data_schemes = [] && t.data_types = []
   | Some s, None -> List.mem s t.data_schemes && t.data_types = []
   | None, Some ty -> List.mem ty t.data_types && t.data_schemes = []
   | Some s, Some ty -> List.mem s t.data_schemes && List.mem ty t.data_types)
-  && host_test intent t
+  && ((not uri_present) || host_test intent t)
 
 let matches ~(intent : Intent.t) t =
   action_test intent t && category_test intent t && data_test intent t

@@ -31,7 +31,9 @@ val action_test : Intent.t -> t -> bool
 (** Every category in the intent must appear in the filter. *)
 val category_test : Intent.t -> t -> bool
 
-(** The four-case data test of the framework documentation. *)
+(** The four-case data test of the framework documentation, refined by
+    {!host_test} only when the intent carries a URI — a MIME-type-only
+    intent never reaches the authority table. *)
 val data_test : Intent.t -> t -> bool
 
 (** All three tests. *)

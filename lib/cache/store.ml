@@ -18,6 +18,7 @@ let c_misses = Metrics.counter "cache.misses"
 let c_stores = Metrics.counter "cache.stores"
 let c_evictions = Metrics.counter "cache.evictions"
 let c_corrupt = Metrics.counter "cache.corrupt"
+let c_swept = Metrics.counter "cache.tmp_swept"
 
 let magic = "SEPARC1\n"
 let magic_len = String.length magic
@@ -30,6 +31,7 @@ type t = {
   mutable stores : int;
   mutable evictions : int;
   mutable corrupt : int;
+  mutable tmp_swept : int;
 }
 
 let mkdir_p path =
@@ -41,10 +43,63 @@ let mkdir_p path =
   in
   go path
 
+let remove_noerr path = try Sys.remove path with Sys_error _ -> ()
+
+(* Temporary publish files are named ".tmp.<entry>.<pid>".  A process
+   killed between creating one and the atomic rename leaks it forever:
+   nothing ever reads it, and nothing would ever delete it.  On open we
+   sweep every tmp file whose owning pid is gone (or unparseable);
+   in-flight publishes of live processes are left alone. *)
+let tmp_prefix = ".tmp."
+
+let is_tmp_name f =
+  String.length f >= String.length tmp_prefix
+  && String.sub f 0 (String.length tmp_prefix) = tmp_prefix
+
+let tmp_owner_pid f =
+  match String.rindex_opt f '.' with
+  | None -> None
+  | Some i ->
+      int_of_string_opt (String.sub f (i + 1) (String.length f - i - 1))
+
+let pid_alive pid =
+  pid > 0
+  &&
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.EPERM, _, _) -> true (* exists, not ours *)
+  | exception Unix.Unix_error _ -> false
+
+let sweep_orphan_tmp t =
+  if Sys.file_exists t.root && Sys.is_directory t.root then
+    Array.iter
+      (fun tier ->
+        let tdir = Filename.concat t.root tier in
+        if Sys.is_directory tdir then
+          Array.iter
+            (fun f ->
+              if is_tmp_name f then
+                let live =
+                  match tmp_owner_pid f with
+                  | Some pid -> pid_alive pid
+                  | None -> false
+                in
+                if not live then begin
+                  remove_noerr (Filename.concat tdir f);
+                  t.tmp_swept <- t.tmp_swept + 1;
+                  Metrics.incr c_swept
+                end)
+            (Sys.readdir tdir))
+      (Sys.readdir t.root)
+
 let open_ ~dir ?max_bytes () =
   mkdir_p dir;
-  { root = dir; max_bytes; tier_stats = Hashtbl.create 4;
-    stores = 0; evictions = 0; corrupt = 0 }
+  let t =
+    { root = dir; max_bytes; tier_stats = Hashtbl.create 4;
+      stores = 0; evictions = 0; corrupt = 0; tmp_swept = 0 }
+  in
+  sweep_orphan_tmp t;
+  t
 
 let dir t = t.root
 
@@ -59,7 +114,9 @@ let tier_counts t tier =
 let entry_path t ~tier ~key =
   Filename.concat (Filename.concat t.root tier) (Digest.to_hex (Digest.string key))
 
-(* Every regular non-temporary file in every tier directory. *)
+(* Every regular non-temporary file in every tier directory.  The
+   dot-prefix skip keeps in-flight ".tmp.*" publish files out of the
+   size accounting and the eviction scan. *)
 let entries t =
   let acc = ref [] in
   if Sys.file_exists t.root && Sys.is_directory t.root then
@@ -89,8 +146,6 @@ let entry_count t ~tier =
       (fun acc f -> if String.length f > 0 && f.[0] = '.' then acc else acc + 1)
       0 (Sys.readdir tdir)
   else 0
-
-let remove_noerr path = try Sys.remove path with Sys_error _ -> ()
 
 let read_file path =
   let ic = open_in_bin path in
@@ -133,8 +188,19 @@ let find t ~tier ~key =
         match Marshal.from_string payload 0 with
         | exception _ -> miss ~corrupt:true
         | v ->
-            (* LRU bookkeeping: refresh the access time on a hit. *)
-            (try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ());
+            (* LRU bookkeeping: refresh the access time on a hit while
+               preserving the modification (publish) time — [utimes p 0. 0.]
+               hits the both-zero special case that resets {e both} to
+               now, clobbering mtime on every read. *)
+            (try
+               let st = Unix.stat path in
+               let atime = Unix.gettimeofday () in
+               (* dodge the both-zero special case of [utimes] *)
+               let atime =
+                 if atime = 0.0 && st.Unix.st_mtime = 0.0 then 1e-6 else atime
+               in
+               Unix.utimes path atime st.Unix.st_mtime
+             with Unix.Unix_error _ -> ());
             incr hits;
             Metrics.incr c_hits;
             Some v)
@@ -200,4 +266,4 @@ let stats t =
   List.sort
     (fun (a, _) (b, _) -> compare (a : string) b)
     (("corrupt", t.corrupt) :: ("evictions", t.evictions)
-     :: ("stores", t.stores) :: per_tier)
+     :: ("stores", t.stores) :: ("tmp_swept", t.tmp_swept) :: per_tier)

@@ -19,7 +19,14 @@ type t
 
 (** [open_ ~dir ?max_bytes ()] opens (creating directories as needed) a
     store rooted at [dir].  [max_bytes], when given, caps the total size
-    of the store; the cap is enforced after each [store]. *)
+    of the store; the cap is enforced after each [store].
+
+    Opening also sweeps orphaned temporary publish files: a process
+    killed between writing its [".tmp.*"] file and the atomic rename
+    leaks the file, which no reader ever sees and no eviction scan
+    counts.  Any tmp file whose embedded owner pid is no longer alive
+    (or unparseable) is deleted and counted under ["tmp_swept"];
+    in-flight publishes of live processes are left untouched. *)
 val open_ : dir:string -> ?max_bytes:int -> unit -> t
 
 val dir : t -> string
@@ -38,7 +45,7 @@ val store : t -> tier:string -> key:string -> 'a -> unit
 
 (** Counters accumulated by this handle since [open_], as a list sorted
     by name: per-tier ["<tier>.hits"] / ["<tier>.misses"], and global
-    ["corrupt"], ["evictions"], ["stores"]. *)
+    ["corrupt"], ["evictions"], ["stores"], ["tmp_swept"]. *)
 val stats : t -> (string * int) list
 
 (** Total payload bytes currently on disk (sum of entry file sizes). *)

@@ -46,6 +46,10 @@ module Ase = Separ_ase.Ase
 (* Persistent analysis cache *)
 module Cache = Separ_cache.Store
 
+(* App-store analysis service *)
+module Serve = Separ_serve.Serve
+module Footprint = Separ_serve.Index
+
 (* Policies and enforcement *)
 module Policy = Separ_policy.Policy
 module Compile = Separ_policy.Compile

@@ -42,6 +42,17 @@ module Ase = Separ_ase.Ase
 
 module Cache = Separ_cache.Store
 
+(** {1 App-store analysis service}
+
+    A long-lived store of extracted models with a job queue of
+    upload/update/remove events: the {!Footprint} index maps each
+    event to the candidate set of affected scope bundles, and only
+    those are re-analyzed (through the {!Cache}, over the worker
+    pool).  See {!Serve.drain} and {!Serve.full_repair}. *)
+
+module Serve = Separ_serve.Serve
+module Footprint = Separ_serve.Index
+
 (** {1 Policies and enforcement} *)
 
 module Policy = Separ_policy.Policy

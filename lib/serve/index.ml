@@ -1,0 +1,260 @@
+(* The intent-filter footprint index: who in the store could talk to
+   whom, at app granularity, without pairwise resolution.
+
+   Receive side — for every app, every intent filter of its public
+   components contributes its actions, categories, data schemes and
+   data MIME types to per-key buckets, plus membership in the
+   any-filter bucket (action-less intents pass any filter that lists
+   some action) and a no-data bucket (filters constraining neither
+   schemes nor types, the only ones a data-less intent can pass).
+   Every component name, public or not, is indexed for explicit
+   addressing (explicit intents reach private components).
+
+   Send side — every intent contributes its resolved action (or the
+   wildcard bucket when the action is missing or statically
+   unresolvable) and, for explicit intents, its target class name.
+
+   Lookups intersect receive buckets exactly the way
+   [Intent_filter.matches] conjoins its tests, each bucket a
+   conservative over-approximation of one test, so the candidate set is
+   provably a superset of the exact resolution set (property-tested in
+   test_serve.ml): dropping the host refinement and widening unresolved
+   actions to the wildcard can only add candidates, never lose one. *)
+
+open Separ_ame
+module Pkgs = Set.Make (String)
+
+type bucket = (string, Pkgs.t) Hashtbl.t
+
+type t = {
+  rx_action : bucket;
+  rx_category : bucket;
+  rx_scheme : bucket;
+  rx_type : bucket;
+  rx_component : bucket;      (* component class name -> owning apps *)
+  mutable rx_nodata : Pkgs.t; (* filters with no scheme and no type lists *)
+  mutable rx_all : Pkgs.t;    (* apps with at least one public filter *)
+  tx_action : bucket;
+  tx_component : bucket;      (* explicit target class name -> senders *)
+  mutable tx_wildcard : Pkgs.t; (* senders of action-less/unresolved intents *)
+}
+
+let create () =
+  {
+    rx_action = Hashtbl.create 64;
+    rx_category = Hashtbl.create 16;
+    rx_scheme = Hashtbl.create 16;
+    rx_type = Hashtbl.create 16;
+    rx_component = Hashtbl.create 64;
+    rx_nodata = Pkgs.empty;
+    rx_all = Pkgs.empty;
+    tx_action = Hashtbl.create 64;
+    tx_component = Hashtbl.create 64;
+    tx_wildcard = Pkgs.empty;
+  }
+
+let bucket_get b key =
+  match Hashtbl.find_opt b key with Some s -> s | None -> Pkgs.empty
+
+let bucket_add b key pkg = Hashtbl.replace b key (Pkgs.add pkg (bucket_get b key))
+
+let bucket_remove b key pkg =
+  let s = Pkgs.remove pkg (bucket_get b key) in
+  if Pkgs.is_empty s then Hashtbl.remove b key else Hashtbl.replace b key s
+
+(* The footprint of one app, as the flat (bucket, key) contribution
+   list; [add] and [remove] walk the same list, so removal deletes
+   exactly what addition inserted and hot update stays equal to a
+   rebuild from scratch. *)
+type contribution =
+  | Rx_action of string
+  | Rx_category of string
+  | Rx_scheme of string
+  | Rx_type of string
+  | Rx_component of string
+  | Rx_nodata
+  | Rx_all
+  | Tx_action of string
+  | Tx_component of string
+  | Tx_wildcard
+
+let contributions (app : App_model.t) =
+  let acc = ref [] in
+  let push c = acc := c :: !acc in
+  List.iter
+    (fun (c : App_model.component_model) ->
+      push (Rx_component c.cm_name);
+      if c.cm_public then
+        List.iter
+          (fun (f : Separ_android.Intent_filter.t) ->
+            if f.actions <> [] then push Rx_all;
+            List.iter (fun a -> push (Rx_action a)) f.actions;
+            List.iter (fun cat -> push (Rx_category cat)) f.categories;
+            List.iter (fun s -> push (Rx_scheme s)) f.data_schemes;
+            List.iter (fun ty -> push (Rx_type ty)) f.data_types;
+            if f.data_schemes = [] && f.data_types = [] then push Rx_nodata)
+          c.cm_filters;
+      List.iter
+        (fun (im : App_model.intent_model) ->
+          match im.im_target with
+          | Some tgt -> push (Tx_component tgt)
+          | None ->
+              if im.im_passive then ()
+                (* passive replies carry no addressing of their own;
+                   their targets are the result-requesting senders,
+                   whose own intents are indexed *)
+              else if im.im_action_unresolved || im.im_action = None then
+                push Tx_wildcard
+              else push (Tx_action (Option.get im.im_action)))
+        c.cm_intents)
+    app.App_model.am_components;
+  !acc
+
+let apply_contribution t pkg ~add c =
+  let on b key = if add then bucket_add b key pkg else bucket_remove b key pkg in
+  let on_set get set =
+    if add then set (Pkgs.add pkg (get ())) else set (Pkgs.remove pkg (get ()))
+  in
+  match c with
+  | Rx_action a -> on t.rx_action a
+  | Rx_category cat -> on t.rx_category cat
+  | Rx_scheme s -> on t.rx_scheme s
+  | Rx_type ty -> on t.rx_type ty
+  | Rx_component n -> on t.rx_component n
+  | Rx_nodata -> on_set (fun () -> t.rx_nodata) (fun s -> t.rx_nodata <- s)
+  | Rx_all -> on_set (fun () -> t.rx_all) (fun s -> t.rx_all <- s)
+  | Tx_action a -> on t.tx_action a
+  | Tx_component n -> on t.tx_component n
+  | Tx_wildcard -> on_set (fun () -> t.tx_wildcard) (fun s -> t.tx_wildcard <- s)
+
+(* Sets are idempotent, so a duplicated contribution (two filters
+   listing the same action) adds once; removal walks the same
+   deduplicated view to avoid over-deleting. *)
+let dedup cs = List.sort_uniq compare cs
+
+let add t (app : App_model.t) =
+  List.iter
+    (apply_contribution t app.App_model.am_package ~add:true)
+    (dedup (contributions app))
+
+let remove t (app : App_model.t) =
+  List.iter
+    (apply_contribution t app.App_model.am_package ~add:false)
+    (dedup (contributions app))
+
+let rebuild apps =
+  let t = create () in
+  List.iter (add t) apps;
+  t
+
+(* --- lookups ---------------------------------------------------------------- *)
+
+(* Candidate receiving apps of one (extracted) intent: an intersection
+   of one conservative bucket per conjunct of the exact match.  [None]
+   stands for "unconstrained" (the whole store), so intersections only
+   ever narrow from an over-approximation. *)
+let receivers t (im : App_model.intent_model) : Pkgs.t =
+  match im.App_model.im_target with
+  | Some tgt -> bucket_get t.rx_component tgt
+  | None ->
+      if im.im_passive then Pkgs.empty
+        (* implicit passive intents resolve only through Algorithm 1,
+           whose edges the send side of the requesting intent covers *)
+      else begin
+        let meet acc s =
+          match acc with
+          | None -> Some s
+          | Some acc -> Some (Pkgs.inter acc s)
+        in
+        let acc =
+          if im.im_action_unresolved then Some t.rx_all
+          else
+            match im.im_action with
+            | Some a -> Some (bucket_get t.rx_action a)
+            | None -> Some t.rx_all
+        in
+        let acc =
+          List.fold_left
+            (fun acc cat -> meet acc (bucket_get t.rx_category cat))
+            acc im.im_categories
+        in
+        let data =
+          match (im.im_data_scheme, im.im_data_type) with
+          | None, None -> [ t.rx_nodata ]
+          | Some s, None -> [ bucket_get t.rx_scheme s ]
+          | None, Some ty -> [ bucket_get t.rx_type ty ]
+          | Some s, Some ty ->
+              [ bucket_get t.rx_scheme s; bucket_get t.rx_type ty ]
+        in
+        let acc = List.fold_left meet acc data in
+        match acc with Some s -> s | None -> t.rx_all
+      end
+
+(* Candidate apps that could send an intent some component of [app]
+   receives: the union (union, not intersection — each of the app's
+   filters is an independent entry point) of the send-side buckets its
+   filters and component names touch, plus every wildcard sender. *)
+let senders_to t (app : App_model.t) : Pkgs.t =
+  List.fold_left
+    (fun acc (c : App_model.component_model) ->
+      let acc = Pkgs.union acc (bucket_get t.tx_component c.cm_name) in
+      if c.cm_public then
+        List.fold_left
+          (fun acc (f : Separ_android.Intent_filter.t) ->
+            List.fold_left
+              (fun acc a -> Pkgs.union acc (bucket_get t.tx_action a))
+              acc f.actions)
+          acc c.cm_filters
+      else acc)
+    t.tx_wildcard app.App_model.am_components
+
+(* Everyone whose inter-app ICC surface [app] can touch: apps it could
+   send to, plus apps that could send to it. *)
+let affected t (app : App_model.t) : Pkgs.t =
+  let rx =
+    List.fold_left
+      (fun acc (c : App_model.component_model) ->
+        List.fold_left
+          (fun acc im -> Pkgs.union acc (receivers t im))
+          acc c.App_model.cm_intents)
+      Pkgs.empty app.App_model.am_components
+  in
+  Pkgs.union rx (senders_to t app)
+
+(* --- canonical dump (hot-update = rebuild equality) ------------------------- *)
+
+let dump t =
+  let of_bucket prefix b =
+    Hashtbl.fold
+      (fun key pkgs acc -> (prefix ^ ":" ^ key, Pkgs.elements pkgs) :: acc)
+      b []
+  in
+  let of_set name s = [ (name, Pkgs.elements s) ] in
+  List.sort compare
+    (List.concat
+       [
+         of_bucket "rx_action" t.rx_action;
+         of_bucket "rx_category" t.rx_category;
+         of_bucket "rx_scheme" t.rx_scheme;
+         of_bucket "rx_type" t.rx_type;
+         of_bucket "rx_component" t.rx_component;
+         of_set "rx_nodata" t.rx_nodata;
+         of_set "rx_all" t.rx_all;
+         of_bucket "tx_action" t.tx_action;
+         of_bucket "tx_component" t.tx_component;
+         of_set "tx_wildcard" t.tx_wildcard;
+       ])
+
+let equal a b = dump a = dump b
+
+type stats = {
+  st_keys : int;     (* distinct bucket keys across all bucket families *)
+  st_entries : int;  (* total (key, app) memberships *)
+}
+
+let stats t =
+  let d = dump t in
+  {
+    st_keys = List.length d;
+    st_entries = List.fold_left (fun acc (_, ps) -> acc + List.length ps) 0 d;
+  }

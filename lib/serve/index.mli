@@ -1,0 +1,56 @@
+(** The intent-filter footprint index: maps ICC surface keys (actions,
+    categories, data schemes, data MIME types, component class names)
+    to the apps that can receive or send them, so an app upload
+    resolves to a small candidate set of interaction partners instead
+    of a pairwise scan of the store.
+
+    Soundness contract (property-tested): for every intent [im] and
+    every store, {!receivers} returns a {e superset} of the packages
+    owning a component [im] exactly resolves to
+    ({!Separ_ame.Bundle.resolves_to}), and {!senders_to}[ t app]
+    returns a superset of the packages owning an intent that exactly
+    resolves to one of [app]'s components.  Hot updates
+    ({!add}/{!remove}) leave the index {!equal} to a {!rebuild} from
+    scratch. *)
+
+open Separ_ame
+
+module Pkgs : Set.S with type elt = string
+
+type t
+
+val create : unit -> t
+
+(** Insert one app's footprint.  An app must be [remove]d (with the
+    model that was added) before a changed model is re-added. *)
+val add : t -> App_model.t -> unit
+
+(** Remove exactly the footprint [add] inserted for this model. *)
+val remove : t -> App_model.t -> unit
+
+val rebuild : App_model.t list -> t
+
+(** Candidate receiving apps of one intent (superset of exact
+    resolution; implicit passive intents return the empty set — their
+    delivery edges belong to the requesting sender's intent). *)
+val receivers : t -> App_model.intent_model -> Pkgs.t
+
+(** Candidate apps that could send an intent some component of [app]
+    receives. *)
+val senders_to : t -> App_model.t -> Pkgs.t
+
+(** [receivers] of every intent of [app], union [senders_to] it: the
+    apps whose inter-app ICC surface a change to [app] can touch. *)
+val affected : t -> App_model.t -> Pkgs.t
+
+(** Canonical sorted dump, for equality checks and inspection. *)
+val dump : t -> (string * string list) list
+
+val equal : t -> t -> bool
+
+type stats = {
+  st_keys : int;     (** distinct bucket keys *)
+  st_entries : int;  (** total (key, app) memberships *)
+}
+
+val stats : t -> stats

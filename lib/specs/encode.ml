@@ -408,14 +408,21 @@ let encode_bundle
          else [])
        @ List.map (fun (id, _, catom, _) -> (id, catom)) bundle_intent_info));
   let r_target = mk "target" 2 in
+  (* An explicit target naming a component that is not installed in the
+     bundle is undeliverable — it contributes no target tuple (rather
+     than an atom outside the universe). *)
+  let installed name =
+    List.exists (fun (_, c) -> c.App_model.cm_name = name) comp_atoms
+  in
   bound_intent_field r_target
     (List.concat_map
        (fun (id, _, _, i) ->
          (match i.App_model.im_target with
-         | Some t -> [ (id, comp_atom_of t) ]
-         | None -> [])
-         @ List.map
-             (fun t -> (id, comp_atom_of t))
+         | Some t when installed t -> [ (id, comp_atom_of t) ]
+         | Some _ | None -> [])
+         @ List.filter_map
+             (fun t ->
+               if installed t then Some (id, comp_atom_of t) else None)
              i.App_model.im_resolved_targets)
        bundle_intent_info)
     all_comp_atoms;

@@ -102,6 +102,60 @@ let test_data_case_both () =
   check "scheme missing fails" false
     (matches i (filter ~actions:[ "a" ] ~data_types:[ "t" ] ()))
 
+(* The framework's data-test table end to end: every (action, category,
+   data, host) combination the documentation enumerates, against a
+   filter that lists hosts and one that does not.  The authority test
+   only refines intents that actually carry a URI — in particular a
+   MIME-type-only intent must pass a host-listing filter (the bug the
+   footprint index tripped over: such filters silently dropped every
+   typed share intent from their candidate sets). *)
+let test_data_table () =
+  let hosted =
+    filter ~actions:[ "a" ] ~categories:[ "c" ] ~data_types:[ "text/plain" ]
+      ~data_schemes:[ "content" ] ~data_hosts:[ "books.prov" ] ()
+  in
+  let unhosted =
+    filter ~actions:[ "a" ] ~categories:[ "c" ] ~data_types:[ "text/plain" ]
+      ~data_schemes:[ "content" ] ()
+  in
+  let typed_only = filter ~actions:[ "a" ] ~data_types:[ "text/plain" ] () in
+  let hosted_typed =
+    (* degenerate but expressible: hosts constrained, no scheme list *)
+    filter ~actions:[ "a" ] ~data_types:[ "text/plain" ]
+      ~data_hosts:[ "books.prov" ] ()
+  in
+  let i ?ty ?s ?h () =
+    intent ~action:"a" ?data_type:ty ?data_scheme:s ?data_host:h ()
+  in
+  (* MIME-type-only intents: no URI, so the authority table is never
+     consulted; only the scheme-list emptiness check applies. *)
+  check "type-only intent passes a type-only filter" true
+    (matches (i ~ty:"text/plain" ()) typed_only);
+  check "type-only intent passes a host-listing, scheme-free filter" true
+    (matches (i ~ty:"text/plain" ()) hosted_typed);
+  check "type-only intent still fails a scheme-listing filter" false
+    (matches (i ~ty:"text/plain" ()) hosted);
+  (* No-data intents: pass only data-free filters, hosts irrelevant. *)
+  check "no-data intent fails a data filter regardless of hosts" false
+    (matches (i ()) hosted);
+  check "no-data intent passes a data-free host-free filter" true
+    (matches (i ()) (filter ~actions:[ "a" ] ()));
+  (* URI-carrying intents: the authority test applies in full. *)
+  check "scheme+type+host all listed passes" true
+    (matches (i ~ty:"text/plain" ~s:"content" ~h:"books.prov" ()) hosted);
+  check "wrong host fails" false
+    (matches (i ~ty:"text/plain" ~s:"content" ~h:"evil.prov" ()) hosted);
+  check "hostless URI fails a host-listing filter" false
+    (matches (i ~ty:"text/plain" ~s:"content" ()) hosted);
+  check "host ignored by a host-free filter" true
+    (matches (i ~ty:"text/plain" ~s:"content" ~h:"anything" ()) unhosted);
+  (* Category refinement rides on top unchanged. *)
+  check "extra category still fails" false
+    (matches
+       (intent ~action:"a" ~categories:[ "c"; "d" ] ~data_type:"text/plain"
+          ~data_scheme:"content" ~data_host:"books.prov" ())
+       hosted)
+
 (* --- components --------------------------------------------------------------- *)
 
 let test_component_public () =
@@ -239,6 +293,7 @@ let tests =
     Alcotest.test_case "data test: type" `Quick test_data_case_type_only;
     Alcotest.test_case "data test: both" `Quick test_data_case_both;
     Alcotest.test_case "data test: host" `Quick test_data_host;
+    Alcotest.test_case "data test: framework table" `Quick test_data_table;
     Alcotest.test_case "split_uri" `Quick test_split_uri;
     Alcotest.test_case "component publicity" `Quick test_component_public;
     Alcotest.test_case "provider filters rejected" `Quick test_provider_no_filters;

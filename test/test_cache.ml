@@ -120,6 +120,73 @@ let test_stale_tmp_file_harmless () =
   check "last writer wins" true
     ((Store.find t ~tier:"ame" ~key:"k" : string option) = Some "newer")
 
+(* A process killed mid-publish leaks its ".tmp.*" file; nothing ever
+   read or removed it.  Opening the store must sweep tmp files whose
+   owning pid (the trailing name component) is dead or unparseable,
+   while leaving a live process's in-flight publish alone. *)
+let test_orphan_tmp_swept_on_open () =
+  let dir = fresh_dir () in
+  (* a first handle creates the tier, then "dies" mid-publish *)
+  let t0 = Store.open_ ~dir () in
+  Store.store t0 ~tier:"ame" ~key:"k" "good";
+  let tdir = Filename.concat dir "ame" in
+  (* a genuinely dead pid: fork a child that exits immediately *)
+  let dead_pid =
+    match Unix.fork () with
+    | 0 -> Unix._exit 0
+    | pid ->
+        ignore (Unix.waitpid [] pid);
+        pid
+  in
+  let orphan_dead =
+    Filename.concat tdir (Printf.sprintf ".tmp.deadentry.%d" dead_pid)
+  in
+  let orphan_junk = Filename.concat tdir ".tmp.noentry.notapid" in
+  let live =
+    Filename.concat tdir (Printf.sprintf ".tmp.inflight.%d" (Unix.getpid ()))
+  in
+  List.iter (fun p -> spit p "half-written payload")
+    [ orphan_dead; orphan_junk; live ];
+  let t = Store.open_ ~dir () in
+  check "dead-pid orphan swept" false (Sys.file_exists orphan_dead);
+  check "unparseable orphan swept" false (Sys.file_exists orphan_junk);
+  check "live in-flight publish kept" true (Sys.file_exists live);
+  check_int "two sweeps recorded" 2 (List.assoc "tmp_swept" (Store.stats t));
+  (* the surviving tmp file never leaks into the entry accounting *)
+  check_int "tmp file not an entry" 1 (Store.entry_count t ~tier:"ame");
+  let entry = entry_file dir "ame" "k" in
+  check "size counts entries only" true
+    (Store.size_bytes t = String.length (slurp entry));
+  check "real entry still served" true
+    ((Store.find t ~tier:"ame" ~key:"k" : string option) = Some "good");
+  Sys.remove live
+
+(* The read-through LRU touch must bump only the access time: the old
+   [utimes path 0. 0.] call hit the both-zero special case that resets
+   atime AND mtime to now, clobbering the publish time on every hit
+   (and making mtime-based external inspection lie). *)
+let test_hit_preserves_mtime () =
+  let dir = fresh_dir () in
+  let t = Store.open_ ~dir () in
+  Store.store t ~tier:"ame" ~key:"k" "payload";
+  let path = entry_file dir "ame" "k" in
+  (* age the entry: both times well in the past *)
+  let past = Unix.gettimeofday () -. 1000.0 in
+  Unix.utimes path past past;
+  (match (Store.find t ~tier:"ame" ~key:"k" : string option) with
+  | Some "payload" -> ()
+  | _ -> Alcotest.fail "hit expected");
+  let st = Unix.stat path in
+  check "mtime preserved across the hit" true
+    (abs_float (st.Unix.st_mtime -. past) < 2.0);
+  check "atime refreshed by the hit" true
+    (st.Unix.st_atime > past +. 500.0);
+  (* a second hit keeps mtime pinned too *)
+  ignore (Store.find t ~tier:"ame" ~key:"k" : string option);
+  let st2 = Unix.stat path in
+  check "mtime still preserved" true
+    (abs_float (st2.Unix.st_mtime -. past) < 2.0)
+
 (* --- eviction ------------------------------------------------------------- *)
 
 let test_eviction_under_tiny_cap () =
@@ -289,6 +356,10 @@ let tests =
       test_wrong_magic_entry;
     Alcotest.test_case "stale tmp file is harmless" `Quick
       test_stale_tmp_file_harmless;
+    Alcotest.test_case "orphan tmp files swept on open" `Quick
+      test_orphan_tmp_swept_on_open;
+    Alcotest.test_case "hit preserves mtime, bumps atime" `Quick
+      test_hit_preserves_mtime;
     Alcotest.test_case "eviction under a tiny cap" `Quick
       test_eviction_under_tiny_cap;
     Alcotest.test_case "extract_cached read-through" `Quick test_extract_cached;

@@ -19,5 +19,6 @@ let () =
       ("properties", Test_properties.tests);
       ("report", Test_report.tests);
       ("cache", Test_cache.tests);
+      ("serve", Test_serve.tests);
       ("obs", Test_obs.tests);
     ]
